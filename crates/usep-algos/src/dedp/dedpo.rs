@@ -1,0 +1,246 @@
+//! DeDPO (Algorithm 4): the space/speed-optimized two-step framework.
+//!
+//! Lemma 2 shows that when the framework is about to process user `u_r`,
+//! the decomposed utility of a pseudo-event slot is fully determined by
+//! the *last* user whose step-1 schedule contained the slot:
+//! `μ^r(v_{i,k}, u_r) = μ(v_i, u_r) − μ(v_i, u_last)` (or the plain
+//! `μ(v_i, u_r)` for a free slot). DeDPO therefore keeps only a
+//! `select(v_i, k)` array instead of the full `μ^r` matrix, saving
+//! `O(|V| |U| max c_v)` space and the per-iteration matrix update, while
+//! producing exactly the same planning as [`DeDP`](super::DeDP).
+//!
+//! The driver is generic over the single-user subproblem solver, so
+//! [`DeGreedy`](crate::DeGreedy) reuses it with the greedy of Alg. 5.
+
+use super::{
+    build_planning_from_holders, passes_lemma1, Candidate, DpScheduler, PseudoLayout,
+    SingleScheduler,
+};
+use crate::augment::augment_with_ratio_greedy;
+use crate::Solver;
+use usep_core::{EventId, Instance, Planning, UserId};
+
+/// DeDPO (Alg. 4): ½-approximate, `O(|V| max c_v + |V| b_u + |V||U|)`
+/// space. `with_augment()` turns it into the paper's DeDPO+RG.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DeDPO {
+    augment: bool,
+}
+
+impl DeDPO {
+    /// Plain DeDPO.
+    pub fn new() -> DeDPO {
+        DeDPO { augment: false }
+    }
+
+    /// DeDPO followed by the RatioGreedy pass over residual capacity
+    /// (§4.3.2) — the paper's DeDPO+RG. Still ½-approximate: the pass
+    /// only ever adds utility.
+    pub fn with_augment(self) -> DeDPO {
+        DeDPO { augment: true }
+    }
+}
+
+impl Solver for DeDPO {
+    fn name(&self) -> &'static str {
+        if self.augment {
+            "DeDPO+RG"
+        } else {
+            "DeDPO"
+        }
+    }
+
+    fn solve(&self, inst: &Instance) -> Planning {
+        let mut scheduler = DpScheduler::new();
+        let mut planning = decomposed_with_select(inst, &mut scheduler);
+        if self.augment {
+            augment_with_ratio_greedy(inst, &mut planning);
+        }
+        planning
+    }
+}
+
+/// The select-array two-step framework shared by DeDPO and DeGreedy.
+///
+/// For each user `u_r` (in id order, as the paper's decomposition
+/// prescribes):
+///
+/// 1. per event, scan its slots and pick the one maximizing the Lemma-2
+///    value (ascending-`k` scan with strict improvement, mirroring
+///    DeDP's `argmax` so both algorithms break ties identically);
+/// 2. keep candidates with positive decomposed utility (`V_r`) that pass
+///    the Lemma-1 round-trip filter (`V'_r`), in end-time order;
+/// 3. let `scheduler` solve the single-user subproblem;
+/// 4. stamp the chosen slots with `r + 1`.
+///
+/// Step 2 of the framework — keep each slot with its last holder — is
+/// exactly what the final `select` array encodes.
+pub(crate) fn decomposed_with_select(
+    inst: &Instance,
+    scheduler: &mut impl SingleScheduler,
+) -> Planning {
+    let layout = PseudoLayout::new(inst);
+    let mut select = vec![0u32; layout.total()];
+    let order = inst.temporal().order();
+    let mut cands: Vec<Candidate> = Vec::with_capacity(inst.num_events());
+
+    for r in 0..inst.num_users() as u32 {
+        let u = UserId(r);
+        let mu_row = inst.mu_row(u);
+        cands.clear();
+        for &vi in order {
+            let v = EventId(vi);
+            let mu_vr = f64::from(mu_row[vi as usize]);
+            if mu_vr <= 0.0 {
+                // every slot value is μ(v, u_r) − (≥ 0) ≤ 0: never in V_r
+                continue;
+            }
+            let mut best_val = f64::NEG_INFINITY;
+            let mut best_slot = 0usize;
+            for p in layout.slots(v) {
+                let val = match select[p] {
+                    0 => mu_vr,
+                    holder => mu_vr - inst.mu(v, UserId(holder - 1)),
+                };
+                if val > best_val {
+                    best_val = val;
+                    best_slot = p;
+                }
+            }
+            if best_val > 0.0 && passes_lemma1(inst, u, v) {
+                cands.push(Candidate { v, slot: best_slot as u32, mu: best_val });
+            }
+        }
+        let chosen = scheduler.schedule(inst, u, &cands);
+        for &ci in &chosen {
+            select[cands[ci].slot as usize] = r + 1;
+        }
+    }
+
+    build_planning_from_holders(inst, &layout, &select)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use usep_core::{Cost, InstanceBuilder, Point, TimeInterval};
+
+    fn iv(a: i64, b: i64) -> TimeInterval {
+        TimeInterval::new(a, b).unwrap()
+    }
+
+    #[test]
+    fn empty_instance() {
+        let mut b = InstanceBuilder::new();
+        b.user(Point::ORIGIN, Cost::new(5));
+        let inst = b.build().unwrap();
+        let p = DeDPO::new().solve(&inst);
+        assert_eq!(p.num_assignments(), 0);
+    }
+
+    #[test]
+    fn single_user_gets_optimal_schedule() {
+        // per-user subproblem is solved optimally by the DP
+        let mut b = InstanceBuilder::new();
+        let v0 = b.event(1, Point::new(1, 0), iv(0, 10));
+        let v1 = b.event(1, Point::new(2, 0), iv(10, 20));
+        let v2 = b.event(1, Point::new(40, 0), iv(0, 20)); // conflicts with both
+        let u = b.user(Point::ORIGIN, Cost::new(90));
+        b.utility(v0, u, 0.4);
+        b.utility(v1, u, 0.4);
+        b.utility(v2, u, 0.7);
+        let inst = b.build().unwrap();
+        let p = DeDPO::new().solve(&inst);
+        assert_eq!(p.schedule(u).events(), &[v0, v1]);
+        assert!((p.omega(&inst) - 0.8).abs() < 1e-6);
+    }
+
+    #[test]
+    fn later_user_with_higher_utility_steals_the_slot() {
+        let mut b = InstanceBuilder::new();
+        let v = b.event(1, Point::ORIGIN, iv(0, 10)); // capacity 1
+        let u0 = b.user(Point::ORIGIN, Cost::new(10));
+        let u1 = b.user(Point::ORIGIN, Cost::new(10));
+        b.utility(v, u0, 0.3);
+        b.utility(v, u1, 0.8); // strictly higher: steals
+        let inst = b.build().unwrap();
+        let p = DeDPO::new().solve(&inst);
+        assert!(p.schedule(u0).is_empty());
+        assert_eq!(p.schedule(u1).events(), &[v]);
+        assert!((p.omega(&inst) - 0.8).abs() < 1e-6);
+    }
+
+    #[test]
+    fn later_user_with_equal_utility_does_not_steal() {
+        let mut b = InstanceBuilder::new();
+        let v = b.event(1, Point::ORIGIN, iv(0, 10));
+        let u0 = b.user(Point::ORIGIN, Cost::new(10));
+        let u1 = b.user(Point::ORIGIN, Cost::new(10));
+        b.utility(v, u0, 0.5);
+        b.utility(v, u1, 0.5); // decomposed value 0: not in V_1
+        let inst = b.build().unwrap();
+        let p = DeDPO::new().solve(&inst);
+        assert_eq!(p.schedule(u0).events(), &[v]);
+        assert!(p.schedule(u1).is_empty());
+    }
+
+    #[test]
+    fn capacity_two_serves_both_users() {
+        let mut b = InstanceBuilder::new();
+        let v = b.event(2, Point::ORIGIN, iv(0, 10));
+        let u0 = b.user(Point::ORIGIN, Cost::new(10));
+        let u1 = b.user(Point::ORIGIN, Cost::new(10));
+        b.utility(v, u0, 0.3);
+        b.utility(v, u1, 0.8);
+        let inst = b.build().unwrap();
+        let p = DeDPO::new().solve(&inst);
+        assert_eq!(p.load(v), 2);
+        assert!((p.omega(&inst) - 1.1).abs() < 1e-6);
+    }
+
+    #[test]
+    fn augment_never_decreases_omega() {
+        let mut b = InstanceBuilder::new();
+        let v0 = b.event(2, Point::new(1, 0), iv(0, 10));
+        let v1 = b.event(2, Point::new(3, 0), iv(10, 20));
+        let u0 = b.user(Point::ORIGIN, Cost::new(50));
+        let u1 = b.user(Point::new(4, 0), Cost::new(50));
+        b.utility(v0, u0, 0.9);
+        b.utility(v1, u0, 0.2);
+        b.utility(v0, u1, 0.9);
+        b.utility(v1, u1, 0.2);
+        let inst = b.build().unwrap();
+        let base = DeDPO::new().solve(&inst).omega(&inst);
+        let plus = DeDPO::new().with_augment().solve(&inst);
+        assert!(plus.omega(&inst) >= base - 1e-9);
+        assert!(plus.validate(&inst).is_ok());
+    }
+
+    #[test]
+    fn output_is_always_feasible() {
+        // a denser instance with conflicts and tight budgets
+        let mut b = InstanceBuilder::new();
+        let mut vs = Vec::new();
+        for i in 0..8i32 {
+            let start = i64::from(i % 4) * 10;
+            vs.push(b.event(
+                2,
+                Point::new(i * 2, -i),
+                iv(start, start + 12), // heavy overlaps
+            ));
+        }
+        let mut us = Vec::new();
+        for j in 0..5i32 {
+            us.push(b.user(Point::new(j, j), Cost::new(25)));
+        }
+        for (i, &v) in vs.iter().enumerate() {
+            for (j, &u) in us.iter().enumerate() {
+                b.utility(v, u, ((i * 5 + j) % 10) as f64 / 10.0);
+            }
+        }
+        let inst = b.build().unwrap();
+        for p in [DeDPO::new().solve(&inst), DeDPO::new().with_augment().solve(&inst)] {
+            p.validate(&inst).expect("feasible planning");
+        }
+    }
+}

@@ -1,0 +1,172 @@
+//! Planning algorithms for the USEP problem (She, Tong, Chen — SIGMOD 2015).
+//!
+//! The paper proposes one heuristic and a two-step approximation
+//! framework, all implemented here:
+//!
+//! | Algorithm | Paper | Guarantee | Notes |
+//! |-----------|-------|-----------|-------|
+//! | [`RatioGreedy`] | Alg. 1 | none | global utility/cost-ratio greedy over event-user pairs |
+//! | [`DeDP`] | Alg. 2+3 | ½-approx | decomposed dynamic programming; stores the full `μ^r` pseudo-event matrix (memory-hungry, kept literal on purpose) |
+//! | [`DeDPO`] | Alg. 4 | ½-approx | DeDP with the `select` array of Lemma 2 — identical output, much less memory |
+//! | [`DeDPO`]`+RG` | §4.3.2 | ½-approx | DeDPO followed by a RatioGreedy pass over residual capacity |
+//! | [`DeGreedy`] | Alg. 5 | none | the two-step framework with a per-user greedy instead of the DP |
+//! | [`DeGreedy`]`+RG` | §4.4 | none | DeGreedy plus the RatioGreedy pass |
+//!
+//! All solvers are deterministic and return feasible plannings
+//! (`Planning::validate` always passes on their output).
+//!
+//! The [`exact`] module hosts brute-force reference solvers used by the
+//! test suite to verify optimality of the per-user DP and the
+//! ½-approximation bound, and [`baseline`] a single-event-per-user
+//! assignment in the spirit of the SEO problem the paper contrasts with.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod augment;
+pub mod baseline;
+pub mod bounds;
+pub mod dedp;
+pub mod degreedy;
+pub mod exact;
+pub mod local_search;
+pub mod maxmin;
+pub mod ratio_greedy;
+
+pub use augment::augment_with_ratio_greedy;
+pub use baseline::{SingleEventGreedy, UtilityGreedy};
+pub use bounds::best_upper_bound;
+pub use dedp::{optimal_user_schedule, DeDP, DeDPO};
+pub use degreedy::DeGreedy;
+pub use local_search::WithLocalSearch;
+pub use maxmin::MaxMinGreedy;
+pub use ratio_greedy::RatioGreedy;
+
+use usep_core::{Instance, Planning};
+
+/// A USEP planning algorithm: takes an instance, returns a feasible
+/// planning.
+pub trait Solver {
+    /// Short display name (matches the paper's figure legends).
+    fn name(&self) -> &'static str;
+
+    /// Computes a feasible planning for `inst`.
+    fn solve(&self, inst: &Instance) -> Planning;
+}
+
+/// The six algorithms evaluated in the paper's experiments, plus two
+/// baselines: the single-event (SEO-style) assignment the paper argues
+/// against, and the utility-only greedy that ablates Eq. (2)'s
+/// `inc_cost` denominator.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Algorithm {
+    /// Alg. 1 — global ratio-greedy heuristic.
+    RatioGreedy,
+    /// Alg. 3 — decomposed DP with the literal `μ^r` matrix.
+    DeDP,
+    /// Alg. 4 — decomposed DP with the `select` array.
+    DeDPO,
+    /// DeDPO followed by the RatioGreedy augmentation pass.
+    DeDPORG,
+    /// Two-step framework with the per-user greedy (Alg. 5).
+    DeGreedy,
+    /// DeGreedy followed by the RatioGreedy augmentation pass.
+    DeGreedyRG,
+    /// One event per user, by descending utility (SEO-style comparison
+    /// baseline; not part of the paper's six).
+    SingleEventGreedy,
+    /// Multi-event greedy by utility alone — the Eq. (2) ablation
+    /// (RatioGreedy without the `inc_cost` denominator).
+    UtilityGreedy,
+}
+
+impl Algorithm {
+    /// The six algorithms of the paper's evaluation, in legend order.
+    pub const PAPER_SET: [Algorithm; 6] = [
+        Algorithm::RatioGreedy,
+        Algorithm::DeDP,
+        Algorithm::DeDPO,
+        Algorithm::DeDPORG,
+        Algorithm::DeGreedy,
+        Algorithm::DeGreedyRG,
+    ];
+
+    /// The scalable subset used in the paper's Figure 4 (DeDP is excluded
+    /// there for its memory footprint).
+    pub const SCALABLE_SET: [Algorithm; 5] = [
+        Algorithm::RatioGreedy,
+        Algorithm::DeDPO,
+        Algorithm::DeDPORG,
+        Algorithm::DeGreedy,
+        Algorithm::DeGreedyRG,
+    ];
+
+    /// Display name as used in the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            Algorithm::RatioGreedy => "RatioGreedy",
+            Algorithm::DeDP => "DeDP",
+            Algorithm::DeDPO => "DeDPO",
+            Algorithm::DeDPORG => "DeDPO+RG",
+            Algorithm::DeGreedy => "DeGreedy",
+            Algorithm::DeGreedyRG => "DeGreedy+RG",
+            Algorithm::SingleEventGreedy => "SingleEvent",
+            Algorithm::UtilityGreedy => "UtilityGreedy",
+        }
+    }
+
+    /// Parses a figure-legend name (case-insensitive, `+rg` suffixes
+    /// accepted).
+    pub fn parse(s: &str) -> Option<Algorithm> {
+        match s.to_ascii_lowercase().as_str() {
+            "ratiogreedy" | "rg" => Some(Algorithm::RatioGreedy),
+            "dedp" => Some(Algorithm::DeDP),
+            "dedpo" => Some(Algorithm::DeDPO),
+            "dedpo+rg" | "dedporg" => Some(Algorithm::DeDPORG),
+            "degreedy" => Some(Algorithm::DeGreedy),
+            "degreedy+rg" | "degreedyrg" => Some(Algorithm::DeGreedyRG),
+            "singleevent" | "baseline" => Some(Algorithm::SingleEventGreedy),
+            "utilitygreedy" => Some(Algorithm::UtilityGreedy),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for Algorithm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Runs `algorithm` on `inst`.
+pub fn solve(algorithm: Algorithm, inst: &Instance) -> Planning {
+    match algorithm {
+        Algorithm::RatioGreedy => RatioGreedy.solve(inst),
+        Algorithm::DeDP => DeDP::new().solve(inst),
+        Algorithm::DeDPO => DeDPO::new().solve(inst),
+        Algorithm::DeDPORG => DeDPO::new().with_augment().solve(inst),
+        Algorithm::DeGreedy => DeGreedy::new().solve(inst),
+        Algorithm::DeGreedyRG => DeGreedy::new().with_augment().solve(inst),
+        Algorithm::SingleEventGreedy => SingleEventGreedy.solve(inst),
+        Algorithm::UtilityGreedy => UtilityGreedy.solve(inst),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn algorithm_names_roundtrip_through_parse() {
+        for a in Algorithm::PAPER_SET {
+            assert_eq!(Algorithm::parse(a.name()), Some(a));
+        }
+        assert_eq!(Algorithm::parse("baseline"), Some(Algorithm::SingleEventGreedy));
+        assert_eq!(Algorithm::parse("nope"), None);
+    }
+
+    #[test]
+    fn display_matches_name() {
+        assert_eq!(Algorithm::DeDPORG.to_string(), "DeDPO+RG");
+    }
+}

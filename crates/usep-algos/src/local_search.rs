@@ -1,0 +1,251 @@
+//! Local-search post-optimization (an extension beyond the paper).
+//!
+//! The decomposed algorithms fix each user's schedule in one pass and
+//! never revisit it; the `+RG` pass only *adds* assignments. Local
+//! search closes the remaining gap with two improving move families,
+//! applied until a fixpoint (or a round cap):
+//!
+//! * **transfer** — move an event from its current attendee to a
+//!   non-attendee with strictly higher utility (capacity stays
+//!   satisfied: one leaves, one enters);
+//! * **swap** — within one user's schedule, replace an arranged event
+//!   by a strictly better-by-utility unarranged event that fits the
+//!   schedule once the old one is gone.
+//!
+//! Every move strictly increases `Ω`, so termination is guaranteed
+//! (finitely many plannings, strictly monotone objective); each round is
+//! `O(|V| |U| · |S|)`. Feasibility is preserved by construction — moves
+//! are validated with the same checks as `Planning::assign`.
+
+use crate::Solver;
+use usep_core::{EventId, Instance, Planning, UserId};
+
+/// Improves `planning` in place until no transfer/swap move helps or
+/// `max_rounds` passes complete. Returns the number of applied moves.
+pub fn improve(inst: &Instance, planning: &mut Planning, max_rounds: usize) -> usize {
+    let mut applied = 0;
+    for _ in 0..max_rounds {
+        let before = applied;
+        applied += transfer_round(inst, planning);
+        applied += swap_round(inst, planning);
+        if applied == before {
+            break; // fixpoint
+        }
+    }
+    applied
+}
+
+/// One pass of transfer moves. For each assigned `(u_from, v)`, find the
+/// best user `u_to` with `μ(v, u_to) > μ(v, u_from)` that can host `v`;
+/// if found, move it.
+fn transfer_round(inst: &Instance, planning: &mut Planning) -> usize {
+    let mut moves = 0;
+    for v in inst.event_ids() {
+        // snapshot attendees: the move mutates the planning
+        let holders: Vec<UserId> = planning
+            .assignments()
+            .filter(|&(_, ev)| ev == v)
+            .map(|(u, _)| u)
+            .collect();
+        for u_from in holders {
+            let mu_from = inst.mu(v, u_from);
+            let mut best: Option<(UserId, f64)> = None;
+            for u_to in inst.user_ids() {
+                if u_to == u_from {
+                    continue;
+                }
+                let mu_to = inst.mu(v, u_to);
+                if mu_to <= mu_from {
+                    continue;
+                }
+                if best.is_some_and(|(_, m)| mu_to <= m) {
+                    continue;
+                }
+                if planning.schedule(u_to).can_insert(inst, u_to, v) {
+                    best = Some((u_to, mu_to));
+                }
+            }
+            if let Some((u_to, _)) = best {
+                assert!(planning.unassign(u_from, v));
+                planning
+                    .assign(inst, u_to, v)
+                    .expect("transfer target validated");
+                moves += 1;
+            }
+        }
+    }
+    moves
+}
+
+/// One pass of swap moves. For each user and each arranged event `v_out`,
+/// look for an unarranged `v_in` with spare capacity and
+/// `μ(v_in, u) > μ(v_out, u)` that fits once `v_out` is removed.
+fn swap_round(inst: &Instance, planning: &mut Planning) -> usize {
+    let mut moves = 0;
+    for u in inst.user_ids() {
+        let mut arranged: Vec<EventId> = planning.schedule(u).events().to_vec();
+        let mut i = 0;
+        while i < arranged.len() {
+            let v_out = arranged[i];
+            let mu_out = inst.mu(v_out, u);
+            let mut best: Option<(EventId, f64)> = None;
+            // trial removal
+            assert!(planning.unassign(u, v_out));
+            for v_in in inst.event_ids() {
+                if v_in == v_out || planning.schedule(u).contains(v_in) {
+                    continue;
+                }
+                let mu_in = inst.mu(v_in, u);
+                if mu_in <= mu_out || planning.remaining_capacity(inst, v_in) == 0 {
+                    continue;
+                }
+                if best.is_some_and(|(_, m)| mu_in <= m) {
+                    continue;
+                }
+                if planning.schedule(u).can_insert(inst, u, v_in) {
+                    best = Some((v_in, mu_in));
+                }
+            }
+            match best {
+                Some((v_in, _)) => {
+                    planning.assign(inst, u, v_in).expect("swap target validated");
+                    arranged = planning.schedule(u).events().to_vec();
+                    moves += 1;
+                    // restart this user's scan: the schedule changed
+                    i = 0;
+                }
+                None => {
+                    // undo the trial removal
+                    planning.assign(inst, u, v_out).expect("reinsertion of removed event");
+                    i += 1;
+                }
+            }
+        }
+    }
+    moves
+}
+
+/// Wraps any solver with a local-search post-pass.
+#[derive(Clone, Copy, Debug)]
+pub struct WithLocalSearch<S> {
+    inner: S,
+    max_rounds: usize,
+}
+
+impl<S: Solver> WithLocalSearch<S> {
+    /// Wraps `inner`, running up to `max_rounds` improvement rounds
+    /// after it.
+    pub fn new(inner: S, max_rounds: usize) -> WithLocalSearch<S> {
+        WithLocalSearch { inner, max_rounds }
+    }
+}
+
+impl<S: Solver> Solver for WithLocalSearch<S> {
+    fn name(&self) -> &'static str {
+        "LocalSearch"
+    }
+
+    fn solve(&self, inst: &Instance) -> Planning {
+        let mut p = self.inner.solve(inst);
+        improve(inst, &mut p, self.max_rounds);
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{solve, Algorithm, DeGreedy};
+    use usep_core::{Cost, InstanceBuilder, Point, TimeInterval};
+
+    fn iv(a: i64, b: i64) -> TimeInterval {
+        TimeInterval::new(a, b).unwrap()
+    }
+
+    #[test]
+    fn transfer_moves_event_to_higher_utility_user() {
+        let mut b = InstanceBuilder::new();
+        let v = b.event(1, Point::ORIGIN, iv(0, 10));
+        let u0 = b.user(Point::ORIGIN, Cost::new(10));
+        let u1 = b.user(Point::ORIGIN, Cost::new(10));
+        b.utility(v, u0, 0.3);
+        b.utility(v, u1, 0.9);
+        let inst = b.build().unwrap();
+        let mut p = Planning::empty(&inst);
+        p.assign(&inst, u0, v).unwrap(); // deliberately suboptimal
+        let n = improve(&inst, &mut p, 10);
+        assert_eq!(n, 1);
+        assert!(p.schedule(u0).is_empty());
+        assert_eq!(p.schedule(u1).events(), &[v]);
+        assert!(p.validate(&inst).is_ok());
+    }
+
+    #[test]
+    fn swap_replaces_event_with_better_one() {
+        let mut b = InstanceBuilder::new();
+        let v0 = b.event(1, Point::ORIGIN, iv(0, 10));
+        let v1 = b.event(1, Point::ORIGIN, iv(5, 15)); // conflicts with v0
+        let u = b.user(Point::ORIGIN, Cost::new(10));
+        b.utility(v0, u, 0.3);
+        b.utility(v1, u, 0.8);
+        let inst = b.build().unwrap();
+        let mut p = Planning::empty(&inst);
+        p.assign(&inst, u, v0).unwrap();
+        let n = improve(&inst, &mut p, 10);
+        assert_eq!(n, 1);
+        assert_eq!(p.schedule(u).events(), &[v1]);
+    }
+
+    #[test]
+    fn fixpoint_on_already_optimal_plannings() {
+        let mut b = InstanceBuilder::new();
+        let v = b.event(1, Point::ORIGIN, iv(0, 10));
+        let u0 = b.user(Point::ORIGIN, Cost::new(10));
+        b.utility(v, u0, 0.9);
+        let inst = b.build().unwrap();
+        let mut p = Planning::empty(&inst);
+        p.assign(&inst, u0, v).unwrap();
+        assert_eq!(improve(&inst, &mut p, 10), 0);
+    }
+
+    #[test]
+    fn omega_is_monotone_and_feasibility_preserved_on_random_instances() {
+        use usep_gen::{generate, SyntheticConfig};
+        for seed in 0..10u64 {
+            let inst = generate(&SyntheticConfig::tiny().with_users(25), 500 + seed);
+            for a in [Algorithm::DeGreedy, Algorithm::RatioGreedy, Algorithm::DeDPO] {
+                let mut p = solve(a, &inst);
+                let before = p.omega(&inst);
+                improve(&inst, &mut p, 5);
+                assert!(p.omega(&inst) >= before - 1e-9, "{a} seed {seed} regressed");
+                p.validate(&inst).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn local_search_sometimes_strictly_improves_degreedy() {
+        use usep_gen::{generate, SyntheticConfig};
+        let mut improved = 0;
+        for seed in 0..20u64 {
+            let inst = generate(&SyntheticConfig::tiny().with_users(25), 900 + seed);
+            let mut p = solve(Algorithm::DeGreedy, &inst);
+            let before = p.omega(&inst);
+            improve(&inst, &mut p, 5);
+            if p.omega(&inst) > before + 1e-9 {
+                improved += 1;
+            }
+        }
+        assert!(improved > 0, "local search never improved DeGreedy across 20 seeds");
+    }
+
+    #[test]
+    fn wrapped_solver_is_feasible() {
+        use usep_gen::{generate, SyntheticConfig};
+        let inst = generate(&SyntheticConfig::tiny().with_users(20), 77);
+        let s = WithLocalSearch::new(DeGreedy::new(), 4);
+        let p = s.solve(&inst);
+        p.validate(&inst).unwrap();
+        assert!(p.omega(&inst) >= solve(Algorithm::DeGreedy, &inst).omega(&inst) - 1e-9);
+    }
+}

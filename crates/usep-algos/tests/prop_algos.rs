@@ -1,0 +1,147 @@
+//! Property tests over the full algorithm suite, driven by the
+//! Table-7 synthetic generator.
+
+use proptest::prelude::*;
+use usep_algos::{solve, Algorithm};
+use usep_gen::{generate, SyntheticConfig, UtilityDistribution};
+
+fn arb_config() -> impl Strategy<Value = SyntheticConfig> {
+    (
+        1usize..15,  // events
+        1usize..25,  // users
+        1u32..8,     // capacity mean
+        0u8..=4,     // conflict ratio index
+        0u8..3,      // mu distribution
+        prop::sample::select(vec![0.5, 1.0, 2.0, 5.0]),
+    )
+        .prop_map(|(nv, nu, cap, cri, mui, fb)| {
+            let cr = [0.0, 0.25, 0.5, 0.75, 1.0][cri as usize];
+            let mu = match mui {
+                0 => UtilityDistribution::Uniform,
+                1 => UtilityDistribution::Normal { mean: 0.5, std: 0.25 },
+                _ => UtilityDistribution::Power { exponent: 0.5 },
+            };
+            SyntheticConfig::tiny()
+                .with_events(nv)
+                .with_users(nu)
+                .with_capacity_mean(cap)
+                .with_conflict_ratio(cr)
+                .with_budget_factor(fb)
+                .with_mu_dist(mu)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every solver returns a planning satisfying all four constraints on
+    /// every generated instance.
+    #[test]
+    fn all_solvers_always_feasible(cfg in arb_config(), seed in any::<u64>()) {
+        let inst = generate(&cfg, seed);
+        for a in Algorithm::PAPER_SET {
+            let p = solve(a, &inst);
+            if let Err(e) = p.validate(&inst) {
+                prop_assert!(false, "{} infeasible: {}", a, e);
+            }
+        }
+    }
+
+    /// The optimized DeDPO is plan-for-plan identical to the literal
+    /// DeDP (Lemma 2).
+    #[test]
+    fn dedp_equals_dedpo(cfg in arb_config(), seed in any::<u64>()) {
+        let inst = generate(&cfg, seed);
+        prop_assert_eq!(solve(Algorithm::DeDP, &inst), solve(Algorithm::DeDPO, &inst));
+    }
+
+    /// The +RG pass never loses utility, and never breaks feasibility.
+    #[test]
+    fn rg_augmentation_monotone(cfg in arb_config(), seed in any::<u64>()) {
+        let inst = generate(&cfg, seed);
+        let d = solve(Algorithm::DeGreedy, &inst).omega(&inst);
+        let drg = solve(Algorithm::DeGreedyRG, &inst).omega(&inst);
+        prop_assert!(drg >= d - 1e-9, "DeGreedy+RG {} < DeGreedy {}", drg, d);
+        let o = solve(Algorithm::DeDPO, &inst).omega(&inst);
+        let org = solve(Algorithm::DeDPORG, &inst).omega(&inst);
+        prop_assert!(org >= o - 1e-9, "DeDPO+RG {} < DeDPO {}", org, o);
+    }
+
+    /// Ω is bounded by the total utility mass, and non-negative.
+    #[test]
+    fn omega_bounds(cfg in arb_config(), seed in any::<u64>()) {
+        let inst = generate(&cfg, seed);
+        let mass = inst.total_utility_mass();
+        for a in Algorithm::PAPER_SET {
+            let o = solve(a, &inst).omega(&inst);
+            prop_assert!((0.0..=mass + 1e-6).contains(&o), "{}: Ω = {}", a, o);
+        }
+    }
+
+    /// With conflict ratio 1 every user attends at most one event.
+    #[test]
+    fn full_conflict_means_singleton_schedules(
+        nv in 1usize..10,
+        nu in 1usize..15,
+        seed in any::<u64>(),
+    ) {
+        let cfg = SyntheticConfig::tiny().with_events(nv).with_users(nu).with_conflict_ratio(1.0);
+        let inst = generate(&cfg, seed);
+        for a in Algorithm::PAPER_SET {
+            let p = solve(a, &inst);
+            for u in inst.user_ids() {
+                prop_assert!(p.schedule(u).len() <= 1, "{}: multi-event under cr=1", a);
+            }
+        }
+    }
+
+    /// Capacity-1 instances never assign an event twice.
+    #[test]
+    fn unit_capacities_respected(nv in 1usize..8, nu in 2usize..12, seed in any::<u64>()) {
+        let cfg = SyntheticConfig::tiny().with_events(nv).with_users(nu).with_capacity_mean(1);
+        let inst = generate(&cfg, seed);
+        for a in Algorithm::PAPER_SET {
+            let p = solve(a, &inst);
+            for v in inst.event_ids() {
+                prop_assert!(p.load(v) <= 1);
+            }
+        }
+    }
+
+    /// Local search keeps any solver's planning feasible and never
+    /// reduces Ω, and the relaxation bound dominates everything.
+    #[test]
+    fn local_search_and_bounds_invariants(cfg in arb_config(), seed in any::<u64>()) {
+        let inst = generate(&cfg, seed);
+        let ub = usep_algos::bounds::best_upper_bound(&inst);
+        for a in [Algorithm::RatioGreedy, Algorithm::DeGreedy, Algorithm::DeDPO] {
+            let mut p = solve(a, &inst);
+            let before = p.omega(&inst);
+            prop_assert!(before <= ub + 1e-6, "{}: Ω {} > bound {}", a, before, ub);
+            usep_algos::local_search::improve(&inst, &mut p, 3);
+            prop_assert!(p.validate(&inst).is_ok(), "{} + LS infeasible", a);
+            prop_assert!(p.omega(&inst) >= before - 1e-9);
+            prop_assert!(p.omega(&inst) <= ub + 1e-6);
+        }
+    }
+
+    /// The max-min solver is feasible and never serves fewer users than
+    /// zero... more usefully: its minimum served utility is achieved by
+    /// assignments that all respect the constraints.
+    #[test]
+    fn maxmin_feasibility(cfg in arb_config(), seed in any::<u64>()) {
+        use usep_algos::{MaxMinGreedy, Solver};
+        let inst = generate(&cfg, seed);
+        let p = MaxMinGreedy.solve(&inst);
+        prop_assert!(p.validate(&inst).is_ok());
+        // water-filling is maximal: no user can still be improved
+        for u in inst.user_ids() {
+            for v in inst.event_ids() {
+                prop_assert!(
+                    !p.can_assign(&inst, u, v),
+                    "maxmin left an assignable pair ({v}, {u})"
+                );
+            }
+        }
+    }
+}

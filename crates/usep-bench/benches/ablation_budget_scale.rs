@@ -1,0 +1,36 @@
+//! Ablation: pseudo-polynomial budget dependence of the DP.
+//!
+//! `DPSingle`'s table is `O(|V'_r| · b_u)`, so DeDPO's running time
+//! scales with the magnitude of the integer costs — a design property
+//! the paper inherits from Eq. (4). We vary the coordinate grid (which
+//! scales distances, and through the §5.1 formula also budgets) while
+//! holding everything else fixed; DeGreedy, which is budget-magnitude
+//! oblivious, is the control.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+use usep_algos::Algorithm;
+use usep_bench::solve_omega;
+use usep_gen::{generate, SyntheticConfig};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_budget_scale");
+    g.sample_size(10).warm_up_time(Duration::from_secs(1)).measurement_time(Duration::from_secs(2));
+    for &grid in &[25i32, 50, 100, 200, 400] {
+        let mut cfg = SyntheticConfig::default().with_events(50).with_users(100);
+        cfg.grid = grid;
+        let inst = generate(&cfg, 2015);
+        for algo in [Algorithm::DeDPO, Algorithm::DeGreedy] {
+            g.bench_with_input(
+                BenchmarkId::new(algo.name(), grid),
+                &inst,
+                |b, inst| b.iter(|| black_box(solve_omega(algo, inst))),
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

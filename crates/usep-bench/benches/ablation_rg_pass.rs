@@ -1,0 +1,42 @@
+//! Ablation: cost of the `+RG` augmentation pass (§4.3.2 / §4.4).
+//!
+//! The pass re-runs RatioGreedy over residual capacity after the
+//! decomposed framework finishes. Benchmarking base vs `+RG` variants
+//! across conflict ratios isolates its time overhead; the utility it
+//! buys is reported by `usep-experiments` (the paper finds it helps
+//! DeGreedy noticeably and DeDPO only marginally).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+use usep_algos::Algorithm;
+use usep_bench::{solve_omega, BENCH_USERS};
+use usep_gen::{generate, SyntheticConfig};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_rg_pass");
+    g.sample_size(10).warm_up_time(Duration::from_secs(1)).measurement_time(Duration::from_secs(2));
+    for &cr in &[0.0f64, 0.5, 1.0] {
+        let cfg = SyntheticConfig::default()
+            .with_events(50)
+            .with_users(BENCH_USERS)
+            .with_conflict_ratio(cr);
+        let inst = generate(&cfg, 2015);
+        for algo in [
+            Algorithm::DeGreedy,
+            Algorithm::DeGreedyRG,
+            Algorithm::DeDPO,
+            Algorithm::DeDPORG,
+        ] {
+            g.bench_with_input(
+                BenchmarkId::new(algo.name(), format!("cr{cr}")),
+                &inst,
+                |b, inst| b.iter(|| black_box(solve_omega(algo, inst))),
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Figure 2, column 4: running time as the conflict ratio varies over
+//! the paper's axis {0, 0.25, 0.5, 0.75, 1} — the paper's headline
+//! observation is that every algorithm gets *faster* as `cr` grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+use usep_bench::{paper_algorithms, solve_omega, BENCH_USERS};
+use usep_gen::{generate, SyntheticConfig};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig2_vary_cr");
+    g.sample_size(10).warm_up_time(Duration::from_secs(1)).measurement_time(Duration::from_secs(2));
+    for &cr in &[0.0f64, 0.25, 0.5, 0.75, 1.0] {
+        let cfg = SyntheticConfig::default().with_users(BENCH_USERS).with_conflict_ratio(cr);
+        let inst = generate(&cfg, 2015);
+        for algo in paper_algorithms() {
+            g.bench_with_input(
+                BenchmarkId::new(algo.name(), format!("{cr}")),
+                &inst,
+                |b, inst| b.iter(|| black_box(solve_omega(algo, inst))),
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Figure 2, column 2: running time as `|U|` varies (paper axis
+//! {100, 200, 500, 1000, 5000}, here capped at 1000 for Criterion).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+use usep_bench::{paper_algorithms, solve_omega};
+use usep_gen::{generate, SyntheticConfig};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig2_vary_u");
+    g.sample_size(10).warm_up_time(Duration::from_secs(1)).measurement_time(Duration::from_secs(2));
+    for &nu in &[100usize, 200, 500, 1000] {
+        let cfg = SyntheticConfig::default().with_users(nu);
+        let inst = generate(&cfg, 2015);
+        for algo in paper_algorithms() {
+            g.bench_with_input(
+                BenchmarkId::new(algo.name(), nu),
+                &inst,
+                |b, inst| b.iter(|| black_box(solve_omega(algo, inst))),
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

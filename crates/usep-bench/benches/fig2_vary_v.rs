@@ -1,0 +1,30 @@
+//! Figure 2, column 1: running time of all six algorithms as `|V|`
+//! varies over the paper's axis {20, 50, 100, 200, 500} (users scaled
+//! down; utility/memory counterparts are produced by
+//! `usep-experiments --figure 2 --panel v`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+use usep_bench::{paper_algorithms, solve_omega};
+use usep_gen::{generate, SyntheticConfig};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig2_vary_v");
+    g.sample_size(10).warm_up_time(Duration::from_secs(1)).measurement_time(Duration::from_secs(2));
+    for &nv in &[20usize, 50, 100, 200, 500] {
+        let cfg = SyntheticConfig::default().with_events(nv).with_users(100);
+        let inst = generate(&cfg, 2015);
+        for algo in paper_algorithms() {
+            g.bench_with_input(
+                BenchmarkId::new(algo.name(), nv),
+                &inst,
+                |b, inst| b.iter(|| black_box(solve_omega(algo, inst))),
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

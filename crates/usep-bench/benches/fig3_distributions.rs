@@ -1,0 +1,46 @@
+//! Figure 3, columns 2–4: running time under the alternative
+//! distributions — μ ~ Power(0.5) (col 2), c_v ~ Normal (col 3) and
+//! b_u ~ Normal (col 4) — each at the paper's default setting.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+use usep_bench::{paper_algorithms, solve_omega, BENCH_USERS};
+use usep_gen::{generate, Spread, SyntheticConfig, UtilityDistribution};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig3_distributions");
+    g.sample_size(10).warm_up_time(Duration::from_secs(1)).measurement_time(Duration::from_secs(2));
+    let base = SyntheticConfig::default().with_users(BENCH_USERS);
+    let variants: Vec<(&str, SyntheticConfig)> = vec![
+        ("uniform-default", base.clone()),
+        (
+            "mu-power-0.5",
+            base.clone().with_mu_dist(UtilityDistribution::Power { exponent: 0.5 }),
+        ),
+        (
+            "mu-power-4",
+            base.clone().with_mu_dist(UtilityDistribution::Power { exponent: 4.0 }),
+        ),
+        (
+            "mu-normal",
+            base.clone().with_mu_dist(UtilityDistribution::Normal { mean: 0.5, std: 0.25 }),
+        ),
+        ("cap-normal", base.clone().with_capacity_dist(Spread::Normal)),
+        ("budget-normal", base.clone().with_budget_dist(Spread::Normal)),
+    ];
+    for (name, cfg) in variants {
+        let inst = generate(&cfg, 2015);
+        for algo in paper_algorithms() {
+            g.bench_with_input(
+                BenchmarkId::new(algo.name(), name),
+                &inst,
+                |b, inst| b.iter(|| black_box(solve_omega(algo, inst))),
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Figure 3, column 1: running time as the budget factor `f_b` varies
+//! over the paper's axis {0.5, 1, 2, 5, 10}.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+use usep_bench::{paper_algorithms, solve_omega, BENCH_USERS};
+use usep_gen::{generate, SyntheticConfig};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig3_vary_fb");
+    g.sample_size(10).warm_up_time(Duration::from_secs(1)).measurement_time(Duration::from_secs(2));
+    for &fb in &[0.5f64, 1.0, 2.0, 5.0, 10.0] {
+        let cfg = SyntheticConfig::default().with_users(BENCH_USERS).with_budget_factor(fb);
+        let inst = generate(&cfg, 2015);
+        for algo in paper_algorithms() {
+            g.bench_with_input(
+                BenchmarkId::new(algo.name(), format!("{fb}")),
+                &inst,
+                |b, inst| b.iter(|| black_box(solve_omega(algo, inst))),
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

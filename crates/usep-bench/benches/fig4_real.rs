@@ -1,0 +1,41 @@
+//! Figure 4, column 4: running time on the simulated Meetup city
+//! datasets (Table 6) across the `f_b` axis of the paper's real-data
+//! experiment.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+use usep_bench::{paper_algorithms, solve_omega};
+use usep_gen::{generate_city, CityConfig};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig4_real");
+    g.sample_size(10).warm_up_time(Duration::from_secs(1)).measurement_time(Duration::from_secs(3));
+    // the Singapore sweep the paper plots, plus one point per other city
+    for &fb in &[0.5f64, 2.0, 10.0] {
+        let cfg = CityConfig::singapore().with_budget_factor(fb);
+        let inst = generate_city(&cfg, 2015);
+        for algo in paper_algorithms() {
+            g.bench_with_input(
+                BenchmarkId::new(algo.name(), format!("singapore-fb{fb}")),
+                &inst,
+                |b, inst| b.iter(|| black_box(solve_omega(algo, inst))),
+            );
+        }
+    }
+    for cfg in [CityConfig::vancouver(), CityConfig::auckland()] {
+        let name = cfg.name.to_lowercase();
+        let inst = generate_city(&cfg, 2015);
+        for algo in paper_algorithms() {
+            g.bench_with_input(
+                BenchmarkId::new(algo.name(), &name),
+                &inst,
+                |b, inst| b.iter(|| black_box(solve_omega(algo, inst))),
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Figure 4, columns 1–3: scalability in `|U|` at `|V| ∈ {100, 200}`
+//! and mean capacity 200, for the five scalable algorithms (DeDP is
+//! excluded, as in the paper).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+use usep_bench::{scalable_algorithms, solve_omega};
+use usep_gen::{generate, SyntheticConfig};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig4_scalability");
+    g.sample_size(10).warm_up_time(Duration::from_secs(1)).measurement_time(Duration::from_secs(3));
+    for &nv in &[100usize, 200] {
+        for &nu in &[500usize, 1000, 2000] {
+            let cfg = SyntheticConfig::default()
+                .with_events(nv)
+                .with_users(nu)
+                .with_capacity_mean(200);
+            let inst = generate(&cfg, 2015);
+            for algo in scalable_algorithms() {
+                g.bench_with_input(
+                    BenchmarkId::new(algo.name(), format!("V{nv}-U{nu}")),
+                    &inst,
+                    |b, inst| b.iter(|| black_box(solve_omega(algo, inst))),
+                );
+            }
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

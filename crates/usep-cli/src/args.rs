@@ -1,0 +1,111 @@
+//! Tiny flag parser: `--key value` pairs after a subcommand, with typed
+//! accessors and unknown-flag detection.
+
+use std::collections::BTreeMap;
+
+/// Parsed `--key value` flags.
+#[derive(Debug, Default)]
+pub struct Flags {
+    values: BTreeMap<String, String>,
+    consumed: std::cell::RefCell<Vec<String>>,
+}
+
+impl Flags {
+    /// Parses `argv` (everything after the subcommand) into flags.
+    pub fn parse(argv: &[String]) -> Result<Flags, String> {
+        let mut values = BTreeMap::new();
+        let mut it = argv.iter();
+        while let Some(a) = it.next() {
+            let Some(key) = a.strip_prefix("--") else {
+                return Err(format!("expected a --flag, got '{a}'"));
+            };
+            let Some(v) = it.next() else {
+                return Err(format!("missing value for --{key}"));
+            };
+            if values.insert(key.to_string(), v.clone()).is_some() {
+                return Err(format!("duplicate flag --{key}"));
+            }
+        }
+        Ok(Flags { values, consumed: std::cell::RefCell::new(Vec::new()) })
+    }
+
+    /// Raw string flag.
+    pub fn get(&self, key: &str) -> Option<String> {
+        self.consumed.borrow_mut().push(key.to_string());
+        self.values.get(key).cloned()
+    }
+
+    /// Required string flag.
+    pub fn require(&self, key: &str) -> Result<String, String> {
+        self.get(key).ok_or_else(|| format!("missing required --{key}"))
+    }
+
+    /// Typed flag with a default.
+    pub fn get_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String>
+    where
+        T::Err: std::fmt::Display,
+    {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|e| format!("bad --{key} '{v}': {e}")),
+        }
+    }
+
+    /// Errors on any flag that no accessor asked about (typo guard).
+    pub fn reject_unknown(&self) -> Result<(), String> {
+        let consumed = self.consumed.borrow();
+        for k in self.values.keys() {
+            if !consumed.iter().any(|c| c == k) {
+                return Err(format!("unknown flag --{k}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &[&str]) -> Vec<String> {
+        s.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_pairs() {
+        let f = Flags::parse(&argv(&["--events", "50", "--seed", "7"])).unwrap();
+        assert_eq!(f.require("events").unwrap(), "50");
+        assert_eq!(f.get_or::<u64>("seed", 0).unwrap(), 7);
+        assert_eq!(f.get_or::<u64>("absent", 9).unwrap(), 9);
+        f.reject_unknown().unwrap();
+    }
+
+    #[test]
+    fn rejects_missing_value() {
+        assert!(Flags::parse(&argv(&["--events"])).is_err());
+    }
+
+    #[test]
+    fn rejects_positional() {
+        assert!(Flags::parse(&argv(&["events", "50"])).is_err());
+    }
+
+    #[test]
+    fn rejects_duplicates() {
+        assert!(Flags::parse(&argv(&["--a", "1", "--a", "2"])).is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_flags() {
+        let f = Flags::parse(&argv(&["--evnts", "50"])).unwrap();
+        let _ = f.get("events");
+        assert!(f.reject_unknown().is_err());
+    }
+
+    #[test]
+    fn typed_parse_errors_are_reported() {
+        let f = Flags::parse(&argv(&["--seed", "abc"])).unwrap();
+        let e = f.get_or::<u64>("seed", 0).unwrap_err();
+        assert!(e.contains("bad --seed"));
+    }
+}

@@ -1,0 +1,424 @@
+//! Subcommand implementations.
+
+use crate::args::Flags;
+use std::path::Path;
+use usep_algos::{bounds, local_search, solve, Algorithm};
+use usep_core::{Instance, Planning, PlanningStats};
+use usep_gen::{generate, generate_city, CityConfig, Spread, SyntheticConfig, UtilityDistribution};
+
+const HELP: &str = "usep — utility-aware social event-participant planning (SIGMOD'15)
+
+SUBCOMMANDS:
+    gen       generate a synthetic instance (Table-7 knobs)
+    city      generate a simulated Meetup city instance (Table 6)
+    solve     run a planning algorithm on an instance
+    stats     print instance / planning statistics
+    validate  check a planning against all four USEP constraints
+    bound     print upper bounds on the optimal Ω (and the gap of a plan)
+    convert   convert an instance between JSON and the compact binary format
+    plan-user print the DP-optimal personal itinerary for one user
+              (--instance FILE --user N; ignores capacities, Alg. 2)
+
+Common flags: --instance FILE, --plan FILE, --out FILE, --seed N,
+--algorithm ratiogreedy|dedp|dedpo|dedpo+rg|degreedy|degreedy+rg|baseline,
+--local-search N (solve). See the crate docs for the full flag list.";
+
+/// Dispatches a parsed command line.
+pub fn dispatch(argv: &[String]) -> Result<(), String> {
+    let Some((cmd, rest)) = argv.split_first() else {
+        println!("{HELP}");
+        return Ok(());
+    };
+    let flags = Flags::parse(rest)?;
+    match cmd.as_str() {
+        "gen" => cmd_gen(&flags),
+        "city" => cmd_city(&flags),
+        "solve" => cmd_solve(&flags),
+        "stats" => cmd_stats(&flags),
+        "validate" => cmd_validate(&flags),
+        "bound" => cmd_bound(&flags),
+        "convert" => cmd_convert(&flags),
+        "plan-user" => cmd_plan_user(&flags),
+        "help" | "--help" | "-h" => {
+            println!("{HELP}");
+            Ok(())
+        }
+        other => Err(format!("unknown subcommand '{other}' (try 'usep help')")),
+    }
+}
+
+fn parse_mu(s: &str) -> Result<UtilityDistribution, String> {
+    match s {
+        "uniform" => Ok(UtilityDistribution::Uniform),
+        "normal" => Ok(UtilityDistribution::Normal { mean: 0.5, std: 0.25 }),
+        "power-0.5" => Ok(UtilityDistribution::Power { exponent: 0.5 }),
+        "power-4" => Ok(UtilityDistribution::Power { exponent: 4.0 }),
+        other => Err(format!("unknown --mu '{other}' (uniform|normal|power-0.5|power-4)")),
+    }
+}
+
+fn parse_spread(s: &str) -> Result<Spread, String> {
+    match s {
+        "uniform" => Ok(Spread::Uniform),
+        "normal" => Ok(Spread::Normal),
+        other => Err(format!("unknown spread '{other}' (uniform|normal)")),
+    }
+}
+
+fn load_instance(flags: &Flags) -> Result<Instance, String> {
+    let path = flags.require("instance")?;
+    load_instance_path(&path)
+}
+
+/// Loads an instance from JSON or the compact binary format, sniffing
+/// the `USEP` magic so either extension works.
+fn load_instance_path(path: &str) -> Result<Instance, String> {
+    let raw = std::fs::read(path).map_err(|e| format!("read {path}: {e}"))?;
+    if raw.starts_with(b"USEP") {
+        return usep_core::codec::decode(&raw).map_err(|e| format!("parse {path}: {e}"));
+    }
+    let text = String::from_utf8(raw).map_err(|e| format!("read {path}: {e}"))?;
+    serde_json::from_str(&text).map_err(|e| format!("parse {path}: {e}"))
+}
+
+fn load_plan(path: &str) -> Result<Planning, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    serde_json::from_str(&text).map_err(|e| format!("parse {path}: {e}"))
+}
+
+fn write_json<T: serde::Serialize>(value: &T, path: &str) -> Result<(), String> {
+    let json = serde_json::to_string_pretty(value).map_err(|e| e.to_string())?;
+    if let Some(dir) = Path::new(path).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).map_err(|e| format!("mkdir {}: {e}", dir.display()))?;
+        }
+    }
+    std::fs::write(path, json).map_err(|e| format!("write {path}: {e}"))
+}
+
+fn cmd_gen(flags: &Flags) -> Result<(), String> {
+    let cfg = SyntheticConfig {
+        num_events: flags.get_or("events", 100usize)?,
+        num_users: flags.get_or("users", 5000usize)?,
+        mu_dist: parse_mu(&flags.get("mu").unwrap_or_else(|| "uniform".into()))?,
+        capacity_mean: flags.get_or("capacity-mean", 50u32)?,
+        capacity_dist: parse_spread(
+            &flags.get("capacity-dist").unwrap_or_else(|| "uniform".into()),
+        )?,
+        budget_factor: flags.get_or("fb", 2.0f64)?,
+        budget_dist: parse_spread(&flags.get("budget-dist").unwrap_or_else(|| "uniform".into()))?,
+        conflict_ratio: flags.get_or("cr", 0.25f64)?,
+        grid: flags.get_or("grid", 100i32)?,
+        duration: (30, 120),
+        time_per_unit: flags.get_or("time-per-unit", 0u32)?,
+    };
+    let seed = flags.get_or("seed", 42u64)?;
+    let out = flags.require("out")?;
+    flags.reject_unknown()?;
+    let inst = generate(&cfg, seed);
+    write_json(&inst, &out)?;
+    eprintln!(
+        "wrote {out}: |V|={} |U|={} cr={:.3}",
+        inst.num_events(),
+        inst.num_users(),
+        inst.conflict_ratio()
+    );
+    Ok(())
+}
+
+fn cmd_city(flags: &Flags) -> Result<(), String> {
+    let name = flags.get("name").unwrap_or_else(|| "singapore".into());
+    let mut cfg = match name.as_str() {
+        "vancouver" => CityConfig::vancouver(),
+        "auckland" => CityConfig::auckland(),
+        "singapore" => CityConfig::singapore(),
+        other => return Err(format!("unknown --name '{other}'")),
+    };
+    cfg.budget_factor = flags.get_or("fb", 2.0f64)?;
+    let seed = flags.get_or("seed", 42u64)?;
+    let out = flags.require("out")?;
+    flags.reject_unknown()?;
+    let inst = generate_city(&cfg, seed);
+    write_json(&inst, &out)?;
+    eprintln!("wrote {out}: {} with |V|={} |U|={}", cfg.name, inst.num_events(), inst.num_users());
+    Ok(())
+}
+
+fn cmd_solve(flags: &Flags) -> Result<(), String> {
+    let inst = load_instance(flags)?;
+    let algo_name = flags.get("algorithm").unwrap_or_else(|| "dedpo".into());
+    let algo = Algorithm::parse(&algo_name)
+        .ok_or_else(|| format!("unknown --algorithm '{algo_name}'"))?;
+    let ls_rounds = flags.get_or("local-search", 0usize)?;
+    let out = flags.get("out");
+    flags.reject_unknown()?;
+
+    let t0 = std::time::Instant::now();
+    let mut plan = solve(algo, &inst);
+    let solve_secs = t0.elapsed().as_secs_f64();
+    let improved = if ls_rounds > 0 {
+        local_search::improve(&inst, &mut plan, ls_rounds)
+    } else {
+        0
+    };
+    plan.validate(&inst).map_err(|e| format!("solver bug — infeasible planning: {e}"))?;
+    println!(
+        "{}: Ω = {:.4}, {} assignments, {:.3}s{}",
+        algo.name(),
+        plan.omega(&inst),
+        plan.num_assignments(),
+        solve_secs,
+        if ls_rounds > 0 {
+            format!(", local search applied {improved} moves")
+        } else {
+            String::new()
+        }
+    );
+    if let Some(out) = out {
+        write_json(&plan, &out)?;
+        eprintln!("wrote {out}");
+    }
+    Ok(())
+}
+
+fn cmd_stats(flags: &Flags) -> Result<(), String> {
+    let inst = load_instance(flags)?;
+    let plan_path = flags.get("plan");
+    flags.reject_unknown()?;
+    println!("instance:");
+    println!("  |V| = {}, |U| = {}", inst.num_events(), inst.num_users());
+    println!("  conflict ratio = {:.3}", inst.conflict_ratio());
+    let cap_mean = inst.events().iter().map(|e| f64::from(e.capacity)).sum::<f64>()
+        / inst.num_events().max(1) as f64;
+    let b_mean = inst.users().iter().map(|u| f64::from(u.budget.value())).sum::<f64>()
+        / inst.num_users().max(1) as f64;
+    println!("  mean capacity = {cap_mean:.1}, mean budget = {b_mean:.1}");
+    println!("  total utility mass = {:.1}", inst.total_utility_mass());
+    if let Some(p) = plan_path {
+        let plan = load_plan(&p)?;
+        println!("\nplanning:\n{}", PlanningStats::compute(&inst, &plan));
+        let f = usep_core::FairnessStats::compute(&inst, &plan);
+        println!(
+            "fairness: Jain {:.3}, served {:.1}%, min/median/p90 served Ω_u = {:.3}/{:.3}/{:.3}",
+            f.jain_index,
+            100.0 * f.served_fraction,
+            f.min_served,
+            f.median_served,
+            f.p90_served
+        );
+    }
+    Ok(())
+}
+
+fn cmd_validate(flags: &Flags) -> Result<(), String> {
+    let inst = load_instance(flags)?;
+    let plan = load_plan(&flags.require("plan")?)?;
+    flags.reject_unknown()?;
+    match plan.validate(&inst) {
+        Ok(()) => {
+            println!(
+                "planning is feasible: Ω = {:.4}, {} assignments",
+                plan.omega(&inst),
+                plan.num_assignments()
+            );
+            Ok(())
+        }
+        Err(e) => Err(format!("planning violates constraints: {e}")),
+    }
+}
+
+fn cmd_bound(flags: &Flags) -> Result<(), String> {
+    let inst = load_instance(flags)?;
+    let plan_path = flags.get("plan");
+    flags.reject_unknown()?;
+    let cap = bounds::capacity_relaxed_bound(&inst);
+    let bud = bounds::budget_relaxed_bound(&inst);
+    println!("upper bounds on Ω(A*):");
+    println!("  capacity-relaxed = {cap:.4}");
+    println!("  budget-relaxed   = {bud:.4}");
+    println!("  best             = {:.4}", cap.min(bud));
+    if let Some(p) = plan_path {
+        let plan = load_plan(&p)?;
+        let omega = plan.omega(&inst);
+        println!(
+            "plan Ω = {omega:.4} → at least {:.1}% of optimal",
+            100.0 * omega / cap.min(bud).max(f64::MIN_POSITIVE)
+        );
+    }
+    Ok(())
+}
+
+fn cmd_plan_user(flags: &Flags) -> Result<(), String> {
+    use usep_algos::optimal_user_schedule;
+    use usep_core::{EventId, Schedule, UserId};
+    let inst = load_instance(flags)?;
+    let uid: u32 = flags.require("user")?.parse().map_err(|e| format!("bad --user: {e}"))?;
+    flags.reject_unknown()?;
+    if uid as usize >= inst.num_users() {
+        return Err(format!("user {uid} out of range (|U| = {})", inst.num_users()));
+    }
+    let u = UserId(uid);
+    let cands: Vec<(EventId, f64)> = inst
+        .event_ids()
+        .map(|v| (v, inst.mu(v, u)))
+        .filter(|&(_, m)| m > 0.0)
+        .collect();
+    let (events, score) = optimal_user_schedule(&inst, u, &cands);
+    let sched = Schedule::from_time_ordered(&inst, events);
+    print!("{}", sched.describe(&inst, u));
+    println!("(capacity-free optimum: Ω = {score:.3} over {} candidate events)", cands.len());
+    Ok(())
+}
+
+fn cmd_convert(flags: &Flags) -> Result<(), String> {
+    let inst = load_instance(flags)?;
+    let out = flags.require("out")?;
+    flags.reject_unknown()?;
+    let before = std::fs::metadata(flags.require("instance").expect("checked")).map(|m| m.len());
+    if out.ends_with(".json") {
+        write_json(&inst, &out)?;
+    } else {
+        std::fs::write(&out, usep_core::codec::encode(&inst))
+            .map_err(|e| format!("write {out}: {e}"))?;
+    }
+    let after = std::fs::metadata(&out).map(|m| m.len());
+    if let (Ok(b), Ok(a)) = (before, after) {
+        eprintln!("wrote {out} ({b} → {a} bytes)");
+    } else {
+        eprintln!("wrote {out}");
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &[&str]) -> Vec<String> {
+        s.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn unknown_subcommand_rejected() {
+        assert!(dispatch(&argv(&["frobnicate"])).is_err());
+    }
+
+    #[test]
+    fn help_succeeds() {
+        assert!(dispatch(&argv(&["help"])).is_ok());
+        assert!(dispatch(&argv(&[])).is_ok());
+    }
+
+    #[test]
+    fn gen_solve_validate_bound_pipeline() {
+        let dir = std::env::temp_dir().join(format!("usep_cli_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let inst = dir.join("inst.json");
+        let plan = dir.join("plan.json");
+        let inst_s = inst.to_str().unwrap();
+        let plan_s = plan.to_str().unwrap();
+
+        dispatch(&argv(&[
+            "gen", "--events", "10", "--users", "20", "--capacity-mean", "3", "--seed", "1",
+            "--out", inst_s,
+        ]))
+        .unwrap();
+        dispatch(&argv(&[
+            "solve", "--instance", inst_s, "--algorithm", "dedpo+rg", "--local-search", "2",
+            "--out", plan_s,
+        ]))
+        .unwrap();
+        dispatch(&argv(&["validate", "--instance", inst_s, "--plan", plan_s])).unwrap();
+        dispatch(&argv(&["stats", "--instance", inst_s, "--plan", plan_s])).unwrap();
+        dispatch(&argv(&["bound", "--instance", inst_s, "--plan", plan_s])).unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn convert_roundtrip_binary_and_back() {
+        let dir = std::env::temp_dir().join(format!("usep_cli_conv_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let json1 = dir.join("a.json");
+        let bin = dir.join("a.usep");
+        let json2 = dir.join("b.json");
+        dispatch(&argv(&[
+            "gen", "--events", "8", "--users", "12", "--seed", "2", "--out",
+            json1.to_str().unwrap(),
+        ]))
+        .unwrap();
+        dispatch(&argv(&[
+            "convert", "--instance", json1.to_str().unwrap(), "--out", bin.to_str().unwrap(),
+        ]))
+        .unwrap();
+        dispatch(&argv(&[
+            "convert", "--instance", bin.to_str().unwrap(), "--out", json2.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let a: usep_core::Instance =
+            serde_json::from_str(&std::fs::read_to_string(&json1).unwrap()).unwrap();
+        let b: usep_core::Instance =
+            serde_json::from_str(&std::fs::read_to_string(&json2).unwrap()).unwrap();
+        assert_eq!(a, b);
+        // binary is denser than JSON
+        assert!(std::fs::metadata(&bin).unwrap().len() < std::fs::metadata(&json1).unwrap().len());
+        // binary instances are directly solvable
+        dispatch(&argv(&["solve", "--instance", bin.to_str().unwrap(), "--algorithm", "degreedy"]))
+            .unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn plan_user_prints_itinerary() {
+        let dir = std::env::temp_dir().join(format!("usep_cli_pu_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let inst = dir.join("inst.json");
+        dispatch(&argv(&[
+            "gen", "--events", "6", "--users", "4", "--seed", "9", "--out",
+            inst.to_str().unwrap(),
+        ]))
+        .unwrap();
+        dispatch(&argv(&["plan-user", "--instance", inst.to_str().unwrap(), "--user", "2"]))
+            .unwrap();
+        let e = dispatch(&argv(&["plan-user", "--instance", inst.to_str().unwrap(), "--user", "9"]))
+            .unwrap_err();
+        assert!(e.contains("out of range"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn city_generation() {
+        let dir = std::env::temp_dir().join(format!("usep_cli_city_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let inst = dir.join("city.json");
+        dispatch(&argv(&[
+            "city", "--name", "auckland", "--seed", "3", "--out", inst.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(inst.exists());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn typo_flags_are_rejected() {
+        let e = dispatch(&argv(&["gen", "--evnts", "10", "--out", "/tmp/x.json"])).unwrap_err();
+        assert!(e.contains("unknown flag"), "{e}");
+    }
+
+    #[test]
+    fn bad_algorithm_rejected() {
+        let dir = std::env::temp_dir().join(format!("usep_cli_bad_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let inst = dir.join("inst.json");
+        dispatch(&argv(&[
+            "gen", "--events", "3", "--users", "3", "--seed", "1", "--out",
+            inst.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let e = dispatch(&argv(&[
+            "solve", "--instance", inst.to_str().unwrap(), "--algorithm", "quantum",
+        ]))
+        .unwrap_err();
+        assert!(e.contains("unknown --algorithm"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

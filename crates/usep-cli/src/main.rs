@@ -1,0 +1,29 @@
+//! `usep` — command-line event-participant planner.
+//!
+//! ```text
+//! usep gen   --events 50 --users 500 [--capacity-mean 50] [--cr 0.25]
+//!            [--fb 2] [--mu uniform|normal|power-0.5|power-4]
+//!            [--seed 42] --out instance.json
+//! usep city  --name singapore [--fb 2] [--seed 42] --out instance.json
+//! usep solve --instance instance.json --algorithm dedpo
+//!            [--local-search 3] [--out plan.json]
+//! usep stats --instance instance.json [--plan plan.json]
+//! usep validate --instance instance.json --plan plan.json
+//! usep bound --instance instance.json [--plan plan.json]
+//! ```
+
+mod args;
+mod commands;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match commands::dispatch(&argv) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

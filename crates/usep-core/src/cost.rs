@@ -1,0 +1,235 @@
+//! Travel costs.
+//!
+//! The paper models every travel cost as a *bounded non-negative integer*,
+//! with `cost(v_i, v_j) = +∞` when `v_j` cannot be attended after `v_i`
+//! (time overlap, or the gap is too short to travel). [`Cost`] encodes that
+//! domain: a `u32` with a dedicated [`Cost::INFINITE`] sentinel that
+//! propagates through arithmetic, so an infeasible leg poisons the total
+//! cost of any schedule containing it.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::iter::Sum;
+
+/// A non-negative integer travel cost, or `+∞` for an infeasible leg.
+///
+/// `Cost` is totally ordered with `INFINITE` greater than every finite
+/// cost. Addition saturates into `INFINITE` (both on an infinite operand
+/// and on `u32` overflow), matching the paper's convention that any
+/// schedule containing an infeasible leg has infinite travel cost.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Cost(u32);
+
+// `add`/`sub` intentionally shadow the operator names: they have
+// non-standard semantics (infinity propagation, triangle-inequality
+// panics) that must stay visible at call sites rather than hide behind
+// `+`/`-`.
+#[allow(clippy::should_implement_trait)]
+impl Cost {
+    /// Zero travel cost.
+    pub const ZERO: Cost = Cost(0);
+
+    /// The infeasible-leg sentinel, greater than every finite cost.
+    pub const INFINITE: Cost = Cost(u32::MAX);
+
+    /// Largest representable finite cost.
+    pub const MAX_FINITE: Cost = Cost(u32::MAX - 1);
+
+    /// A finite cost of `v` units.
+    ///
+    /// # Panics
+    /// Panics if `v` equals the infinity sentinel (`u32::MAX`); use
+    /// [`Cost::INFINITE`] for that.
+    #[inline]
+    pub fn new(v: u32) -> Cost {
+        assert!(v != u32::MAX, "Cost::new(u32::MAX): use Cost::INFINITE");
+        Cost(v)
+    }
+
+    /// Whether this cost is finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.0 != u32::MAX
+    }
+
+    /// Whether this cost is the infinity sentinel.
+    #[inline]
+    pub fn is_infinite(self) -> bool {
+        self.0 == u32::MAX
+    }
+
+    /// The numeric value of a finite cost.
+    ///
+    /// # Panics
+    /// Panics if the cost is infinite.
+    #[inline]
+    pub fn value(self) -> u32 {
+        assert!(self.is_finite(), "Cost::value() on Cost::INFINITE");
+        self.0
+    }
+
+    /// The numeric value, or `None` when infinite.
+    #[inline]
+    pub fn finite_value(self) -> Option<u32> {
+        if self.is_finite() {
+            Some(self.0)
+        } else {
+            None
+        }
+    }
+
+    /// Infinity-propagating, overflow-saturating addition.
+    #[inline]
+    #[must_use]
+    pub fn add(self, other: Cost) -> Cost {
+        if self.is_infinite() || other.is_infinite() {
+            return Cost::INFINITE;
+        }
+        match self.0.checked_add(other.0) {
+            Some(s) if s != u32::MAX => Cost(s),
+            _ => Cost::INFINITE,
+        }
+    }
+
+    /// Subtraction of finite costs.
+    ///
+    /// Used by the incremental-cost computation of Eq. (3), where the
+    /// triangle inequality guarantees a non-negative result.
+    ///
+    /// # Panics
+    /// Panics if either operand is infinite or if the result would be
+    /// negative (i.e. the instance violates the triangle inequality, which
+    /// [`InstanceBuilder`](crate::InstanceBuilder) rejects for explicit
+    /// matrices).
+    #[inline]
+    #[must_use]
+    pub fn sub(self, other: Cost) -> Cost {
+        assert!(
+            self.is_finite() && other.is_finite(),
+            "Cost::sub on infinite operand"
+        );
+        match self.0.checked_sub(other.0) {
+            Some(d) => Cost(d),
+            None => panic!(
+                "Cost::sub underflow ({} - {}): triangle inequality violated",
+                self.0, other.0
+            ),
+        }
+    }
+
+    /// Saturating doubling, used for round-trip costs.
+    #[inline]
+    #[must_use]
+    pub fn double(self) -> Cost {
+        self.add(self)
+    }
+
+    /// The cost as `f64` (`+∞` maps to `f64::INFINITY`), for ratio
+    /// computations.
+    #[inline]
+    pub fn as_f64(self) -> f64 {
+        if self.is_finite() {
+            f64::from(self.0)
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+impl Sum for Cost {
+    fn sum<I: Iterator<Item = Cost>>(iter: I) -> Cost {
+        iter.fold(Cost::ZERO, Cost::add)
+    }
+}
+
+impl fmt::Debug for Cost {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_finite() {
+            write!(f, "{}", self.0)
+        } else {
+            write!(f, "∞")
+        }
+    }
+}
+
+impl fmt::Display for Cost {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finite_arithmetic() {
+        assert_eq!(Cost::new(2).add(Cost::new(3)), Cost::new(5));
+        assert_eq!(Cost::new(5).sub(Cost::new(3)), Cost::new(2));
+        assert_eq!(Cost::new(4).double(), Cost::new(8));
+        assert_eq!(Cost::ZERO.add(Cost::ZERO), Cost::ZERO);
+    }
+
+    #[test]
+    fn infinity_propagates_through_add() {
+        assert!(Cost::INFINITE.add(Cost::new(1)).is_infinite());
+        assert!(Cost::new(1).add(Cost::INFINITE).is_infinite());
+        assert!(Cost::INFINITE.add(Cost::INFINITE).is_infinite());
+    }
+
+    #[test]
+    fn add_saturates_on_overflow() {
+        assert!(Cost::MAX_FINITE.add(Cost::new(1)).is_infinite());
+        assert!(Cost::new(u32::MAX - 2).add(Cost::new(1)).is_finite());
+    }
+
+    #[test]
+    fn ordering_puts_infinity_last() {
+        assert!(Cost::new(1_000_000) < Cost::INFINITE);
+        assert!(Cost::ZERO < Cost::new(1));
+        let mut v = vec![Cost::INFINITE, Cost::new(3), Cost::ZERO];
+        v.sort();
+        assert_eq!(v, vec![Cost::ZERO, Cost::new(3), Cost::INFINITE]);
+    }
+
+    #[test]
+    #[should_panic(expected = "use Cost::INFINITE")]
+    fn new_rejects_sentinel() {
+        let _ = Cost::new(u32::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "triangle inequality")]
+    fn sub_underflow_panics() {
+        let _ = Cost::new(1).sub(Cost::new(2));
+    }
+
+    #[test]
+    fn as_f64_maps_infinity() {
+        assert_eq!(Cost::new(7).as_f64(), 7.0);
+        assert!(Cost::INFINITE.as_f64().is_infinite());
+    }
+
+    #[test]
+    fn sum_of_costs() {
+        let s: Cost = [Cost::new(1), Cost::new(2), Cost::new(3)].into_iter().sum();
+        assert_eq!(s, Cost::new(6));
+        let s: Cost = [Cost::new(1), Cost::INFINITE].into_iter().sum();
+        assert!(s.is_infinite());
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{}", Cost::new(42)), "42");
+        assert_eq!(format!("{}", Cost::INFINITE), "∞");
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let json = serde_json::to_string(&Cost::new(9)).unwrap();
+        assert_eq!(json, "9");
+        let back: Cost = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, Cost::new(9));
+    }
+}

@@ -1,0 +1,215 @@
+//! Error types for instance construction and planning validation.
+
+use crate::ids::{EventId, UserId};
+use std::error::Error;
+use std::fmt;
+
+/// Errors rejected by [`InstanceBuilder::build`](crate::InstanceBuilder::build).
+#[derive(Clone, Debug, PartialEq)]
+pub enum BuildError {
+    /// A time interval had `start >= end`.
+    EmptyInterval {
+        /// Offending start time.
+        start: i64,
+        /// Offending end time.
+        end: i64,
+    },
+    /// An event was declared with capacity zero (the paper requires
+    /// `c_v ∈ Z_+`).
+    ZeroCapacity(EventId),
+    /// A utility value was outside `[0, 1]` or not finite.
+    BadUtility {
+        /// Event of the offending pair.
+        event: EventId,
+        /// User of the offending pair.
+        user: UserId,
+        /// The rejected value.
+        value: f64,
+    },
+    /// An explicit cost matrix had the wrong dimensions.
+    BadMatrixShape {
+        /// Which matrix (`"user_event"` or `"event_event"`).
+        which: &'static str,
+        /// Expected number of entries.
+        expected: usize,
+        /// Provided number of entries.
+        got: usize,
+    },
+    /// An explicit event-event cost was finite for a pair that is
+    /// temporally incompatible (must be `Cost::INFINITE`).
+    FiniteCostForConflict(EventId, EventId),
+    /// An explicit cost matrix violates the triangle inequality, which the
+    /// problem statement assumes (and Eq. (3)'s incremental costs require
+    /// to stay non-negative).
+    TriangleViolation {
+        /// Human-readable description of the violating triple.
+        detail: String,
+    },
+    /// The instance referenced an event or user that was never declared.
+    UnknownId(String),
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::EmptyInterval { start, end } => {
+                write!(f, "empty time interval [{start}, {end}]")
+            }
+            BuildError::ZeroCapacity(v) => write!(f, "event {v} has capacity 0"),
+            BuildError::BadUtility { event, user, value } => {
+                write!(f, "utility μ({event}, {user}) = {value} outside [0, 1]")
+            }
+            BuildError::BadMatrixShape { which, expected, got } => {
+                write!(f, "{which} matrix has {got} entries, expected {expected}")
+            }
+            BuildError::FiniteCostForConflict(a, b) => write!(
+                f,
+                "finite cost for temporally incompatible pair ({a}, {b}); must be infinite"
+            ),
+            BuildError::TriangleViolation { detail } => {
+                write!(f, "triangle inequality violated: {detail}")
+            }
+            BuildError::UnknownId(s) => write!(f, "unknown id: {s}"),
+        }
+    }
+}
+
+impl Error for BuildError {}
+
+/// A violated USEP constraint, as reported by
+/// [`Planning::validate`](crate::Planning::validate).
+#[derive(Clone, Debug, PartialEq)]
+pub enum ConstraintViolation {
+    /// Constraint 1: an event is assigned to more users than its capacity.
+    Capacity {
+        /// The overfull event.
+        event: EventId,
+        /// Number of users it was assigned to.
+        assigned: u32,
+        /// Its capacity.
+        capacity: u32,
+    },
+    /// Constraint 2: a user's schedule costs more than their budget.
+    Budget {
+        /// The over-budget user.
+        user: UserId,
+        /// Total round-trip travel cost of the schedule (`u64::MAX`
+        /// stands in for an infinite leg).
+        cost: u64,
+        /// The user's budget.
+        budget: u64,
+    },
+    /// Constraint 3: a schedule contains overlapping events, an
+    /// unreachable leg, or events out of time order.
+    Feasibility {
+        /// The user with the infeasible schedule.
+        user: UserId,
+        /// Description of the infeasibility.
+        detail: String,
+    },
+    /// Constraint 4: a user is assigned an event with `μ(v, u) = 0`.
+    Utility {
+        /// The user.
+        user: UserId,
+        /// The zero-utility event.
+        event: EventId,
+    },
+    /// A schedule contains the same event twice.
+    DuplicateEvent {
+        /// The user.
+        user: UserId,
+        /// The duplicated event.
+        event: EventId,
+    },
+}
+
+impl fmt::Display for ConstraintViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConstraintViolation::Capacity { event, assigned, capacity } => write!(
+                f,
+                "capacity violated: {event} assigned to {assigned} users, capacity {capacity}"
+            ),
+            ConstraintViolation::Budget { user, cost, budget } => {
+                write!(f, "budget violated: {user} travels {cost} > budget {budget}")
+            }
+            ConstraintViolation::Feasibility { user, detail } => {
+                write!(f, "infeasible schedule for {user}: {detail}")
+            }
+            ConstraintViolation::Utility { user, event } => {
+                write!(f, "utility constraint violated: μ({event}, {user}) = 0")
+            }
+            ConstraintViolation::DuplicateEvent { user, event } => {
+                write!(f, "{event} appears twice in the schedule of {user}")
+            }
+        }
+    }
+}
+
+impl Error for ConstraintViolation {}
+
+/// Errors from incremental planning mutation
+/// ([`Planning::assign`](crate::Planning::assign)).
+#[derive(Clone, Debug, PartialEq)]
+pub enum PlanningError {
+    /// The event is already at capacity.
+    EventFull(EventId),
+    /// The user is not interested in the event (`μ = 0`).
+    ZeroUtility(EventId, UserId),
+    /// The event cannot be inserted into the user's schedule (time
+    /// conflict, unreachable leg, or duplicate).
+    Infeasible(EventId, UserId),
+    /// Inserting the event would exceed the user's travel budget.
+    OverBudget(EventId, UserId),
+}
+
+impl fmt::Display for PlanningError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanningError::EventFull(v) => write!(f, "{v} is at capacity"),
+            PlanningError::ZeroUtility(v, u) => write!(f, "μ({v}, {u}) = 0"),
+            PlanningError::Infeasible(v, u) => {
+                write!(f, "{v} does not fit the schedule of {u}")
+            }
+            PlanningError::OverBudget(v, u) => {
+                write!(f, "adding {v} exceeds the budget of {u}")
+            }
+        }
+    }
+}
+
+impl Error for PlanningError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_error_display() {
+        let e = BuildError::ZeroCapacity(EventId(2));
+        assert_eq!(e.to_string(), "event v2 has capacity 0");
+        let e = BuildError::BadUtility { event: EventId(0), user: UserId(1), value: 1.5 };
+        assert!(e.to_string().contains("1.5"));
+    }
+
+    #[test]
+    fn violation_display() {
+        let v = ConstraintViolation::Capacity { event: EventId(3), assigned: 5, capacity: 4 };
+        assert!(v.to_string().contains("v3"));
+        assert!(v.to_string().contains("capacity 4"));
+    }
+
+    #[test]
+    fn planning_error_display() {
+        let e = PlanningError::OverBudget(EventId(1), UserId(2));
+        assert!(e.to_string().contains("budget"));
+    }
+
+    #[test]
+    fn errors_implement_std_error() {
+        fn takes_err<E: Error>(_e: E) {}
+        takes_err(BuildError::UnknownId("x".into()));
+        takes_err(ConstraintViolation::Utility { user: UserId(0), event: EventId(0) });
+        takes_err(PlanningError::EventFull(EventId(0)));
+    }
+}

@@ -1,0 +1,49 @@
+//! Events.
+
+use crate::geo::Point;
+use crate::time::TimeInterval;
+use serde::{Deserialize, Serialize};
+
+/// A social event: a capacity `c_v`, a venue location `l_v` and a time
+/// interval `[t1_v, t2_v]`.
+///
+/// The paper allows effectively-uncapacitated events (firework shows) by
+/// setting `c_v` very large; the algorithms clamp `c_v` to `|U|`
+/// internally, so `u32::MAX` works fine as "unbounded".
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Event {
+    /// Maximum number of attendees `c_v ≥ 1`.
+    pub capacity: u32,
+    /// Venue location `l_v`.
+    pub location: Point,
+    /// The event's time interval `[t1_v, t2_v]`.
+    pub time: TimeInterval,
+}
+
+impl Event {
+    /// Creates an event.
+    pub fn new(capacity: u32, location: Point, time: TimeInterval) -> Event {
+        Event { capacity, location, time }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_fields() {
+        let e = Event::new(3, Point::new(1, 2), TimeInterval::new(10, 20).unwrap());
+        assert_eq!(e.capacity, 3);
+        assert_eq!(e.location, Point::new(1, 2));
+        assert_eq!(e.time.duration(), 10);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let e = Event::new(5, Point::new(-1, 4), TimeInterval::new(0, 60).unwrap());
+        let json = serde_json::to_string(&e).unwrap();
+        let back: Event = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, e);
+    }
+}

@@ -1,0 +1,120 @@
+//! Locations on the integer grid.
+//!
+//! The paper evaluates on Manhattan distances between integer grid
+//! coordinates, which conveniently yields the *bounded non-negative
+//! integer* costs the problem statement requires and satisfies the
+//! triangle inequality by construction.
+
+use crate::cost::Cost;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A point on the integer grid.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Point {
+    /// East-west coordinate.
+    pub x: i32,
+    /// North-south coordinate.
+    pub y: i32,
+}
+
+impl Point {
+    /// The origin `(0, 0)`.
+    pub const ORIGIN: Point = Point { x: 0, y: 0 };
+
+    /// A point at `(x, y)`.
+    #[inline]
+    pub const fn new(x: i32, y: i32) -> Point {
+        Point { x, y }
+    }
+
+    /// Manhattan (L1) distance to `other`, as a raw integer.
+    #[inline]
+    pub fn manhattan(self, other: Point) -> u64 {
+        let dx = (i64::from(self.x) - i64::from(other.x)).unsigned_abs();
+        let dy = (i64::from(self.y) - i64::from(other.y)).unsigned_abs();
+        dx + dy
+    }
+
+    /// Manhattan distance to `other` as a travel [`Cost`].
+    ///
+    /// Distances beyond [`Cost::MAX_FINITE`] saturate to infinity; with the
+    /// `i32` coordinate range that cannot actually happen (max distance
+    /// `2^33 < u32::MAX` is false — it can reach `2^33`, so we saturate
+    /// defensively).
+    #[inline]
+    pub fn cost_to(self, other: Point) -> Cost {
+        let d = self.manhattan(other);
+        if d >= u64::from(u32::MAX) {
+            Cost::INFINITE
+        } else {
+            Cost::new(d as u32)
+        }
+    }
+}
+
+impl fmt::Debug for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.x, self.y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manhattan_basic() {
+        assert_eq!(Point::new(0, 0).manhattan(Point::new(3, 4)), 7);
+        assert_eq!(Point::new(-2, 5).manhattan(Point::new(2, 1)), 8);
+        assert_eq!(Point::ORIGIN.manhattan(Point::ORIGIN), 0);
+    }
+
+    #[test]
+    fn manhattan_is_symmetric() {
+        let a = Point::new(-7, 11);
+        let b = Point::new(13, -2);
+        assert_eq!(a.manhattan(b), b.manhattan(a));
+    }
+
+    #[test]
+    fn manhattan_satisfies_triangle_inequality() {
+        let pts = [
+            Point::new(0, 0),
+            Point::new(5, -3),
+            Point::new(-10, 7),
+            Point::new(2, 2),
+        ];
+        for &a in &pts {
+            for &b in &pts {
+                for &c in &pts {
+                    assert!(a.manhattan(c) <= a.manhattan(b) + b.manhattan(c));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn extreme_coordinates_do_not_overflow() {
+        let a = Point::new(i32::MIN, i32::MIN);
+        let b = Point::new(i32::MAX, i32::MAX);
+        // 2 * (2^32 - 1) fits comfortably in u64.
+        assert_eq!(a.manhattan(b), 2 * (u64::from(u32::MAX)));
+        assert!(a.cost_to(b).is_infinite());
+    }
+
+    #[test]
+    fn cost_to_is_finite_on_city_scales() {
+        let a = Point::new(0, 0);
+        let b = Point::new(100, 200);
+        assert_eq!(a.cost_to(b), Cost::new(300));
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let p = Point::new(-4, 9);
+        let json = serde_json::to_string(&p).unwrap();
+        let back: Point = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, p);
+    }
+}

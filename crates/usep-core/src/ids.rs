@@ -1,0 +1,108 @@
+//! Strongly-typed indices for events and users.
+//!
+//! Both are plain `u32` indices into the corresponding `Vec` of an
+//! [`Instance`](crate::Instance). The newtypes exist so that an event index
+//! can never be accidentally used to index users (or vice versa) — a class
+//! of bug that is otherwise easy to introduce in the tight loops of the
+//! planning algorithms.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Index of an event within an [`Instance`](crate::Instance).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct EventId(pub u32);
+
+/// Index of a user within an [`Instance`](crate::Instance).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct UserId(pub u32);
+
+impl EventId {
+    /// The index as a `usize`, for container indexing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl UserId {
+    /// The index as a `usize`, for container indexing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<u32> for EventId {
+    fn from(i: u32) -> Self {
+        EventId(i)
+    }
+}
+
+impl From<u32> for UserId {
+    fn from(i: u32) -> Self {
+        UserId(i)
+    }
+}
+
+impl fmt::Debug for EventId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl fmt::Display for EventId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl fmt::Debug for UserId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "u{}", self.0)
+    }
+}
+
+impl fmt::Display for UserId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "u{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_id_roundtrip() {
+        let id = EventId(7);
+        assert_eq!(id.index(), 7);
+        assert_eq!(EventId::from(7), id);
+        assert_eq!(format!("{id}"), "v7");
+        assert_eq!(format!("{id:?}"), "v7");
+    }
+
+    #[test]
+    fn user_id_roundtrip() {
+        let id = UserId(3);
+        assert_eq!(id.index(), 3);
+        assert_eq!(UserId::from(3), id);
+        assert_eq!(format!("{id}"), "u3");
+    }
+
+    #[test]
+    fn ids_are_ordered_by_index() {
+        assert!(EventId(1) < EventId(2));
+        assert!(UserId(0) < UserId(10));
+    }
+
+    #[test]
+    fn serde_is_transparent() {
+        let json = serde_json::to_string(&EventId(5)).unwrap();
+        assert_eq!(json, "5");
+        let back: EventId = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, EventId(5));
+    }
+}

@@ -1,0 +1,176 @@
+//! End-time ordering of events.
+//!
+//! Every algorithm in the paper processes events sorted by non-descending
+//! end time `t2`, and repeatedly needs `l_i` — the last sorted position
+//! whose event can *temporally* precede the event at position `i`
+//! (`t2_l ≤ t1_i`). Because the list is sorted by end time, the positions
+//! that can precede `i` form a prefix, so a single binary search per event
+//! suffices. [`TemporalIndex`] precomputes the order, the inverse ranks
+//! and the prefix lengths once per instance.
+
+use crate::event::Event;
+use serde::{Deserialize, Serialize};
+
+/// Precomputed end-time ordering over the events of an instance.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TemporalIndex {
+    /// Event indices sorted by `(t2, t1, id)`.
+    order: Vec<u32>,
+    /// `rank[event] = position of the event in `order``.
+    rank: Vec<u32>,
+    /// For each sorted position `p`, the number of sorted positions `q`
+    /// with `t2_q ≤ t1_p` — the paper's `l_i` (as a count, so valid
+    /// predecessor positions are `0..l_of[p]`).
+    l_of: Vec<u32>,
+}
+
+impl TemporalIndex {
+    /// Builds the index for a slice of events.
+    pub fn build(events: &[Event]) -> TemporalIndex {
+        let n = events.len();
+        let mut order: Vec<u32> = (0..n as u32).collect();
+        order.sort_by_key(|&i| {
+            let t = events[i as usize].time;
+            (t.end(), t.start(), i)
+        });
+        let mut rank = vec![0u32; n];
+        for (pos, &ev) in order.iter().enumerate() {
+            rank[ev as usize] = pos as u32;
+        }
+        // ends[p] = end time of the event at sorted position p (non-descending)
+        let ends: Vec<i64> = order.iter().map(|&i| events[i as usize].time.end()).collect();
+        let l_of = order
+            .iter()
+            .map(|&i| {
+                let start = events[i as usize].time.start();
+                ends.partition_point(|&e| e <= start) as u32
+            })
+            .collect();
+        TemporalIndex { order, rank, l_of }
+    }
+
+    /// Number of indexed events.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Whether the instance has no events.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    /// Event index at sorted position `p`.
+    #[inline]
+    pub fn event_at(&self, p: usize) -> u32 {
+        self.order[p]
+    }
+
+    /// Sorted position of event `v`.
+    #[inline]
+    pub fn position_of(&self, v: u32) -> usize {
+        self.rank[v as usize] as usize
+    }
+
+    /// The paper's `l_i` for sorted position `p`: positions `0..l_i(p)`
+    /// hold exactly the events that end no later than `p`'s start.
+    #[inline]
+    pub fn l_of(&self, p: usize) -> usize {
+        self.l_of[p] as usize
+    }
+
+    /// The sorted order as a slice of event indices.
+    #[inline]
+    pub fn order(&self) -> &[u32] {
+        &self.order
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geo::Point;
+    use crate::time::TimeInterval;
+
+    fn ev(start: i64, end: i64) -> Event {
+        Event::new(1, Point::ORIGIN, TimeInterval::new(start, end).unwrap())
+    }
+
+    #[test]
+    fn orders_by_end_time() {
+        // paper running example: v1 [1,4], v2 [3,6], v3 [1,2], v4 [6,7]
+        let events = vec![ev(1, 4), ev(3, 6), ev(1, 2), ev(6, 7)];
+        let idx = TemporalIndex::build(&events);
+        assert_eq!(idx.order(), &[2, 0, 1, 3]); // v3, v1, v2, v4
+        assert_eq!(idx.position_of(2), 0);
+        assert_eq!(idx.position_of(3), 3);
+        assert_eq!(idx.event_at(1), 0);
+    }
+
+    #[test]
+    fn l_of_counts_temporal_predecessors() {
+        let events = vec![ev(1, 4), ev(3, 6), ev(1, 2), ev(6, 7)];
+        let idx = TemporalIndex::build(&events);
+        // sorted: v3 [1,2], v1 [1,4], v2 [3,6], v4 [6,7]
+        assert_eq!(idx.l_of(0), 0); // nothing ends by t=1
+        assert_eq!(idx.l_of(1), 0); // nothing ends by t=1
+        assert_eq!(idx.l_of(2), 1); // v3 ends by t=3
+        assert_eq!(idx.l_of(3), 3); // v3, v1, v2 end by t=6
+    }
+
+    #[test]
+    fn l_of_is_exact_boundary_inclusive() {
+        // back-to-back events: end == next start counts as predecessor
+        let events = vec![ev(0, 5), ev(5, 10)];
+        let idx = TemporalIndex::build(&events);
+        assert_eq!(idx.l_of(1), 1);
+        assert_eq!(idx.l_of(0), 0);
+    }
+
+    #[test]
+    fn ties_break_by_start_then_id() {
+        let events = vec![ev(2, 8), ev(0, 8), ev(2, 8)];
+        let idx = TemporalIndex::build(&events);
+        assert_eq!(idx.order(), &[1, 0, 2]);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let idx = TemporalIndex::build(&[]);
+        assert!(idx.is_empty());
+        let idx = TemporalIndex::build(&[ev(0, 1)]);
+        assert_eq!(idx.len(), 1);
+        assert_eq!(idx.l_of(0), 0);
+    }
+
+    #[test]
+    fn l_of_prefix_matches_naive_count() {
+        // randomized-ish deterministic sweep
+        let mut events = Vec::new();
+        let mut s = 17i64;
+        for _ in 0..40 {
+            s = (s * 1103515245 + 12345) % 97;
+            let start = s.abs() % 50;
+            let dur = 1 + s.abs() % 10;
+            events.push(ev(start, start + dur));
+        }
+        let idx = TemporalIndex::build(&events);
+        for p in 0..events.len() {
+            let vi = idx.event_at(p) as usize;
+            let naive = (0..events.len())
+                .filter(|&q| {
+                    let vq = idx.event_at(q) as usize;
+                    events[vq].time.end() <= events[vi].time.start()
+                })
+                .count();
+            // because the list is sorted by end time, temporal predecessors
+            // of p are exactly the prefix 0..l_of(p)
+            assert_eq!(idx.l_of(p), naive, "position {p}");
+            for q in 0..idx.l_of(p) {
+                let vq = idx.event_at(q) as usize;
+                assert!(events[vq].time.precedes(events[vi].time));
+            }
+        }
+    }
+}

@@ -1,0 +1,140 @@
+//! Event time intervals.
+
+use crate::error::BuildError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A half-open-in-spirit time interval `[t1, t2]` of an event.
+///
+/// The paper's feasibility rule is `t2` of one event ≤ `t1` of the next, so
+/// two events that share only the boundary instant ("back to back") do
+/// *not* conflict. Times are plain `i64` ticks; the unit (minutes, epoch
+/// seconds, …) is up to the instance generator.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct TimeInterval {
+    start: i64,
+    end: i64,
+}
+
+impl TimeInterval {
+    /// Creates the interval `[start, end]`; fails unless `start < end`.
+    pub fn new(start: i64, end: i64) -> Result<TimeInterval, BuildError> {
+        if start < end {
+            Ok(TimeInterval { start, end })
+        } else {
+            Err(BuildError::EmptyInterval { start, end })
+        }
+    }
+
+    /// Start time `t1`.
+    #[inline]
+    pub fn start(self) -> i64 {
+        self.start
+    }
+
+    /// End time `t2`.
+    #[inline]
+    pub fn end(self) -> i64 {
+        self.end
+    }
+
+    /// Duration `t2 - t1` (always positive).
+    #[inline]
+    pub fn duration(self) -> i64 {
+        self.end - self.start
+    }
+
+    /// Whether the two intervals overlap in time (boundary contact is not
+    /// an overlap).
+    #[inline]
+    pub fn overlaps(self, other: TimeInterval) -> bool {
+        self.start < other.end && other.start < self.end
+    }
+
+    /// Whether `self` can be attended before `other` (`t2 ≤ t1'`).
+    #[inline]
+    pub fn precedes(self, other: TimeInterval) -> bool {
+        self.end <= other.start
+    }
+
+    /// The idle gap between `self` and a following `other`, or `None` when
+    /// `self` does not precede `other`.
+    #[inline]
+    pub fn gap_before(self, other: TimeInterval) -> Option<i64> {
+        if self.precedes(other) {
+            Some(other.start - self.end)
+        } else {
+            None
+        }
+    }
+}
+
+impl fmt::Debug for TimeInterval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {}]", self.start, self.end)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iv(a: i64, b: i64) -> TimeInterval {
+        TimeInterval::new(a, b).unwrap()
+    }
+
+    #[test]
+    fn rejects_empty_and_inverted() {
+        assert!(TimeInterval::new(5, 5).is_err());
+        assert!(TimeInterval::new(6, 5).is_err());
+        assert!(TimeInterval::new(-3, -1).is_ok());
+    }
+
+    #[test]
+    fn accessors() {
+        let t = iv(2, 9);
+        assert_eq!(t.start(), 2);
+        assert_eq!(t.end(), 9);
+        assert_eq!(t.duration(), 7);
+    }
+
+    #[test]
+    fn overlap_is_symmetric_and_open_at_boundary() {
+        assert!(iv(1, 4).overlaps(iv(3, 6)));
+        assert!(iv(3, 6).overlaps(iv(1, 4)));
+        // touching at the boundary is not an overlap: back-to-back is fine
+        assert!(!iv(1, 4).overlaps(iv(4, 6)));
+        assert!(!iv(4, 6).overlaps(iv(1, 4)));
+        // containment overlaps
+        assert!(iv(1, 10).overlaps(iv(3, 4)));
+    }
+
+    #[test]
+    fn precedes_matches_paper_rule() {
+        assert!(iv(1, 4).precedes(iv(4, 6)));
+        assert!(iv(1, 4).precedes(iv(5, 6)));
+        assert!(!iv(1, 4).precedes(iv(3, 6)));
+        assert!(!iv(4, 6).precedes(iv(1, 4)));
+    }
+
+    #[test]
+    fn gap_before() {
+        assert_eq!(iv(1, 4).gap_before(iv(6, 8)), Some(2));
+        assert_eq!(iv(1, 4).gap_before(iv(4, 8)), Some(0));
+        assert_eq!(iv(1, 4).gap_before(iv(3, 8)), None);
+    }
+
+    #[test]
+    fn ordering_is_by_start_then_end() {
+        assert!(iv(1, 4) < iv(2, 3));
+        assert!(iv(1, 3) < iv(1, 4));
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let t = iv(60, 180);
+        let json = serde_json::to_string(&t).unwrap();
+        let back: TimeInterval = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, t);
+    }
+}

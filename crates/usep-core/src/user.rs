@@ -1,0 +1,56 @@
+//! Users.
+
+use crate::cost::Cost;
+use crate::geo::Point;
+use serde::{Deserialize, Serialize};
+
+/// A user: an initial/final location `l_u` and a travel budget `b_u`.
+///
+/// The user starts their day at `l_u`, travels to the first arranged
+/// event, between consecutive events, and back to `l_u` after the last
+/// one; the total travel cost must stay within `b_u`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct User {
+    /// Home location `l_u` (both origin and final destination).
+    pub location: Point,
+    /// Travel budget `b_u` (a finite cost).
+    pub budget: Cost,
+}
+
+impl User {
+    /// Creates a user.
+    ///
+    /// # Panics
+    /// Panics if `budget` is infinite — budgets are finite inputs in the
+    /// problem statement; use a large finite value for "unconstrained".
+    pub fn new(location: Point, budget: Cost) -> User {
+        assert!(budget.is_finite(), "user budgets must be finite");
+        User { location, budget }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_fields() {
+        let u = User::new(Point::new(3, 3), Cost::new(25));
+        assert_eq!(u.budget, Cost::new(25));
+        assert_eq!(u.location, Point::new(3, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn infinite_budget_rejected() {
+        let _ = User::new(Point::ORIGIN, Cost::INFINITE);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let u = User::new(Point::new(0, -9), Cost::new(100));
+        let json = serde_json::to_string(&u).unwrap();
+        let back: User = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, u);
+    }
+}

@@ -1,0 +1,182 @@
+//! Property tests on the core model: schedules, incremental costs,
+//! plannings and the temporal index, driven by randomized instances.
+
+use proptest::prelude::*;
+use usep_core::{
+    Cost, EventId, Instance, InstanceBuilder, Planning, Point, Schedule, TimeInterval, UserId,
+};
+
+/// Strategy: a random grid instance with `nv` events and `nu` users.
+fn arb_instance(max_v: usize, max_u: usize) -> impl Strategy<Value = Instance> {
+    let ev = (0i64..60, 1i64..15, 0i32..20, 0i32..20, 1u32..4);
+    let us = (0i32..20, 0i32..20, 0u32..80);
+    (
+        prop::collection::vec(ev, 1..=max_v),
+        prop::collection::vec(us, 1..=max_u),
+        any::<u64>(),
+    )
+        .prop_map(|(events, users, mu_seed)| {
+            let mut b = InstanceBuilder::new();
+            for &(start, dur, x, y, cap) in &events {
+                b.event(cap, Point::new(x, y), TimeInterval::new(start, start + dur).unwrap());
+            }
+            for &(x, y, budget) in &users {
+                b.user(Point::new(x, y), Cost::new(budget));
+            }
+            // deterministic pseudo-random utilities from the seed
+            let mut s = mu_seed | 1;
+            for v in 0..events.len() as u32 {
+                for u in 0..users.len() as u32 {
+                    s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    let m = ((s >> 33) % 11) as f64 / 10.0;
+                    b.utility(EventId(v), UserId(u), m);
+                }
+            }
+            b.build().unwrap()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// inc_cost (Eq. 3) is exactly the total-cost delta of the insertion,
+    /// for every feasible insertion in any order.
+    #[test]
+    fn inc_cost_equals_total_cost_delta(inst in arb_instance(8, 3), order in any::<u64>()) {
+        let u = UserId(0);
+        let mut s = Schedule::new();
+        let mut evs: Vec<EventId> = inst.event_ids().collect();
+        // pseudo-shuffle
+        let mut seed = order | 1;
+        for i in (1..evs.len()).rev() {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+            evs.swap(i, (seed >> 33) as usize % (i + 1));
+        }
+        for v in evs {
+            let before = s.total_cost(&inst, u);
+            let inc = s.inc_cost(&inst, u, v);
+            match s.try_insert(&inst, u, v) {
+                Ok(_) => {
+                    prop_assert!(inc.is_finite());
+                    prop_assert_eq!(s.total_cost(&inst, u), before.add(inc));
+                    prop_assert!(s.check(&inst, u).is_ok());
+                }
+                Err(usep_core::InsertError::OverBudget) => {
+                    prop_assert!(inc.is_finite());
+                    prop_assert!(before.add(inc) > inst.user(u).budget);
+                }
+                Err(_) => prop_assert!(inc.is_infinite()),
+            }
+        }
+    }
+
+    /// Removal keeps a feasible schedule feasible and never increases the
+    /// travel cost (triangle inequality).
+    #[test]
+    fn removal_is_safe(inst in arb_instance(8, 2), pick in any::<usize>()) {
+        let u = UserId(0);
+        let mut s = Schedule::new();
+        for v in inst.event_ids() {
+            let _ = s.try_insert(&inst, u, v);
+        }
+        prop_assume!(!s.is_empty());
+        let before = s.total_cost(&inst, u);
+        let victim = s.events()[pick % s.len()];
+        prop_assert!(s.remove(victim));
+        prop_assert!(s.check(&inst, u).is_ok());
+        prop_assert!(s.total_cost(&inst, u) <= before);
+    }
+
+    /// A planning mutated by any assign/unassign sequence always
+    /// validates.
+    #[test]
+    fn planning_mutations_stay_valid(
+        inst in arb_instance(6, 3),
+        ops in prop::collection::vec((any::<u32>(), any::<u32>(), any::<bool>()), 0..40),
+    ) {
+        let mut p = Planning::empty(&inst);
+        for (v, u, insert) in ops {
+            let v = EventId(v % inst.num_events() as u32);
+            let u = UserId(u % inst.num_users() as u32);
+            if insert {
+                let _ = p.assign(&inst, u, v);
+            } else {
+                let _ = p.unassign(u, v);
+            }
+            prop_assert!(p.validate(&inst).is_ok());
+        }
+    }
+
+    /// The temporal index orders by end time and its `l_of` prefix
+    /// matches a naive scan.
+    #[test]
+    fn temporal_index_invariants(inst in arb_instance(10, 1)) {
+        let idx = inst.temporal();
+        for p in 1..idx.len() {
+            let (a, b) = (idx.event_at(p - 1), idx.event_at(p));
+            prop_assert!(
+                inst.event(EventId(a)).time.end() <= inst.event(EventId(b)).time.end()
+            );
+        }
+        for p in 0..idx.len() {
+            let ti = inst.event(EventId(idx.event_at(p))).time;
+            let naive = (0..idx.len())
+                .filter(|&q| inst.event(EventId(idx.event_at(q))).time.end() <= ti.start())
+                .count();
+            prop_assert_eq!(idx.l_of(p), naive);
+        }
+    }
+
+    /// Grid event-event costs: finite implies temporal precedence, and
+    /// the cost matrix respects the triangle inequality on finite chains.
+    #[test]
+    fn event_costs_respect_time_and_triangle(inst in arb_instance(8, 1)) {
+        let n = inst.num_events() as u32;
+        for i in 0..n {
+            for j in 0..n {
+                let c = inst.cost_vv(EventId(i), EventId(j));
+                if c.is_finite() {
+                    prop_assert!(inst.event(EventId(i)).time.precedes(inst.event(EventId(j)).time));
+                }
+                for k in 0..n {
+                    let ik = inst.cost_vv(EventId(i), EventId(k));
+                    let ij = inst.cost_vv(EventId(i), EventId(j));
+                    let jk = inst.cost_vv(EventId(j), EventId(k));
+                    if ik.is_finite() && ij.is_finite() && jk.is_finite() {
+                        prop_assert!(ik <= ij.add(jk));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Instances survive a serde round trip with identical behaviour.
+    #[test]
+    fn instance_serde_roundtrip(inst in arb_instance(6, 3)) {
+        let json = serde_json::to_string(&inst).unwrap();
+        let back: Instance = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(&back, &inst);
+        for i in inst.event_ids() {
+            for j in inst.event_ids() {
+                prop_assert_eq!(back.cost_vv(i, j), inst.cost_vv(i, j));
+            }
+        }
+    }
+
+    /// Instances survive a binary-codec round trip bit-exactly.
+    #[test]
+    fn instance_codec_roundtrip(inst in arb_instance(6, 3)) {
+        let bytes = usep_core::codec::encode(&inst);
+        let back = usep_core::codec::decode(&bytes).unwrap();
+        prop_assert_eq!(&back, &inst);
+    }
+
+    /// No prefix of an encoded instance decodes successfully — truncation
+    /// is always detected, never a panic or a silent partial instance.
+    #[test]
+    fn codec_truncations_always_error(inst in arb_instance(4, 2), frac in 0.0f64..1.0) {
+        let bytes = usep_core::codec::encode(&inst);
+        let cut = ((bytes.len() - 1) as f64 * frac) as usize;
+        prop_assert!(usep_core::codec::decode(&bytes[..cut]).is_err());
+    }
+}

@@ -1,0 +1,429 @@
+//! Panel definitions: one per table/figure column of the paper's §5.
+//!
+//! Every sweep panel lists its x-axis values and a closure building the
+//! instance for each point. `quick` mode divides user counts by 8
+//! (keeping every other Table-7 knob) so a full regeneration fits in
+//! minutes instead of hours; EXPERIMENTS.md records that the qualitative
+//! shapes are scale-invariant in that range.
+
+use usep_algos::Algorithm;
+use usep_core::Instance;
+use usep_gen::{generate, generate_city, CityConfig, Spread, SyntheticConfig, UtilityDistribution};
+
+/// How user counts shrink in quick mode.
+const QUICK_DIVISOR: usize = 8;
+
+/// One x-axis point of a sweep panel.
+pub struct PanelPoint {
+    /// X-axis value label (the parameter setting).
+    pub x: String,
+    /// Builds the instance for this point from a seed.
+    pub make: Box<dyn Fn(u64) -> Instance + Send + Sync>,
+}
+
+/// What a panel produces.
+pub enum PanelKind {
+    /// Algorithm sweep over x-axis points (Figures 2–4 and the special
+    /// test).
+    Sweep {
+        /// X-axis label.
+        x_label: &'static str,
+        /// Algorithms to run at every point.
+        algos: Vec<Algorithm>,
+        /// The x-axis points.
+        points: Vec<PanelPoint>,
+    },
+    /// Table 6: statistics of the simulated city datasets.
+    CityStats,
+    /// Extension: per-instance optimality gaps — Ω of selected
+    /// algorithms against the relaxation upper bound of
+    /// `usep_algos::bounds`.
+    QualityGap {
+        /// X-axis label.
+        x_label: &'static str,
+        /// The x-axis points.
+        points: Vec<PanelPoint>,
+    },
+    /// Extension: instance-noise error bars — mean ± std of Ω per
+    /// algorithm over an ensemble of seeds at one configuration.
+    Variance {
+        /// Seeds to run.
+        seeds: Vec<u64>,
+        /// Instance factory.
+        make: Box<dyn Fn(u64) -> Instance + Send + Sync>,
+    },
+    /// Extension: fairness comparison — Jain index / served fraction /
+    /// min utility per algorithm (including the max-min solver) under
+    /// capacity scarcity.
+    Fairness {
+        /// Instance factory.
+        make: Box<dyn Fn(u64) -> Instance + Send + Sync>,
+    },
+}
+
+/// A regenerable panel of the paper's evaluation.
+pub struct Panel {
+    /// Figure id: `"2"`, `"3"`, `"4"`, `"table6"`, `"special"`.
+    pub figure: &'static str,
+    /// Panel name within the figure (CLI `--panel`).
+    pub name: &'static str,
+    /// Human-readable description.
+    pub title: String,
+    /// What to run.
+    pub kind: PanelKind,
+}
+
+fn users(full: usize, quick: bool) -> usize {
+    if quick {
+        (full / QUICK_DIVISOR).max(20)
+    } else {
+        full
+    }
+}
+
+fn point(x: impl Into<String>, cfg: SyntheticConfig) -> PanelPoint {
+    PanelPoint { x: x.into(), make: Box::new(move |seed| generate(&cfg, seed)) }
+}
+
+fn paper_algos() -> Vec<Algorithm> {
+    Algorithm::PAPER_SET.to_vec()
+}
+
+fn scalable_algos() -> Vec<Algorithm> {
+    Algorithm::SCALABLE_SET.to_vec()
+}
+
+/// Builds every panel at the requested scale.
+pub fn all_panels(quick: bool) -> Vec<Panel> {
+    let nu = users(5000, quick); // Table-7 default |U|
+    let base = SyntheticConfig::default().with_users(nu);
+    let mut panels = Vec::new();
+
+    // ---- Figure 2, column 1: vary |V| ----
+    panels.push(Panel {
+        figure: "2",
+        name: "v",
+        title: format!("vary |V| in {{20..500}} at |U|={nu} (Fig. 2 a/e/i)"),
+        kind: PanelKind::Sweep {
+            x_label: "|V|",
+            algos: paper_algos(),
+            points: [20, 50, 100, 200, 500]
+                .iter()
+                .map(|&v| point(v.to_string(), base.clone().with_events(v)))
+                .collect(),
+        },
+    });
+
+    // ---- Figure 2, column 2: vary |U| ----
+    let u_axis: Vec<usize> = [100, 200, 500, 1000, 5000]
+        .iter()
+        .map(|&u| users(u, quick).min(u))
+        .collect();
+    panels.push(Panel {
+        figure: "2",
+        name: "u",
+        title: format!("vary |U| in {u_axis:?} (Fig. 2 b/f/j)"),
+        kind: PanelKind::Sweep {
+            x_label: "|U|",
+            algos: paper_algos(),
+            points: u_axis
+                .iter()
+                .map(|&u| point(u.to_string(), SyntheticConfig::default().with_users(u)))
+                .collect(),
+        },
+    });
+
+    // ---- Figure 2, column 3: vary mean capacity ----
+    panels.push(Panel {
+        figure: "2",
+        name: "cap",
+        title: format!("vary mean c_v in {{10..200}} at |U|={nu} (Fig. 2 c/g/k)"),
+        kind: PanelKind::Sweep {
+            x_label: "mean c_v",
+            algos: paper_algos(),
+            points: [10, 20, 50, 100, 200]
+                .iter()
+                .map(|&c| point(c.to_string(), base.clone().with_capacity_mean(c)))
+                .collect(),
+        },
+    });
+
+    // ---- Figure 2, column 4: vary conflict ratio ----
+    panels.push(Panel {
+        figure: "2",
+        name: "cr",
+        title: format!("vary conflict ratio in {{0..1}} at |U|={nu} (Fig. 2 d/h/l)"),
+        kind: PanelKind::Sweep {
+            x_label: "cr",
+            algos: paper_algos(),
+            points: [0.0, 0.25, 0.5, 0.75, 1.0]
+                .iter()
+                .map(|&cr| point(cr.to_string(), base.clone().with_conflict_ratio(cr)))
+                .collect(),
+        },
+    });
+
+    // ---- Figure 3, column 1: vary budget factor ----
+    let fb_axis = [0.5, 1.0, 2.0, 5.0, 10.0];
+    panels.push(Panel {
+        figure: "3",
+        name: "fb",
+        title: format!("vary f_b in {{0.5..10}} at |U|={nu} (Fig. 3, col 1)"),
+        kind: PanelKind::Sweep {
+            x_label: "f_b",
+            algos: paper_algos(),
+            points: fb_axis
+                .iter()
+                .map(|&f| point(f.to_string(), base.clone().with_budget_factor(f)))
+                .collect(),
+        },
+    });
+
+    // ---- Figure 3, column 2: μ ~ Power(0.5), vary f_b ----
+    panels.push(Panel {
+        figure: "3",
+        name: "mu-power",
+        title: format!("μ ~ Power(0.5), vary f_b at |U|={nu} (Fig. 3, col 2)"),
+        kind: PanelKind::Sweep {
+            x_label: "f_b",
+            algos: paper_algos(),
+            points: fb_axis
+                .iter()
+                .map(|&f| {
+                    point(
+                        f.to_string(),
+                        base.clone()
+                            .with_budget_factor(f)
+                            .with_mu_dist(UtilityDistribution::Power { exponent: 0.5 }),
+                    )
+                })
+                .collect(),
+        },
+    });
+
+    // ---- Figure 3, column 3: c_v ~ Normal, vary mean ----
+    panels.push(Panel {
+        figure: "3",
+        name: "cap-normal",
+        title: format!("c_v ~ Normal, vary mean in {{10..200}} at |U|={nu} (Fig. 3, col 3)"),
+        kind: PanelKind::Sweep {
+            x_label: "mean c_v",
+            algos: paper_algos(),
+            points: [10, 20, 50, 100, 200]
+                .iter()
+                .map(|&c| {
+                    point(
+                        c.to_string(),
+                        base.clone().with_capacity_mean(c).with_capacity_dist(Spread::Normal),
+                    )
+                })
+                .collect(),
+        },
+    });
+
+    // ---- Figure 3, column 4: b_u ~ Normal, vary f_b ----
+    panels.push(Panel {
+        figure: "3",
+        name: "budget-normal",
+        title: format!("b_u ~ Normal, vary f_b at |U|={nu} (Fig. 3, col 4)"),
+        kind: PanelKind::Sweep {
+            x_label: "f_b",
+            algos: paper_algos(),
+            points: fb_axis
+                .iter()
+                .map(|&f| {
+                    point(
+                        f.to_string(),
+                        base.clone().with_budget_factor(f).with_budget_dist(Spread::Normal),
+                    )
+                })
+                .collect(),
+        },
+    });
+
+    // ---- Figure 4, columns 1-3: scalability (no DeDP) ----
+    let scal_axis: Vec<usize> = [10_000, 20_000, 30_000, 40_000, 50_000, 100_000]
+        .iter()
+        .map(|&u| users(u, quick))
+        .collect();
+    for &(nv, name) in &[(100usize, "scal-100"), (200, "scal-200"), (500, "scal-500")] {
+        panels.push(Panel {
+            figure: "4",
+            name,
+            title: format!("scalability: |V|={nv}, mean c_v=200, |U| up to {} (Fig. 4)", scal_axis.last().unwrap()),
+            kind: PanelKind::Sweep {
+                x_label: "|U|",
+                algos: scalable_algos(),
+                points: scal_axis
+                    .iter()
+                    .map(|&u| {
+                        point(
+                            u.to_string(),
+                            SyntheticConfig::default()
+                                .with_events(nv)
+                                .with_users(u)
+                                .with_capacity_mean(200),
+                        )
+                    })
+                    .collect(),
+            },
+        });
+    }
+
+    // ---- Figure 4, column 4: real (simulated Singapore), vary f_b ----
+    let city_users = users(1500, quick).min(1500);
+    panels.push(Panel {
+        figure: "4",
+        name: "real",
+        title: format!("simulated Singapore EBSN ({city_users} users), vary f_b (Fig. 4, col 4)"),
+        kind: PanelKind::Sweep {
+            x_label: "f_b",
+            algos: paper_algos(),
+            points: fb_axis
+                .iter()
+                .map(|&f| {
+                    let mut cfg = CityConfig::singapore().with_budget_factor(f);
+                    cfg.num_users = city_users;
+                    PanelPoint {
+                        x: f.to_string(),
+                        make: Box::new(move |seed| generate_city(&cfg, seed)),
+                    }
+                })
+                .collect(),
+        },
+    });
+
+    // ---- Table 6: simulated city statistics ----
+    panels.push(Panel {
+        figure: "table6",
+        name: "table6",
+        title: "simulated Meetup city datasets (Table 6)".to_string(),
+        kind: PanelKind::CityStats,
+    });
+
+    // ---- §5.2 special test: |V|=500, |U|=200K, mean c_v=500 ----
+    let special_users = users(200_000, quick);
+    let special_cfg = SyntheticConfig::default()
+        .with_events(500)
+        .with_users(special_users)
+        .with_capacity_mean(500);
+    panels.push(Panel {
+        figure: "special",
+        name: "special",
+        title: format!(
+            "special test: |V|=500, |U|={special_users}, mean c_v=500 — DeGreedy vs DeDPO (§5.2)"
+        ),
+        kind: PanelKind::Sweep {
+            x_label: "|U|",
+            algos: vec![Algorithm::DeGreedy, Algorithm::DeDPO],
+            points: vec![point(special_users.to_string(), special_cfg)],
+        },
+    });
+
+    // ---- Extension: optimality gaps against the relaxation bound ----
+    let gap_users = users(1000, quick).min(1000);
+    panels.push(Panel {
+        figure: "ext",
+        name: "quality",
+        title: format!(
+            "extension: Ω vs the relaxation upper bound across cr, |U|={gap_users}"
+        ),
+        kind: PanelKind::QualityGap {
+            x_label: "cr",
+            points: [0.0, 0.25, 0.5, 0.75]
+                .iter()
+                .map(|&cr| {
+                    point(
+                        cr.to_string(),
+                        SyntheticConfig::default()
+                            .with_events(50)
+                            .with_users(gap_users)
+                            .with_capacity_mean(20)
+                            .with_conflict_ratio(cr),
+                    )
+                })
+                .collect(),
+        },
+    });
+
+    // ---- Extension: instance-noise error bars at the default setting ----
+    let var_users = users(1000, quick).min(1000);
+    let var_cfg = SyntheticConfig::default()
+        .with_events(50)
+        .with_users(var_users)
+        .with_capacity_mean(20);
+    panels.push(Panel {
+        figure: "ext",
+        name: "variance",
+        title: format!("extension: Ω mean ± std over 10 seeds at |V|=50, |U|={var_users}"),
+        kind: PanelKind::Variance {
+            seeds: (0..10).collect(),
+            make: Box::new(move |seed| generate(&var_cfg, seed)),
+        },
+    });
+
+    // ---- Extension: fairness under capacity scarcity ----
+    let fair_users = users(2000, quick).min(2000);
+    let fair_cfg = SyntheticConfig::default()
+        .with_events(40)
+        .with_users(fair_users)
+        .with_capacity_mean(5); // scarce: ~200 slots for many users
+    panels.push(Panel {
+        figure: "ext",
+        name: "fairness",
+        title: format!(
+            "extension: fairness under scarcity — 40 events × mean capacity 5, |U|={fair_users}"
+        ),
+        kind: PanelKind::Fairness { make: Box::new(move |seed| generate(&fair_cfg, seed)) },
+    });
+
+    panels
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_figure_columns_present() {
+        let panels = all_panels(true);
+        let names: Vec<&str> = panels.iter().map(|p| p.name).collect();
+        for expected in [
+            "v", "u", "cap", "cr", "fb", "mu-power", "cap-normal", "budget-normal", "scal-100",
+            "scal-200", "scal-500", "real", "table6", "special",
+        ] {
+            assert!(names.contains(&expected), "missing panel {expected}");
+        }
+    }
+
+    #[test]
+    fn quick_mode_shrinks_users() {
+        let quick = all_panels(true);
+        let full = all_panels(false);
+        let nu = |p: &Panel| match &p.kind {
+            PanelKind::Sweep { points, .. } => (points[0].make)(1).num_users(),
+            PanelKind::CityStats
+            | PanelKind::QualityGap { .. }
+            | PanelKind::Variance { .. }
+            | PanelKind::Fairness { .. } => 0,
+        };
+        let q = quick.iter().find(|p| p.name == "v").unwrap();
+        let f = full.iter().find(|p| p.name == "v").unwrap();
+        assert_eq!(nu(f), 5000);
+        assert_eq!(nu(q), 5000 / QUICK_DIVISOR);
+    }
+
+    #[test]
+    fn paper_panels_use_six_algorithms_scalability_five() {
+        let panels = all_panels(true);
+        for p in &panels {
+            if let PanelKind::Sweep { algos, .. } = &p.kind {
+                match p.figure {
+                    "2" | "3" => assert_eq!(algos.len(), 6, "{}", p.name),
+                    "4" if p.name != "real" => assert_eq!(algos.len(), 5, "{}", p.name),
+                    _ => {}
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,205 @@
+//! Synthetic-workload configuration (Table 7).
+
+use serde::{Deserialize, Serialize};
+
+/// How utility values `μ(v, u)` are drawn (Table 7, row 3).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum UtilityDistribution {
+    /// Uniform on `[0, 1]` — the paper's default.
+    Uniform,
+    /// Normal, clamped to `[0, 1]`. The paper uses `Normal(0.5, 0.25)`.
+    Normal {
+        /// Mean of the (pre-clamp) normal.
+        mean: f64,
+        /// Standard deviation of the (pre-clamp) normal.
+        std: f64,
+    },
+    /// Power-law `x = u^(1/exponent)` for `u ~ U[0, 1]`: exponent `0.5`
+    /// skews toward 0 (most users barely interested), `4` toward 1.
+    Power {
+        /// Shape exponent (paper uses 0.5 and 4).
+        exponent: f64,
+    },
+}
+
+/// Spread shape for capacities and budgets (Table 7, rows 5 and 7:
+/// "Distributions of c_v / b_u").
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Spread {
+    /// Uniform on `[lo, 2·mean − lo]` (mean-preserving) — the default.
+    Uniform,
+    /// Normal with the given mean and `std = 0.25 × mean`, as §5.2
+    /// describes for the distribution experiments.
+    Normal,
+}
+
+/// Full synthetic-instance configuration, mirroring Table 7. The
+/// `Default` impl is the paper's bold default setting.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SyntheticConfig {
+    /// `|V|` — number of events (default 100).
+    pub num_events: usize,
+    /// `|U|` — number of users (default 5000).
+    pub num_users: usize,
+    /// Distribution of `μ(v, u)` (default Uniform).
+    pub mu_dist: UtilityDistribution,
+    /// Mean event capacity (default 50).
+    pub capacity_mean: u32,
+    /// Capacity spread (default Uniform).
+    pub capacity_dist: Spread,
+    /// Budget factor `f_b` (default 2).
+    pub budget_factor: f64,
+    /// Budget spread (default Uniform).
+    pub budget_dist: Spread,
+    /// Target conflict ratio `cr` (default 0.25).
+    pub conflict_ratio: f64,
+    /// Locations are uniform on the `[0, grid] × [0, grid]` integer grid
+    /// (default 100, giving Manhattan costs up to `2 × grid`).
+    pub grid: i32,
+    /// Event durations are uniform integers in this inclusive range
+    /// (default `[30, 120]` "minutes").
+    pub duration: (i64, i64),
+    /// Travel time per unit of Manhattan distance (default 0 = money
+    /// costs; > 0 switches to time costs, where the conflict ratio also
+    /// counts pairs whose gap is too short to travel — the full
+    /// "spatio-temporal conflict" of the problem statement).
+    pub time_per_unit: u32,
+}
+
+impl Default for SyntheticConfig {
+    fn default() -> SyntheticConfig {
+        SyntheticConfig {
+            num_events: 100,
+            num_users: 5000,
+            mu_dist: UtilityDistribution::Uniform,
+            capacity_mean: 50,
+            capacity_dist: Spread::Uniform,
+            budget_factor: 2.0,
+            budget_dist: Spread::Uniform,
+            conflict_ratio: 0.25,
+            grid: 100,
+            duration: (30, 120),
+            time_per_unit: 0,
+        }
+    }
+}
+
+impl SyntheticConfig {
+    /// The paper's default setting (Table 7 bold values).
+    pub fn paper_default() -> SyntheticConfig {
+        SyntheticConfig::default()
+    }
+
+    /// A small instance for examples, doctests and quick tests
+    /// (8 events, 12 users, 20×20 grid).
+    pub fn tiny() -> SyntheticConfig {
+        SyntheticConfig {
+            num_events: 8,
+            num_users: 12,
+            capacity_mean: 3,
+            grid: 20,
+            ..SyntheticConfig::default()
+        }
+    }
+
+    /// Builder-style override of `|V|`.
+    pub fn with_events(mut self, n: usize) -> Self {
+        self.num_events = n;
+        self
+    }
+
+    /// Builder-style override of `|U|`.
+    pub fn with_users(mut self, n: usize) -> Self {
+        self.num_users = n;
+        self
+    }
+
+    /// Builder-style override of the mean capacity.
+    pub fn with_capacity_mean(mut self, c: u32) -> Self {
+        self.capacity_mean = c;
+        self
+    }
+
+    /// Builder-style override of the conflict ratio.
+    pub fn with_conflict_ratio(mut self, cr: f64) -> Self {
+        assert!((0.0..=1.0).contains(&cr), "cr must be in [0, 1]");
+        self.conflict_ratio = cr;
+        self
+    }
+
+    /// Builder-style override of the budget factor.
+    pub fn with_budget_factor(mut self, fb: f64) -> Self {
+        assert!(fb >= 0.0, "f_b must be non-negative");
+        self.budget_factor = fb;
+        self
+    }
+
+    /// Builder-style override of the utility distribution.
+    pub fn with_mu_dist(mut self, d: UtilityDistribution) -> Self {
+        self.mu_dist = d;
+        self
+    }
+
+    /// Builder-style override of the capacity spread.
+    pub fn with_capacity_dist(mut self, d: Spread) -> Self {
+        self.capacity_dist = d;
+        self
+    }
+
+    /// Builder-style override of the budget spread.
+    pub fn with_budget_dist(mut self, d: Spread) -> Self {
+        self.budget_dist = d;
+        self
+    }
+
+    /// Builder-style override of the travel speed (time-cost mode).
+    pub fn with_time_per_unit(mut self, tpu: u32) -> Self {
+        self.time_per_unit = tpu;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_table7_bold() {
+        let c = SyntheticConfig::default();
+        assert_eq!(c.num_events, 100);
+        assert_eq!(c.num_users, 5000);
+        assert_eq!(c.mu_dist, UtilityDistribution::Uniform);
+        assert_eq!(c.capacity_mean, 50);
+        assert_eq!(c.budget_factor, 2.0);
+        assert_eq!(c.conflict_ratio, 0.25);
+    }
+
+    #[test]
+    fn builders_override() {
+        let c = SyntheticConfig::default()
+            .with_events(20)
+            .with_users(100)
+            .with_capacity_mean(10)
+            .with_conflict_ratio(0.5)
+            .with_budget_factor(5.0);
+        assert_eq!(c.num_events, 20);
+        assert_eq!(c.num_users, 100);
+        assert_eq!(c.capacity_mean, 10);
+        assert_eq!(c.conflict_ratio, 0.5);
+        assert_eq!(c.budget_factor, 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cr must be in")]
+    fn bad_cr_rejected() {
+        let _ = SyntheticConfig::default().with_conflict_ratio(1.5);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let c = SyntheticConfig::tiny().with_mu_dist(UtilityDistribution::Power { exponent: 0.5 });
+        let json = serde_json::to_string(&c).unwrap();
+        let back: SyntheticConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, c);
+    }
+}

@@ -1,0 +1,183 @@
+//! Sampling primitives for the Table-7 knobs.
+
+use crate::config::{Spread, UtilityDistribution};
+use rand::Rng;
+use rand_distr::{Distribution, Normal};
+
+impl UtilityDistribution {
+    /// Draws one utility value in `[0, 1]`.
+    pub fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> f64 {
+        match self {
+            UtilityDistribution::Uniform => rng.gen::<f64>(),
+            UtilityDistribution::Normal { mean, std } => {
+                let n = Normal::new(mean, std).expect("valid normal parameters");
+                n.sample(rng).clamp(0.0, 1.0)
+            }
+            UtilityDistribution::Power { exponent } => {
+                assert!(exponent > 0.0, "power exponent must be positive");
+                rng.gen::<f64>().powf(1.0 / exponent)
+            }
+        }
+    }
+}
+
+/// Draws an event capacity with the given mean: Uniform is a
+/// mean-preserving integer uniform on `[1, 2·mean − 1]`; Normal uses
+/// `std = 0.25 × mean` (§5.2), rounded and clamped to ≥ 1.
+pub fn sample_capacity<R: Rng + ?Sized>(rng: &mut R, spread: Spread, mean: u32) -> u32 {
+    debug_assert!(mean >= 1);
+    match spread {
+        Spread::Uniform => {
+            if mean <= 1 {
+                1
+            } else {
+                rng.gen_range(1..=2 * mean - 1)
+            }
+        }
+        Spread::Normal => {
+            let m = f64::from(mean);
+            let n = Normal::new(m, 0.25 * m).expect("valid normal parameters");
+            n.sample(rng).round().max(1.0) as u32
+        }
+    }
+}
+
+/// Draws a user budget per the paper's §5.1 formula. `base` is
+/// `2 · min_v cost(u, v)` (the cheapest round trip) and `mid` is
+/// `½ (max_{v,v'} cost(v,v') + min_{v,v'} cost(v,v'))`:
+///
+/// * Uniform: `b_u ~ U[base, base + mid · f_b · 2]`;
+/// * Normal: mean `base + mid · f_b`, `std = 0.25 × mean` (§5.2),
+///   clamped to ≥ 0.
+pub fn sample_budget<R: Rng + ?Sized>(
+    rng: &mut R,
+    spread: Spread,
+    base: u32,
+    mid: f64,
+    fb: f64,
+) -> u32 {
+    match spread {
+        Spread::Uniform => {
+            let width = (mid * fb * 2.0).round().max(0.0) as u32;
+            rng.gen_range(base..=base.saturating_add(width))
+        }
+        Spread::Normal => {
+            let mean = f64::from(base) + mid * fb;
+            if mean <= 0.0 {
+                return base;
+            }
+            let n = Normal::new(mean, 0.25 * mean).expect("valid normal parameters");
+            n.sample(rng).round().max(0.0) as u32
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn uniform_utility_in_range_with_right_mean() {
+        let mut r = rng();
+        let n = 20_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let x = UtilityDistribution::Uniform.sample(&mut r);
+            assert!((0.0..=1.0).contains(&x));
+            sum += x;
+        }
+        assert!((sum / n as f64 - 0.5).abs() < 0.02);
+    }
+
+    #[test]
+    fn normal_utility_clamped_with_right_mean() {
+        let mut r = rng();
+        let d = UtilityDistribution::Normal { mean: 0.5, std: 0.25 };
+        let n = 20_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let x = d.sample(&mut r);
+            assert!((0.0..=1.0).contains(&x));
+            sum += x;
+        }
+        assert!((sum / n as f64 - 0.5).abs() < 0.02);
+    }
+
+    #[test]
+    fn power_half_skews_low_power_four_skews_high() {
+        let mut r = rng();
+        let n = 20_000;
+        let mean = |e: f64, r: &mut StdRng| {
+            (0..n)
+                .map(|_| UtilityDistribution::Power { exponent: e }.sample(r))
+                .sum::<f64>()
+                / n as f64
+        };
+        let low = mean(0.5, &mut r); // E[u²] = 1/3
+        let high = mean(4.0, &mut r); // E[u^(1/4)] = 4/5
+        assert!((low - 1.0 / 3.0).abs() < 0.02, "got {low}");
+        assert!((high - 0.8).abs() < 0.02, "got {high}");
+    }
+
+    #[test]
+    fn capacity_uniform_mean_and_bounds() {
+        let mut r = rng();
+        let n = 20_000;
+        let mut sum = 0u64;
+        for _ in 0..n {
+            let c = sample_capacity(&mut r, Spread::Uniform, 50);
+            assert!((1..=99).contains(&c));
+            sum += u64::from(c);
+        }
+        let mean = sum as f64 / n as f64;
+        assert!((mean - 50.0).abs() < 1.0, "got {mean}");
+    }
+
+    #[test]
+    fn capacity_mean_one_is_constant() {
+        let mut r = rng();
+        for _ in 0..100 {
+            assert_eq!(sample_capacity(&mut r, Spread::Uniform, 1), 1);
+        }
+    }
+
+    #[test]
+    fn capacity_normal_clamped_at_one() {
+        let mut r = rng();
+        for _ in 0..20_000 {
+            assert!(sample_capacity(&mut r, Spread::Normal, 2) >= 1);
+        }
+    }
+
+    #[test]
+    fn budget_uniform_bounds() {
+        let mut r = rng();
+        for _ in 0..10_000 {
+            let b = sample_budget(&mut r, Spread::Uniform, 40, 100.0, 2.0);
+            assert!((40..=440).contains(&b), "got {b}");
+        }
+    }
+
+    #[test]
+    fn budget_normal_mean() {
+        let mut r = rng();
+        let n = 20_000;
+        let sum: u64 = (0..n)
+            .map(|_| u64::from(sample_budget(&mut r, Spread::Normal, 40, 100.0, 2.0)))
+            .sum();
+        let mean = sum as f64 / n as f64;
+        assert!((mean - 240.0).abs() < 5.0, "got {mean}");
+    }
+
+    #[test]
+    fn budget_zero_fb_uniform_is_base() {
+        let mut r = rng();
+        assert_eq!(sample_budget(&mut r, Spread::Uniform, 17, 100.0, 0.0), 17);
+    }
+}

@@ -1,0 +1,327 @@
+//! Meetup-like EBSN simulator for the paper's "real" datasets (Table 6).
+//!
+//! The paper evaluates on the Meetup crawl of Liu et al. (KDD'12) for
+//! three cities; that dataset is not redistributable, so this module
+//! simulates an EBSN with the same *structure*:
+//!
+//! * a tag universe with power-law popularity (interest topics);
+//! * groups, each holding a handful of tags; events inherit their
+//!   creating group's tags (as the paper does, since Meetup events have
+//!   no tags of their own);
+//! * users with tag sets drawn from the same popularity distribution;
+//! * utilities = cosine similarity between event and user tag sets
+//!   (the paper cites \[36\] for tag-similarity utilities);
+//! * locations clustered around a few "downtown" centers on the integer
+//!   grid (Meetup venues and users concentrate spatially);
+//! * capacities, times and budgets generated synthetically — exactly as
+//!   the paper itself does even for the real datasets (§5.1), with
+//!   Table 6's mean capacity 50 and `cr = 0.25`.
+//!
+//! [`CityConfig::vancouver`], [`auckland`](CityConfig::auckland) and
+//! [`singapore`](CityConfig::singapore) carry Table 6's sizes.
+
+use crate::config::Spread;
+use crate::distributions::{sample_budget, sample_capacity};
+use crate::time_gen::generate_intervals;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use usep_core::{Cost, Instance, InstanceBuilder, Point, TimeInterval};
+
+/// Configuration of one simulated EBSN city.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CityConfig {
+    /// City name (for reports).
+    pub name: String,
+    /// `|V|` — events in the city.
+    pub num_events: usize,
+    /// `|U|` — users in the city.
+    pub num_users: usize,
+    /// Mean event capacity (Table 6: 50, Uniform).
+    pub capacity_mean: u32,
+    /// Conflict ratio of event times (Table 6: 0.25).
+    pub conflict_ratio: f64,
+    /// Budget factor `f_b` (default 2; Figure 4's last column varies it).
+    pub budget_factor: f64,
+    /// Size of the tag universe.
+    pub num_tags: usize,
+    /// Number of Meetup groups creating the events.
+    pub num_groups: usize,
+    /// City grid: locations fall on `[0, grid] × [0, grid]`.
+    pub grid: i32,
+    /// Number of spatial clusters ("downtowns").
+    pub num_clusters: usize,
+}
+
+impl CityConfig {
+    /// Vancouver (Table 6: 225 events, 2012 users).
+    pub fn vancouver() -> CityConfig {
+        CityConfig::city("Vancouver", 225, 2012)
+    }
+
+    /// Auckland (Table 6: 37 events, 569 users).
+    pub fn auckland() -> CityConfig {
+        CityConfig::city("Auckland", 37, 569)
+    }
+
+    /// Singapore (Table 6: 87 events, 1500 users).
+    pub fn singapore() -> CityConfig {
+        CityConfig::city("Singapore", 87, 1500)
+    }
+
+    /// All three Table-6 cities.
+    pub fn all_cities() -> Vec<CityConfig> {
+        vec![CityConfig::vancouver(), CityConfig::auckland(), CityConfig::singapore()]
+    }
+
+    fn city(name: &str, num_events: usize, num_users: usize) -> CityConfig {
+        CityConfig {
+            name: name.to_string(),
+            num_events,
+            num_users,
+            capacity_mean: 50,
+            conflict_ratio: 0.25,
+            budget_factor: 2.0,
+            num_tags: 120,
+            num_groups: (num_events / 4).max(4),
+            grid: 100,
+            num_clusters: 3,
+        }
+    }
+
+    /// Builder-style override of `f_b` (Figure 4, last column).
+    pub fn with_budget_factor(mut self, fb: f64) -> CityConfig {
+        self.budget_factor = fb;
+        self
+    }
+}
+
+/// Draws a tag id with power-law popularity (Zipf-ish, exponent 1).
+fn sample_tag(rng: &mut StdRng, weights: &[f64], total: f64) -> usize {
+    let mut x = rng.gen::<f64>() * total;
+    for (i, &w) in weights.iter().enumerate() {
+        x -= w;
+        if x <= 0.0 {
+            return i;
+        }
+    }
+    weights.len() - 1
+}
+
+fn sample_tag_set(rng: &mut StdRng, weights: &[f64], total: f64, k: usize) -> Vec<usize> {
+    let mut set = Vec::with_capacity(k);
+    let mut guard = 0;
+    while set.len() < k && guard < 1000 {
+        let t = sample_tag(rng, weights, total);
+        if !set.contains(&t) {
+            set.push(t);
+        }
+        guard += 1;
+    }
+    set.sort_unstable();
+    set
+}
+
+/// Cosine similarity between two sorted tag sets viewed as binary
+/// vectors: `|A ∩ B| / √(|A| · |B|)`.
+fn tag_cosine(a: &[usize], b: &[usize]) -> f64 {
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    let mut inter = 0usize;
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                inter += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    inter as f64 / ((a.len() * b.len()) as f64).sqrt()
+}
+
+/// Generates the simulated EBSN instance for a city.
+pub fn generate_city(cfg: &CityConfig, seed: u64) -> Instance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let nv = cfg.num_events;
+    let nu = cfg.num_users;
+
+    // tag popularity ∝ 1/rank
+    let weights: Vec<f64> = (0..cfg.num_tags).map(|i| 1.0 / (i + 1) as f64).collect();
+    let total_w: f64 = weights.iter().sum();
+
+    // spatial clusters
+    let clusters: Vec<(Point, f64)> = (0..cfg.num_clusters.max(1))
+        .map(|_| {
+            let c = Point::new(
+                rng.gen_range(cfg.grid / 4..=3 * cfg.grid / 4),
+                rng.gen_range(cfg.grid / 4..=3 * cfg.grid / 4),
+            );
+            let spread = f64::from(cfg.grid) * rng.gen_range(0.05..0.15);
+            (c, spread)
+        })
+        .collect();
+    let clustered_point = |rng: &mut StdRng| -> Point {
+        let &(c, spread) = clusters.choose(rng).expect("at least one cluster");
+        let dx = (rng.gen::<f64>() - 0.5) * 4.0 * spread;
+        let dy = (rng.gen::<f64>() - 0.5) * 4.0 * spread;
+        Point::new(
+            (f64::from(c.x) + dx).round().clamp(0.0, f64::from(cfg.grid)) as i32,
+            (f64::from(c.y) + dy).round().clamp(0.0, f64::from(cfg.grid)) as i32,
+        )
+    };
+
+    // groups own tag sets; events inherit them
+    let groups: Vec<Vec<usize>> = (0..cfg.num_groups.max(1))
+        .map(|_| {
+            let k = rng.gen_range(3..=8);
+            sample_tag_set(&mut rng, &weights, total_w, k)
+        })
+        .collect();
+
+    let mut b = InstanceBuilder::new();
+    let intervals = generate_intervals(nv, (30, 120), cfg.conflict_ratio, rng.gen());
+    let mut event_tags = Vec::with_capacity(nv);
+    let mut event_pts = Vec::with_capacity(nv);
+    for &(t1, t2) in &intervals {
+        let p = clustered_point(&mut rng);
+        let g = rng.gen_range(0..groups.len());
+        event_tags.push(groups[g].clone());
+        event_pts.push(p);
+        let cap = sample_capacity(&mut rng, Spread::Uniform, cfg.capacity_mean);
+        b.event(cap, p, TimeInterval::new(t1, t2).expect("valid interval"));
+    }
+
+    let mid = {
+        let mut min_d = u64::MAX;
+        let mut max_d = 0u64;
+        for i in 0..nv {
+            for j in i + 1..nv {
+                let d = event_pts[i].manhattan(event_pts[j]);
+                min_d = min_d.min(d);
+                max_d = max_d.max(d);
+            }
+        }
+        if nv < 2 {
+            f64::from(cfg.grid.max(1))
+        } else {
+            0.5 * (max_d + min_d) as f64
+        }
+    };
+
+    let mut user_tags = Vec::with_capacity(nu);
+    for _ in 0..nu {
+        let p = clustered_point(&mut rng);
+        let k = rng.gen_range(3..=10);
+        user_tags.push(sample_tag_set(&mut rng, &weights, total_w, k));
+        let base = event_pts.iter().map(|&e| p.manhattan(e)).min().unwrap_or(0) as u32 * 2;
+        let budget = sample_budget(&mut rng, Spread::Uniform, base, mid, cfg.budget_factor);
+        b.user(p, Cost::new(budget));
+    }
+
+    let mut mu = Vec::with_capacity(nv * nu);
+    for ut in &user_tags {
+        for et in &event_tags {
+            mu.push(tag_cosine(et, ut) as f32);
+        }
+    }
+    b.utility_matrix(mu);
+    b.build().expect("EBSN simulator produces valid instances")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table6_sizes() {
+        let v = CityConfig::vancouver();
+        assert_eq!((v.num_events, v.num_users), (225, 2012));
+        let a = CityConfig::auckland();
+        assert_eq!((a.num_events, a.num_users), (37, 569));
+        let s = CityConfig::singapore();
+        assert_eq!((s.num_events, s.num_users), (87, 1500));
+        for c in CityConfig::all_cities() {
+            assert_eq!(c.capacity_mean, 50);
+            assert_eq!(c.conflict_ratio, 0.25);
+        }
+    }
+
+    #[test]
+    fn tag_cosine_basics() {
+        assert_eq!(tag_cosine(&[1, 2, 3], &[1, 2, 3]), 1.0);
+        assert_eq!(tag_cosine(&[1, 2], &[3, 4]), 0.0);
+        assert!((tag_cosine(&[1, 2], &[2, 3]) - 0.5).abs() < 1e-12);
+        assert_eq!(tag_cosine(&[], &[1]), 0.0);
+    }
+
+    #[test]
+    fn generates_valid_instance_with_table6_shape() {
+        let cfg = CityConfig::auckland();
+        let inst = generate_city(&cfg, 42);
+        assert_eq!(inst.num_events(), 37);
+        assert_eq!(inst.num_users(), 569);
+        let cr = inst.conflict_ratio();
+        assert!((cr - 0.25).abs() < 0.06, "cr = {cr}");
+        let cap_mean: f64 = inst.events().iter().map(|e| f64::from(e.capacity)).sum::<f64>()
+            / inst.num_events() as f64;
+        assert!((cap_mean - 50.0).abs() < 12.0, "capacity mean = {cap_mean}");
+    }
+
+    #[test]
+    fn utilities_are_similarities_in_range_with_zeros_and_positives() {
+        let inst = generate_city(&CityConfig::auckland(), 7);
+        let mass = inst.total_utility_mass();
+        let cells = (inst.num_events() * inst.num_users()) as f64;
+        let mean = mass / cells;
+        assert!(mean > 0.0 && mean < 0.9, "tag similarity mean {mean}");
+        // tag similarity produces genuine zeros (disjoint interests)
+        let zeros = inst
+            .user_ids()
+            .flat_map(|u| inst.event_ids().map(move |v| (v, u)))
+            .filter(|&(v, u)| inst.mu(v, u) == 0.0)
+            .count();
+        assert!(zeros > 0, "expected some zero-utility pairs");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = CityConfig::auckland();
+        assert_eq!(generate_city(&cfg, 1), generate_city(&cfg, 1));
+        assert_ne!(generate_city(&cfg, 1), generate_city(&cfg, 2));
+    }
+
+    #[test]
+    fn locations_clustered_not_uniform() {
+        // clustered generation should concentrate mass: mean pairwise
+        // distance well below the uniform-grid expectation (~2/3 grid)
+        let inst = generate_city(&CityConfig::auckland(), 3);
+        let pts: Vec<_> = inst.events().iter().map(|e| e.location).collect();
+        let mut sum = 0.0;
+        let mut n = 0.0;
+        for i in 0..pts.len() {
+            for j in i + 1..pts.len() {
+                sum += pts[i].manhattan(pts[j]) as f64;
+                n += 1.0;
+            }
+        }
+        let mean = sum / n;
+        assert!(mean < 60.0, "mean pairwise distance {mean} not clustered");
+    }
+
+    #[test]
+    fn budget_factor_override() {
+        let lo = generate_city(&CityConfig::auckland().with_budget_factor(0.5), 5);
+        let hi = generate_city(&CityConfig::auckland().with_budget_factor(10.0), 5);
+        let mean = |i: &Instance| {
+            i.users().iter().map(|u| f64::from(u.budget.value())).sum::<f64>()
+                / i.num_users() as f64
+        };
+        assert!(mean(&hi) > mean(&lo));
+    }
+}

@@ -1,0 +1,31 @@
+//! Workload generators for the USEP experiments.
+//!
+//! Two families, matching the paper's §5.1:
+//!
+//! * [`SyntheticConfig`] + [`generate`] — the Table-7 synthetic
+//!   generator, with every knob the paper sweeps: `|V|`, `|U|`, the
+//!   utility distribution (Uniform / Normal(0.5, 0.25) / Power 0.5 / 4),
+//!   capacity mean and distribution, budget factor `f_b` and budget
+//!   distribution, and the conflict ratio `cr` (hit by binary-searching
+//!   the time-horizon density — see [`time_gen`]).
+//! * [`ebsn`] — a Meetup-like EBSN simulator standing in for the paper's
+//!   (unavailable) Meetup crawl: tagged groups/events/users with
+//!   tag-similarity utilities and city-clustered geography, preconfigured
+//!   with Table 6's Vancouver / Auckland / Singapore statistics.
+//!
+//! All generation is deterministic given a `u64` seed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod distributions;
+pub mod ebsn;
+pub mod merge;
+pub mod synthetic;
+pub mod time_gen;
+
+pub use config::{Spread, SyntheticConfig, UtilityDistribution};
+pub use ebsn::{generate_city, CityConfig};
+pub use merge::merge;
+pub use synthetic::generate;

@@ -1,0 +1,197 @@
+//! Multi-city instance composition.
+//!
+//! The paper plans each city separately ("it is unlikely for a user
+//! living in a city to attend a meet-up event held in another city",
+//! §5.1). [`merge`] composes several city instances into one regional
+//! instance that preserves exactly that semantics: cities are placed on
+//! a horizontal strip with a spacing gap, ids are offset, and the
+//! utility matrix becomes block-diagonal — users keep `μ = 0` for other
+//! cities' events, so the utility constraint forbids cross-city
+//! assignments. Planning the merged instance therefore decomposes into
+//! the per-city plannings (a tested invariant), which makes `merge`
+//! useful both for building region-scale benchmarks and as a
+//! correctness oracle.
+
+use usep_core::{EventId, Instance, InstanceBuilder, Point, TravelCost, UserId};
+
+/// Merges grid-cost instances side by side, `spacing` grid units apart.
+///
+/// # Panics
+/// Panics if `parts` is empty, or if any instance uses explicit cost
+/// matrices or a different `time_per_unit` than the first (merging is
+/// only meaningful for translation-invariant grid costs).
+pub fn merge(parts: &[Instance], spacing: i32) -> Instance {
+    assert!(!parts.is_empty(), "merge needs at least one instance");
+    let tpu = match parts[0].travel() {
+        TravelCost::Grid { time_per_unit } => *time_per_unit,
+        TravelCost::Explicit { .. } => panic!("merge requires grid travel costs"),
+    };
+    let mut b = InstanceBuilder::new();
+    if tpu > 0 {
+        b.travel(TravelCost::Grid { time_per_unit: tpu });
+    }
+
+    // horizontal placement: each part is shifted so its bounding box
+    // starts `spacing` right of the previous part's box
+    let mut x_cursor = 0i64;
+    let mut offsets = Vec::with_capacity(parts.len());
+    for part in parts {
+        match part.travel() {
+            TravelCost::Grid { time_per_unit } if *time_per_unit == tpu => {}
+            TravelCost::Grid { .. } => panic!("merge requires a uniform time_per_unit"),
+            TravelCost::Explicit { .. } => panic!("merge requires grid travel costs"),
+        }
+        let (min_x, max_x) = part
+            .events()
+            .iter()
+            .map(|e| e.location.x)
+            .chain(part.users().iter().map(|u| u.location.x))
+            .fold((i32::MAX, i32::MIN), |(lo, hi), x| (lo.min(x), hi.max(x)));
+        let (min_x, max_x) = if min_x > max_x { (0, 0) } else { (min_x, max_x) };
+        let dx = x_cursor - i64::from(min_x);
+        offsets.push(dx as i32);
+        x_cursor += i64::from(max_x - min_x) + i64::from(spacing);
+    }
+
+    let total_events: usize = parts.iter().map(Instance::num_events).sum();
+    let total_users: usize = parts.iter().map(Instance::num_users).sum();
+    let mut fees: Vec<(EventId, u32)> = Vec::new();
+    let mut event_base = 0u32;
+    for (part, &dx) in parts.iter().zip(&offsets) {
+        for (i, e) in part.events().iter().enumerate() {
+            let id = b.event(e.capacity, Point::new(e.location.x + dx, e.location.y), e.time);
+            debug_assert_eq!(id, EventId(event_base + i as u32));
+            let fee = part.fee(EventId(i as u32));
+            if fee > 0 {
+                fees.push((id, fee));
+            }
+        }
+        event_base += part.num_events() as u32;
+    }
+    for (part, &dx) in parts.iter().zip(&offsets) {
+        for u in part.users() {
+            b.user(Point::new(u.location.x + dx, u.location.y), u.budget);
+        }
+    }
+    for (v, fee) in fees {
+        b.fee(v, fee);
+    }
+
+    // block-diagonal utilities: cross-city μ stays 0
+    let mut mu = vec![0.0f32; total_events * total_users];
+    let mut user_base = 0usize;
+    let mut ev_base = 0usize;
+    for part in parts {
+        let (nv, nu) = (part.num_events(), part.num_users());
+        for u in 0..nu {
+            let row = part.mu_row(UserId(u as u32));
+            let dst = (user_base + u) * total_events + ev_base;
+            mu[dst..dst + nv].copy_from_slice(row);
+        }
+        user_base += nu;
+        ev_base += nv;
+    }
+    b.utility_matrix(mu);
+    b.build().expect("merging valid instances yields a valid instance")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{generate, generate_city, CityConfig, SyntheticConfig};
+    use usep_algos::{solve, Algorithm};
+    use usep_core::Cost;
+
+    fn two_cities() -> (Instance, Instance) {
+        let mut auck = CityConfig::auckland();
+        auck.num_events = 10;
+        auck.num_users = 25;
+        let a = generate_city(&auck, 5);
+        let b = generate(&SyntheticConfig::tiny().with_users(20), 6);
+        (a, b)
+    }
+
+    #[test]
+    fn sizes_and_blocks() {
+        let (a, c) = two_cities();
+        let m = merge(&[a.clone(), c.clone()], 50);
+        assert_eq!(m.num_events(), a.num_events() + c.num_events());
+        assert_eq!(m.num_users(), a.num_users() + c.num_users());
+        // cross-city utilities are zero; within-city preserved
+        let u_from_a = UserId(0);
+        let v_from_c = EventId(a.num_events() as u32);
+        assert_eq!(m.mu(v_from_c, u_from_a), 0.0);
+        assert_eq!(m.mu(EventId(0), u_from_a), a.mu(EventId(0), UserId(0)));
+        let u_from_c = UserId(a.num_users() as u32);
+        assert_eq!(m.mu(v_from_c, u_from_c), c.mu(EventId(0), UserId(0)));
+    }
+
+    #[test]
+    fn within_city_distances_are_translation_invariant() {
+        let (a, c) = two_cities();
+        let m = merge(&[a.clone(), c], 50);
+        for i in 0..a.num_events() as u32 {
+            for j in 0..a.num_events() as u32 {
+                assert_eq!(
+                    m.cost_vv(EventId(i), EventId(j)),
+                    a.cost_vv(EventId(i), EventId(j)),
+                    "pair ({i}, {j})"
+                );
+            }
+        }
+        assert_eq!(m.cost_uv(UserId(3), EventId(2)), a.cost_uv(UserId(3), EventId(2)));
+    }
+
+    #[test]
+    fn planning_decomposes_across_cities() {
+        let (a, c) = two_cities();
+        let m = merge(&[a.clone(), c.clone()], 40);
+        for algo in [Algorithm::DeDPO, Algorithm::DeGreedy] {
+            let merged = solve(algo, &m);
+            merged.validate(&m).unwrap();
+            let separate =
+                solve(algo, &a).omega(&a) + solve(algo, &c).omega(&c);
+            let got = merged.omega(&m);
+            assert!(
+                (got - separate).abs() < 1e-6,
+                "{algo}: merged Ω {got} vs per-city sum {separate}"
+            );
+            // nobody attends another city's event
+            for (u, v) in merged.assignments() {
+                let u_in_a = (u.index()) < a.num_users();
+                let v_in_a = (v.index()) < a.num_events();
+                assert_eq!(u_in_a, v_in_a, "cross-city assignment {u} → {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn merge_single_is_behaviorally_identity() {
+        let (_, c) = two_cities();
+        let m = merge(std::slice::from_ref(&c), 10);
+        // locations may be translated, but the planning is the same
+        assert_eq!(
+            solve(Algorithm::DeDPO, &m),
+            solve(Algorithm::DeDPO, &c)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one instance")]
+    fn empty_merge_rejected() {
+        let _ = merge(&[], 10);
+    }
+
+    #[test]
+    fn fees_survive_merging() {
+        let mut b = InstanceBuilder::new();
+        let v = b.event(1, Point::new(2, 0), usep_core::TimeInterval::new(0, 5).unwrap());
+        let u = b.user(Point::ORIGIN, Cost::new(30));
+        b.utility(v, u, 0.5);
+        b.fee(v, 7);
+        let inst = b.build().unwrap();
+        let m = merge(&[inst.clone(), inst], 20);
+        assert_eq!(m.fee(EventId(0)), 7);
+        assert_eq!(m.fee(EventId(1)), 7);
+    }
+}

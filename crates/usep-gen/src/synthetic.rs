@@ -1,0 +1,230 @@
+//! The Table-7 synthetic instance generator.
+
+use crate::config::SyntheticConfig;
+use crate::distributions::{sample_budget, sample_capacity};
+use crate::time_gen::generate_intervals;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use usep_core::{Cost, Instance, InstanceBuilder, Point, TimeInterval};
+
+/// Generates a synthetic USEP instance per `config`, deterministically
+/// from `seed`.
+///
+/// Locations (events and users) are uniform on the integer grid,
+/// capacities and utilities follow the configured distributions, time
+/// intervals target the conflict ratio, and budgets follow the paper's
+/// §5.1 formula: `b_u ~ U[2·min_v cost(u,v), 2·min_v cost(u,v) +
+/// mid·f_b·2]` with `mid = ½(max cost(v,v') + min cost(v,v'))` over event
+/// pair distances.
+pub fn generate(config: &SyntheticConfig, seed: u64) -> Instance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let nv = config.num_events;
+    let nu = config.num_users;
+    let mut b = InstanceBuilder::new();
+    if config.time_per_unit > 0 {
+        b.travel(usep_core::TravelCost::Grid { time_per_unit: config.time_per_unit });
+    }
+
+    // events: capacity, location, time. In time-cost mode the conflict
+    // target must account for travel-infeasible pairs, so locations are
+    // drawn first and the interval search sees them.
+    let event_pts: Vec<Point> =
+        (0..nv).map(|_| random_point(&mut rng, config.grid)).collect();
+    let intervals = if config.time_per_unit > 0 {
+        crate::time_gen::generate_intervals_spatiotemporal(
+            config.duration,
+            config.conflict_ratio,
+            rng.gen(),
+            &event_pts,
+            config.time_per_unit,
+        )
+    } else {
+        generate_intervals(nv, config.duration, config.conflict_ratio, rng.gen())
+    };
+    for (&(t1, t2), &p) in intervals.iter().zip(&event_pts) {
+        let cap = sample_capacity(&mut rng, config.capacity_dist, config.capacity_mean);
+        b.event(cap, p, TimeInterval::new(t1, t2).expect("generator produces valid intervals"));
+    }
+
+    // mid = ½(max + min) over event-event distances (see DESIGN.md: the
+    // paper's formula read over distance values, not the ∞-gated costs)
+    let mid = {
+        let mut min_d = u64::MAX;
+        let mut max_d = 0u64;
+        for i in 0..nv {
+            for j in i + 1..nv {
+                let d = event_pts[i].manhattan(event_pts[j]);
+                min_d = min_d.min(d);
+                max_d = max_d.max(d);
+            }
+        }
+        if nv < 2 {
+            f64::from(config.grid.max(1)) // arbitrary sane scale
+        } else {
+            0.5 * (max_d + min_d) as f64
+        }
+    };
+
+    // users: location, budget
+    let mut user_pts = Vec::with_capacity(nu);
+    for _ in 0..nu {
+        let p = random_point(&mut rng, config.grid);
+        let base = event_pts
+            .iter()
+            .map(|&e| p.manhattan(e))
+            .min()
+            .unwrap_or(0) as u32
+            * 2;
+        let budget = sample_budget(&mut rng, config.budget_dist, base, mid, config.budget_factor);
+        user_pts.push(p);
+        b.user(p, Cost::new(budget));
+    }
+
+    // dense utility matrix, row-major by user
+    let mut mu = Vec::with_capacity(nv * nu);
+    for _ in 0..nu {
+        for _ in 0..nv {
+            mu.push(config.mu_dist.sample(&mut rng) as f32);
+        }
+    }
+    b.utility_matrix(mu);
+
+    b.build().expect("synthetic generator produces valid instances")
+}
+
+fn random_point(rng: &mut StdRng, grid: i32) -> Point {
+    Point::new(rng.gen_range(0..=grid), rng.gen_range(0..=grid))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{Spread, UtilityDistribution};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = SyntheticConfig::tiny();
+        assert_eq!(generate(&cfg, 42), generate(&cfg, 42));
+        assert_ne!(generate(&cfg, 42), generate(&cfg, 43));
+    }
+
+    #[test]
+    fn dimensions_match_config() {
+        let cfg = SyntheticConfig::tiny().with_events(15).with_users(30);
+        let inst = generate(&cfg, 1);
+        assert_eq!(inst.num_events(), 15);
+        assert_eq!(inst.num_users(), 30);
+    }
+
+    #[test]
+    fn conflict_ratio_near_target() {
+        for &cr in &[0.0, 0.25, 0.5, 1.0] {
+            let cfg = SyntheticConfig::default().with_events(100).with_users(5).with_conflict_ratio(cr);
+            let inst = generate(&cfg, 9);
+            let got = inst.conflict_ratio();
+            assert!((got - cr).abs() < 0.05, "target {cr}: got {got}");
+        }
+    }
+
+    #[test]
+    fn capacity_mean_near_target() {
+        let cfg = SyntheticConfig::default().with_events(300).with_users(5).with_capacity_mean(50);
+        let inst = generate(&cfg, 3);
+        let mean: f64 = inst.events().iter().map(|e| f64::from(e.capacity)).sum::<f64>()
+            / inst.num_events() as f64;
+        assert!((mean - 50.0).abs() < 5.0, "got {mean}");
+    }
+
+    #[test]
+    fn budgets_cover_cheapest_round_trip_under_uniform() {
+        let cfg = SyntheticConfig::tiny().with_users(50);
+        let inst = generate(&cfg, 4);
+        for u in inst.user_ids() {
+            let min_rt = inst
+                .event_ids()
+                .map(|v| inst.round_trip(u, v))
+                .min()
+                .unwrap();
+            assert!(
+                inst.user(u).budget >= min_rt,
+                "uniform budgets start at the cheapest round trip"
+            );
+        }
+    }
+
+    #[test]
+    fn larger_fb_gives_larger_budgets_on_average() {
+        let lo = generate(&SyntheticConfig::tiny().with_users(200).with_budget_factor(0.5), 5);
+        let hi = generate(&SyntheticConfig::tiny().with_users(200).with_budget_factor(10.0), 5);
+        let mean = |i: &Instance| {
+            i.users().iter().map(|u| f64::from(u.budget.value())).sum::<f64>()
+                / i.num_users() as f64
+        };
+        assert!(mean(&hi) > 2.0 * mean(&lo));
+    }
+
+    #[test]
+    fn normal_spreads_produce_valid_instances() {
+        let cfg = SyntheticConfig::tiny()
+            .with_capacity_dist(Spread::Normal)
+            .with_budget_dist(Spread::Normal)
+            .with_mu_dist(UtilityDistribution::Normal { mean: 0.5, std: 0.25 });
+        let inst = generate(&cfg, 6);
+        assert!(inst.events().iter().all(|e| e.capacity >= 1));
+    }
+
+    #[test]
+    fn power_mu_skews_mass() {
+        let low = generate(
+            &SyntheticConfig::tiny()
+                .with_users(100)
+                .with_mu_dist(UtilityDistribution::Power { exponent: 0.5 }),
+            7,
+        );
+        let high = generate(
+            &SyntheticConfig::tiny()
+                .with_users(100)
+                .with_mu_dist(UtilityDistribution::Power { exponent: 4.0 }),
+            7,
+        );
+        let mass = |i: &Instance| i.total_utility_mass() / (i.num_events() * i.num_users()) as f64;
+        assert!(mass(&low) < 0.4);
+        assert!(mass(&high) > 0.7);
+    }
+
+    #[test]
+    fn time_cost_mode_hits_spatiotemporal_cr() {
+        let cfg = SyntheticConfig::default()
+            .with_events(80)
+            .with_users(5)
+            .with_conflict_ratio(0.4)
+            .with_time_per_unit(1);
+        let inst = generate(&cfg, 12);
+        // Instance::conflict_ratio accounts for travel gating via the
+        // cost matrix, so it must land near the target too
+        let got = inst.conflict_ratio();
+        assert!((got - 0.4).abs() < 0.06, "got {got}");
+        assert!(matches!(
+            inst.travel(),
+            usep_core::TravelCost::Grid { time_per_unit: 1 }
+        ));
+    }
+
+    #[test]
+    fn time_cost_mode_instances_are_solvable() {
+        use usep_algos::{solve, Algorithm};
+        let cfg = SyntheticConfig::tiny().with_users(15).with_time_per_unit(2);
+        let inst = generate(&cfg, 13);
+        for a in Algorithm::PAPER_SET {
+            solve(a, &inst).validate(&inst).unwrap();
+        }
+    }
+
+    #[test]
+    fn single_event_instance() {
+        let cfg = SyntheticConfig::tiny().with_events(1).with_users(3);
+        let inst = generate(&cfg, 8);
+        assert_eq!(inst.num_events(), 1);
+        assert_eq!(inst.conflict_ratio(), 0.0);
+    }
+}

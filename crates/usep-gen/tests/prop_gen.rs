@@ -1,0 +1,111 @@
+//! Property tests for the generators.
+
+use proptest::prelude::*;
+use usep_gen::{generate, generate_city, CityConfig, Spread, SyntheticConfig, UtilityDistribution};
+
+fn arb_config() -> impl Strategy<Value = SyntheticConfig> {
+    (
+        0usize..30,
+        0usize..40,
+        1u32..20,
+        0.0f64..=1.0,
+        prop::sample::select(vec![0.5f64, 1.0, 2.0, 5.0, 10.0]),
+        prop::bool::ANY,
+        prop::bool::ANY,
+        0u8..4,
+        5i32..60,
+    )
+        .prop_map(|(nv, nu, cap, cr, fb, cap_n, bud_n, mui, grid)| {
+            let mut cfg = SyntheticConfig::default()
+                .with_events(nv)
+                .with_users(nu)
+                .with_capacity_mean(cap)
+                .with_conflict_ratio(cr)
+                .with_budget_factor(fb)
+                .with_capacity_dist(if cap_n { Spread::Normal } else { Spread::Uniform })
+                .with_budget_dist(if bud_n { Spread::Normal } else { Spread::Uniform })
+                .with_mu_dist(match mui {
+                    0 => UtilityDistribution::Uniform,
+                    1 => UtilityDistribution::Normal { mean: 0.5, std: 0.25 },
+                    2 => UtilityDistribution::Power { exponent: 0.5 },
+                    _ => UtilityDistribution::Power { exponent: 4.0 },
+                });
+            cfg.grid = grid;
+            cfg
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Generation never panics and always yields a structurally valid
+    /// instance (the builder validates capacities, utilities, budgets).
+    #[test]
+    fn generator_total_over_configs(cfg in arb_config(), seed in any::<u64>()) {
+        let inst = generate(&cfg, seed);
+        prop_assert_eq!(inst.num_events(), cfg.num_events);
+        prop_assert_eq!(inst.num_users(), cfg.num_users);
+        for e in inst.events() {
+            prop_assert!(e.capacity >= 1);
+            prop_assert!(e.time.duration() >= cfg.duration.0);
+            prop_assert!(e.time.duration() <= cfg.duration.1);
+        }
+        for u in inst.users() {
+            prop_assert!(u.budget.is_finite());
+        }
+    }
+
+    /// Same seed, same instance; different seed, (almost surely)
+    /// different instance.
+    #[test]
+    fn determinism(cfg in arb_config(), seed in any::<u64>()) {
+        prop_assert_eq!(generate(&cfg, seed), generate(&cfg, seed));
+    }
+
+    /// The conflict ratio lands near its target once there are enough
+    /// events for the pair statistics to be meaningful.
+    #[test]
+    fn conflict_ratio_tracking(cr_idx in 0usize..5, seed in any::<u64>()) {
+        let cr = [0.0, 0.25, 0.5, 0.75, 1.0][cr_idx];
+        let cfg = SyntheticConfig::default()
+            .with_events(80)
+            .with_users(3)
+            .with_conflict_ratio(cr);
+        let inst = generate(&cfg, seed);
+        let got = inst.conflict_ratio();
+        prop_assert!((got - cr).abs() < 0.06, "target {} got {}", cr, got);
+    }
+
+    /// Uniform budgets always cover the cheapest round trip, so no user
+    /// is stranded by construction.
+    #[test]
+    fn uniform_budgets_cover_cheapest_round_trip(seed in any::<u64>()) {
+        let cfg = SyntheticConfig::tiny().with_users(30);
+        let inst = generate(&cfg, seed);
+        for u in inst.user_ids() {
+            let min_rt = inst.event_ids().map(|v| inst.round_trip(u, v)).min().unwrap();
+            prop_assert!(inst.user(u).budget >= min_rt);
+        }
+    }
+
+    /// The EBSN simulator is deterministic and structurally sound for
+    /// arbitrary (small) city shapes.
+    #[test]
+    fn city_generator_total(nv in 1usize..25, nu in 1usize..40, seed in any::<u64>()) {
+        let mut cfg = CityConfig::auckland();
+        cfg.num_events = nv;
+        cfg.num_users = nu;
+        let a = generate_city(&cfg, seed);
+        let b = generate_city(&cfg, seed);
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(a.num_events(), nv);
+        prop_assert_eq!(a.num_users(), nu);
+        // tag-cosine utilities are similarities in [0, 1]
+        for v in a.event_ids() {
+            for u in a.user_ids() {
+                let m = a.mu(v, u);
+                prop_assert!((0.0..=1.0).contains(&m));
+            }
+        }
+    }
+}

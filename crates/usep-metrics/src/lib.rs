@@ -1,0 +1,30 @@
+//! Measurement substrate for the USEP experiments.
+//!
+//! The paper reports three metrics per algorithm and parameter setting:
+//! total utility score Ω, running time, and memory consumption. This
+//! crate provides the plumbing to reproduce all three:
+//!
+//! * [`alloc`] — a counting [`GlobalAlloc`](std::alloc::GlobalAlloc)
+//!   wrapper tracking live and peak bytes (the stand-in for the paper's
+//!   Windows working-set measurements). Binaries opt in with
+//!   `#[global_allocator]`.
+//! * [`timer`] — wall-clock helpers.
+//! * [`runner`] — runs one algorithm on one instance and captures all
+//!   three metrics as a [`Measurement`].
+//! * [`table`] — figure-shaped result tables with CSV and markdown
+//!   output.
+
+#![warn(missing_docs)]
+
+pub mod alloc;
+pub mod ensemble;
+pub mod plot;
+pub mod runner;
+pub mod table;
+pub mod timer;
+
+pub use alloc::CountingAllocator;
+pub use ensemble::{evaluate as evaluate_ensemble, Ensemble};
+pub use plot::LinePlot;
+pub use runner::{run_measured, Measurement};
+pub use table::ResultTable;

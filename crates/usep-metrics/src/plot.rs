@@ -1,0 +1,408 @@
+//! Dependency-free SVG line plots.
+//!
+//! The experiment harness emits CSVs for external plotting, but a
+//! self-contained reproduction should also produce *figures*. This
+//! module renders a [`ResultTable`] panel as an SVG line chart (one
+//! series per algorithm, markers, legend, optional log-scale y axis —
+//! the scale the paper uses for its running-time plots).
+
+use crate::table::ResultTable;
+use std::fmt::Write as _;
+
+/// Categorical palette (colorblind-safe Okabe–Ito variant).
+const PALETTE: [&str; 8] = [
+    "#0072B2", "#D55E00", "#009E73", "#CC79A7", "#56B4E9", "#E69F00", "#000000", "#999999",
+];
+
+const WIDTH: f64 = 800.0;
+const HEIGHT: f64 = 500.0;
+const MARGIN_L: f64 = 80.0;
+const MARGIN_R: f64 = 190.0; // room for the legend
+const MARGIN_T: f64 = 50.0;
+const MARGIN_B: f64 = 60.0;
+
+/// A line chart with one series per named column.
+#[derive(Clone, Debug)]
+pub struct LinePlot {
+    title: String,
+    x_label: String,
+    y_label: String,
+    log_y: bool,
+    series: Vec<(String, Vec<(f64, f64)>)>,
+}
+
+impl LinePlot {
+    /// An empty plot.
+    pub fn new(
+        title: impl Into<String>,
+        x_label: impl Into<String>,
+        y_label: impl Into<String>,
+    ) -> LinePlot {
+        LinePlot {
+            title: title.into(),
+            x_label: x_label.into(),
+            y_label: y_label.into(),
+            log_y: false,
+            series: Vec::new(),
+        }
+    }
+
+    /// Switches the y axis to log scale (non-positive values are
+    /// dropped from log-scaled series).
+    pub fn log_y(mut self) -> LinePlot {
+        self.log_y = true;
+        self
+    }
+
+    /// Adds a named series.
+    pub fn series(mut self, name: impl Into<String>, points: Vec<(f64, f64)>) -> LinePlot {
+        self.series.push((name.into(), points));
+        self
+    }
+
+    /// Builds a plot from a figure panel table. X values are parsed as
+    /// numbers where possible, otherwise positioned by row index.
+    pub fn from_table(table: &ResultTable, y_label: &str, log_y: bool) -> LinePlot {
+        let xs: Vec<f64> = table
+            .rows
+            .iter()
+            .enumerate()
+            .map(|(i, (x, _))| x.parse::<f64>().unwrap_or(i as f64))
+            .collect();
+        let mut plot = LinePlot::new(table.title.clone(), table.x_label.clone(), y_label);
+        if log_y {
+            plot = plot.log_y();
+        }
+        for (ci, name) in table.columns.iter().enumerate() {
+            let pts = table
+                .rows
+                .iter()
+                .zip(&xs)
+                .map(|((_, vals), &x)| (x, vals[ci]))
+                .collect();
+            plot = plot.series(name.clone(), pts);
+        }
+        plot
+    }
+
+    fn y_transform(&self, y: f64) -> Option<f64> {
+        if self.log_y {
+            if y > 0.0 {
+                Some(y.log10())
+            } else {
+                None
+            }
+        } else {
+            Some(y)
+        }
+    }
+
+    /// Renders the chart as a standalone SVG document.
+    pub fn render_svg(&self) -> String {
+        let plot_w = WIDTH - MARGIN_L - MARGIN_R;
+        let plot_h = HEIGHT - MARGIN_T - MARGIN_B;
+
+        // data ranges over transformed coordinates
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for (_, pts) in &self.series {
+            for &(x, y) in pts {
+                if let Some(ty) = self.y_transform(y) {
+                    if x.is_finite() && ty.is_finite() {
+                        xs.push(x);
+                        ys.push(ty);
+                    }
+                }
+            }
+        }
+        let (x0, x1) = span(&xs);
+        let (y0, y1) = span(&ys);
+        let sx = move |x: f64| MARGIN_L + (x - x0) / (x1 - x0) * plot_w;
+        let sy = move |ty: f64| MARGIN_T + plot_h - (ty - y0) / (y1 - y0) * plot_h;
+
+        let mut svg = String::with_capacity(16 * 1024);
+        let _ = writeln!(
+            svg,
+            r#"<svg xmlns="http://www.w3.org/2000/svg" width="{WIDTH}" height="{HEIGHT}" viewBox="0 0 {WIDTH} {HEIGHT}" font-family="sans-serif">"#
+        );
+        let _ = writeln!(svg, r#"<rect width="{WIDTH}" height="{HEIGHT}" fill="white"/>"#);
+        let _ = writeln!(
+            svg,
+            r#"<text x="{:.1}" y="28" font-size="15" text-anchor="middle">{}</text>"#,
+            MARGIN_L + plot_w / 2.0,
+            escape(&self.title)
+        );
+
+        // gridlines + ticks
+        for (ty, label) in self.y_ticks(y0, y1) {
+            let y = sy(ty);
+            let _ = writeln!(
+                svg,
+                r##"<line x1="{MARGIN_L}" y1="{y:.1}" x2="{:.1}" y2="{y:.1}" stroke="#e0e0e0"/>"##,
+                MARGIN_L + plot_w
+            );
+            let _ = writeln!(
+                svg,
+                r#"<text x="{:.1}" y="{:.1}" font-size="11" text-anchor="end">{label}</text>"#,
+                MARGIN_L - 8.0,
+                y + 4.0
+            );
+        }
+        for (tx, label) in ticks(x0, x1, 6) {
+            let x = sx(tx);
+            let _ = writeln!(
+                svg,
+                r##"<line x1="{x:.1}" y1="{MARGIN_T}" x2="{x:.1}" y2="{:.1}" stroke="#f0f0f0"/>"##,
+                MARGIN_T + plot_h
+            );
+            let _ = writeln!(
+                svg,
+                r#"<text x="{x:.1}" y="{:.1}" font-size="11" text-anchor="middle">{label}</text>"#,
+                MARGIN_T + plot_h + 18.0
+            );
+        }
+        // axes
+        let _ = writeln!(
+            svg,
+            r##"<rect x="{MARGIN_L}" y="{MARGIN_T}" width="{plot_w:.1}" height="{plot_h:.1}" fill="none" stroke="#606060"/>"##
+        );
+        let _ = writeln!(
+            svg,
+            r#"<text x="{:.1}" y="{:.1}" font-size="13" text-anchor="middle">{}</text>"#,
+            MARGIN_L + plot_w / 2.0,
+            HEIGHT - 14.0,
+            escape(&self.x_label)
+        );
+        let _ = writeln!(
+            svg,
+            r#"<text x="20" y="{:.1}" font-size="13" text-anchor="middle" transform="rotate(-90 20 {:.1})">{}</text>"#,
+            MARGIN_T + plot_h / 2.0,
+            MARGIN_T + plot_h / 2.0,
+            escape(&format!("{}{}", self.y_label, if self.log_y { " (log)" } else { "" }))
+        );
+
+        // series
+        for (si, (name, pts)) in self.series.iter().enumerate() {
+            let color = PALETTE[si % PALETTE.len()];
+            let mut path = String::new();
+            let mut markers = String::new();
+            for &(x, y) in pts {
+                let Some(ty) = self.y_transform(y) else { continue };
+                if !x.is_finite() || !ty.is_finite() {
+                    continue;
+                }
+                let (px, py) = (sx(x), sy(ty));
+                let _ = write!(path, "{}{px:.1},{py:.1}", if path.is_empty() { "" } else { " " });
+                let _ = writeln!(
+                    markers,
+                    r#"<circle cx="{px:.1}" cy="{py:.1}" r="3.5" fill="{color}"/>"#
+                );
+            }
+            if !path.is_empty() {
+                let _ = writeln!(
+                    svg,
+                    r#"<polyline points="{path}" fill="none" stroke="{color}" stroke-width="1.8"/>"#
+                );
+                svg.push_str(&markers);
+            }
+            // legend entry
+            let ly = MARGIN_T + 14.0 + si as f64 * 20.0;
+            let lx = MARGIN_L + plot_w + 16.0;
+            let _ = writeln!(
+                svg,
+                r#"<line x1="{lx:.1}" y1="{ly:.1}" x2="{:.1}" y2="{ly:.1}" stroke="{color}" stroke-width="2.5"/>"#,
+                lx + 22.0
+            );
+            let _ = writeln!(
+                svg,
+                r#"<text x="{:.1}" y="{:.1}" font-size="12">{}</text>"#,
+                lx + 28.0,
+                ly + 4.0,
+                escape(name)
+            );
+        }
+        svg.push_str("</svg>\n");
+        svg
+    }
+
+    fn y_ticks(&self, y0: f64, y1: f64) -> Vec<(f64, String)> {
+        if self.log_y {
+            // decade ticks
+            let lo = y0.floor() as i64;
+            let hi = y1.ceil() as i64;
+            let decades: Vec<(f64, String)> = (lo..=hi)
+                .filter(|d| (*d as f64) >= y0 - 1e-9 && (*d as f64) <= y1 + 1e-9)
+                .map(|d| (d as f64, format_tick(10f64.powi(d as i32))))
+                .collect();
+            if decades.len() >= 2 {
+                return decades;
+            }
+            // the whole range sits inside one decade: linear ticks in
+            // log space, labelled with the actual values
+            ticks(y0, y1, 5)
+                .into_iter()
+                .map(|(t, _)| (t, format_tick(10f64.powf(t))))
+                .collect()
+        } else {
+            ticks(y0, y1, 6)
+        }
+    }
+}
+
+/// A padded (min, max) span that is never degenerate.
+fn span(vals: &[f64]) -> (f64, f64) {
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for &v in vals {
+        lo = lo.min(v);
+        hi = hi.max(v);
+    }
+    if !lo.is_finite() || !hi.is_finite() {
+        return (0.0, 1.0);
+    }
+    if (hi - lo).abs() < 1e-12 {
+        (lo - 0.5, hi + 0.5)
+    } else {
+        let pad = (hi - lo) * 0.05;
+        (lo - pad, hi + pad)
+    }
+}
+
+/// Roughly `n` round-number ticks covering `[lo, hi]`.
+fn ticks(lo: f64, hi: f64, n: usize) -> Vec<(f64, String)> {
+    let raw = (hi - lo) / n as f64;
+    let mag = 10f64.powf(raw.abs().log10().floor());
+    let step = [1.0, 2.0, 2.5, 5.0, 10.0]
+        .iter()
+        .map(|m| m * mag)
+        .find(|&s| s >= raw)
+        .unwrap_or(mag * 10.0);
+    let mut t = (lo / step).ceil() * step;
+    let mut out = Vec::new();
+    while t <= hi + 1e-12 && out.len() < 20 {
+        out.push((t, format_tick(t)));
+        t += step;
+    }
+    out
+}
+
+fn format_tick(v: f64) -> String {
+    let a = v.abs();
+    if v == 0.0 {
+        "0".to_string()
+    } else if !(1e-3..1e6).contains(&a) {
+        format!("{v:.0e}")
+    } else if a >= 100.0 || v.fract().abs() < 1e-9 {
+        format!("{v:.0}")
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_table() -> ResultTable {
+        let mut t = ResultTable::new(
+            "Figure 2(e): time vs |V|",
+            "|V|",
+            vec!["RatioGreedy".into(), "DeDPO".into()],
+        );
+        t.push_row("20", vec![0.01, 0.05]);
+        t.push_row("100", vec![0.08, 0.22]);
+        t.push_row("500", vec![0.25, 5.5]);
+        t
+    }
+
+    #[test]
+    fn renders_valid_svg_with_all_series() {
+        let svg = LinePlot::from_table(&sample_table(), "seconds", false).render_svg();
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        assert_eq!(svg.matches("<polyline").count(), 2);
+        assert_eq!(svg.matches("<circle").count(), 6);
+        assert!(svg.contains("RatioGreedy"));
+        assert!(svg.contains("DeDPO"));
+        assert!(!svg.contains("NaN"));
+    }
+
+    #[test]
+    fn log_scale_drops_nonpositive_points() {
+        let plot = LinePlot::new("t", "x", "y")
+            .log_y()
+            .series("a", vec![(1.0, 0.0), (2.0, 10.0), (3.0, 100.0)]);
+        let svg = plot.render_svg();
+        // the zero point is dropped: 2 markers remain
+        assert_eq!(svg.matches("<circle").count(), 2);
+        assert!(svg.contains("(log)"));
+        assert!(!svg.contains("NaN"));
+    }
+
+    #[test]
+    fn constant_series_does_not_degenerate() {
+        let plot = LinePlot::new("t", "x", "y").series("a", vec![(0.0, 5.0), (1.0, 5.0)]);
+        let svg = plot.render_svg();
+        assert!(svg.contains("<polyline"));
+        assert!(!svg.contains("NaN"));
+        assert!(!svg.contains("inf"));
+    }
+
+    #[test]
+    fn empty_plot_renders() {
+        let svg = LinePlot::new("empty", "x", "y").render_svg();
+        assert!(svg.starts_with("<svg"));
+        assert!(!svg.contains("NaN"));
+    }
+
+    #[test]
+    fn non_numeric_x_labels_fall_back_to_indices() {
+        let mut t = ResultTable::new("cities", "city", vec!["Ω".into()]);
+        t.push_row("Vancouver", vec![1.0]);
+        t.push_row("Auckland", vec![2.0]);
+        let svg = LinePlot::from_table(&t, "omega", false).render_svg();
+        assert_eq!(svg.matches("<circle").count(), 2);
+    }
+
+    #[test]
+    fn titles_are_escaped() {
+        let svg = LinePlot::new("a < b & c", "x", "y").render_svg();
+        assert!(svg.contains("a &lt; b &amp; c"));
+    }
+
+    #[test]
+    fn log_ticks_inside_one_decade_still_appear() {
+        // values between 2 and 8: log range (0.3, 0.9) has no decade tick
+        let plot = LinePlot::new("t", "x", "y")
+            .log_y()
+            .series("a", vec![(0.0, 2.0), (1.0, 8.0)]);
+        let svg = plot.render_svg();
+        // at least two y tick labels must be present (text-anchor="end")
+        let labels = svg.matches("text-anchor=\"end\"").count();
+        assert!(labels >= 2, "only {labels} y tick labels in a one-decade log plot");
+    }
+
+    #[test]
+    fn tick_generation_is_sane() {
+        let ts = ticks(0.0, 10.0, 6);
+        assert!(!ts.is_empty() && ts.len() <= 12);
+        for w in ts.windows(2) {
+            assert!(w[1].0 > w[0].0);
+        }
+        let ts = ticks(0.001, 0.002, 6);
+        assert!(!ts.is_empty());
+    }
+
+    #[test]
+    fn format_tick_ranges() {
+        assert_eq!(format_tick(0.0), "0");
+        assert_eq!(format_tick(5.0), "5");
+        assert_eq!(format_tick(1500.0), "1500");
+        assert_eq!(format_tick(2_500_000.0), "2e6"); // {:.0e} floors the mantissa at 2.5
+        assert_eq!(format_tick(0.25), "0.25");
+    }
+}

@@ -1,0 +1,84 @@
+//! Single-run measurement: one algorithm, one instance, three metrics.
+
+use crate::alloc::measure_peak;
+use crate::timer::time;
+use serde::{Deserialize, Serialize};
+use usep_algos::Algorithm;
+use usep_core::Instance;
+
+/// One measured algorithm run (the three quantities every panel of
+/// Figures 2–4 plots).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Measurement {
+    /// Algorithm legend name.
+    pub algorithm: String,
+    /// Total utility score `Ω(A)`.
+    pub omega: f64,
+    /// Wall-clock running time in seconds.
+    pub seconds: f64,
+    /// Peak heap growth during the run, in bytes (0 when the counting
+    /// allocator is not registered).
+    pub peak_bytes: usize,
+    /// Number of event-user assignments in the returned planning.
+    pub assignments: usize,
+}
+
+/// Runs `algorithm` on `inst`, validating the output planning and
+/// capturing Ω, wall-clock time and peak heap growth.
+///
+/// # Panics
+/// Panics if the algorithm returns an infeasible planning — that is a
+/// bug, and experiments must not silently report numbers from one.
+pub fn run_measured(algorithm: Algorithm, inst: &Instance) -> Measurement {
+    let ((planning, dur), peak) = measure_peak(|| time(|| usep_algos::solve(algorithm, inst)));
+    planning
+        .validate(inst)
+        .unwrap_or_else(|e| panic!("{algorithm} returned an infeasible planning: {e}"));
+    Measurement {
+        algorithm: algorithm.name().to_string(),
+        omega: planning.omega(inst),
+        seconds: dur.as_secs_f64(),
+        peak_bytes: peak,
+        assignments: planning.num_assignments(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use usep_gen::{generate, SyntheticConfig};
+
+    #[test]
+    fn measures_all_algorithms_on_a_tiny_instance() {
+        let inst = generate(&SyntheticConfig::tiny(), 5);
+        for a in Algorithm::PAPER_SET {
+            let m = run_measured(a, &inst);
+            assert_eq!(m.algorithm, a.name());
+            assert!(m.omega >= 0.0);
+            assert!(m.seconds >= 0.0);
+        }
+    }
+
+    #[test]
+    fn dedp_and_dedpo_agree_on_omega() {
+        let inst = generate(&SyntheticConfig::tiny().with_users(20), 9);
+        let a = run_measured(Algorithm::DeDP, &inst);
+        let b = run_measured(Algorithm::DeDPO, &inst);
+        assert!((a.omega - b.omega).abs() < 1e-9);
+        assert_eq!(a.assignments, b.assignments);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let m = Measurement {
+            algorithm: "DeDPO".into(),
+            omega: 12.5,
+            seconds: 0.25,
+            peak_bytes: 1024,
+            assignments: 30,
+        };
+        let json = serde_json::to_string(&m).unwrap();
+        let back: Measurement = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, m);
+    }
+}

@@ -1,0 +1,277 @@
+//! Figure-shaped result tables.
+//!
+//! Each panel of the paper's Figures 2–4 is a family of series (one per
+//! algorithm) over an x-axis (the varied parameter). [`ResultTable`]
+//! holds exactly that and renders to aligned markdown (for
+//! EXPERIMENTS.md) and CSV (for plotting).
+
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+/// One figure panel: `rows[i].1[j]` is the value of series
+/// `columns[j]` at x-value `rows[i].0`.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ResultTable {
+    /// Panel title, e.g. `"Figure 2(a): utility vs |V|"`.
+    pub title: String,
+    /// X-axis label, e.g. `"|V|"`.
+    pub x_label: String,
+    /// Series names (algorithm legend names).
+    pub columns: Vec<String>,
+    /// `(x, series values)` rows in x order.
+    pub rows: Vec<(String, Vec<f64>)>,
+}
+
+impl ResultTable {
+    /// An empty table with the given shape.
+    pub fn new(
+        title: impl Into<String>,
+        x_label: impl Into<String>,
+        columns: Vec<String>,
+    ) -> ResultTable {
+        ResultTable { title: title.into(), x_label: x_label.into(), columns, rows: Vec::new() }
+    }
+
+    /// Appends a row; `values` must match the column count.
+    pub fn push_row(&mut self, x: impl Into<String>, values: Vec<f64>) {
+        assert_eq!(values.len(), self.columns.len(), "row width mismatch");
+        self.rows.push((x.into(), values));
+    }
+
+    /// Renders as a GitHub-flavored markdown table, preceded by the
+    /// title.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "### {}\n", self.title);
+        let _ = write!(out, "| {} |", self.x_label);
+        for c in &self.columns {
+            let _ = write!(out, " {c} |");
+        }
+        out.push('\n');
+        let _ = write!(out, "|---|");
+        for _ in &self.columns {
+            let _ = write!(out, "---|");
+        }
+        out.push('\n');
+        for (x, vals) in &self.rows {
+            let _ = write!(out, "| {x} |");
+            for v in vals {
+                let _ = write!(out, " {} |", fmt_value(*v));
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders as CSV with an `x` header column.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(out, "{}", csv_escape(&self.x_label));
+        for c in &self.columns {
+            let _ = write!(out, ",{}", csv_escape(c));
+        }
+        out.push('\n');
+        for (x, vals) in &self.rows {
+            let _ = write!(out, "{}", csv_escape(x));
+            for v in vals {
+                let _ = write!(out, ",{v}");
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Writes the CSV rendering to `path`.
+    pub fn write_csv(&self, path: &Path) -> io::Result<()> {
+        std::fs::write(path, self.to_csv())
+    }
+
+    /// Parses a table back from its [`to_csv`](ResultTable::to_csv)
+    /// rendering (title is not stored in CSV; supply one).
+    pub fn from_csv(title: impl Into<String>, csv: &str) -> Result<ResultTable, String> {
+        let mut lines = csv.lines();
+        let header = lines.next().ok_or("empty CSV")?;
+        let mut cols = split_csv_line(header);
+        if cols.is_empty() {
+            return Err("empty header".into());
+        }
+        let x_label = cols.remove(0);
+        let mut table = ResultTable::new(title, x_label, cols);
+        for (li, line) in lines.enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let mut fields = split_csv_line(line);
+            if fields.len() != table.columns.len() + 1 {
+                return Err(format!(
+                    "row {} has {} fields, expected {}",
+                    li + 2,
+                    fields.len(),
+                    table.columns.len() + 1
+                ));
+            }
+            let x = fields.remove(0);
+            let values = fields
+                .iter()
+                .map(|f| f.parse::<f64>().map_err(|e| format!("row {}: {e}", li + 2)))
+                .collect::<Result<Vec<f64>, String>>()?;
+            table.push_row(x, values);
+        }
+        Ok(table)
+    }
+}
+
+/// Splits one CSV line, honoring double-quote escaping.
+fn split_csv_line(line: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    let mut quoted = false;
+    let mut chars = line.chars().peekable();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' if quoted && chars.peek() == Some(&'"') => {
+                cur.push('"');
+                chars.next();
+            }
+            '"' => quoted = !quoted,
+            ',' if !quoted => out.push(std::mem::take(&mut cur)),
+            _ => cur.push(c),
+        }
+    }
+    out.push(cur);
+    out
+}
+
+/// Human-oriented number formatting: integers plainly, small values with
+/// more precision, large values with thousands of separators omitted.
+fn fmt_value(v: f64) -> String {
+    if !v.is_finite() {
+        return v.to_string();
+    }
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else if v.abs() >= 100.0 {
+        format!("{v:.1}")
+    } else if v.abs() >= 0.01 {
+        format!("{v:.3}")
+    } else {
+        format!("{v:.2e}")
+    }
+}
+
+fn csv_escape(s: &str) -> String {
+    if s.contains(',') || s.contains('"') || s.contains('\n') {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ResultTable {
+        let mut t = ResultTable::new(
+            "Figure 2(a): utility vs |V|",
+            "|V|",
+            vec!["RatioGreedy".into(), "DeDPO".into()],
+        );
+        t.push_row("20", vec![100.0, 120.5]);
+        t.push_row("50", vec![210.25, 260.0]);
+        t
+    }
+
+    #[test]
+    fn markdown_shape() {
+        let md = sample().to_markdown();
+        assert!(md.contains("### Figure 2(a)"));
+        assert!(md.contains("| |V| | RatioGreedy | DeDPO |"));
+        assert!(md.contains("| 20 | 100 | 120.5 |"));
+    }
+
+    #[test]
+    fn csv_shape() {
+        let csv = sample().to_csv();
+        let mut lines = csv.lines();
+        assert_eq!(lines.next().unwrap(), "|V|,RatioGreedy,DeDPO");
+        assert_eq!(lines.next().unwrap(), "20,100,120.5");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn row_width_checked() {
+        let mut t = sample();
+        t.push_row("100", vec![1.0]);
+    }
+
+    #[test]
+    fn csv_escaping() {
+        assert_eq!(csv_escape("plain"), "plain");
+        assert_eq!(csv_escape("a,b"), "\"a,b\"");
+        assert_eq!(csv_escape("q\"q"), "\"q\"\"q\"");
+    }
+
+    #[test]
+    fn value_formatting() {
+        assert_eq!(fmt_value(5.0), "5");
+        assert_eq!(fmt_value(1234.56), "1234.6");
+        assert_eq!(fmt_value(0.1234), "0.123");
+        assert_eq!(fmt_value(0.0001234), "1.23e-4");
+    }
+
+    #[test]
+    fn write_csv_to_disk() {
+        let dir = std::env::temp_dir().join("usep_table_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join("t.csv");
+        sample().write_csv(&p).unwrap();
+        let back = std::fs::read_to_string(&p).unwrap();
+        assert!(back.starts_with("|V|,"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let t = sample();
+        let json = serde_json::to_string(&t).unwrap();
+        let back: ResultTable = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        let t = sample();
+        let back = ResultTable::from_csv(t.title.clone(), &t.to_csv()).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn csv_roundtrip_with_quoted_fields() {
+        let mut t = ResultTable::new("q", "x, y", vec!["a\"b".into()]);
+        t.push_row("1", vec![2.5]);
+        let back = ResultTable::from_csv("q", &t.to_csv()).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn from_csv_rejects_ragged_rows() {
+        let e = ResultTable::from_csv("t", "x,a\n1,2,3\n").unwrap_err();
+        assert!(e.contains("row 2"));
+    }
+
+    #[test]
+    fn from_csv_rejects_non_numeric() {
+        assert!(ResultTable::from_csv("t", "x,a\n1,two\n").is_err());
+    }
+
+    #[test]
+    fn split_csv_line_cases() {
+        assert_eq!(split_csv_line("a,b,c"), vec!["a", "b", "c"]);
+        assert_eq!(split_csv_line("\"a,b\",c"), vec!["a,b", "c"]);
+        assert_eq!(split_csv_line("\"a\"\"b\""), vec!["a\"b"]);
+        assert_eq!(split_csv_line(""), vec![""]);
+    }
+}

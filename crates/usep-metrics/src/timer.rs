@@ -1,0 +1,81 @@
+//! Wall-clock timing helpers.
+
+use std::time::{Duration, Instant};
+
+/// Runs `f`, returning its result and the elapsed wall-clock time.
+pub fn time<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed())
+}
+
+/// A simple accumulating stopwatch, for timing phases across iterations.
+#[derive(Debug, Default)]
+pub struct Stopwatch {
+    total: Duration,
+    started: Option<Instant>,
+}
+
+impl Stopwatch {
+    /// A stopped stopwatch at zero.
+    pub fn new() -> Stopwatch {
+        Stopwatch::default()
+    }
+
+    /// Starts (or restarts) the current lap.
+    pub fn start(&mut self) {
+        self.started = Some(Instant::now());
+    }
+
+    /// Stops the current lap, adding it to the total. No-op if not
+    /// running.
+    pub fn stop(&mut self) {
+        if let Some(s) = self.started.take() {
+            self.total += s.elapsed();
+        }
+    }
+
+    /// Total accumulated time (excluding a currently running lap).
+    pub fn total(&self) -> Duration {
+        self.total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_measures_something() {
+        let (v, d) = time(|| {
+            let mut x = 0u64;
+            for i in 0..10_000 {
+                x = x.wrapping_add(i);
+            }
+            x
+        });
+        assert_eq!(v, 49_995_000);
+        assert!(d.as_nanos() > 0);
+    }
+
+    #[test]
+    fn stopwatch_accumulates() {
+        let mut sw = Stopwatch::new();
+        assert_eq!(sw.total(), Duration::ZERO);
+        sw.start();
+        std::hint::black_box((0..1000).sum::<u64>());
+        sw.stop();
+        let t1 = sw.total();
+        sw.start();
+        std::hint::black_box((0..1000).sum::<u64>());
+        sw.stop();
+        assert!(sw.total() >= t1);
+    }
+
+    #[test]
+    fn stop_without_start_is_noop() {
+        let mut sw = Stopwatch::new();
+        sw.stop();
+        assert_eq!(sw.total(), Duration::ZERO);
+    }
+}

@@ -1,0 +1,34 @@
+//! Budget sensitivity: sweep the budget factor `f_b` (Figure 3's
+//! x-axis) on one instance family and watch Ω saturate once capacities —
+//! not budgets — become the binding constraint (the paper's observation
+//! for `f_b ≥ 2`).
+//!
+//! ```sh
+//! cargo run --release --example budget_sensitivity
+//! ```
+
+use usep::algos::{solve, Algorithm};
+use usep::gen::{generate, SyntheticConfig};
+
+fn main() {
+    let algos = [Algorithm::DeDPO, Algorithm::DeGreedy, Algorithm::RatioGreedy];
+    println!("{:<8} {:>12} {:>12} {:>12}", "f_b", "DeDPO", "DeGreedy", "RatioGreedy");
+    let mut prev: Option<f64> = None;
+    for fb in [0.5, 1.0, 2.0, 5.0, 10.0] {
+        let cfg = SyntheticConfig::default()
+            .with_events(40)
+            .with_users(300)
+            .with_capacity_mean(10)
+            .with_budget_factor(fb);
+        let inst = generate(&cfg, 99);
+        let omegas: Vec<f64> = algos.iter().map(|&a| solve(a, &inst).omega(&inst)).collect();
+        println!("{fb:<8} {:>12.2} {:>12.2} {:>12.2}", omegas[0], omegas[1], omegas[2]);
+        if let Some(p) = prev {
+            let growth = (omegas[0] - p) / p * 100.0;
+            println!("{:<8} DeDPO grew {growth:+.1}% over the previous f_b", "");
+        }
+        prev = Some(omegas[0]);
+    }
+    println!("\nΩ climbs steeply up to f_b ≈ 2, then flattens: events fill up");
+    println!("and extra travel budget has nothing left to buy (Fig. 3, col 1).");
+}

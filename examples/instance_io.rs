@@ -1,0 +1,41 @@
+//! Instance (de)serialization: save a generated instance to JSON, load
+//! it back, solve, and verify the plannings agree. Useful for pinning
+//! benchmark inputs or shipping instances between machines.
+//!
+//! ```sh
+//! cargo run --release --example instance_io
+//! ```
+
+use usep::algos::{solve, Algorithm};
+use usep::core::Instance;
+use usep::gen::{generate, SyntheticConfig};
+
+fn main() {
+    let inst = generate(&SyntheticConfig::tiny().with_users(40), 7);
+
+    let path = std::env::temp_dir().join("usep_instance.json");
+    let json = serde_json::to_string_pretty(&inst).expect("instances serialize");
+    std::fs::write(&path, &json).expect("write instance");
+    println!("wrote {} ({} bytes)", path.display(), json.len());
+
+    let loaded: Instance =
+        serde_json::from_str(&std::fs::read_to_string(&path).expect("read back"))
+            .expect("instances deserialize");
+    assert_eq!(loaded, inst, "round trip is lossless");
+    println!(
+        "reloaded: |V| = {}, |U| = {}, cr = {:.2} (derived indices rebuilt)",
+        loaded.num_events(),
+        loaded.num_users(),
+        loaded.conflict_ratio()
+    );
+
+    let a = solve(Algorithm::DeDPO, &inst);
+    let b = solve(Algorithm::DeDPO, &loaded);
+    assert_eq!(a, b, "same instance, same deterministic planning");
+    println!("DeDPO on both copies: identical plannings, Ω = {:.3}", a.omega(&inst));
+
+    // plannings serialize too — persist a computed plan next to its input
+    let plan_json = serde_json::to_string(&a).expect("plannings serialize");
+    println!("planning serializes to {} bytes of JSON", plan_json.len());
+    std::fs::remove_file(&path).ok();
+}

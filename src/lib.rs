@@ -1,0 +1,35 @@
+//! **usep** — a Rust implementation of *Utility-Aware Social
+//! Event-Participant Planning* (She, Tong, Chen — SIGMOD 2015).
+//!
+//! This facade crate re-exports the whole workspace behind one dependency:
+//!
+//! * [`core`] — the problem model: [`Instance`](core::Instance)s,
+//!   [`Schedule`](core::Schedule)s, [`Planning`](core::Planning)s and the
+//!   objective `Ω(A)`.
+//! * [`algos`] — the paper's algorithms: `RatioGreedy`, `DeDP`, `DeDPO`,
+//!   `DeGreedy`, their `+RG`-augmented variants, exact reference solvers,
+//!   baselines, relaxation upper bounds, a local-search post-pass and a
+//!   max-min fairness solver.
+//! * [`gen`] — workload generators: the Table-7 synthetic generator and a
+//!   Meetup-like EBSN simulator for the Table-6 city datasets.
+//! * [`metrics`] — timers, a counting allocator and experiment plumbing.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use usep::gen::{SyntheticConfig, generate};
+//! use usep::algos::{Algorithm, solve};
+//!
+//! let inst = generate(&SyntheticConfig::tiny(), 42);
+//! let plan = solve(Algorithm::DeDPO, &inst);
+//! assert!(plan.validate(&inst).is_ok());
+//! println!("Ω(A) = {:.2}", plan.omega(&inst));
+//! ```
+
+pub use usep_algos as algos;
+pub use usep_core as core;
+pub use usep_gen as gen;
+pub use usep_metrics as metrics;
+
+/// Crate version of the facade, for binaries that want to report it.
+pub const VERSION: &str = env!("CARGO_PKG_VERSION");

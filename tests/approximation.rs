@@ -1,0 +1,115 @@
+//! Theorem 3 in practice: DeDP/DeDPO (and their +RG variants) achieve at
+//! least half the optimal total utility. Verified exhaustively against
+//! the brute-force solver on a large family of tiny random instances.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use usep::algos::exact::optimal_planning;
+use usep::algos::{solve, Algorithm};
+use usep::core::{Cost, Instance, InstanceBuilder, Point, TimeInterval};
+
+/// A random tiny instance: up to 5 events, up to 4 users, small grid,
+/// arbitrary overlaps, tight-ish budgets — adversarial for schedulers.
+fn random_tiny(seed: u64) -> Instance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let nv = rng.gen_range(1..=5);
+    let nu = rng.gen_range(1..=4);
+    let mut b = InstanceBuilder::new();
+    for _ in 0..nv {
+        let start = rng.gen_range(0..30i64);
+        let dur = rng.gen_range(1..=10i64);
+        b.event(
+            rng.gen_range(1..=2),
+            Point::new(rng.gen_range(0..12), rng.gen_range(0..12)),
+            TimeInterval::new(start, start + dur).unwrap(),
+        );
+    }
+    for _ in 0..nu {
+        b.user(
+            Point::new(rng.gen_range(0..12), rng.gen_range(0..12)),
+            Cost::new(rng.gen_range(0..60)),
+        );
+    }
+    for v in 0..nv {
+        for u in 0..nu {
+            // ~25% zero utilities to exercise the utility constraint
+            let mu = if rng.gen_bool(0.25) {
+                0.0
+            } else {
+                f64::from(rng.gen_range(1..=10u32)) / 10.0
+            };
+            b.utility(usep::core::EventId(v), usep::core::UserId(u), mu);
+        }
+    }
+    b.build().unwrap()
+}
+
+#[test]
+fn dedp_family_is_half_approximate_on_200_random_tiny_instances() {
+    for seed in 0..200u64 {
+        let inst = random_tiny(seed);
+        let (_, opt) = optimal_planning(&inst);
+        for a in [Algorithm::DeDP, Algorithm::DeDPO, Algorithm::DeDPORG] {
+            let got = solve(a, &inst).omega(&inst);
+            assert!(
+                2.0 * got >= opt - 1e-6,
+                "seed {seed}: {a} scored {got} < ½ · OPT = {}",
+                opt / 2.0
+            );
+            assert!(got <= opt + 1e-6, "seed {seed}: {a} beat the optimum?!");
+        }
+    }
+}
+
+#[test]
+fn heuristics_never_exceed_the_optimum() {
+    for seed in 200..300u64 {
+        let inst = random_tiny(seed);
+        let (_, opt) = optimal_planning(&inst);
+        for a in Algorithm::PAPER_SET {
+            let got = solve(a, &inst).omega(&inst);
+            assert!(got <= opt + 1e-6, "seed {seed}: {a} = {got} > OPT = {opt}");
+        }
+    }
+}
+
+#[test]
+fn dedpo_often_finds_the_exact_optimum_on_single_user_instances() {
+    // with |U| = 1 the decomposed DP *is* exact
+    let mut exact_hits = 0;
+    let mut total = 0;
+    for seed in 300..400u64 {
+        let inst = random_tiny(seed);
+        if inst.num_users() != 1 {
+            continue;
+        }
+        total += 1;
+        let (_, opt) = optimal_planning(&inst);
+        let got = solve(Algorithm::DeDPO, &inst).omega(&inst);
+        assert!(
+            (got - opt).abs() < 1e-9,
+            "seed {seed}: single-user DeDPO must be optimal ({got} vs {opt})"
+        );
+        exact_hits += 1;
+    }
+    assert!(total > 0, "sample contained no single-user instances");
+    assert_eq!(exact_hits, total);
+}
+
+#[test]
+fn average_approximation_quality_is_much_better_than_half() {
+    // the ½ bound is worst-case; on random instances DeDPO is near-optimal
+    let mut ratio_sum = 0.0;
+    let mut n = 0;
+    for seed in 400..500u64 {
+        let inst = random_tiny(seed);
+        let (_, opt) = optimal_planning(&inst);
+        if opt <= 0.0 {
+            continue;
+        }
+        ratio_sum += solve(Algorithm::DeDPORG, &inst).omega(&inst) / opt;
+        n += 1;
+    }
+    let mean = ratio_sum / f64::from(n);
+    assert!(mean > 0.85, "mean DeDPO+RG/OPT ratio {mean} suspiciously low");
+}

@@ -1,0 +1,139 @@
+//! Cross-algorithm invariants over seeded synthetic instance sweeps.
+
+use usep::algos::{augment_with_ratio_greedy, solve, Algorithm};
+use usep::gen::{generate, Spread, SyntheticConfig, UtilityDistribution};
+
+fn configs() -> Vec<SyntheticConfig> {
+    let small = SyntheticConfig::tiny().with_users(25);
+    vec![
+        small.clone(),
+        small.clone().with_conflict_ratio(0.0),
+        small.clone().with_conflict_ratio(0.75),
+        small.clone().with_conflict_ratio(1.0),
+        small.clone().with_budget_factor(0.5),
+        small.clone().with_budget_factor(10.0),
+        small.clone().with_capacity_mean(1),
+        small.clone().with_mu_dist(UtilityDistribution::Power { exponent: 0.5 }),
+        small.clone().with_mu_dist(UtilityDistribution::Normal { mean: 0.5, std: 0.25 }),
+        small.clone().with_capacity_dist(Spread::Normal).with_budget_dist(Spread::Normal),
+        small.with_events(20).with_users(60),
+    ]
+}
+
+#[test]
+fn every_algorithm_is_feasible_on_every_config_and_seed() {
+    for (ci, cfg) in configs().iter().enumerate() {
+        for seed in 0..5u64 {
+            let inst = generate(cfg, 1000 + seed);
+            for a in Algorithm::PAPER_SET {
+                let p = solve(a, &inst);
+                p.validate(&inst)
+                    .unwrap_or_else(|e| panic!("config {ci} seed {seed} {a}: {e}"));
+            }
+        }
+    }
+}
+
+#[test]
+fn dedp_and_dedpo_always_identical() {
+    for (ci, cfg) in configs().iter().enumerate() {
+        for seed in 0..5u64 {
+            let inst = generate(cfg, 2000 + seed);
+            let a = solve(Algorithm::DeDP, &inst);
+            let b = solve(Algorithm::DeDPO, &inst);
+            assert_eq!(a, b, "config {ci} seed {seed}: DeDP ≠ DeDPO");
+        }
+    }
+}
+
+#[test]
+fn augmentation_is_monotone_in_omega() {
+    for (ci, cfg) in configs().iter().enumerate() {
+        for seed in 0..5u64 {
+            let inst = generate(cfg, 3000 + seed);
+            for (base, plus) in [
+                (Algorithm::DeDPO, Algorithm::DeDPORG),
+                (Algorithm::DeGreedy, Algorithm::DeGreedyRG),
+            ] {
+                let b = solve(base, &inst).omega(&inst);
+                let p = solve(plus, &inst).omega(&inst);
+                assert!(
+                    p >= b - 1e-9,
+                    "config {ci} seed {seed}: {plus} ({p}) < {base} ({b})"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn augmenting_an_already_augmented_planning_is_a_fixpoint_in_omega() {
+    let cfg = SyntheticConfig::tiny().with_users(30);
+    for seed in 0..5u64 {
+        let inst = generate(&cfg, 4000 + seed);
+        let mut p = solve(Algorithm::DeGreedyRG, &inst);
+        let before = p.omega(&inst);
+        let added = augment_with_ratio_greedy(&inst, &mut p);
+        assert_eq!(added, 0, "seed {seed}: +RG left residual work behind");
+        assert!((p.omega(&inst) - before).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn deterministic_across_repeated_runs() {
+    let cfg = SyntheticConfig::tiny().with_users(40);
+    let inst = generate(&cfg, 5);
+    for a in Algorithm::PAPER_SET {
+        assert_eq!(solve(a, &inst), solve(a, &inst), "{a} is nondeterministic");
+    }
+}
+
+#[test]
+fn multi_event_algorithms_beat_single_event_baseline_on_favourable_instances() {
+    // low conflict + generous budgets: multi-event planning must help
+    let cfg = SyntheticConfig::tiny()
+        .with_users(30)
+        .with_conflict_ratio(0.0)
+        .with_budget_factor(10.0);
+    let mut wins = 0;
+    for seed in 0..5u64 {
+        let inst = generate(&cfg, 6000 + seed);
+        let single = solve(Algorithm::SingleEventGreedy, &inst).omega(&inst);
+        let multi = solve(Algorithm::DeDPO, &inst).omega(&inst);
+        if multi > single {
+            wins += 1;
+        }
+    }
+    assert_eq!(wins, 5, "DeDPO should beat the single-event baseline on all seeds");
+}
+
+#[test]
+fn omega_never_exceeds_total_utility_mass() {
+    for (ci, cfg) in configs().iter().enumerate() {
+        let inst = generate(cfg, 7000 + ci as u64);
+        let bound = inst.total_utility_mass();
+        for a in Algorithm::PAPER_SET {
+            let o = solve(a, &inst).omega(&inst);
+            assert!(o <= bound + 1e-6, "config {ci} {a}: Ω {o} > mass {bound}");
+        }
+    }
+}
+
+#[test]
+fn empty_and_degenerate_instances() {
+    // no events
+    let inst = generate(&SyntheticConfig::tiny().with_events(0).with_users(5), 1);
+    for a in Algorithm::PAPER_SET {
+        assert_eq!(solve(a, &inst).num_assignments(), 0);
+    }
+    // no users
+    let inst = generate(&SyntheticConfig::tiny().with_events(5).with_users(0), 1);
+    for a in Algorithm::PAPER_SET {
+        assert_eq!(solve(a, &inst).num_assignments(), 0);
+    }
+    // single user, single event
+    let inst = generate(&SyntheticConfig::tiny().with_events(1).with_users(1), 1);
+    for a in Algorithm::PAPER_SET {
+        solve(a, &inst).validate(&inst).unwrap();
+    }
+}

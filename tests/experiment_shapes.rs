@@ -1,0 +1,121 @@
+//! Mini-scale reproductions of the paper's §5.2 qualitative findings
+//! ("shapes"), as assertions. Each test mirrors one claim from the
+//! experimental study at reduced size — the full-size counterparts live
+//! in `usep-experiments` and EXPERIMENTS.md.
+
+use usep::algos::{solve, Algorithm};
+use usep::gen::{generate, SyntheticConfig};
+
+fn base() -> SyntheticConfig {
+    SyntheticConfig::default().with_events(40).with_users(250).with_capacity_mean(10)
+}
+
+/// Average Ω over a few seeds, to smooth instance noise.
+fn mean_omega(a: Algorithm, cfg: &SyntheticConfig, seeds: std::ops::Range<u64>) -> f64 {
+    let n = (seeds.end - seeds.start) as f64;
+    seeds
+        .map(|s| {
+            let inst = generate(cfg, s);
+            solve(a, &inst).omega(&inst)
+        })
+        .sum::<f64>()
+        / n
+}
+
+#[test]
+fn utility_grows_with_more_events() {
+    // Fig. 2(a): "utility scores increase as |V| increases"
+    let small = mean_omega(Algorithm::DeDPO, &base().with_events(10), 0..3);
+    let large = mean_omega(Algorithm::DeDPO, &base().with_events(60), 0..3);
+    assert!(large > small, "Ω(|V|=60) = {large} ≤ Ω(|V|=10) = {small}");
+}
+
+#[test]
+fn utility_grows_with_capacity() {
+    // Fig. 2(c): "utility scores increase as the mean of c_v increases"
+    let small = mean_omega(Algorithm::DeDPO, &base().with_capacity_mean(2), 0..3);
+    let large = mean_omega(Algorithm::DeDPO, &base().with_capacity_mean(30), 0..3);
+    assert!(large > small, "Ω(c=30) = {large} ≤ Ω(c=2) = {small}");
+}
+
+#[test]
+fn utility_falls_as_conflicts_grow() {
+    // Fig. 2(d): "utility scores decrease as the conflict ratio increases"
+    let lo = mean_omega(Algorithm::DeDPO, &base().with_conflict_ratio(0.0), 0..3);
+    let hi = mean_omega(Algorithm::DeDPO, &base().with_conflict_ratio(1.0), 0..3);
+    assert!(lo > hi, "Ω(cr=0) = {lo} ≤ Ω(cr=1) = {hi}");
+}
+
+#[test]
+fn utility_grows_then_saturates_in_budget_factor() {
+    // Fig. 3 col 1: steep growth to f_b ≈ 2, then plateau
+    let o05 = mean_omega(Algorithm::DeDPO, &base().with_budget_factor(0.5), 0..3);
+    let o2 = mean_omega(Algorithm::DeDPO, &base().with_budget_factor(2.0), 0..3);
+    let o10 = mean_omega(Algorithm::DeDPO, &base().with_budget_factor(10.0), 0..3);
+    assert!(o2 > o05, "Ω should grow from f_b 0.5 to 2");
+    assert!(o10 >= o2, "Ω never falls with more budget");
+    let early = (o2 - o05) / o05;
+    let late = (o10 - o2) / o2;
+    assert!(
+        late < early,
+        "growth should flatten: early {early:.3} vs late {late:.3}"
+    );
+}
+
+#[test]
+fn dedp_based_algorithms_win_on_utility() {
+    // Fig. 2 overall: DeDP(O)-based best, RatioGreedy worst
+    for seed in 0..3u64 {
+        let inst = generate(&base(), 100 + seed);
+        let dedpo = solve(Algorithm::DeDPORG, &inst).omega(&inst);
+        let rg = solve(Algorithm::RatioGreedy, &inst).omega(&inst);
+        let dg = solve(Algorithm::DeGreedy, &inst).omega(&inst);
+        assert!(dedpo >= dg - 1e-9, "seed {seed}: DeDPO+RG {dedpo} < DeGreedy {dg}");
+        assert!(dedpo > rg, "seed {seed}: DeDPO+RG {dedpo} ≤ RatioGreedy {rg}");
+    }
+}
+
+#[test]
+fn degreedy_is_faster_than_dedpo_at_scale() {
+    // Fig. 2/4 running time: "DeGreedy is the fastest"
+    let cfg = SyntheticConfig::default().with_events(100).with_users(400);
+    let inst = generate(&cfg, 7);
+    let t = |a: Algorithm| {
+        let t0 = std::time::Instant::now();
+        let p = solve(a, &inst);
+        let d = t0.elapsed();
+        assert!(p.validate(&inst).is_ok());
+        d
+    };
+    // warm up then measure
+    t(Algorithm::DeGreedy);
+    let dg = t(Algorithm::DeGreedy);
+    let dp = t(Algorithm::DeDPO);
+    assert!(
+        dg < dp,
+        "DeGreedy ({dg:?}) should be faster than DeDPO ({dp:?}) at |V|=100, |U|=400"
+    );
+}
+
+#[test]
+fn dedp_advantage_widens_with_conflicts() {
+    // Fig. 2(d): "DeDP-based algorithms perform significantly better ...
+    // when the conflict ratio increases" — measure the relative gap of
+    // DeGreedy to DeDPO at low and high cr
+    let gap = |cr: f64| {
+        let mut gaps = 0.0;
+        for seed in 0..4u64 {
+            let inst = generate(&base().with_conflict_ratio(cr), 300 + seed);
+            let dp = solve(Algorithm::DeDPO, &inst).omega(&inst);
+            let dg = solve(Algorithm::DeGreedy, &inst).omega(&inst);
+            gaps += (dp - dg) / dp.max(1e-9);
+        }
+        gaps / 4.0
+    };
+    let low = gap(0.0);
+    let high = gap(0.9);
+    assert!(
+        high >= low - 0.02,
+        "relative DeDPO advantage should not shrink with conflicts: low {low:.4}, high {high:.4}"
+    );
+}

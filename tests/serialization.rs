@@ -1,0 +1,56 @@
+//! End-to-end serialization: instances and plannings survive JSON round
+//! trips with identical solver behaviour, for every generator family.
+
+use usep::algos::{solve, Algorithm};
+use usep::core::{Instance, Planning};
+use usep::gen::{generate, generate_city, CityConfig, SyntheticConfig};
+
+fn roundtrip_instance(inst: &Instance) -> Instance {
+    let json = serde_json::to_string(inst).expect("serialize instance");
+    serde_json::from_str(&json).expect("deserialize instance")
+}
+
+#[test]
+fn synthetic_instance_roundtrip_preserves_solutions() {
+    let inst = generate(&SyntheticConfig::tiny().with_users(30), 11);
+    let back = roundtrip_instance(&inst);
+    assert_eq!(back, inst);
+    for a in [Algorithm::DeDPO, Algorithm::RatioGreedy, Algorithm::DeGreedyRG] {
+        assert_eq!(solve(a, &inst), solve(a, &back), "{a} differs after round trip");
+    }
+}
+
+#[test]
+fn city_instance_roundtrip() {
+    let mut cfg = CityConfig::auckland();
+    cfg.num_users = 60; // keep the test quick
+    cfg.num_events = 12;
+    let inst = generate_city(&cfg, 3);
+    let back = roundtrip_instance(&inst);
+    assert_eq!(back, inst);
+    assert_eq!(back.conflict_ratio(), inst.conflict_ratio());
+}
+
+#[test]
+fn planning_roundtrip_validates_against_its_instance() {
+    let inst = generate(&SyntheticConfig::tiny().with_users(25), 13);
+    let p = solve(Algorithm::DeDPORG, &inst);
+    let json = serde_json::to_string(&p).expect("serialize planning");
+    let back: Planning = serde_json::from_str(&json).expect("deserialize planning");
+    assert_eq!(back, p);
+    assert!(back.validate(&inst).is_ok());
+    assert_eq!(back.omega(&inst), p.omega(&inst));
+}
+
+#[test]
+fn config_files_roundtrip() {
+    let cfg = SyntheticConfig::default().with_conflict_ratio(0.75).with_budget_factor(5.0);
+    let json = serde_json::to_string_pretty(&cfg).unwrap();
+    let back: SyntheticConfig = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, cfg);
+
+    let city = CityConfig::singapore().with_budget_factor(10.0);
+    let json = serde_json::to_string(&city).unwrap();
+    let back: CityConfig = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, city);
+}
