@@ -10,18 +10,32 @@
 
 use crate::ratio_greedy::run_ratio_greedy;
 use usep_core::{EventId, Instance, Planning};
+use usep_trace::{with_span, Counter, Probe, NOOP};
 
 /// Augments `planning` in place with a RatioGreedy pass over the events
 /// that still have spare capacity. Returns the number of assignments
 /// added.
 pub fn augment_with_ratio_greedy(inst: &Instance, planning: &mut Planning) -> usize {
+    augment_with_ratio_greedy_probed(inst, planning, &NOOP)
+}
+
+/// [`augment_with_ratio_greedy`], reporting through `probe`: the whole
+/// pass runs under an `augment_rg` span and every assignment it adds is
+/// counted as an `augment_swap`.
+pub fn augment_with_ratio_greedy_probed(
+    inst: &Instance,
+    planning: &mut Planning,
+    probe: &dyn Probe,
+) -> usize {
     let before = planning.num_assignments();
     let residual: Vec<EventId> = inst
         .event_ids()
         .filter(|&v| planning.remaining_capacity(inst, v) > 0)
         .collect();
-    run_ratio_greedy(inst, planning, &residual);
-    planning.num_assignments() - before
+    with_span(probe, "augment_rg", || run_ratio_greedy(inst, planning, &residual, probe));
+    let added = planning.num_assignments() - before;
+    probe.count(Counter::AugmentSwap, added as u64);
+    added
 }
 
 #[cfg(test)]

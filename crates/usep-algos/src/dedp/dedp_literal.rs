@@ -20,6 +20,7 @@ use super::{
 };
 use crate::Solver;
 use usep_core::{EventId, Instance, Planning, UserId};
+use usep_trace::{with_span, Counter, Probe};
 
 /// DeDP (Alg. 3): ½-approximate, with the literal `μ^r` matrix.
 #[derive(Clone, Copy, Debug, Default)]
@@ -39,7 +40,7 @@ impl Solver for DeDP {
         "DeDP"
     }
 
-    fn solve(&self, inst: &Instance) -> Planning {
+    fn solve_with_probe(&self, inst: &Instance, probe: &dyn Probe) -> Planning {
         let nu = inst.num_users();
         let layout = PseudoLayout::new(inst);
         let total = layout.total();
@@ -47,6 +48,10 @@ impl Solver for DeDP {
         // μ^r, pseudo-major: mu_m[p * |U| + u]. Row updates (the chosen
         // pseudo-events, subtracted across all later users) are then
         // contiguous.
+        probe.count(
+            Counter::PseudoMatrixBytes,
+            (total * nu * std::mem::size_of::<f64>()) as u64,
+        );
         let mut mu_m = vec![0.0f64; total * nu];
         for v in inst.event_ids() {
             for p in layout.slots(v) {
@@ -58,12 +63,14 @@ impl Solver for DeDP {
 
         // step 1: Ŝ_{u_r} per user, as (slot, event) pairs in time order
         let mut hat: Vec<Vec<u32>> = Vec::with_capacity(nu);
-        let mut scheduler = DpScheduler::new();
+        let mut scheduler = DpScheduler::with_probe(probe);
         let order = inst.temporal().order();
         let mut cands: Vec<Candidate> = Vec::with_capacity(inst.num_events());
 
+        probe.span_enter("decomposed.step1");
         for r in 0..nu {
             let u = UserId(r as u32);
+            probe.count(Counter::CandidateRefreshUser, 1);
             cands.clear();
             for &vi in order {
                 let v = EventId(vi);
@@ -98,18 +105,21 @@ impl Solver for DeDP {
             }
             hat.push(slots);
         }
+        probe.span_exit("decomposed.step1");
         drop(mu_m);
 
         // step 2: scan r = |U| .. 1, dropping pseudo-events already kept
         // by a later user — equivalently, each slot stays with its last
         // holder
-        let mut holder = vec![0u32; total];
-        for (r, slots) in hat.iter().enumerate() {
-            for &p in slots {
-                holder[p as usize] = r as u32 + 1;
+        with_span(probe, "decomposed.step2", || {
+            let mut holder = vec![0u32; total];
+            for (r, slots) in hat.iter().enumerate() {
+                for &p in slots {
+                    holder[p as usize] = r as u32 + 1;
+                }
             }
-        }
-        build_planning_from_holders(inst, &layout, &holder)
+            build_planning_from_holders(inst, &layout, &holder)
+        })
     }
 }
 

@@ -16,9 +16,10 @@ use super::{
     build_planning_from_holders, passes_lemma1, Candidate, DpScheduler, PseudoLayout,
     SingleScheduler,
 };
-use crate::augment::augment_with_ratio_greedy;
+use crate::augment::augment_with_ratio_greedy_probed;
 use crate::Solver;
 use usep_core::{EventId, Instance, Planning, UserId};
+use usep_trace::{with_span, Counter, Probe};
 
 /// DeDPO (Alg. 4): ½-approximate, `O(|V| max c_v + |V| b_u + |V||U|)`
 /// space. `with_augment()` turns it into the paper's DeDPO+RG.
@@ -50,11 +51,11 @@ impl Solver for DeDPO {
         }
     }
 
-    fn solve(&self, inst: &Instance) -> Planning {
-        let mut scheduler = DpScheduler::new();
-        let mut planning = decomposed_with_select(inst, &mut scheduler);
+    fn solve_with_probe(&self, inst: &Instance, probe: &dyn Probe) -> Planning {
+        let mut scheduler = DpScheduler::with_probe(probe);
+        let mut planning = decomposed_with_select(inst, &mut scheduler, probe);
         if self.augment {
-            augment_with_ratio_greedy(inst, &mut planning);
+            augment_with_ratio_greedy_probed(inst, &mut planning, probe);
         }
         planning
     }
@@ -78,14 +79,19 @@ impl Solver for DeDPO {
 pub(crate) fn decomposed_with_select(
     inst: &Instance,
     scheduler: &mut impl SingleScheduler,
+    probe: &dyn Probe,
 ) -> Planning {
     let layout = PseudoLayout::new(inst);
     let mut select = vec![0u32; layout.total()];
     let order = inst.temporal().order();
     let mut cands: Vec<Candidate> = Vec::with_capacity(inst.num_events());
 
+    probe.span_enter("decomposed.step1");
     for r in 0..inst.num_users() as u32 {
         let u = UserId(r);
+        // building V'_r is the decomposed framework's per-user candidate
+        // refresh (step 1 of Alg. 3/4)
+        probe.count(Counter::CandidateRefreshUser, 1);
         let mu_row = inst.mu_row(u);
         cands.clear();
         for &vi in order {
@@ -116,8 +122,9 @@ pub(crate) fn decomposed_with_select(
             select[cands[ci].slot as usize] = r + 1;
         }
     }
+    probe.span_exit("decomposed.step1");
 
-    build_planning_from_holders(inst, &layout, &select)
+    with_span(probe, "decomposed.step2", || build_planning_from_holders(inst, &layout, &select))
 }
 
 #[cfg(test)]

@@ -15,6 +15,7 @@
 
 use super::{Candidate, SingleScheduler};
 use usep_core::{Instance, UserId};
+use usep_trace::{Counter, Probe, NOOP};
 
 /// Upper bound on DP table cells (`|V'_r| × (b_u + 1)`); about 1.6 GiB of
 /// table. Exceeding it means the instance's budgets are far outside the
@@ -23,8 +24,11 @@ pub(crate) const MAX_DP_CELLS: usize = 1 << 27;
 
 /// Reusable workspace for [`dp_single`], implementing
 /// [`SingleScheduler`] for the DeDP/DeDPO family.
-#[derive(Debug, Default)]
-pub(crate) struct DpScheduler {
+pub(crate) struct DpScheduler<'p> {
+    /// Instrumentation sink; visited/pruned cell counts are accumulated
+    /// locally per run and flushed here once, so the probe never sits in
+    /// the DP inner loop.
+    probe: &'p dyn Probe,
     /// `omega[i * stride + t]`; all-zero between calls.
     omega: Vec<f64>,
     /// Predecessor candidate index per cell (`-1` = schedule starts here).
@@ -37,13 +41,26 @@ pub(crate) struct DpScheduler {
     ends: Vec<i64>,
 }
 
-impl DpScheduler {
-    pub fn new() -> DpScheduler {
-        DpScheduler::default()
+impl DpScheduler<'static> {
+    pub fn new() -> DpScheduler<'static> {
+        DpScheduler::with_probe(&NOOP)
     }
 }
 
-impl SingleScheduler for DpScheduler {
+impl<'p> DpScheduler<'p> {
+    pub fn with_probe(probe: &'p dyn Probe) -> DpScheduler<'p> {
+        DpScheduler {
+            probe,
+            omega: Vec::new(),
+            path: Vec::new(),
+            lo: Vec::new(),
+            hi: Vec::new(),
+            ends: Vec::new(),
+        }
+    }
+}
+
+impl SingleScheduler for DpScheduler<'_> {
     fn schedule(&mut self, inst: &Instance, u: UserId, cands: &[Candidate]) -> Vec<usize> {
         dp_single(self, inst, u, cands)
     }
@@ -54,7 +71,7 @@ impl SingleScheduler for DpScheduler {
 /// of the chosen candidates in time order; empty when no affordable
 /// candidate exists.
 pub(crate) fn dp_single(
-    ws: &mut DpScheduler,
+    ws: &mut DpScheduler<'_>,
     inst: &Instance,
     u: UserId,
     cands: &[Candidate],
@@ -89,6 +106,9 @@ pub(crate) fn dp_single(
 
     let mut best_score = 0.0f64;
     let mut best_cell = None::<(usize, usize)>;
+    // cell accounting stays in registers; flushed to the probe once below
+    let mut cells_visited = 0u64;
+    let mut cells_pruned = 0u64;
 
     for i in 0..m {
         let vi = cands[i].v;
@@ -112,6 +132,7 @@ pub(crate) fn dp_single(
 
         // base case: v_i is the first event
         {
+            cells_visited += 1;
             let t0 = arrive;
             if mu_i > row_i[t0] {
                 row_i[t0] = mu_i;
@@ -147,8 +168,10 @@ pub(crate) fn dp_single(
             }
             for (off, &s) in row_l[t_lo..=t_hi].iter().enumerate() {
                 if s <= 0.0 {
+                    cells_pruned += 1;
                     continue;
                 }
+                cells_visited += 1;
                 let t = t_lo + off;
                 let nt = t + c;
                 let ns = s + mu_i;
@@ -195,6 +218,8 @@ pub(crate) fn dp_single(
         }
     }
     debug_assert!(chosen.windows(2).all(|w| w[0] < w[1]));
+    ws.probe.count(Counter::DpCellVisit, cells_visited);
+    ws.probe.count(Counter::DpCellPruned, cells_pruned);
     chosen
 }
 

@@ -17,12 +17,13 @@
 //! rescan of its region for the best still-affordable event. This is
 //! strictly safer and preserves the complexity bound.
 
-use crate::augment::augment_with_ratio_greedy;
+use crate::augment::augment_with_ratio_greedy_probed;
 use crate::dedp::{decomposed_with_select, Candidate, SingleScheduler};
 use crate::Solver;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 use usep_core::{Cost, Instance, Planning, Schedule, UserId};
+use usep_trace::{Counter, Probe};
 
 /// DeGreedy (Alg. 5). `with_augment()` yields the paper's DeGreedy+RG.
 #[derive(Clone, Copy, Debug, Default)]
@@ -52,11 +53,11 @@ impl Solver for DeGreedy {
         }
     }
 
-    fn solve(&self, inst: &Instance) -> Planning {
-        let mut scheduler = GreedyScheduler;
-        let mut planning = decomposed_with_select(inst, &mut scheduler);
+    fn solve_with_probe(&self, inst: &Instance, probe: &dyn Probe) -> Planning {
+        let mut scheduler = GreedyScheduler { probe };
+        let mut planning = decomposed_with_select(inst, &mut scheduler, probe);
         if self.augment {
-            augment_with_ratio_greedy(inst, &mut planning);
+            augment_with_ratio_greedy_probed(inst, &mut planning, probe);
         }
         planning
     }
@@ -64,11 +65,13 @@ impl Solver for DeGreedy {
 
 /// `GreedySingle` as a [`SingleScheduler`] plug-in for the decomposed
 /// framework.
-pub(crate) struct GreedyScheduler;
+pub(crate) struct GreedyScheduler<'p> {
+    probe: &'p dyn Probe,
+}
 
-impl SingleScheduler for GreedyScheduler {
+impl SingleScheduler for GreedyScheduler<'_> {
     fn schedule(&mut self, inst: &Instance, u: UserId, cands: &[Candidate]) -> Vec<usize> {
-        greedy_single(inst, u, cands)
+        greedy_single(inst, u, cands, self.probe)
     }
 }
 
@@ -107,7 +110,12 @@ impl PartialOrd for GapCand {
 /// `GreedySingle` (Alg. 5) for user `u` over candidates in end-time
 /// order (decomposed utilities positive, Lemma 1 pre-applied). Returns
 /// chosen candidate indices in time order.
-pub(crate) fn greedy_single(inst: &Instance, u: UserId, cands: &[Candidate]) -> Vec<usize> {
+pub(crate) fn greedy_single(
+    inst: &Instance,
+    u: UserId,
+    cands: &[Candidate],
+    probe: &dyn Probe,
+) -> Vec<usize> {
     let m = cands.len();
     if m == 0 {
         return Vec::new();
@@ -129,6 +137,9 @@ pub(crate) fn greedy_single(inst: &Instance, u: UserId, cands: &[Candidate]) -> 
             };
             let inc = sched.inc_cost_at(inst, u, c.v, pos);
             if inc.is_infinite() || total.add(inc) > budget {
+                if !inc.is_infinite() {
+                    probe.count(Counter::BudgetReject, 1);
+                }
                 continue;
             }
             let ratio = if inc == Cost::ZERO { f64::INFINITY } else { c.mu / inc.as_f64() };
@@ -141,9 +152,11 @@ pub(crate) fn greedy_single(inst: &Instance, u: UserId, cands: &[Candidate]) -> 
     };
 
     if let Some(first) = scan(&sched, total, 0, m - 1) {
+        probe.count(Counter::HeapPush, 1);
         heap.push(first);
     }
     while let Some(c) = heap.pop() {
+        probe.count(Counter::HeapPop, 1);
         // re-validate against the *current* budget: an insertion into a
         // different region may have consumed it (inc is still exact — the
         // entry's own region cannot have changed while it sat in H)
@@ -154,8 +167,10 @@ pub(crate) fn greedy_single(inst: &Instance, u: UserId, cands: &[Candidate]) -> 
         let inc = sched.inc_cost_at(inst, u, cands[c.idx].v, pos);
         debug_assert_eq!(inc, c.inc, "inc went stale inside an untouched region");
         if inc.is_infinite() || total.add(inc) > budget {
+            probe.count(Counter::HeapPopStale, 1);
             // stale by budget: replace with the region's best affordable
             if let Some(repl) = scan(&sched, total, c.lo, c.hi) {
+                probe.count(Counter::HeapPush, 1);
                 heap.push(repl);
             }
             continue;
@@ -169,11 +184,13 @@ pub(crate) fn greedy_single(inst: &Instance, u: UserId, cands: &[Candidate]) -> 
         // split the region around the inserted candidate (lines 8-17)
         if c.idx > c.lo {
             if let Some(left) = scan(&sched, total, c.lo, c.idx - 1) {
+                probe.count(Counter::HeapPush, 1);
                 heap.push(left);
             }
         }
         if c.idx < c.hi {
             if let Some(right) = scan(&sched, total, c.idx + 1, c.hi) {
+                probe.count(Counter::HeapPush, 1);
                 heap.push(right);
             }
         }
@@ -185,6 +202,7 @@ pub(crate) fn greedy_single(inst: &Instance, u: UserId, cands: &[Candidate]) -> 
 mod tests {
     use super::*;
     use usep_core::{EventId, InstanceBuilder, Point, TimeInterval};
+    use usep_trace::NOOP;
 
     fn iv(a: i64, b: i64) -> TimeInterval {
         TimeInterval::new(a, b).unwrap()
@@ -200,7 +218,7 @@ mod tests {
         b.event(1, Point::ORIGIN, iv(0, 1));
         let u = b.user(Point::ORIGIN, Cost::new(10));
         let inst = b.build().unwrap();
-        assert!(greedy_single(&inst, u, &[]).is_empty());
+        assert!(greedy_single(&inst, u, &[], &NOOP).is_empty());
     }
 
     #[test]
@@ -218,6 +236,7 @@ mod tests {
             &inst,
             u,
             &[cand(v0, 0.5), cand(v1, 0.5), cand(v2, 0.5)],
+            &NOOP,
         );
         assert_eq!(chosen, vec![0, 1, 2]);
     }
@@ -236,7 +255,8 @@ mod tests {
         b.utility(v2, u, 0.8);
         let inst = b.build().unwrap();
         // candidates in end-time order: v1 [0,10], v0 [10,20], v2 [20,30]
-        let chosen = greedy_single(&inst, u, &[cand(v1, 0.9), cand(v0, 0.5), cand(v2, 0.8)]);
+        let chosen =
+            greedy_single(&inst, u, &[cand(v1, 0.9), cand(v0, 0.5), cand(v2, 0.8)], &NOOP);
         // v0 goes first (infinite ratio, inc 0); then v1 (inc 8 ≤ 9)
         // beats v2 (inc 10 > 9, unaffordable)
         let events: Vec<EventId> = chosen.iter().map(|&i| [v1, v0, v2][i]).collect();

@@ -43,15 +43,32 @@ pub use maxmin::MaxMinGreedy;
 pub use ratio_greedy::RatioGreedy;
 
 use usep_core::{Instance, Planning};
+pub use usep_trace::{Counter, NoopProbe, Probe, TraceSink, NOOP};
 
 /// A USEP planning algorithm: takes an instance, returns a feasible
 /// planning.
+///
+/// `solve` and `solve_with_probe` default to each other (like
+/// `PartialEq::eq`/`ne`): instrumented solvers implement
+/// `solve_with_probe` and get `solve` for free, plain solvers implement
+/// `solve` and silently ignore any probe. Implement at least one.
 pub trait Solver {
     /// Short display name (matches the paper's figure legends).
     fn name(&self) -> &'static str;
 
     /// Computes a feasible planning for `inst`.
-    fn solve(&self, inst: &Instance) -> Planning;
+    fn solve(&self, inst: &Instance) -> Planning {
+        self.solve_with_probe(inst, &NOOP)
+    }
+
+    /// Computes a feasible planning, reporting counters, spans and
+    /// histogram observations through `probe` along the way. The planning
+    /// returned is identical to [`Solver::solve`]'s — probes observe,
+    /// they never steer.
+    fn solve_with_probe(&self, inst: &Instance, probe: &dyn Probe) -> Planning {
+        let _ = probe;
+        self.solve(inst)
+    }
 }
 
 /// The six algorithms evaluated in the paper's experiments, plus two
@@ -140,15 +157,22 @@ impl std::fmt::Display for Algorithm {
 
 /// Runs `algorithm` on `inst`.
 pub fn solve(algorithm: Algorithm, inst: &Instance) -> Planning {
+    solve_with_probe(algorithm, inst, &NOOP)
+}
+
+/// Runs `algorithm` on `inst`, reporting instrumentation through
+/// `probe` (see the `usep-trace` crate). With [`NOOP`] this is exactly
+/// [`solve`].
+pub fn solve_with_probe(algorithm: Algorithm, inst: &Instance, probe: &dyn Probe) -> Planning {
     match algorithm {
-        Algorithm::RatioGreedy => RatioGreedy.solve(inst),
-        Algorithm::DeDP => DeDP::new().solve(inst),
-        Algorithm::DeDPO => DeDPO::new().solve(inst),
-        Algorithm::DeDPORG => DeDPO::new().with_augment().solve(inst),
-        Algorithm::DeGreedy => DeGreedy::new().solve(inst),
-        Algorithm::DeGreedyRG => DeGreedy::new().with_augment().solve(inst),
-        Algorithm::SingleEventGreedy => SingleEventGreedy.solve(inst),
-        Algorithm::UtilityGreedy => UtilityGreedy.solve(inst),
+        Algorithm::RatioGreedy => RatioGreedy.solve_with_probe(inst, probe),
+        Algorithm::DeDP => DeDP::new().solve_with_probe(inst, probe),
+        Algorithm::DeDPO => DeDPO::new().solve_with_probe(inst, probe),
+        Algorithm::DeDPORG => DeDPO::new().with_augment().solve_with_probe(inst, probe),
+        Algorithm::DeGreedy => DeGreedy::new().solve_with_probe(inst, probe),
+        Algorithm::DeGreedyRG => DeGreedy::new().with_augment().solve_with_probe(inst, probe),
+        Algorithm::SingleEventGreedy => SingleEventGreedy.solve_with_probe(inst, probe),
+        Algorithm::UtilityGreedy => UtilityGreedy.solve_with_probe(inst, probe),
     }
 }
 

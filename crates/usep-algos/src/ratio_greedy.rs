@@ -17,6 +17,7 @@ use crate::Solver;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 use usep_core::{Cost, EventId, Instance, Planning, UserId};
+use usep_trace::{with_span, Counter, Probe};
 
 /// The RatioGreedy heuristic (Algorithm 1). No approximation guarantee,
 /// but fast on small instances; used standalone and as the `+RG`
@@ -29,10 +30,12 @@ impl Solver for RatioGreedy {
         "RatioGreedy"
     }
 
-    fn solve(&self, inst: &Instance) -> Planning {
+    fn solve_with_probe(&self, inst: &Instance, probe: &dyn Probe) -> Planning {
         let mut planning = Planning::empty(inst);
         let events: Vec<EventId> = inst.event_ids().collect();
-        run_ratio_greedy(inst, &mut planning, &events);
+        with_span(probe, "ratio_greedy", || {
+            run_ratio_greedy(inst, &mut planning, &events, probe);
+        });
         planning
     }
 }
@@ -114,10 +117,16 @@ struct Engine<'a> {
     /// Maps `EventId` to its position in `events` (u32::MAX = excluded).
     event_pos: Vec<u32>,
     next_gen: u64,
+    probe: &'a dyn Probe,
 }
 
 impl<'a> Engine<'a> {
-    fn new(inst: &'a Instance, planning: &'a mut Planning, events: &'a [EventId]) -> Self {
+    fn new(
+        inst: &'a Instance,
+        planning: &'a mut Planning,
+        events: &'a [EventId],
+        probe: &'a dyn Probe,
+    ) -> Self {
         let mut event_pos = vec![u32::MAX; inst.num_events()];
         for (i, &v) in events.iter().enumerate() {
             event_pos[v.index()] = i as u32;
@@ -133,6 +142,7 @@ impl<'a> Engine<'a> {
             user_best: vec![None; inst.num_users()],
             event_pos,
             next_gen: 1,
+            probe,
         }
     }
 
@@ -141,6 +151,7 @@ impl<'a> Engine<'a> {
     /// the incremental cost when valid.
     fn pair_inc(&self, v: EventId, u: UserId) -> Option<Cost> {
         if self.planning.remaining_capacity(self.inst, v) == 0 {
+            self.probe.count(Counter::CapacityReject, 1);
             return None;
         }
         if self.inst.mu(v, u) <= 0.0 {
@@ -153,6 +164,7 @@ impl<'a> Engine<'a> {
             return None;
         }
         if s.total_cost(self.inst, u).add(inc) > self.inst.user(u).budget {
+            self.probe.count(Counter::BudgetReject, 1);
             return None;
         }
         Some(inc)
@@ -166,6 +178,7 @@ impl<'a> Engine<'a> {
             return; // event excluded from this run
         }
         let pos = pos as usize;
+        self.probe.count(Counter::CandidateRefreshEvent, 1);
         self.next_gen += 1;
         self.event_gen[pos] = self.next_gen;
         let mut best: Option<(UserId, f64, Cost)> = None;
@@ -186,6 +199,7 @@ impl<'a> Engine<'a> {
         }
         self.event_best[pos] = best;
         if let Some((u, r, inc)) = best {
+            self.probe.count(Counter::HeapPush, 1);
             self.heap.push(Cand { ratio: r, inc, v, u, side: Side::Event, gen: self.next_gen });
         }
     }
@@ -193,6 +207,7 @@ impl<'a> Engine<'a> {
     /// Recomputes the best event for user `u` (lines 6–8 / 19–20) and
     /// pushes it.
     fn refresh_user(&mut self, u: UserId) {
+        self.probe.count(Counter::CandidateRefreshUser, 1);
         self.next_gen += 1;
         self.user_gen[u.index()] = self.next_gen;
         let mut best: Option<(EventId, f64, Cost)> = None;
@@ -211,18 +226,23 @@ impl<'a> Engine<'a> {
         }
         self.user_best[u.index()] = best;
         if let Some((v, r, inc)) = best {
+            self.probe.count(Counter::HeapPush, 1);
             self.heap.push(Cand { ratio: r, inc, v, u, side: Side::User, gen: self.next_gen });
         }
     }
 
     fn run(&mut self) {
+        self.probe.span_enter("ratio_greedy.seed");
         for i in 0..self.events.len() {
             self.refresh_event(self.events[i]);
         }
         for u in 0..self.inst.num_users() as u32 {
             self.refresh_user(UserId(u));
         }
+        self.probe.span_exit("ratio_greedy.seed");
+        self.probe.span_enter("ratio_greedy.drain");
         while let Some(c) = self.heap.pop() {
+            self.probe.count(Counter::HeapPop, 1);
             // lazy deletion: only the entry matching the side's current
             // generation is live
             let live = match c.side {
@@ -233,6 +253,7 @@ impl<'a> Engine<'a> {
                 Side::User => self.user_gen[c.u.index()] == c.gen,
             };
             if !live {
+                self.probe.count(Counter::HeapPopStale, 1);
                 continue;
             }
             // consume the side's slot
@@ -240,10 +261,13 @@ impl<'a> Engine<'a> {
                 Side::Event => self.event_best[self.event_pos[c.v.index()] as usize] = None,
                 Side::User => self.user_best[c.u.index()] = None,
             }
-            let added = if self.pair_inc(c.v, c.u).is_some() {
+            let added = if let Some(inc) = self.pair_inc(c.v, c.u) {
                 self.planning
                     .assign(self.inst, c.u, c.v)
                     .expect("pair validated as assignable");
+                if self.probe.enabled() {
+                    self.probe.record("ratio_greedy.accepted_inc", inc.as_f64());
+                }
                 true
             } else {
                 false
@@ -274,6 +298,7 @@ impl<'a> Engine<'a> {
                 // and trigger a refresh then.
             }
         }
+        self.probe.span_exit("ratio_greedy.drain");
     }
 }
 
@@ -281,11 +306,16 @@ impl<'a> Engine<'a> {
 /// (Algorithm 1; also the `+RG` pass when `planning` is non-empty and
 /// `events` are the non-full ones). Existing schedules are respected —
 /// incremental costs are computed against them.
-pub(crate) fn run_ratio_greedy(inst: &Instance, planning: &mut Planning, events: &[EventId]) {
+pub(crate) fn run_ratio_greedy(
+    inst: &Instance,
+    planning: &mut Planning,
+    events: &[EventId],
+    probe: &dyn Probe,
+) {
     if events.is_empty() || inst.num_users() == 0 {
         return;
     }
-    Engine::new(inst, planning, events).run();
+    Engine::new(inst, planning, events, probe).run();
 }
 
 #[cfg(test)]
@@ -443,5 +473,47 @@ mod tests {
         assert_eq!(p1, p2, "deterministic");
         assert!(p1.validate(&inst).is_ok());
         assert!(p1.num_assignments() > 0);
+    }
+
+    #[test]
+    fn probe_counters_satisfy_lazy_heap_invariants() {
+        use usep_trace::TraceSink;
+        let mut b = InstanceBuilder::new();
+        let mut vs = Vec::new();
+        for i in 0..5 {
+            vs.push(b.event(
+                2,
+                Point::new(i * 4, i % 3),
+                iv(i64::from(i) * 10, i64::from(i) * 10 + 8),
+            ));
+        }
+        let mut us = Vec::new();
+        for j in 0..4 {
+            us.push(b.user(Point::new(j, 2), Cost::new(50)));
+        }
+        for (i, &v) in vs.iter().enumerate() {
+            for (j, &u) in us.iter().enumerate() {
+                b.utility(v, u, 0.15 + 0.11 * ((i * 3 + j) % 6) as f64);
+            }
+        }
+        let inst = b.build().unwrap();
+
+        let sink = TraceSink::new();
+        let traced = RatioGreedy.solve_with_probe(&inst, &sink);
+        assert_eq!(traced, RatioGreedy.solve(&inst), "probes must not steer the result");
+
+        let pop = sink.counter(Counter::HeapPop);
+        let stale = sink.counter(Counter::HeapPopStale);
+        let push = sink.counter(Counter::HeapPush);
+        assert!(pop >= stale, "every stale pop is a pop: pop={pop} stale={stale}");
+        assert_eq!(push, pop, "the drain loop empties the heap exactly");
+        assert!(sink.counter(Counter::CandidateRefreshEvent) >= 5, "one seed refresh per event");
+        assert!(sink.counter(Counter::CandidateRefreshUser) >= 4, "one seed refresh per user");
+        // every assignment came out of an accepted pop
+        assert!(pop - stale >= traced.num_assignments() as u64);
+        let spans = sink.span_totals();
+        for name in ["ratio_greedy", "ratio_greedy.seed", "ratio_greedy.drain"] {
+            assert!(spans.iter().any(|t| t.name == name && t.count == 1), "missing span {name}");
+        }
     }
 }

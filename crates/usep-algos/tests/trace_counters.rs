@@ -1,0 +1,57 @@
+//! Every paper algorithm must report its work through `solve_with_probe`:
+//! identical plannings to `solve`, plus non-zero counters in the
+//! registry entries its complexity model is stated in.
+
+use usep_algos::{solve, solve_with_probe, Algorithm, Counter, TraceSink};
+use usep_gen::{generate, SyntheticConfig};
+
+#[test]
+fn paper_algorithms_report_nonzero_counters_and_identical_plannings() {
+    let inst = generate(&SyntheticConfig::tiny(), 7);
+    for a in Algorithm::PAPER_SET {
+        let sink = TraceSink::new();
+        let traced = solve_with_probe(a, &inst, &sink);
+        assert_eq!(traced, solve(a, &inst), "{a}: the probe must not steer the planning");
+        let total: u64 = sink.counters().iter().map(|&(_, v)| v).sum();
+        assert!(total > 0, "{a} reported no counter activity at all");
+
+        match a {
+            Algorithm::RatioGreedy => {
+                assert!(sink.counter(Counter::HeapPush) > 0, "{a}: no heap pushes");
+                assert!(sink.counter(Counter::CandidateRefreshEvent) > 0);
+                assert!(sink.counter(Counter::CandidateRefreshUser) > 0);
+            }
+            Algorithm::DeDP => {
+                assert!(sink.counter(Counter::PseudoMatrixBytes) > 0, "{a}: matrix unreported");
+                assert!(sink.counter(Counter::DpCellVisit) > 0, "{a}: no DP cells");
+            }
+            Algorithm::DeDPO | Algorithm::DeDPORG => {
+                assert!(sink.counter(Counter::DpCellVisit) > 0, "{a}: no DP cells");
+                assert_eq!(sink.counter(Counter::PseudoMatrixBytes), 0, "{a} has no matrix");
+            }
+            Algorithm::DeGreedy | Algorithm::DeGreedyRG => {
+                assert!(sink.counter(Counter::HeapPush) > 0, "{a}: no heap pushes");
+                assert!(sink.counter(Counter::DpCellVisit) == 0, "{a} runs no DP");
+            }
+            _ => unreachable!("not in PAPER_SET"),
+        }
+
+        let spans = sink.span_totals();
+        let has_augment = spans.iter().any(|t| t.name == "augment_rg");
+        let wants_augment = matches!(a, Algorithm::DeDPORG | Algorithm::DeGreedyRG);
+        assert_eq!(has_augment, wants_augment, "{a}: augment_rg span mismatch");
+    }
+}
+
+#[test]
+fn dedp_and_dedpo_report_identical_dp_work() {
+    // Lemma 2: same candidate sets per user, hence byte-identical DP
+    // traffic between the literal-matrix and select-array variants.
+    let inst = generate(&SyntheticConfig::tiny().with_users(15), 3);
+    let (a, b) = (TraceSink::new(), TraceSink::new());
+    let pa = solve_with_probe(Algorithm::DeDP, &inst, &a);
+    let pb = solve_with_probe(Algorithm::DeDPO, &inst, &b);
+    assert_eq!(pa, pb);
+    assert_eq!(a.counter(Counter::DpCellVisit), b.counter(Counter::DpCellVisit));
+    assert_eq!(a.counter(Counter::DpCellPruned), b.counter(Counter::DpCellPruned));
+}

@@ -1,0 +1,46 @@
+//! Overhead of the `usep-trace` instrumentation layer.
+//!
+//! Every solver hot path now reports to a `Probe`. This bench pins the
+//! cost of that indirection at its three operating points:
+//!
+//! * `solve` — the plain entry point (routes through `NOOP` internally);
+//! * `probe_noop` — `solve_with_probe(&NOOP)`, the disabled probe every
+//!   uninstrumented caller pays for;
+//! * `probe_sink` — `solve_with_probe(&TraceSink)`, full counter and
+//!   span recording (no I/O; the JSONL writer is exercised elsewhere).
+//!
+//! The first two must be indistinguishable; the third bounds the price
+//! of turning tracing on.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+use usep_algos::Algorithm;
+use usep_bench::BENCH_USERS;
+use usep_gen::{generate, SyntheticConfig};
+use usep_trace::{TraceSink, NOOP};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("trace_overhead");
+    g.sample_size(10).warm_up_time(Duration::from_secs(1)).measurement_time(Duration::from_secs(2));
+    let cfg = SyntheticConfig::default().with_events(50).with_users(BENCH_USERS);
+    let inst = generate(&cfg, 2015);
+    for algo in [Algorithm::RatioGreedy, Algorithm::DeDPO, Algorithm::DeGreedy] {
+        g.bench_with_input(BenchmarkId::new(algo.name(), "solve"), &inst, |b, inst| {
+            b.iter(|| black_box(usep_algos::solve(algo, inst).omega(inst)))
+        });
+        g.bench_with_input(BenchmarkId::new(algo.name(), "probe_noop"), &inst, |b, inst| {
+            b.iter(|| black_box(usep_algos::solve_with_probe(algo, inst, &NOOP).omega(inst)))
+        });
+        g.bench_with_input(BenchmarkId::new(algo.name(), "probe_sink"), &inst, |b, inst| {
+            b.iter(|| {
+                let sink = TraceSink::new();
+                black_box(usep_algos::solve_with_probe(algo, inst, &sink).omega(inst))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

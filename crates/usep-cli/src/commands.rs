@@ -2,9 +2,10 @@
 
 use crate::args::Flags;
 use std::path::Path;
-use usep_algos::{bounds, local_search, solve, Algorithm};
+use usep_algos::{bounds, local_search, solve_with_probe, Algorithm};
 use usep_core::{Instance, Planning, PlanningStats};
 use usep_gen::{generate, generate_city, CityConfig, Spread, SyntheticConfig, UtilityDistribution};
+use usep_trace::{Probe, TraceSink, NOOP};
 
 const HELP: &str = "usep — utility-aware social event-participant planning (SIGMOD'15)
 
@@ -21,7 +22,11 @@ SUBCOMMANDS:
 
 Common flags: --instance FILE, --plan FILE, --out FILE, --seed N,
 --algorithm ratiogreedy|dedp|dedpo|dedpo+rg|degreedy|degreedy+rg|baseline,
---local-search N (solve). See the crate docs for the full flag list.";
+--local-search N (solve). See the crate docs for the full flag list.
+
+Tracing (solve): --trace-out FILE writes a JSON-lines trace (span and
+counter events, one JSON object per line, final 'summary' record);
+--trace-summary true prints the counter/span summary to stderr.";
 
 /// Dispatches a parsed command line.
 pub fn dispatch(argv: &[String]) -> Result<(), String> {
@@ -151,10 +156,24 @@ fn cmd_solve(flags: &Flags) -> Result<(), String> {
         .ok_or_else(|| format!("unknown --algorithm '{algo_name}'"))?;
     let ls_rounds = flags.get_or("local-search", 0usize)?;
     let out = flags.get("out");
+    let trace_out = flags.get("trace-out");
+    let trace_summary = flags.get_or("trace-summary", false)?;
     flags.reject_unknown()?;
 
+    let sink: Option<TraceSink> = match &trace_out {
+        Some(path) => {
+            Some(TraceSink::to_file(Path::new(path)).map_err(|e| format!("open {path}: {e}"))?)
+        }
+        None if trace_summary => Some(TraceSink::new()),
+        None => None,
+    };
+    let probe: &dyn Probe = match &sink {
+        Some(s) => s,
+        None => &NOOP,
+    };
+
     let t0 = std::time::Instant::now();
-    let mut plan = solve(algo, &inst);
+    let mut plan = solve_with_probe(algo, &inst, probe);
     let solve_secs = t0.elapsed().as_secs_f64();
     let improved = if ls_rounds > 0 {
         local_search::improve(&inst, &mut plan, ls_rounds)
@@ -178,7 +197,42 @@ fn cmd_solve(flags: &Flags) -> Result<(), String> {
         write_json(&plan, &out)?;
         eprintln!("wrote {out}");
     }
+    if let Some(sink) = &sink {
+        sink.finish().map_err(|e| format!("write trace: {e}"))?;
+        if let Some(path) = &trace_out {
+            eprintln!("wrote trace {path}");
+        }
+        if trace_summary {
+            print_trace_summary(sink);
+        }
+    }
     Ok(())
+}
+
+/// Human-readable counter/span/histogram summary on stderr, mirroring
+/// the trace file's final `summary` record.
+fn print_trace_summary(sink: &TraceSink) {
+    eprintln!("trace counters:");
+    for (c, v) in sink.counters() {
+        if v > 0 {
+            eprintln!("  {c} = {v}");
+        }
+    }
+    let spans = sink.span_totals();
+    if !spans.is_empty() {
+        eprintln!("trace spans:");
+        for t in spans {
+            eprintln!("  {} x{} {:.3} ms", t.name, t.count, t.total_ns as f64 / 1e6);
+        }
+    }
+    for name in sink.histogram_names() {
+        if let Some(s) = sink.histogram_summary(&name) {
+            eprintln!(
+                "trace histogram {name}: n={} min={:.3} p50={:.3} p95={:.3} p99={:.3} max={:.3}",
+                s.count, s.min, s.p50, s.p95, s.p99, s.max
+            );
+        }
+    }
 }
 
 fn cmd_stats(flags: &Flags) -> Result<(), String> {
@@ -395,6 +449,44 @@ mod tests {
         ]))
         .unwrap();
         assert!(inst.exists());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn solve_trace_out_emits_valid_jsonl_with_summary() {
+        let dir = std::env::temp_dir().join(format!("usep_cli_trace_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let inst = dir.join("inst.json");
+        let trace = dir.join("run.jsonl");
+        let inst_s = inst.to_str().unwrap();
+        let trace_s = trace.to_str().unwrap();
+        dispatch(&argv(&[
+            "gen", "--events", "10", "--users", "15", "--capacity-mean", "3", "--seed", "4",
+            "--out", inst_s,
+        ]))
+        .unwrap();
+        dispatch(&argv(&[
+            "solve", "--instance", inst_s, "--algorithm", "ratiogreedy", "--trace-out", trace_s,
+            "--trace-summary", "true",
+        ]))
+        .unwrap();
+        let text = std::fs::read_to_string(&trace).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines.len() >= 3, "spans + summary expected, got {} lines", lines.len());
+        for line in &lines {
+            let _: serde::Content =
+                serde_json::from_str(line).unwrap_or_else(|e| panic!("bad JSONL line {line}: {e}"));
+        }
+        let last = lines.last().unwrap();
+        assert!(last.contains("\"type\":\"summary\""), "last line must be the summary: {last}");
+        assert!(last.contains("\"heap_push\""), "summary lists the counter registry");
+        // every non-summary record is a span event for this solver
+        for line in &lines[..lines.len() - 1] {
+            assert!(
+                line.contains("\"span_enter\"") || line.contains("\"span_exit\""),
+                "unexpected record {line}"
+            );
+        }
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -5,9 +5,11 @@ use crate::timer::time;
 use serde::{Deserialize, Serialize};
 use usep_algos::Algorithm;
 use usep_core::Instance;
+use usep_trace::TraceSink;
 
 /// One measured algorithm run (the three quantities every panel of
-/// Figures 2–4 plots).
+/// Figures 2–4 plots, plus the algorithm-counter snapshot from
+/// `usep-trace`).
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct Measurement {
     /// Algorithm legend name.
@@ -21,16 +23,24 @@ pub struct Measurement {
     pub peak_bytes: usize,
     /// Number of event-user assignments in the returned planning.
     pub assignments: usize,
+    /// Algorithm counters in registry order, as `(name, value)` pairs
+    /// (see `usep_trace::Counter`). Empty when deserialized from results
+    /// recorded before counters existed.
+    #[serde(default)]
+    pub counters: Vec<(String, u64)>,
 }
 
 /// Runs `algorithm` on `inst`, validating the output planning and
-/// capturing Ω, wall-clock time and peak heap growth.
+/// capturing Ω, wall-clock time, peak heap growth and the full
+/// algorithm-counter snapshot.
 ///
 /// # Panics
 /// Panics if the algorithm returns an infeasible planning — that is a
 /// bug, and experiments must not silently report numbers from one.
 pub fn run_measured(algorithm: Algorithm, inst: &Instance) -> Measurement {
-    let ((planning, dur), peak) = measure_peak(|| time(|| usep_algos::solve(algorithm, inst)));
+    let sink = TraceSink::new();
+    let ((planning, dur), peak) =
+        measure_peak(|| time(|| usep_algos::solve_with_probe(algorithm, inst, &sink)));
     planning
         .validate(inst)
         .unwrap_or_else(|e| panic!("{algorithm} returned an infeasible planning: {e}"));
@@ -40,6 +50,7 @@ pub fn run_measured(algorithm: Algorithm, inst: &Instance) -> Measurement {
         seconds: dur.as_secs_f64(),
         peak_bytes: peak,
         assignments: planning.num_assignments(),
+        counters: sink.counters().into_iter().map(|(c, v)| (c.name().to_string(), v)).collect(),
     }
 }
 
@@ -56,6 +67,8 @@ mod tests {
             assert_eq!(m.algorithm, a.name());
             assert!(m.omega >= 0.0);
             assert!(m.seconds >= 0.0);
+            assert_eq!(m.counters.len(), usep_trace::Counter::ALL.len());
+            assert!(m.counters.iter().any(|&(_, v)| v > 0), "{a}: all counters zero");
         }
     }
 
@@ -76,9 +89,15 @@ mod tests {
             seconds: 0.25,
             peak_bytes: 1024,
             assignments: 30,
+            counters: vec![("dp_cell_visit".to_string(), 420)],
         };
         let json = serde_json::to_string(&m).unwrap();
         let back: Measurement = serde_json::from_str(&json).unwrap();
         assert_eq!(back, m);
+        // counter-free records from before the field existed still load
+        let legacy = r#"{"algorithm":"DeDPO","omega":1.0,"seconds":0.1,
+                         "peak_bytes":0,"assignments":2}"#;
+        let old: Measurement = serde_json::from_str(legacy).unwrap();
+        assert!(old.counters.is_empty());
     }
 }

@@ -1,0 +1,221 @@
+//! Log-scale histogram with percentile summaries.
+//!
+//! Values are bucketed by the base-2 logarithm of their integer
+//! magnitude: bucket 0 holds `[0, 1)`, bucket `i > 0` holds
+//! `[2^(i-1), 2^i)`. That gives a fixed 65-slot footprint covering the
+//! full `u64` range with ≤ 2× relative error on percentile estimates —
+//! the standard trade-off for latency-style distributions. Estimates
+//! are clamped to the observed `[min, max]`, so single-sample and
+//! constant histograms report percentiles exactly.
+
+/// Number of buckets: `[0,1)` plus one per power of two up to `2^64`.
+const BUCKETS: usize = 65;
+
+/// A log₂-bucketed histogram of non-negative values.
+#[derive(Clone, Debug, Default)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+/// Point summary of a [`Histogram`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct HistogramSummary {
+    /// Number of recorded observations.
+    pub count: u64,
+    /// Smallest observation.
+    pub min: f64,
+    /// Largest observation.
+    pub max: f64,
+    /// Exact arithmetic mean.
+    pub mean: f64,
+    /// Median estimate (≤ 2× relative error, exact when constant).
+    pub p50: f64,
+    /// 95th-percentile estimate.
+    pub p95: f64,
+    /// 99th-percentile estimate.
+    pub p99: f64,
+}
+
+fn bucket_of(value: f64) -> usize {
+    if value.is_nan() || value < 1.0 {
+        // negatives, NaN and [0, 1) all land in the first bucket
+        return 0;
+    }
+    let v = if value >= u64::MAX as f64 { u64::MAX } else { value as u64 };
+    (64 - v.leading_zeros() as usize).min(BUCKETS - 1)
+}
+
+/// Geometric midpoint of a bucket, the canonical point estimate for a
+/// log-scale bin.
+fn bucket_mid(bucket: usize) -> f64 {
+    if bucket == 0 {
+        return 0.5;
+    }
+    let lo = (1u128 << (bucket - 1)) as f64;
+    let hi = (1u128 << bucket) as f64;
+    (lo * hi).sqrt()
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    /// Records one observation. Negative and non-finite values are
+    /// clamped into the lowest bucket rather than dropped, so `count`
+    /// always equals the number of calls.
+    pub fn record(&mut self, value: f64) {
+        let value = if value.is_finite() { value } else { 0.0 };
+        if self.counts.is_empty() {
+            self.counts = vec![0; BUCKETS];
+        }
+        self.counts[bucket_of(value)] += 1;
+        if self.count == 0 {
+            self.min = value;
+            self.max = value;
+        } else {
+            self.min = self.min.min(value);
+            self.max = self.max.max(value);
+        }
+        self.count += 1;
+        self.sum += value;
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Estimates the `q`-quantile (`0 ≤ q ≤ 1`) by scanning cumulative
+    /// bucket counts; `None` when empty.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // rank of the target observation, 1-based nearest-rank
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (b, &n) in self.counts.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return Some(bucket_mid(b).clamp(self.min, self.max));
+            }
+        }
+        Some(self.max)
+    }
+
+    /// The percentile summary, `None` when no observations exist.
+    pub fn summary(&self) -> Option<HistogramSummary> {
+        if self.count == 0 {
+            return None;
+        }
+        Some(HistogramSummary {
+            count: self.count,
+            min: self.min,
+            max: self.max,
+            mean: self.sum / self.count as f64,
+            p50: self.quantile(0.50).expect("non-empty"),
+            p95: self.quantile(0.95).expect("non-empty"),
+            p99: self.quantile(0.99).expect("non-empty"),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_has_no_summary() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert!(h.summary().is_none());
+        assert!(h.quantile(0.5).is_none());
+    }
+
+    #[test]
+    fn single_sample_percentiles_are_exact() {
+        let mut h = Histogram::new();
+        h.record(37.0);
+        let s = h.summary().unwrap();
+        assert_eq!(s.count, 1);
+        assert_eq!(s.min, 37.0);
+        assert_eq!(s.max, 37.0);
+        assert_eq!(s.mean, 37.0);
+        // clamping to [min, max] collapses the bucket estimate
+        assert_eq!(s.p50, 37.0);
+        assert_eq!(s.p95, 37.0);
+        assert_eq!(s.p99, 37.0);
+    }
+
+    #[test]
+    fn constant_stream_percentiles_are_exact() {
+        let mut h = Histogram::new();
+        for _ in 0..1000 {
+            h.record(8.0);
+        }
+        let s = h.summary().unwrap();
+        assert_eq!((s.p50, s.p95, s.p99), (8.0, 8.0, 8.0));
+        assert_eq!(s.mean, 8.0);
+    }
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(bucket_of(0.0), 0);
+        assert_eq!(bucket_of(0.99), 0);
+        assert_eq!(bucket_of(1.0), 1);
+        assert_eq!(bucket_of(1.5), 1);
+        assert_eq!(bucket_of(2.0), 2);
+        assert_eq!(bucket_of(3.0), 2);
+        assert_eq!(bucket_of(4.0), 3);
+        assert_eq!(bucket_of(u64::MAX as f64), BUCKETS - 1);
+        assert_eq!(bucket_of(f64::INFINITY), BUCKETS - 1);
+    }
+
+    #[test]
+    fn negative_and_nan_count_but_clamp_low() {
+        let mut h = Histogram::new();
+        h.record(-5.0);
+        h.record(f64::NAN);
+        h.record(2.0);
+        let s = h.summary().unwrap();
+        assert_eq!(s.count, 3);
+        assert_eq!(s.min, -5.0);
+        assert_eq!(s.max, 2.0);
+    }
+
+    #[test]
+    fn percentiles_order_and_log_accuracy() {
+        let mut h = Histogram::new();
+        // 1..=1000 uniformly: p50 ≈ 500, p95 ≈ 950, p99 ≈ 990
+        for v in 1..=1000 {
+            h.record(f64::from(v));
+        }
+        let s = h.summary().unwrap();
+        assert!(s.p50 <= s.p95 && s.p95 <= s.p99);
+        // log₂ buckets promise ≤ 2× relative error
+        assert!(s.p50 >= 250.0 && s.p50 <= 1000.0, "p50 {}", s.p50);
+        assert!(s.p95 >= 475.0 && s.p95 <= 1000.0, "p95 {}", s.p95);
+        assert!((s.mean - 500.5).abs() < 1e-9, "mean is exact: {}", s.mean);
+    }
+
+    #[test]
+    fn quantile_extremes_hit_min_and_max_buckets() {
+        let mut h = Histogram::new();
+        h.record(1.0);
+        for _ in 0..99 {
+            h.record(1024.0);
+        }
+        // rank 1 at q=0 lands in the first sample's bucket [1, 2)
+        let p0 = h.quantile(0.0).unwrap();
+        assert!((1.0..2.0).contains(&p0), "p0 {p0}");
+        let p99 = h.quantile(0.99).unwrap();
+        assert!((512.0..=1024.0).contains(&p99), "p99 {p99}");
+    }
+}

@@ -1,0 +1,105 @@
+//! Minimal hand-rolled JSON rendering for trace records.
+//!
+//! `usep-trace` deliberately has no dependencies (it sits under the
+//! algorithm crates), so the JSONL emitter carries its own tiny value
+//! model. Output is compact single-line JSON; map keys here are trusted
+//! identifiers but strings are escaped fully anyway.
+
+/// A JSON value assembled by the trace emitter.
+#[derive(Clone, Debug)]
+pub enum Value {
+    /// Unsigned integer (sequence numbers, counters, nanoseconds).
+    U64(u64),
+    /// Float (histogram statistics). Non-finite renders as `null`.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Seq(Vec<Value>),
+    /// Object with insertion-ordered keys.
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Renders as compact JSON (no trailing newline).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Value::U64(n) => out.push_str(&n.to_string()),
+            Value::F64(x) => {
+                if x.is_finite() {
+                    // Display gives the shortest roundtrip form, but bare
+                    // integers (e.g. "37") must stay floats for readers
+                    out.push_str(&x.to_string());
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Value::Str(s) => write_escaped(out, s),
+            Value::Seq(items) => {
+                out.push('[');
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    v.write(out);
+                }
+                out.push(']');
+            }
+            Value::Map(entries) => {
+                out.push('{');
+                for (i, (k, v)) in entries.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(out, k);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_nested_records_compactly() {
+        let v = Value::Map(vec![
+            ("type".to_string(), Value::Str("span".to_string())),
+            ("ns".to_string(), Value::U64(1500)),
+            ("stats".to_string(), Value::Seq(vec![Value::F64(0.5), Value::F64(f64::NAN)])),
+        ]);
+        assert_eq!(v.render(), r#"{"type":"span","ns":1500,"stats":[0.5,null]}"#);
+    }
+
+    #[test]
+    fn escapes_strings() {
+        let v = Value::Str("a\"b\\c\nd\u{1}".to_string());
+        assert_eq!(v.render(), r#""a\"b\\c\nd\u0001""#);
+    }
+}

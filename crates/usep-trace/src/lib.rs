@@ -1,0 +1,512 @@
+//! Structured instrumentation for the USEP solvers.
+//!
+//! The paper's complexity arguments (Sections 4–6) are stated in terms
+//! of a few discrete quantities — lazy-heap traffic, candidate
+//! refreshes, DP cells visited, pseudo-event matrix size. This crate
+//! gives those quantities names and a way to observe them without
+//! perturbing the algorithms:
+//!
+//! * [`Probe`] — the interface solvers report through. Every method has
+//!   a no-op default body, and call sites guard hot loops with
+//!   [`Probe::enabled`], so an uninstrumented run ([`NoopProbe`])
+//!   compiles down to nothing.
+//! * [`Counter`] — the fixed registry of algorithm counters.
+//! * [`TraceSink`] — the collecting implementation: atomic counters,
+//!   monotonic phase spans, log-scale value histograms with
+//!   p50/p95/p99 summaries, and an optional JSON-lines writer that
+//!   emits one event per line plus a final summary record.
+//!
+//! The crate is dependency-free on purpose: it sits underneath
+//! `usep-algos`, and serialization of counter snapshots into result
+//! tables is owned by `usep-metrics`.
+
+#![forbid(unsafe_code)]
+
+use std::collections::HashMap;
+use std::io::{self, Write};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+mod hist;
+mod json;
+
+pub use hist::{Histogram, HistogramSummary};
+
+/// The fixed registry of algorithm counters.
+///
+/// Each variant maps one-to-one onto a quantity in the paper's cost
+/// model; the snake_case name (see [`Counter::name`]) is the stable
+/// identifier used in traces and result tables.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[repr(usize)]
+pub enum Counter {
+    /// Candidate pushed onto the ratio-greedy lazy heap.
+    HeapPush,
+    /// Candidate popped from the lazy heap (stale or live).
+    HeapPop,
+    /// Popped candidate discarded by generation-stamp lazy deletion.
+    HeapPopStale,
+    /// Event-side candidate list recomputed after an assignment.
+    CandidateRefreshEvent,
+    /// User-side candidate list recomputed after an assignment.
+    CandidateRefreshUser,
+    /// Dynamic-programming cell evaluated (DeDP/DeDPO inner loop).
+    DpCellVisit,
+    /// Dynamic-programming cell skipped by a dominance/feasibility prune.
+    DpCellPruned,
+    /// Bytes allocated for the literal pseudo-event utility matrix.
+    PseudoMatrixBytes,
+    /// Assignment added by the +RG augmentation pass.
+    AugmentSwap,
+    /// Candidate rejected because the event was at capacity.
+    CapacityReject,
+    /// Candidate rejected because the user's budget was exceeded.
+    BudgetReject,
+}
+
+impl Counter {
+    /// Every counter, in registry order.
+    pub const ALL: [Counter; 11] = [
+        Counter::HeapPush,
+        Counter::HeapPop,
+        Counter::HeapPopStale,
+        Counter::CandidateRefreshEvent,
+        Counter::CandidateRefreshUser,
+        Counter::DpCellVisit,
+        Counter::DpCellPruned,
+        Counter::PseudoMatrixBytes,
+        Counter::AugmentSwap,
+        Counter::CapacityReject,
+        Counter::BudgetReject,
+    ];
+
+    /// The stable snake_case identifier used in traces and tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            Counter::HeapPush => "heap_push",
+            Counter::HeapPop => "heap_pop",
+            Counter::HeapPopStale => "heap_pop_stale",
+            Counter::CandidateRefreshEvent => "candidate_refresh_event",
+            Counter::CandidateRefreshUser => "candidate_refresh_user",
+            Counter::DpCellVisit => "dp_cell_visit",
+            Counter::DpCellPruned => "dp_cell_pruned",
+            Counter::PseudoMatrixBytes => "pseudo_matrix_bytes",
+            Counter::AugmentSwap => "augment_swap",
+            Counter::CapacityReject => "capacity_reject",
+            Counter::BudgetReject => "budget_reject",
+        }
+    }
+}
+
+impl std::fmt::Display for Counter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The interface solvers report through.
+///
+/// All methods default to no-ops so `&NOOP` costs one virtual call per
+/// site at most; call sites inside per-element loops should guard with
+/// [`Probe::enabled`] first so the disabled path stays branch-only.
+pub trait Probe: Sync {
+    /// `true` when this probe records anything — hot loops may skip
+    /// instrumentation work entirely when this is `false`.
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    /// Adds `delta` to `counter`.
+    fn count(&self, counter: Counter, delta: u64) {
+        let _ = (counter, delta);
+    }
+
+    /// Opens a named phase span. Spans nest LIFO within a solve.
+    fn span_enter(&self, name: &'static str) {
+        let _ = name;
+    }
+
+    /// Closes the innermost span named `name`.
+    fn span_exit(&self, name: &'static str) {
+        let _ = name;
+    }
+
+    /// Records one observation into the named log-scale histogram.
+    fn record(&self, histogram: &'static str, value: f64) {
+        let _ = (histogram, value);
+    }
+}
+
+/// The probe that records nothing.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoopProbe;
+
+impl Probe for NoopProbe {}
+
+/// A shared no-op probe instance for default call paths.
+pub static NOOP: NoopProbe = NoopProbe;
+
+/// Convenience guard: runs a span over a closure.
+pub fn with_span<T>(probe: &dyn Probe, name: &'static str, f: impl FnOnce() -> T) -> T {
+    probe.span_enter(name);
+    let out = f();
+    probe.span_exit(name);
+    out
+}
+
+/// Aggregate of one span name across a trace.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SpanTotal {
+    /// The span name.
+    pub name: &'static str,
+    /// Number of times the span was entered and exited.
+    pub count: u64,
+    /// Total nanoseconds across all completed instances.
+    pub total_ns: u64,
+}
+
+struct SinkState {
+    /// Open spans, innermost last: (name, start, seq of the enter event).
+    open: Vec<(&'static str, Instant)>,
+    totals: Vec<SpanTotal>,
+    histograms: HashMap<&'static str, Histogram>,
+    writer: Option<Box<dyn Write + Send>>,
+}
+
+/// The collecting [`Probe`]: atomic counters, phase spans, histograms,
+/// and an optional JSON-lines emitter.
+///
+/// Counter updates are lock-free; spans, histograms and trace output
+/// share one mutex, which solver phases touch rarely (per phase / per
+/// observation, never per heap operation).
+pub struct TraceSink {
+    counters: [AtomicU64; Counter::ALL.len()],
+    seq: AtomicU64,
+    epoch: Instant,
+    state: Mutex<SinkState>,
+}
+
+impl Default for TraceSink {
+    fn default() -> TraceSink {
+        TraceSink::new()
+    }
+}
+
+impl TraceSink {
+    /// A sink that aggregates in memory without writing a trace.
+    pub fn new() -> TraceSink {
+        TraceSink {
+            counters: std::array::from_fn(|_| AtomicU64::new(0)),
+            seq: AtomicU64::new(0),
+            epoch: Instant::now(),
+            state: Mutex::new(SinkState {
+                open: Vec::new(),
+                totals: Vec::new(),
+                histograms: HashMap::new(),
+                writer: None,
+            }),
+        }
+    }
+
+    /// A sink that additionally emits JSON-lines events to `writer`.
+    pub fn with_writer(writer: Box<dyn Write + Send>) -> TraceSink {
+        let sink = TraceSink::new();
+        sink.lock().writer = Some(writer);
+        sink
+    }
+
+    /// A sink writing its trace to a (buffered) file at `path`.
+    pub fn to_file(path: &std::path::Path) -> io::Result<TraceSink> {
+        let file = std::fs::File::create(path)?;
+        Ok(TraceSink::with_writer(Box::new(io::BufWriter::new(file))))
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, SinkState> {
+        self.state.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// Current value of one counter.
+    pub fn counter(&self, c: Counter) -> u64 {
+        self.counters[c as usize].load(Ordering::Relaxed)
+    }
+
+    /// Snapshot of all counters in registry order.
+    pub fn counters(&self) -> Vec<(Counter, u64)> {
+        Counter::ALL.iter().map(|&c| (c, self.counter(c))).collect()
+    }
+
+    /// Completed-span aggregates, in first-seen order.
+    pub fn span_totals(&self) -> Vec<SpanTotal> {
+        self.lock().totals.clone()
+    }
+
+    /// Percentile summary of a named histogram, `None` if it has no
+    /// samples (or was never recorded).
+    pub fn histogram_summary(&self, name: &str) -> Option<HistogramSummary> {
+        self.lock().histograms.get(name).and_then(Histogram::summary)
+    }
+
+    /// Names of all recorded histograms, sorted.
+    pub fn histogram_names(&self) -> Vec<String> {
+        let mut names: Vec<String> =
+            self.lock().histograms.keys().map(|s| s.to_string()).collect();
+        names.sort();
+        names
+    }
+
+    fn next_seq(&self) -> u64 {
+        self.seq.fetch_add(1, Ordering::Relaxed)
+    }
+
+    fn emit(state: &mut SinkState, line: &str) {
+        if let Some(w) = state.writer.as_mut() {
+            // Trace output is best-effort; a full disk must not take the
+            // solver down with it.
+            let _ = writeln!(w, "{line}");
+        }
+    }
+
+    /// Writes the final summary record (counters, span totals, histogram
+    /// summaries) and flushes the writer. Idempotent aggregates; call
+    /// once, after the traced work completes.
+    pub fn finish(&self) -> io::Result<()> {
+        let counters = self.counters();
+        let mut state = self.lock();
+
+        let mut counter_fields: Vec<(String, json::Value)> = Vec::new();
+        for (c, v) in counters {
+            counter_fields.push((c.name().to_string(), json::Value::U64(v)));
+        }
+
+        let mut span_items: Vec<json::Value> = Vec::new();
+        for t in &state.totals {
+            span_items.push(json::Value::Map(vec![
+                ("name".to_string(), json::Value::Str(t.name.to_string())),
+                ("count".to_string(), json::Value::U64(t.count)),
+                ("total_ns".to_string(), json::Value::U64(t.total_ns)),
+            ]));
+        }
+
+        let mut hist_names: Vec<&&'static str> = state.histograms.keys().collect();
+        hist_names.sort();
+        let mut hist_fields: Vec<(String, json::Value)> = Vec::new();
+        for name in hist_names.iter().map(|n| **n).collect::<Vec<_>>() {
+            if let Some(s) = state.histograms[name].summary() {
+                hist_fields.push((
+                    name.to_string(),
+                    json::Value::Map(vec![
+                        ("count".to_string(), json::Value::U64(s.count)),
+                        ("min".to_string(), json::Value::F64(s.min)),
+                        ("max".to_string(), json::Value::F64(s.max)),
+                        ("mean".to_string(), json::Value::F64(s.mean)),
+                        ("p50".to_string(), json::Value::F64(s.p50)),
+                        ("p95".to_string(), json::Value::F64(s.p95)),
+                        ("p99".to_string(), json::Value::F64(s.p99)),
+                    ]),
+                ));
+            }
+        }
+
+        let record = json::Value::Map(vec![
+            ("type".to_string(), json::Value::Str("summary".to_string())),
+            ("seq".to_string(), json::Value::U64(self.seq.load(Ordering::Relaxed))),
+            ("counters".to_string(), json::Value::Map(counter_fields)),
+            ("spans".to_string(), json::Value::Seq(span_items)),
+            ("histograms".to_string(), json::Value::Map(hist_fields)),
+        ]);
+        Self::emit(&mut state, &record.render());
+        if let Some(w) = state.writer.as_mut() {
+            w.flush()?;
+        }
+        Ok(())
+    }
+}
+
+impl Probe for TraceSink {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn count(&self, counter: Counter, delta: u64) {
+        self.counters[counter as usize].fetch_add(delta, Ordering::Relaxed);
+    }
+
+    fn span_enter(&self, name: &'static str) {
+        let seq = self.next_seq();
+        let now = Instant::now();
+        let mut state = self.lock();
+        state.open.push((name, now));
+        let depth = state.open.len();
+        if state.writer.is_some() {
+            let record = json::Value::Map(vec![
+                ("type".to_string(), json::Value::Str("span_enter".to_string())),
+                ("seq".to_string(), json::Value::U64(seq)),
+                ("name".to_string(), json::Value::Str(name.to_string())),
+                ("depth".to_string(), json::Value::U64(depth as u64)),
+                (
+                    "t_ns".to_string(),
+                    json::Value::U64(now.duration_since(self.epoch).as_nanos() as u64),
+                ),
+            ]);
+            Self::emit(&mut state, &record.render());
+        }
+    }
+
+    fn span_exit(&self, name: &'static str) {
+        let seq = self.next_seq();
+        let now = Instant::now();
+        let mut state = self.lock();
+        // Innermost matching span; tolerates (and closes past) mismatched
+        // exits rather than panicking inside an algorithm.
+        let Some(idx) = state.open.iter().rposition(|(n, _)| *n == name) else {
+            return;
+        };
+        let (_, start) = state.open.remove(idx);
+        let dur_ns = now.duration_since(start).as_nanos() as u64;
+        match state.totals.iter_mut().find(|t| t.name == name) {
+            Some(t) => {
+                t.count += 1;
+                t.total_ns += dur_ns;
+            }
+            None => state.totals.push(SpanTotal { name, count: 1, total_ns: dur_ns }),
+        }
+        if state.writer.is_some() {
+            let record = json::Value::Map(vec![
+                ("type".to_string(), json::Value::Str("span_exit".to_string())),
+                ("seq".to_string(), json::Value::U64(seq)),
+                ("name".to_string(), json::Value::Str(name.to_string())),
+                ("dur_ns".to_string(), json::Value::U64(dur_ns)),
+                (
+                    "t_ns".to_string(),
+                    json::Value::U64(now.duration_since(self.epoch).as_nanos() as u64),
+                ),
+            ]);
+            Self::emit(&mut state, &record.render());
+        }
+    }
+
+    fn record(&self, histogram: &'static str, value: f64) {
+        let mut state = self.lock();
+        state.histograms.entry(histogram).or_default().record(value);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_independently() {
+        let sink = TraceSink::new();
+        sink.count(Counter::HeapPush, 3);
+        sink.count(Counter::HeapPush, 2);
+        sink.count(Counter::BudgetReject, 1);
+        assert_eq!(sink.counter(Counter::HeapPush), 5);
+        assert_eq!(sink.counter(Counter::BudgetReject), 1);
+        assert_eq!(sink.counter(Counter::DpCellVisit), 0);
+        let snap = sink.counters();
+        assert_eq!(snap.len(), Counter::ALL.len());
+        assert!(snap.contains(&(Counter::HeapPush, 5)));
+    }
+
+    #[test]
+    fn counter_names_are_unique_and_snake_case() {
+        let names: Vec<&str> = Counter::ALL.iter().map(|c| c.name()).collect();
+        let mut dedup = names.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len());
+        for n in names {
+            assert!(n.chars().all(|c| c.is_ascii_lowercase() || c == '_'));
+        }
+    }
+
+    #[test]
+    fn spans_nest_and_aggregate() {
+        let sink = TraceSink::new();
+        sink.span_enter("outer");
+        sink.span_enter("inner");
+        sink.span_exit("inner");
+        sink.span_enter("inner");
+        sink.span_exit("inner");
+        sink.span_exit("outer");
+        let totals = sink.span_totals();
+        assert_eq!(totals.len(), 2);
+        let inner = totals.iter().find(|t| t.name == "inner").unwrap();
+        let outer = totals.iter().find(|t| t.name == "outer").unwrap();
+        assert_eq!(inner.count, 2);
+        assert_eq!(outer.count, 1);
+        assert!(outer.total_ns >= inner.total_ns);
+    }
+
+    #[test]
+    fn mismatched_span_exit_is_ignored() {
+        let sink = TraceSink::new();
+        sink.span_exit("never_opened");
+        assert!(sink.span_totals().is_empty());
+    }
+
+    #[test]
+    fn with_span_returns_closure_value() {
+        let sink = TraceSink::new();
+        let out = with_span(&sink, "phase", || 41 + 1);
+        assert_eq!(out, 42);
+        assert_eq!(sink.span_totals()[0].count, 1);
+    }
+
+    #[test]
+    fn noop_probe_is_disabled_and_inert() {
+        assert!(!NOOP.enabled());
+        NOOP.count(Counter::HeapPop, 10);
+        NOOP.span_enter("x");
+        NOOP.span_exit("x");
+        NOOP.record("h", 1.0);
+    }
+
+    #[test]
+    fn jsonl_writer_emits_valid_lines_and_summary() {
+        let buf = std::sync::Arc::new(Mutex::new(Vec::<u8>::new()));
+        struct Shared(std::sync::Arc<Mutex<Vec<u8>>>);
+        impl Write for Shared {
+            fn write(&mut self, b: &[u8]) -> io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(b);
+                Ok(b.len())
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        let sink = TraceSink::with_writer(Box::new(Shared(buf.clone())));
+        with_span(&sink, "solve", || {
+            sink.count(Counter::HeapPush, 7);
+            sink.record("lat", 100.0);
+        });
+        sink.finish().unwrap();
+        let text = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3, "enter + exit + summary: {text}");
+        assert!(lines[0].contains("\"span_enter\""));
+        assert!(lines[1].contains("\"span_exit\""));
+        assert!(lines[2].contains("\"summary\""));
+        assert!(lines[2].contains("\"heap_push\":7"));
+        for line in lines {
+            assert!(line.starts_with('{') && line.ends_with('}'));
+        }
+    }
+
+    #[test]
+    fn histograms_reachable_through_probe_interface() {
+        let sink = TraceSink::new();
+        let probe: &dyn Probe = &sink;
+        for v in [1.0, 2.0, 4.0, 1000.0] {
+            probe.record("vals", v);
+        }
+        let s = sink.histogram_summary("vals").unwrap();
+        assert_eq!(s.count, 4);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 1000.0);
+        assert_eq!(sink.histogram_names(), vec!["vals".to_string()]);
+        assert!(sink.histogram_summary("missing").is_none());
+    }
+}

@@ -13,6 +13,10 @@
 //! * [`gen`] — workload generators: the Table-7 synthetic generator and a
 //!   Meetup-like EBSN simulator for the Table-6 city datasets.
 //! * [`metrics`] — timers, a counting allocator and experiment plumbing.
+//! * [`trace`] — the instrumentation layer: algorithm counters, phase
+//!   spans and JSON-lines trace export
+//!   ([`solve_with_probe`](algos::solve_with_probe) +
+//!   [`TraceSink`](trace::TraceSink)).
 //!
 //! # Quickstart
 //!
@@ -30,6 +34,7 @@ pub use usep_algos as algos;
 pub use usep_core as core;
 pub use usep_gen as gen;
 pub use usep_metrics as metrics;
+pub use usep_trace as trace;
 
 /// Crate version of the facade, for binaries that want to report it.
 pub const VERSION: &str = env!("CARGO_PKG_VERSION");

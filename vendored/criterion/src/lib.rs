@@ -1,0 +1,248 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the subset the workspace's benches use — groups with
+//! `sample_size` / `warm_up_time` / `measurement_time`,
+//! `bench_with_input`, `BenchmarkId` — on a plain wall-clock harness
+//! that prints median / mean / p95 nanoseconds per iteration. No
+//! statistics beyond that, no HTML reports, no baseline comparison.
+//!
+//! `cargo bench` passes `--bench` to the binary; when that flag is
+//! absent (`cargo test` also builds and runs `harness = false` bench
+//! targets) the harness exits immediately so test runs stay fast, the
+//! same reason upstream criterion has a separate test mode.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Re-export so benches can use `criterion::black_box` as upstream
+/// allows; the workspace's benches import `std::hint::black_box`
+/// directly, which is what this is.
+pub use std::hint::black_box;
+
+/// The benchmark context handed to `criterion_group!` functions.
+pub struct Criterion {
+    enabled: bool,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        let mut enabled = false;
+        let mut filter = None;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--bench" => enabled = true,
+                a if !a.starts_with('-') => filter = Some(a.to_string()),
+                _ => {}
+            }
+        }
+        Criterion { enabled, filter }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 100,
+            warm_up_time: Duration::from_secs(3),
+            measurement_time: Duration::from_secs(5),
+        }
+    }
+}
+
+/// A group of benchmarks sharing sampling configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Time spent warming up before sampling.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Target total time across samples.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Runs one benchmark over `input`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.label);
+        if !self.criterion.enabled {
+            return self;
+        }
+        if let Some(f) = &self.criterion.filter {
+            if !label.contains(f.as_str()) {
+                return self;
+            }
+        }
+
+        // Warm-up: also calibrates iterations per sample.
+        let warm_deadline = Instant::now() + self.warm_up_time;
+        let mut warm_iters: u64 = 0;
+        let warm_started = Instant::now();
+        while Instant::now() < warm_deadline {
+            let mut b = Bencher { iters: 1, elapsed: Duration::ZERO };
+            routine(&mut b, input);
+            warm_iters += 1;
+        }
+        let per_iter = warm_started.elapsed().as_nanos() as u64 / warm_iters.max(1);
+        let per_sample = self.measurement_time.as_nanos() as u64
+            / self.sample_size as u64
+            / per_iter.max(1);
+        let iters_per_sample = per_sample.max(1);
+
+        let mut samples_ns: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let mut b = Bencher { iters: iters_per_sample, elapsed: Duration::ZERO };
+            routine(&mut b, input);
+            samples_ns.push(b.elapsed.as_nanos() as f64 / iters_per_sample as f64);
+        }
+        samples_ns.sort_by(|a, b| a.total_cmp(b));
+        let median = samples_ns[samples_ns.len() / 2];
+        let mean = samples_ns.iter().sum::<f64>() / samples_ns.len() as f64;
+        let p95 = samples_ns[(samples_ns.len() * 95 / 100).min(samples_ns.len() - 1)];
+        println!(
+            "{label:<50} median {:>12} mean {:>12} p95 {:>12}  ({} samples x {} iters)",
+            fmt_ns(median),
+            fmt_ns(mean),
+            fmt_ns(p95),
+            self.sample_size,
+            iters_per_sample,
+        );
+        self
+    }
+
+    /// Ends the group (prints nothing; present for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Times the routine under measurement.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` calls of `f`, accumulating into this sample.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed += start.elapsed();
+    }
+}
+
+/// A two-part benchmark label, `function/parameter`.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Joins a function name and a parameter value into one label.
+    pub fn new(function: impl std::fmt::Display, parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId { label: format!("{function}/{parameter}") }
+    }
+}
+
+/// Bundles benchmark functions into one group entry point.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main`, running groups only under `cargo bench`
+/// (`--bench` argument); exits immediately in test mode.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            if !::std::env::args().skip(1).any(|a| a == "--bench") {
+                // `cargo test` executes harness = false bench binaries;
+                // skip the (expensive) group bodies there.
+                return;
+            }
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_counts_all_iterations() {
+        let mut calls = 0u64;
+        let mut b = Bencher { iters: 17, elapsed: Duration::ZERO };
+        b.iter(|| calls += 1);
+        assert_eq!(calls, 17);
+        assert!(b.elapsed > Duration::ZERO);
+    }
+
+    #[test]
+    fn benchmark_id_joins_parts() {
+        let id = BenchmarkId::new("RatioGreedy", 500);
+        assert_eq!(id.label, "RatioGreedy/500");
+    }
+
+    #[test]
+    fn disabled_group_skips_routines() {
+        let mut c = Criterion { enabled: false, filter: None };
+        let mut g = c.benchmark_group("g");
+        let mut ran = false;
+        g.bench_with_input(BenchmarkId::new("f", 1), &(), |b, _| {
+            ran = true;
+            b.iter(|| ());
+        });
+        g.finish();
+        assert!(!ran);
+    }
+
+    #[test]
+    fn format_scales_units() {
+        assert_eq!(fmt_ns(12.3), "12.3 ns");
+        assert_eq!(fmt_ns(1500.0), "1.500 µs");
+        assert_eq!(fmt_ns(2.5e6), "2.500 ms");
+        assert_eq!(fmt_ns(3.2e9), "3.200 s");
+    }
+}

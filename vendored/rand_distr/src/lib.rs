@@ -1,0 +1,130 @@
+//! Offline stand-in for the `rand_distr` crate.
+//!
+//! Implements the subset the workspace uses: the [`Distribution`] trait
+//! and a [`Normal`] sampler (Marsaglia polar method — exact, not a CLT
+//! approximation, so the tail probabilities the generators' statistical
+//! tests rely on are correct).
+
+#![forbid(unsafe_code)]
+
+use rand::{Rng, RngCore};
+
+/// Types that can draw values of `T` from an RNG.
+pub trait Distribution<T> {
+    /// Draws one value.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Parameter errors from distribution constructors.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Error {
+    /// The standard deviation was negative or non-finite.
+    BadVariance,
+    /// The mean was non-finite.
+    BadMean,
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Error::BadVariance => write!(f, "standard deviation must be finite and >= 0"),
+            Error::BadMean => write!(f, "mean must be finite"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// The normal (Gaussian) distribution `N(mean, std²)`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Normal {
+    mean: f64,
+    std: f64,
+}
+
+impl Normal {
+    /// A normal distribution with the given mean and standard deviation.
+    pub fn new(mean: f64, std: f64) -> Result<Normal, Error> {
+        if !mean.is_finite() {
+            return Err(Error::BadMean);
+        }
+        if !(std.is_finite() && std >= 0.0) {
+            return Err(Error::BadVariance);
+        }
+        Ok(Normal { mean, std })
+    }
+
+    /// The configured mean.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// The configured standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.std
+    }
+}
+
+impl Distribution<f64> for Normal {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Marsaglia polar method; stateless (the antithetic second
+        // deviate is discarded so `&self` stays immutable).
+        loop {
+            let u = 2.0 * rng.gen::<f64>() - 1.0;
+            let v = 2.0 * rng.gen::<f64>() - 1.0;
+            let s = u * u + v * v;
+            if s > 0.0 && s < 1.0 {
+                let factor = (-2.0 * s.ln() / s).sqrt();
+                return self.mean + self.std * u * factor;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(Normal::new(0.0, -1.0).is_err());
+        assert!(Normal::new(f64::NAN, 1.0).is_err());
+        assert!(Normal::new(0.0, f64::INFINITY).is_err());
+        assert!(Normal::new(3.0, 0.0).is_ok());
+    }
+
+    #[test]
+    fn mean_and_std_converge() {
+        let mut r = StdRng::seed_from_u64(11);
+        let d = Normal::new(10.0, 3.0).unwrap();
+        let n = 200_000;
+        let xs: Vec<f64> = (0..n).map(|_| d.sample(&mut r)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1) as f64;
+        assert!((mean - 10.0).abs() < 0.05, "mean {mean}");
+        assert!((var.sqrt() - 3.0).abs() < 0.05, "std {}", var.sqrt());
+    }
+
+    #[test]
+    fn zero_std_is_constant() {
+        let mut r = StdRng::seed_from_u64(12);
+        let d = Normal::new(5.0, 0.0).unwrap();
+        for _ in 0..100 {
+            assert_eq!(d.sample(&mut r), 5.0);
+        }
+    }
+
+    #[test]
+    fn tail_mass_is_gaussian() {
+        // P(X > mean + std) ≈ 0.1587 — a CLT-style approximation with
+        // clipped tails would miss this
+        let mut r = StdRng::seed_from_u64(13);
+        let d = Normal::new(0.0, 1.0).unwrap();
+        let n = 200_000;
+        let above = (0..n).filter(|_| d.sample(&mut r) > 1.0).count();
+        let frac = above as f64 / n as f64;
+        assert!((frac - 0.1587).abs() < 0.01, "got {frac}");
+    }
+}

@@ -1,0 +1,366 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The real serde streams values through visitor-based
+//! `Serializer`/`Deserializer` traits; reimplementing that machinery
+//! offline would be thousands of lines. This workspace only ever moves
+//! values to and from JSON text, so the vendored stack collapses the
+//! data model to one owned tree type, [`Content`]:
+//!
+//! * [`Serialize`] renders a value into a `Content` tree;
+//! * [`Deserialize`] rebuilds a value from one;
+//! * the vendored `serde_json` converts `Content` ↔ JSON text.
+//!
+//! The derive macros (re-exported from the vendored `serde_derive`)
+//! support structs, tuple structs, and enums with unit / newtype /
+//! struct variants, plus the three container/field attributes this
+//! repository uses: `#[serde(transparent)]`, `#[serde(default)]`, and
+//! `#[serde(from = "T", into = "T")]`. Enum representation is
+//! externally tagged, matching upstream serde's default.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The self-describing value tree every serialization passes through.
+///
+/// Maps preserve insertion order (`Vec` of pairs, not a hash map) so
+/// output is deterministic and struct fields serialize in declaration
+/// order, as upstream serde_json does.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Content {
+    /// JSON `null`.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A signed integer (anything that fits in `i64`).
+    I64(i64),
+    /// An unsigned integer above `i64::MAX`.
+    U64(u64),
+    /// A float.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// A sequence.
+    Seq(Vec<Content>),
+    /// An ordered key-value map.
+    Map(Vec<(String, Content)>),
+}
+
+/// Deserialization failure: a human-readable path-less message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DeError {
+    msg: String,
+}
+
+impl DeError {
+    /// An error with the given message.
+    pub fn new(msg: impl Into<String>) -> DeError {
+        DeError { msg: msg.into() }
+    }
+
+    /// Standard "missing field" error.
+    pub fn missing_field(ty: &str, field: &str) -> DeError {
+        DeError::new(format!("missing field `{field}` of {ty}"))
+    }
+
+    /// Standard type-mismatch error.
+    pub fn expected(what: &str, got: &Content) -> DeError {
+        let kind = match got {
+            Content::Null => "null",
+            Content::Bool(_) => "a boolean",
+            Content::I64(_) | Content::U64(_) => "an integer",
+            Content::F64(_) => "a float",
+            Content::Str(_) => "a string",
+            Content::Seq(_) => "a sequence",
+            Content::Map(_) => "a map",
+        };
+        DeError::new(format!("expected {what}, found {kind}"))
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Values renderable into a [`Content`] tree.
+pub trait Serialize {
+    /// Renders `self`.
+    fn to_content(&self) -> Content;
+}
+
+/// Values rebuildable from a [`Content`] tree.
+pub trait Deserialize: Sized {
+    /// Rebuilds a value, or explains why the tree does not fit.
+    fn from_content(c: Content) -> Result<Self, DeError>;
+}
+
+// `Content` round-trips through itself, making it the generic
+// "any JSON value" target (the counterpart of upstream's
+// `serde_json::Value`): `serde_json::from_str::<Content>` validates
+// arbitrary JSON without committing to a shape.
+impl Serialize for Content {
+    fn to_content(&self) -> Content {
+        self.clone()
+    }
+}
+
+impl Deserialize for Content {
+    fn from_content(c: Content) -> Result<Content, DeError> {
+        Ok(c)
+    }
+}
+
+/// Removes `key` from an ordered map, returning its value. Used by
+/// derive-generated struct deserializers; not part of the public API.
+#[doc(hidden)]
+pub fn __take_field(map: &mut Vec<(String, Content)>, key: &str) -> Option<Content> {
+    let i = map.iter().position(|(k, _)| k == key)?;
+    Some(map.remove(i).1)
+}
+
+// ---------------------------------------------------------------------
+// primitive impls
+
+macro_rules! ser_de_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                Content::I64(i64::from(*self))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_content(c: Content) -> Result<$t, DeError> {
+                let n = match c {
+                    Content::I64(n) => n,
+                    Content::U64(n) => i64::try_from(n)
+                        .map_err(|_| DeError::new(concat!("integer out of range for ", stringify!($t))))?,
+                    other => return Err(DeError::expected(stringify!($t), &other)),
+                };
+                <$t>::try_from(n)
+                    .map_err(|_| DeError::new(format!("{n} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+ser_de_signed!(i8, i16, i32, i64);
+
+macro_rules! ser_de_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                match i64::try_from(*self) {
+                    Ok(n) => Content::I64(n),
+                    Err(_) => Content::U64(*self as u64),
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_content(c: Content) -> Result<$t, DeError> {
+                let n = match c {
+                    Content::I64(n) => u64::try_from(n)
+                        .map_err(|_| DeError::new(concat!("negative value for ", stringify!($t))))?,
+                    Content::U64(n) => n,
+                    other => return Err(DeError::expected(stringify!($t), &other)),
+                };
+                <$t>::try_from(n)
+                    .map_err(|_| DeError::new(format!("{n} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+ser_de_unsigned!(u8, u16, u32, u64, usize);
+
+impl Serialize for f64 {
+    fn to_content(&self) -> Content {
+        Content::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_content(c: Content) -> Result<f64, DeError> {
+        match c {
+            Content::F64(x) => Ok(x),
+            Content::I64(n) => Ok(n as f64),
+            Content::U64(n) => Ok(n as f64),
+            // serde_json writes non-finite floats as null
+            Content::Null => Ok(f64::NAN),
+            other => Err(DeError::expected("f64", &other)),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_content(&self) -> Content {
+        Content::F64(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_content(c: Content) -> Result<f32, DeError> {
+        f64::from_content(c).map(|x| x as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_content(c: Content) -> Result<bool, DeError> {
+        match c {
+            Content::Bool(b) => Ok(b),
+            other => Err(DeError::expected("bool", &other)),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_content(c: Content) -> Result<String, DeError> {
+        match c {
+            Content::Str(s) => Ok(s),
+            other => Err(DeError::expected("string", &other)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_owned())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_content(c: Content) -> Result<Vec<T>, DeError> {
+        match c {
+            Content::Seq(items) => items.into_iter().map(T::from_content).collect(),
+            other => Err(DeError::expected("sequence", &other)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_content(&self) -> Content {
+        match self {
+            None => Content::Null,
+            Some(v) => v.to_content(),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_content(c: Content) -> Result<Option<T>, DeError> {
+        match c {
+            Content::Null => Ok(None),
+            other => T::from_content(other).map(Some),
+        }
+    }
+}
+
+macro_rules! ser_de_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_content(&self) -> Content {
+                Content::Seq(vec![$(self.$n.to_content()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_content(c: Content) -> Result<Self, DeError> {
+                const LEN: usize = [$($n),+].len();
+                match c {
+                    Content::Seq(items) if items.len() == LEN => {
+                        let mut it = items.into_iter();
+                        Ok(($($t::from_content(it.next().expect("length checked"))?,)+))
+                    }
+                    other => Err(DeError::expected("tuple sequence", &other)),
+                }
+            }
+        }
+    )*};
+}
+
+ser_de_tuple!((0 A) (0 A, 1 B) (0 A, 1 B, 2 C) (0 A, 1 B, 2 C, 3 D));
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        assert_eq!(u32::from_content(42u32.to_content()).unwrap(), 42);
+        assert_eq!(i64::from_content((-7i64).to_content()).unwrap(), -7);
+        assert_eq!(f64::from_content(1.5f64.to_content()).unwrap(), 1.5);
+        assert!(bool::from_content(true.to_content()).unwrap());
+        assert_eq!(String::from_content("hi".to_string().to_content()).unwrap(), "hi");
+        assert_eq!(
+            Vec::<u32>::from_content(vec![1u32, 2, 3].to_content()).unwrap(),
+            vec![1, 2, 3]
+        );
+        let pair = ("x".to_string(), vec![0.5f64]);
+        assert_eq!(<(String, Vec<f64>)>::from_content(pair.to_content()).unwrap(), pair);
+    }
+
+    #[test]
+    fn integer_range_checks() {
+        assert!(u8::from_content(Content::I64(300)).is_err());
+        assert!(u32::from_content(Content::I64(-1)).is_err());
+        assert!(i32::from_content(Content::U64(u64::MAX)).is_err());
+    }
+
+    #[test]
+    fn float_accepts_integer_content() {
+        assert_eq!(f64::from_content(Content::I64(3)).unwrap(), 3.0);
+    }
+
+    #[test]
+    fn option_null_and_value() {
+        assert_eq!(Option::<u32>::from_content(Content::Null).unwrap(), None);
+        assert_eq!(Option::<u32>::from_content(Content::I64(5)).unwrap(), Some(5));
+        assert_eq!(None::<u32>.to_content(), Content::Null);
+    }
+
+    #[test]
+    fn take_field_preserves_remaining_order() {
+        let mut m = vec![
+            ("a".to_string(), Content::I64(1)),
+            ("b".to_string(), Content::I64(2)),
+            ("c".to_string(), Content::I64(3)),
+        ];
+        assert_eq!(__take_field(&mut m, "b"), Some(Content::I64(2)));
+        assert_eq!(__take_field(&mut m, "b"), None);
+        assert_eq!(m.len(), 2);
+        assert_eq!(m[0].0, "a");
+        assert_eq!(m[1].0, "c");
+    }
+}

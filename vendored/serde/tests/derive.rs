@@ -1,0 +1,150 @@
+//! End-to-end tests of the vendored derive macros, covering every shape
+//! the workspace derives on: named structs, transparent newtypes,
+//! defaulted fields, from/into proxies, and externally tagged enums.
+
+use serde::{Content, Deserialize, Serialize};
+
+#[derive(Debug, PartialEq, Serialize, Deserialize)]
+struct Plain {
+    id: u32,
+    name: String,
+    weights: Vec<f64>,
+    span: (i64, i64),
+}
+
+#[derive(Debug, PartialEq, Serialize, Deserialize)]
+#[serde(transparent)]
+struct Wrapper(pub u32);
+
+#[derive(Debug, PartialEq, Serialize, Deserialize)]
+struct WithDefault {
+    required: i32,
+    #[serde(default)]
+    optional: Vec<u8>,
+}
+
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[serde(from = "ProxyData", into = "ProxyData")]
+struct Proxied {
+    doubled: u32,
+}
+
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+struct ProxyData {
+    half: u32,
+}
+
+impl From<Proxied> for ProxyData {
+    fn from(p: Proxied) -> ProxyData {
+        ProxyData { half: p.doubled / 2 }
+    }
+}
+
+impl From<ProxyData> for Proxied {
+    fn from(d: ProxyData) -> Proxied {
+        Proxied { doubled: d.half * 2 }
+    }
+}
+
+#[derive(Debug, PartialEq, Serialize, Deserialize)]
+enum Mixed {
+    Unit,
+    Newtype(u32),
+    Pair(u32, String),
+    Named { mean: f64, std: f64 },
+}
+
+fn roundtrip<T: Serialize + Deserialize + PartialEq + std::fmt::Debug>(v: &T) {
+    let back = T::from_content(v.to_content()).expect("roundtrip deserialization");
+    assert_eq!(&back, v);
+}
+
+#[test]
+fn named_struct_roundtrips_and_keeps_field_order() {
+    let v = Plain {
+        id: 7,
+        name: "x".to_string(),
+        weights: vec![0.5, 1.5],
+        span: (-3, 9),
+    };
+    match v.to_content() {
+        Content::Map(entries) => {
+            let keys: Vec<&str> = entries.iter().map(|(k, _)| k.as_str()).collect();
+            assert_eq!(keys, ["id", "name", "weights", "span"]);
+        }
+        other => panic!("expected map, got {other:?}"),
+    }
+    roundtrip(&v);
+}
+
+#[test]
+fn named_struct_reports_missing_field() {
+    let err = Plain::from_content(Content::Map(vec![(
+        "id".to_string(),
+        Content::I64(1),
+    )]))
+    .unwrap_err();
+    assert!(err.to_string().contains("name"), "got: {err}");
+}
+
+#[test]
+fn unknown_fields_are_ignored() {
+    let v = WithDefault::from_content(Content::Map(vec![
+        ("required".to_string(), Content::I64(3)),
+        ("junk".to_string(), Content::Bool(true)),
+    ]))
+    .unwrap();
+    assert_eq!(v, WithDefault { required: 3, optional: vec![] });
+}
+
+#[test]
+fn transparent_newtype_serializes_as_inner() {
+    assert_eq!(Wrapper(9).to_content(), Content::I64(9));
+    roundtrip(&Wrapper(9));
+}
+
+#[test]
+fn defaulted_field_fills_in_and_roundtrips() {
+    roundtrip(&WithDefault { required: -2, optional: vec![1, 2] });
+}
+
+#[test]
+fn from_into_proxy_is_used_both_ways() {
+    let v = Proxied { doubled: 10 };
+    match v.to_content() {
+        Content::Map(entries) => assert_eq!(entries[0].0, "half"),
+        other => panic!("expected proxy map, got {other:?}"),
+    }
+    roundtrip(&v);
+}
+
+#[test]
+fn enum_variants_are_externally_tagged() {
+    assert_eq!(Mixed::Unit.to_content(), Content::Str("Unit".to_string()));
+    match Mixed::Newtype(4).to_content() {
+        Content::Map(entries) => {
+            assert_eq!(entries.len(), 1);
+            assert_eq!(entries[0].0, "Newtype");
+            assert_eq!(entries[0].1, Content::I64(4));
+        }
+        other => panic!("expected tagged map, got {other:?}"),
+    }
+    for v in [
+        Mixed::Unit,
+        Mixed::Newtype(4),
+        Mixed::Pair(1, "a".to_string()),
+        Mixed::Named { mean: 0.5, std: 0.25 },
+    ] {
+        roundtrip(&v);
+    }
+}
+
+#[test]
+fn enum_rejects_unknown_variants() {
+    assert!(Mixed::from_content(Content::Str("Nope".to_string())).is_err());
+    assert!(Mixed::from_content(Content::Map(vec![(
+        "Nope".to_string(),
+        Content::I64(1),
+    )]))
+    .is_err());
+}

@@ -1,0 +1,556 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The real crate builds on `syn`/`quote`; neither is reachable in this
+//! build environment, so the item grammar is parsed directly from the
+//! `proc_macro::TokenStream` and the impls are emitted as strings parsed
+//! back into token streams.
+//!
+//! Supported shapes (everything this workspace derives on):
+//! * structs with named fields,
+//! * tuple structs (single-field ones serialize as their inner value,
+//!   like upstream newtype structs; longer ones as a sequence),
+//! * enums with unit / newtype / tuple / struct variants, externally
+//!   tagged (`"Variant"` or `{"Variant": ...}`);
+//!
+//! and the attributes `#[serde(transparent)]`, `#[serde(default)]` on
+//! fields, and `#[serde(from = "T", into = "T")]` on containers.
+//! Generics and lifetimes are rejected at expansion time with a clear
+//! panic rather than silently miscompiling.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::iter::Peekable;
+
+type Tokens = Peekable<proc_macro::token_stream::IntoIter>;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("vendored serde_derive: generated Serialize impl failed to parse")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("vendored serde_derive: generated Deserialize impl failed to parse")
+}
+
+// ---------------------------------------------------------------------
+// item model
+
+struct Item {
+    name: String,
+    transparent: bool,
+    from: Option<String>,
+    into: Option<String>,
+    kind: Kind,
+}
+
+enum Kind {
+    NamedStruct(Vec<Field>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Field {
+    name: String,
+    default: bool,
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+// ---------------------------------------------------------------------
+// parsing
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut toks: Tokens = input.into_iter().peekable();
+    let metas = take_attrs(&mut toks);
+
+    let mut transparent = false;
+    let mut from = None;
+    let mut into = None;
+    for (name, value) in metas {
+        match (name.as_str(), value) {
+            ("transparent", None) => transparent = true,
+            ("from", Some(v)) => from = Some(v),
+            ("into", Some(v)) => into = Some(v),
+            (other, _) => panic!(
+                "vendored serde_derive: unsupported container attribute `{other}` \
+                 (supported: transparent, from = \"T\", into = \"T\")"
+            ),
+        }
+    }
+
+    skip_visibility(&mut toks);
+    let kw = expect_ident(&mut toks, "`struct` or `enum`");
+    let name = expect_ident(&mut toks, "type name");
+    if let Some(TokenTree::Punct(p)) = toks.peek() {
+        if p.as_char() == '<' {
+            panic!("vendored serde_derive: generic type `{name}` is not supported");
+        }
+    }
+
+    let kind = match kw.as_str() {
+        "struct" => match toks.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Kind::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Kind::UnitStruct,
+            other => panic!(
+                "vendored serde_derive: unsupported struct body for `{name}` near {other:?} \
+                 (where-clauses are not supported)"
+            ),
+        },
+        "enum" => match toks.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("vendored serde_derive: malformed enum `{name}` near {other:?}"),
+        },
+        other => panic!("vendored serde_derive: expected struct or enum, found `{other}`"),
+    };
+
+    Item { name, transparent, from, into, kind }
+}
+
+/// Consumes leading `#[...]` attributes, returning the parsed
+/// `#[serde(...)]` meta items (`name` or `name = "value"`) and
+/// discarding everything else (doc comments, `#[derive]`, ...).
+fn take_attrs(toks: &mut Tokens) -> Vec<(String, Option<String>)> {
+    let mut metas = Vec::new();
+    while matches!(toks.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        toks.next();
+        let group = match toks.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => g,
+            other => panic!("vendored serde_derive: malformed attribute near {other:?}"),
+        };
+        let mut inner = group.stream().into_iter();
+        match inner.next() {
+            Some(TokenTree::Ident(i)) if i.to_string() == "serde" => match inner.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    metas.extend(parse_meta_list(g.stream()));
+                }
+                other => panic!("vendored serde_derive: expected #[serde(...)], found {other:?}"),
+            },
+            _ => {}
+        }
+    }
+    metas
+}
+
+fn parse_meta_list(ts: TokenStream) -> Vec<(String, Option<String>)> {
+    let mut out = Vec::new();
+    let mut it = ts.into_iter().peekable();
+    while let Some(t) = it.next() {
+        let name = match t {
+            TokenTree::Ident(i) => i.to_string(),
+            TokenTree::Punct(p) if p.as_char() == ',' => continue,
+            other => panic!("vendored serde_derive: malformed serde attribute near {other:?}"),
+        };
+        let mut value = None;
+        if matches!(it.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            it.next();
+            match it.next() {
+                Some(TokenTree::Literal(l)) => {
+                    value = Some(l.to_string().trim_matches('"').to_string());
+                }
+                other => {
+                    panic!("vendored serde_derive: expected string literal after `{name} =`, found {other:?}")
+                }
+            }
+        }
+        out.push((name, value));
+    }
+    out
+}
+
+fn skip_visibility(toks: &mut Tokens) {
+    if matches!(toks.peek(), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+        toks.next();
+        if matches!(toks.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            toks.next();
+        }
+    }
+}
+
+fn expect_ident(toks: &mut Tokens, what: &str) -> String {
+    match toks.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("vendored serde_derive: expected {what}, found {other:?}"),
+    }
+}
+
+fn parse_named_fields(ts: TokenStream) -> Vec<Field> {
+    let mut it: Tokens = ts.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        let metas = take_attrs(&mut it);
+        skip_visibility(&mut it);
+        let name = match it.next() {
+            None => break,
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => panic!("vendored serde_derive: expected field name, found {other:?}"),
+        };
+        match it.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("vendored serde_derive: expected `:` after field `{name}`, found {other:?}"),
+        }
+        // Skip the type: consume until a comma at angle-bracket depth 0.
+        // `<`/`>` are plain puncts in token trees, so generic arguments'
+        // commas (e.g. `Vec<(String, f64)>`) need the depth counter.
+        let mut depth = 0i32;
+        loop {
+            match it.next() {
+                None => break,
+                Some(TokenTree::Punct(p)) => match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    ',' if depth == 0 => break,
+                    _ => {}
+                },
+                Some(_) => {}
+            }
+        }
+        let mut default = false;
+        for (mname, _) in metas {
+            match mname.as_str() {
+                "default" => default = true,
+                other => panic!(
+                    "vendored serde_derive: unsupported field attribute `{other}` on `{name}` \
+                     (supported: default)"
+                ),
+            }
+        }
+        fields.push(Field { name, default });
+    }
+    fields
+}
+
+fn count_tuple_fields(ts: TokenStream) -> usize {
+    let mut depth = 0i32;
+    let mut count = 0usize;
+    let mut pending = false;
+    for t in ts {
+        match t {
+            TokenTree::Punct(p) => match p.as_char() {
+                '<' => {
+                    depth += 1;
+                    pending = true;
+                }
+                '>' => depth -= 1,
+                ',' if depth == 0 => {
+                    count += 1;
+                    pending = false;
+                }
+                _ => pending = true,
+            },
+            _ => pending = true,
+        }
+    }
+    if pending {
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(ts: TokenStream) -> Vec<Variant> {
+    let mut it: Tokens = ts.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        take_attrs(&mut it);
+        let name = match it.next() {
+            None => break,
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => continue,
+            other => panic!("vendored serde_derive: expected variant name, found {other:?}"),
+        };
+        let mut kind = VariantKind::Unit;
+        if matches!(it.peek(), Some(TokenTree::Group(_))) {
+            if let Some(TokenTree::Group(g)) = it.next() {
+                kind = match g.delimiter() {
+                    Delimiter::Brace => VariantKind::Struct(parse_named_fields(g.stream())),
+                    Delimiter::Parenthesis => VariantKind::Tuple(count_tuple_fields(g.stream())),
+                    other => panic!(
+                        "vendored serde_derive: unexpected {other:?} group in variant `{name}`"
+                    ),
+                };
+            }
+        }
+        if matches!(it.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            panic!("vendored serde_derive: explicit discriminants are not supported (variant `{name}`)");
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------
+// codegen (strings, parsed back into a TokenStream)
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = if let Some(into_ty) = &item.into {
+        // #[serde(into = "T")]: requires Self: Clone + Into<T>, as upstream.
+        format!(
+            "let __serde_proxy: {into_ty} = \
+             ::std::convert::Into::into(::std::clone::Clone::clone(self)); \
+             serde::Serialize::to_content(&__serde_proxy)"
+        )
+    } else {
+        match &item.kind {
+            Kind::NamedStruct(fields) => {
+                if item.transparent {
+                    let f = single_field(fields, name);
+                    format!("serde::Serialize::to_content(&self.{})", f.name)
+                } else {
+                    let entries: String = fields
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "({:?}.to_string(), serde::Serialize::to_content(&self.{})),",
+                                f.name, f.name
+                            )
+                        })
+                        .collect();
+                    format!("serde::Content::Map(::std::vec![{entries}])")
+                }
+            }
+            Kind::TupleStruct(1) => "serde::Serialize::to_content(&self.0)".to_string(),
+            Kind::TupleStruct(n) => {
+                let entries: String = (0..*n)
+                    .map(|i| format!("serde::Serialize::to_content(&self.{i}),"))
+                    .collect();
+                format!("serde::Content::Seq(::std::vec![{entries}])")
+            }
+            Kind::UnitStruct => "serde::Content::Null".to_string(),
+            Kind::Enum(variants) => {
+                let arms: String = variants.iter().map(|v| ser_variant_arm(name, v)).collect();
+                format!("match self {{ {arms} }}")
+            }
+        }
+    };
+    format!(
+        "#[automatically_derived] impl serde::Serialize for {name} {{ \
+         fn to_content(&self) -> serde::Content {{ {body} }} }}"
+    )
+}
+
+fn ser_variant_arm(name: &str, v: &Variant) -> String {
+    let vname = &v.name;
+    match &v.kind {
+        VariantKind::Unit => {
+            format!("{name}::{vname} => serde::Content::Str({vname:?}.to_string()),")
+        }
+        VariantKind::Tuple(1) => format!(
+            "{name}::{vname}(__serde_f0) => serde::Content::Map(::std::vec![\
+             ({vname:?}.to_string(), serde::Serialize::to_content(__serde_f0))]),"
+        ),
+        VariantKind::Tuple(n) => {
+            let binds: Vec<String> = (0..*n).map(|i| format!("__serde_f{i}")).collect();
+            let entries: String = binds
+                .iter()
+                .map(|b| format!("serde::Serialize::to_content({b}),"))
+                .collect();
+            format!(
+                "{name}::{vname}({}) => serde::Content::Map(::std::vec![({vname:?}.to_string(), \
+                 serde::Content::Seq(::std::vec![{entries}]))]),",
+                binds.join(", ")
+            )
+        }
+        VariantKind::Struct(fields) => {
+            let binds: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+            let entries: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "({:?}.to_string(), serde::Serialize::to_content({})),",
+                        f.name, f.name
+                    )
+                })
+                .collect();
+            format!(
+                "{name}::{vname} {{ {} }} => serde::Content::Map(::std::vec![\
+                 ({vname:?}.to_string(), serde::Content::Map(::std::vec![{entries}]))]),",
+                binds.join(", ")
+            )
+        }
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = if let Some(from_ty) = &item.from {
+        format!(
+            "let __serde_proxy: {from_ty} = serde::Deserialize::from_content(__serde_c)?; \
+             ::std::result::Result::Ok(<Self as ::std::convert::From<{from_ty}>>::from(__serde_proxy))"
+        )
+    } else {
+        match &item.kind {
+            Kind::NamedStruct(fields) => {
+                if item.transparent {
+                    let f = single_field(fields, name);
+                    format!(
+                        "::std::result::Result::Ok({name} {{ {}: serde::Deserialize::from_content(__serde_c)? }})",
+                        f.name
+                    )
+                } else {
+                    let build = named_fields_build(name, fields, "__serde_map");
+                    format!(
+                        "match __serde_c {{ \
+                         serde::Content::Map(mut __serde_map) => {{ let _ = &mut __serde_map; \
+                           ::std::result::Result::Ok({name} {{ {build} }}) }} \
+                         __serde_other => ::std::result::Result::Err(\
+                           serde::DeError::expected({:?}, &__serde_other)) }}",
+                        format!("map for {name}")
+                    )
+                }
+            }
+            Kind::TupleStruct(1) => format!(
+                "::std::result::Result::Ok({name}(serde::Deserialize::from_content(__serde_c)?))"
+            ),
+            Kind::TupleStruct(n) => {
+                let takes: String = (0..*n)
+                    .map(|_| {
+                        "serde::Deserialize::from_content(\
+                         __serde_it.next().expect(\"length checked\"))?,"
+                            .to_string()
+                    })
+                    .collect();
+                format!(
+                    "match __serde_c {{ \
+                     serde::Content::Seq(__serde_items) if __serde_items.len() == {n} => {{ \
+                       let mut __serde_it = __serde_items.into_iter(); \
+                       ::std::result::Result::Ok({name}({takes})) }} \
+                     __serde_other => ::std::result::Result::Err(\
+                       serde::DeError::expected({:?}, &__serde_other)) }}",
+                    format!("sequence of {n} for {name}")
+                )
+            }
+            Kind::UnitStruct => format!("::std::result::Result::Ok({name})"),
+            Kind::Enum(variants) => gen_enum_de(name, variants),
+        }
+    };
+    format!(
+        "#[automatically_derived] impl serde::Deserialize for {name} {{ \
+         fn from_content(__serde_c: serde::Content) -> \
+         ::std::result::Result<Self, serde::DeError> {{ {body} }} }}"
+    )
+}
+
+/// `field: <take from map or fallback>,` for every named field.
+fn named_fields_build(type_name: &str, fields: &[Field], map_var: &str) -> String {
+    fields
+        .iter()
+        .map(|f| {
+            let fallback = if f.default {
+                "::std::default::Default::default()".to_string()
+            } else {
+                format!(
+                    "return ::std::result::Result::Err(\
+                     serde::DeError::missing_field({type_name:?}, {:?}))",
+                    f.name
+                )
+            };
+            format!(
+                "{}: match serde::__take_field(&mut {map_var}, {:?}) {{ \
+                 ::std::option::Option::Some(__serde_v) => serde::Deserialize::from_content(__serde_v)?, \
+                 ::std::option::Option::None => {fallback}, }},",
+                f.name, f.name
+            )
+        })
+        .collect()
+}
+
+fn gen_enum_de(name: &str, variants: &[Variant]) -> String {
+    let unit_arms: String = variants
+        .iter()
+        .filter(|v| matches!(v.kind, VariantKind::Unit))
+        .map(|v| format!("{:?} => ::std::result::Result::Ok({name}::{}),", v.name, v.name))
+        .collect();
+    let tagged_arms: String = variants
+        .iter()
+        .filter(|v| !matches!(v.kind, VariantKind::Unit))
+        .map(|v| {
+            let vname = &v.name;
+            match &v.kind {
+                VariantKind::Unit => unreachable!(),
+                VariantKind::Tuple(1) => format!(
+                    "{vname:?} => ::std::result::Result::Ok({name}::{vname}(\
+                     serde::Deserialize::from_content(__serde_val)?)),"
+                ),
+                VariantKind::Tuple(n) => {
+                    let takes: String = (0..*n)
+                        .map(|_| {
+                            "serde::Deserialize::from_content(\
+                             __serde_it.next().expect(\"length checked\"))?,"
+                                .to_string()
+                        })
+                        .collect();
+                    format!(
+                        "{vname:?} => match __serde_val {{ \
+                         serde::Content::Seq(__serde_items) if __serde_items.len() == {n} => {{ \
+                           let mut __serde_it = __serde_items.into_iter(); \
+                           ::std::result::Result::Ok({name}::{vname}({takes})) }} \
+                         __serde_other => ::std::result::Result::Err(\
+                           serde::DeError::expected({:?}, &__serde_other)) }},",
+                        format!("sequence of {n} for variant {vname} of {name}")
+                    )
+                }
+                VariantKind::Struct(fields) => {
+                    let build = named_fields_build(name, fields, "__serde_inner");
+                    format!(
+                        "{vname:?} => match __serde_val {{ \
+                         serde::Content::Map(mut __serde_inner) => {{ let _ = &mut __serde_inner; \
+                           ::std::result::Result::Ok({name}::{vname} {{ {build} }}) }} \
+                         __serde_other => ::std::result::Result::Err(\
+                           serde::DeError::expected({:?}, &__serde_other)) }},",
+                        format!("map for variant {vname} of {name}")
+                    )
+                }
+            }
+        })
+        .collect();
+    format!(
+        "match __serde_c {{ \
+         serde::Content::Str(__serde_s) => match __serde_s.as_str() {{ \
+           {unit_arms} \
+           __serde_other => ::std::result::Result::Err(serde::DeError::new(\
+             ::std::format!(\"unknown unit variant `{{}}` of {name}\", __serde_other))), }}, \
+         serde::Content::Map(mut __serde_map) => {{ \
+           if __serde_map.len() != 1 {{ \
+             return ::std::result::Result::Err(serde::DeError::new(\
+               \"expected single-key variant map for {name}\")); }} \
+           let (__serde_tag, __serde_val) = __serde_map.remove(0); \
+           let _ = &__serde_val; \
+           match __serde_tag.as_str() {{ \
+             {tagged_arms} \
+             __serde_other => ::std::result::Result::Err(serde::DeError::new(\
+               ::std::format!(\"unknown variant `{{}}` of {name}\", __serde_other))), }} }} \
+         __serde_other => ::std::result::Result::Err(\
+           serde::DeError::expected(\"variant of {name}\", &__serde_other)), }}"
+    )
+}
+
+fn single_field<'a>(fields: &'a [Field], name: &str) -> &'a Field {
+    if fields.len() != 1 {
+        panic!("vendored serde_derive: #[serde(transparent)] on `{name}` requires exactly one field");
+    }
+    &fields[0]
+}
