@@ -10,6 +10,7 @@
 
 use crate::ratio_greedy::run_ratio_greedy;
 use usep_core::{EventId, Instance, Planning};
+use usep_guard::Guard;
 use usep_trace::{with_span, Counter, Probe, NOOP};
 
 /// Augments `planning` in place with a RatioGreedy pass over the events
@@ -27,12 +28,24 @@ pub fn augment_with_ratio_greedy_probed(
     planning: &mut Planning,
     probe: &dyn Probe,
 ) -> usize {
+    augment_with_ratio_greedy_guarded(inst, planning, Guard::none(), probe)
+}
+
+/// [`augment_with_ratio_greedy_probed`] under a budget: the pass stops
+/// at the next checkpoint once `guard` trips. Since it only ever adds
+/// assignments, stopping early leaves the planning valid.
+pub fn augment_with_ratio_greedy_guarded(
+    inst: &Instance,
+    planning: &mut Planning,
+    guard: &Guard,
+    probe: &dyn Probe,
+) -> usize {
     let before = planning.num_assignments();
     let residual: Vec<EventId> = inst
         .event_ids()
         .filter(|&v| planning.remaining_capacity(inst, v) > 0)
         .collect();
-    with_span(probe, "augment_rg", || run_ratio_greedy(inst, planning, &residual, probe));
+    with_span(probe, "augment_rg", || run_ratio_greedy(inst, planning, &residual, guard, probe));
     let added = planning.num_assignments() - before;
     probe.count(Counter::AugmentSwap, added as u64);
     added

@@ -18,8 +18,9 @@ use super::{
     build_planning_from_holders, passes_lemma1, Candidate, DpScheduler, PseudoLayout,
     SingleScheduler,
 };
-use crate::Solver;
+use crate::{finish_guarded, GuardedSolve, Solver};
 use usep_core::{EventId, Instance, Planning, UserId};
+use usep_guard::Guard;
 use usep_trace::{with_span, Counter, Probe};
 
 /// DeDP (Alg. 3): ½-approximate, with the literal `μ^r` matrix.
@@ -41,17 +42,28 @@ impl Solver for DeDP {
     }
 
     fn solve_with_probe(&self, inst: &Instance, probe: &dyn Probe) -> Planning {
+        self.solve_guarded(inst, Guard::none(), probe).planning
+    }
+
+    fn solve_guarded(&self, inst: &Instance, guard: &Guard, probe: &dyn Probe) -> GuardedSolve {
         let nu = inst.num_users();
         let layout = PseudoLayout::new(inst);
         let total = layout.total();
 
+        // The μ^r matrix dominates DeDP's footprint; charge it against
+        // the ceiling before allocating. On refusal there is no valid
+        // prefix to salvage (no user has been scheduled), so the result
+        // is the empty planning, truncated.
+        let matrix_bytes = layout.mu_matrix_bytes(nu);
+        if !guard.try_reserve(matrix_bytes) {
+            let planning = build_planning_from_holders(inst, &layout, &vec![0u32; total]);
+            return GuardedSolve { planning, outcome: finish_guarded(guard, probe) };
+        }
+
         // μ^r, pseudo-major: mu_m[p * |U| + u]. Row updates (the chosen
         // pseudo-events, subtracted across all later users) are then
         // contiguous.
-        probe.count(
-            Counter::PseudoMatrixBytes,
-            (total * nu * std::mem::size_of::<f64>()) as u64,
-        );
+        probe.count(Counter::PseudoMatrixBytes, matrix_bytes as u64);
         let mut mu_m = vec![0.0f64; total * nu];
         for v in inst.event_ids() {
             for p in layout.slots(v) {
@@ -63,12 +75,17 @@ impl Solver for DeDP {
 
         // step 1: Ŝ_{u_r} per user, as (slot, event) pairs in time order
         let mut hat: Vec<Vec<u32>> = Vec::with_capacity(nu);
-        let mut scheduler = DpScheduler::with_probe(probe);
+        let mut scheduler = DpScheduler::with_guard(probe, guard);
         let order = inst.temporal().order();
         let mut cands: Vec<Candidate> = Vec::with_capacity(inst.num_events());
 
         probe.span_enter("decomposed.step1");
         for r in 0..nu {
+            // users scheduled so far form a valid prefix: stop between
+            // users when the budget runs out
+            if guard.checkpoint() {
+                break;
+            }
             let u = UserId(r as u32);
             probe.count(Counter::CandidateRefreshUser, 1);
             cands.clear();
@@ -107,11 +124,13 @@ impl Solver for DeDP {
         }
         probe.span_exit("decomposed.step1");
         drop(mu_m);
+        guard.release(matrix_bytes);
 
         // step 2: scan r = |U| .. 1, dropping pseudo-events already kept
         // by a later user — equivalently, each slot stays with its last
-        // holder
-        with_span(probe, "decomposed.step2", || {
+        // holder. `hat` may cover only a prefix of the users when the
+        // guard tripped; the resolution is unchanged.
+        let planning = with_span(probe, "decomposed.step2", || {
             let mut holder = vec![0u32; total];
             for (r, slots) in hat.iter().enumerate() {
                 for &p in slots {
@@ -119,7 +138,8 @@ impl Solver for DeDP {
                 }
             }
             build_planning_from_holders(inst, &layout, &holder)
-        })
+        });
+        GuardedSolve { planning, outcome: finish_guarded(guard, probe) }
     }
 }
 

@@ -16,9 +16,10 @@ use super::{
     build_planning_from_holders, passes_lemma1, Candidate, DpScheduler, PseudoLayout,
     SingleScheduler,
 };
-use crate::augment::augment_with_ratio_greedy_probed;
-use crate::Solver;
+use crate::augment::augment_with_ratio_greedy_guarded;
+use crate::{finish_guarded, GuardedSolve, Solver};
 use usep_core::{EventId, Instance, Planning, UserId};
+use usep_guard::Guard;
 use usep_trace::{with_span, Counter, Probe};
 
 /// DeDPO (Alg. 4): ½-approximate, `O(|V| max c_v + |V| b_u + |V||U|)`
@@ -52,12 +53,16 @@ impl Solver for DeDPO {
     }
 
     fn solve_with_probe(&self, inst: &Instance, probe: &dyn Probe) -> Planning {
-        let mut scheduler = DpScheduler::with_probe(probe);
-        let mut planning = decomposed_with_select(inst, &mut scheduler, probe);
-        if self.augment {
-            augment_with_ratio_greedy_probed(inst, &mut planning, probe);
+        self.solve_guarded(inst, Guard::none(), probe).planning
+    }
+
+    fn solve_guarded(&self, inst: &Instance, guard: &Guard, probe: &dyn Probe) -> GuardedSolve {
+        let mut scheduler = DpScheduler::with_guard(probe, guard);
+        let mut planning = decomposed_with_select(inst, &mut scheduler, guard, probe);
+        if self.augment && !guard.is_tripped() {
+            augment_with_ratio_greedy_guarded(inst, &mut planning, guard, probe);
         }
-        planning
+        GuardedSolve { planning, outcome: finish_guarded(guard, probe) }
     }
 }
 
@@ -79,6 +84,7 @@ impl Solver for DeDPO {
 pub(crate) fn decomposed_with_select(
     inst: &Instance,
     scheduler: &mut impl SingleScheduler,
+    guard: &Guard,
     probe: &dyn Probe,
 ) -> Planning {
     let layout = PseudoLayout::new(inst);
@@ -88,6 +94,11 @@ pub(crate) fn decomposed_with_select(
 
     probe.span_enter("decomposed.step1");
     for r in 0..inst.num_users() as u32 {
+        // the select array over the users handled so far is a valid
+        // partial decomposition: stop between users on budget exhaustion
+        if guard.checkpoint() {
+            break;
+        }
         let u = UserId(r);
         // building V'_r is the decomposed framework's per-user candidate
         // refresh (step 1 of Alg. 3/4)

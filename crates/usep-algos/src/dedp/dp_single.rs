@@ -15,6 +15,7 @@
 
 use super::{Candidate, SingleScheduler};
 use usep_core::{Instance, UserId};
+use usep_guard::{Guard, TruncationReason};
 use usep_trace::{Counter, Probe, NOOP};
 
 /// Upper bound on DP table cells (`|V'_r| × (b_u + 1)`); about 1.6 GiB of
@@ -39,6 +40,8 @@ pub(crate) struct DpScheduler<'p> {
     hi: Vec<u32>,
     /// End times of the candidates, for `l_i` binary searches.
     ends: Vec<i64>,
+    /// Budget supervision: polled between rows, charged on table growth.
+    guard: &'p Guard,
 }
 
 impl DpScheduler<'static> {
@@ -49,6 +52,10 @@ impl DpScheduler<'static> {
 
 impl<'p> DpScheduler<'p> {
     pub fn with_probe(probe: &'p dyn Probe) -> DpScheduler<'p> {
+        DpScheduler::with_guard(probe, Guard::none())
+    }
+
+    pub fn with_guard(probe: &'p dyn Probe, guard: &'p Guard) -> DpScheduler<'p> {
         DpScheduler {
             probe,
             omega: Vec::new(),
@@ -56,6 +63,7 @@ impl<'p> DpScheduler<'p> {
             lo: Vec::new(),
             hi: Vec::new(),
             ends: Vec::new(),
+            guard,
         }
     }
 }
@@ -82,17 +90,29 @@ pub(crate) fn dp_single(
     }
     let budget = inst.user(u).budget.value() as usize;
     let stride = budget + 1;
-    let cells = m
-        .checked_mul(stride)
-        .filter(|&c| c <= MAX_DP_CELLS)
-        .unwrap_or_else(|| {
-            panic!(
-                "DPSingle table of {m} candidates × budget {budget} exceeds \
-                 MAX_DP_CELLS = {MAX_DP_CELLS}; rescale the instance's integer costs"
-            )
-        });
+    let cells = match m.checked_mul(stride).filter(|&c| c <= MAX_DP_CELLS) {
+        Some(c) => c,
+        // Under an active guard an oversized table is a memory trip —
+        // the user simply gets no schedule and the solve truncates.
+        // Unguarded, the legacy fail-fast panic stands (tripping the
+        // shared unlimited guard would poison unrelated solves).
+        None if ws.guard.is_active() => {
+            ws.guard.trip(TruncationReason::MemoryCeiling);
+            return Vec::new();
+        }
+        None => panic!(
+            "DPSingle table of {m} candidates × budget {budget} exceeds \
+             MAX_DP_CELLS = {MAX_DP_CELLS}; rescale the instance's integer costs"
+        ),
+    };
 
     if ws.omega.len() < cells {
+        let grown = cells - ws.omega.len();
+        let grown_bytes =
+            grown * (std::mem::size_of::<f64>() + std::mem::size_of::<i32>());
+        if !ws.guard.try_reserve(grown_bytes) {
+            return Vec::new();
+        }
         ws.omega.resize(cells, 0.0);
         ws.path.resize(cells, 0);
     }
@@ -111,6 +131,11 @@ pub(crate) fn dp_single(
     let mut cells_pruned = 0u64;
 
     for i in 0..m {
+        // each processed row leaves a reconstructable best_cell, so
+        // breaking here still yields a feasible (shorter) schedule
+        if ws.guard.checkpoint() {
+            break;
+        }
         let vi = cands[i].v;
         let mu_i = cands[i].mu;
         debug_assert!(mu_i > 0.0);

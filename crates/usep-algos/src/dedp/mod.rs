@@ -87,6 +87,16 @@ impl PseudoLayout {
         self.total
     }
 
+    /// Bytes the literal `μ^r` matrix of [`DeDP`] would occupy for `nu`
+    /// users — the quantity orchestrators pre-estimate against a memory
+    /// ceiling before attempting DeDP at all.
+    #[inline]
+    pub fn mu_matrix_bytes(&self, nu: usize) -> usize {
+        self.total
+            .saturating_mul(nu)
+            .saturating_mul(std::mem::size_of::<f64>())
+    }
+
     /// Global slot range of event `v`.
     #[inline]
     pub fn slots(&self, v: EventId) -> std::ops::Range<usize> {

@@ -17,12 +17,13 @@
 //! rescan of its region for the best still-affordable event. This is
 //! strictly safer and preserves the complexity bound.
 
-use crate::augment::augment_with_ratio_greedy_probed;
+use crate::augment::augment_with_ratio_greedy_guarded;
 use crate::dedp::{decomposed_with_select, Candidate, SingleScheduler};
-use crate::Solver;
+use crate::{finish_guarded, GuardedSolve, Solver};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 use usep_core::{Cost, Instance, Planning, Schedule, UserId};
+use usep_guard::Guard;
 use usep_trace::{Counter, Probe};
 
 /// DeGreedy (Alg. 5). `with_augment()` yields the paper's DeGreedy+RG.
@@ -54,12 +55,16 @@ impl Solver for DeGreedy {
     }
 
     fn solve_with_probe(&self, inst: &Instance, probe: &dyn Probe) -> Planning {
-        let mut scheduler = GreedyScheduler { probe };
-        let mut planning = decomposed_with_select(inst, &mut scheduler, probe);
-        if self.augment {
-            augment_with_ratio_greedy_probed(inst, &mut planning, probe);
+        self.solve_guarded(inst, Guard::none(), probe).planning
+    }
+
+    fn solve_guarded(&self, inst: &Instance, guard: &Guard, probe: &dyn Probe) -> GuardedSolve {
+        let mut scheduler = GreedyScheduler { probe, guard };
+        let mut planning = decomposed_with_select(inst, &mut scheduler, guard, probe);
+        if self.augment && !guard.is_tripped() {
+            augment_with_ratio_greedy_guarded(inst, &mut planning, guard, probe);
         }
-        planning
+        GuardedSolve { planning, outcome: finish_guarded(guard, probe) }
     }
 }
 
@@ -67,11 +72,12 @@ impl Solver for DeGreedy {
 /// framework.
 pub(crate) struct GreedyScheduler<'p> {
     probe: &'p dyn Probe,
+    guard: &'p Guard,
 }
 
 impl SingleScheduler for GreedyScheduler<'_> {
     fn schedule(&mut self, inst: &Instance, u: UserId, cands: &[Candidate]) -> Vec<usize> {
-        greedy_single(inst, u, cands, self.probe)
+        greedy_single_guarded(inst, u, cands, self.guard, self.probe)
     }
 }
 
@@ -110,10 +116,23 @@ impl PartialOrd for GapCand {
 /// `GreedySingle` (Alg. 5) for user `u` over candidates in end-time
 /// order (decomposed utilities positive, Lemma 1 pre-applied). Returns
 /// chosen candidate indices in time order.
+#[cfg_attr(not(test), allow(dead_code))]
 pub(crate) fn greedy_single(
     inst: &Instance,
     u: UserId,
     cands: &[Candidate],
+    probe: &dyn Probe,
+) -> Vec<usize> {
+    greedy_single_guarded(inst, u, cands, Guard::none(), probe)
+}
+
+/// [`greedy_single`] polling `guard` once per heap pop; the chosen
+/// prefix at any stop is a feasible schedule.
+pub(crate) fn greedy_single_guarded(
+    inst: &Instance,
+    u: UserId,
+    cands: &[Candidate],
+    guard: &Guard,
     probe: &dyn Probe,
 ) -> Vec<usize> {
     let m = cands.len();
@@ -156,6 +175,9 @@ pub(crate) fn greedy_single(
         heap.push(first);
     }
     while let Some(c) = heap.pop() {
+        if guard.checkpoint() {
+            break;
+        }
         probe.count(Counter::HeapPop, 1);
         // re-validate against the *current* budget: an insertion into a
         // different region may have consumed it (inc is still exact — the

@@ -29,6 +29,7 @@ pub mod bounds;
 pub mod dedp;
 pub mod degreedy;
 pub mod exact;
+pub mod guarded;
 pub mod local_search;
 pub mod maxmin;
 pub mod ratio_greedy;
@@ -38,12 +39,42 @@ pub use baseline::{SingleEventGreedy, UtilityGreedy};
 pub use bounds::best_upper_bound;
 pub use dedp::{optimal_user_schedule, DeDP, DeDPO};
 pub use degreedy::DeGreedy;
+pub use guarded::{GuardedReport, GuardedSolver};
 pub use local_search::WithLocalSearch;
 pub use maxmin::MaxMinGreedy;
 pub use ratio_greedy::RatioGreedy;
 
 use usep_core::{Instance, Planning};
+pub use usep_guard::{CancelToken, Guard, SolveBudget, SolveOutcome, TruncationReason};
 pub use usep_trace::{Counter, NoopProbe, Probe, TraceSink, NOOP};
+
+/// The result of a budget-supervised solve: the planning (always
+/// constraint-valid, possibly a prefix of the unguarded result) plus
+/// the [`SolveOutcome`] tag saying whether the budget cut it short.
+#[derive(Debug)]
+pub struct GuardedSolve {
+    /// The planning built before the guard tripped (or the complete
+    /// planning when it never did).
+    pub planning: Planning,
+    /// Whether the solve ran to its natural end.
+    pub outcome: SolveOutcome,
+}
+
+/// Reads the final outcome off `guard` and mirrors a truncation into
+/// the matching trace counter. Solvers call this once, on exit from
+/// their guarded path.
+pub(crate) fn finish_guarded(guard: &Guard, probe: &dyn Probe) -> SolveOutcome {
+    let outcome = guard.outcome();
+    if let Some(reason) = outcome.reason() {
+        let counter = match reason {
+            TruncationReason::Deadline => Counter::GuardDeadlineTrip,
+            TruncationReason::MemoryCeiling => Counter::GuardMemoryTrip,
+            TruncationReason::Cancelled => Counter::GuardCancelTrip,
+        };
+        probe.count(counter, 1);
+    }
+    outcome
+}
 
 /// A USEP planning algorithm: takes an instance, returns a feasible
 /// planning.
@@ -68,6 +99,25 @@ pub trait Solver {
     fn solve_with_probe(&self, inst: &Instance, probe: &dyn Probe) -> Planning {
         let _ = probe;
         self.solve(inst)
+    }
+
+    /// Computes a planning under the supervision of `guard`, stopping
+    /// at the next checkpoint once the guard trips and returning the
+    /// best-so-far **constraint-valid** planning tagged with the
+    /// outcome.
+    ///
+    /// The default ignores the guard and reports
+    /// [`SolveOutcome::Complete`] — correct for solvers whose work is
+    /// not anytime-shaped (exact search, one-shot baselines). The
+    /// interruptible solvers ([`RatioGreedy`], [`DeDP`], [`DeDPO`],
+    /// [`DeGreedy`]) override it and poll the guard from their hot
+    /// loops.
+    fn solve_guarded(&self, inst: &Instance, guard: &Guard, probe: &dyn Probe) -> GuardedSolve {
+        let _ = guard;
+        GuardedSolve {
+            planning: self.solve_with_probe(inst, probe),
+            outcome: SolveOutcome::Complete,
+        }
     }
 }
 
@@ -173,6 +223,27 @@ pub fn solve_with_probe(algorithm: Algorithm, inst: &Instance, probe: &dyn Probe
         Algorithm::DeGreedyRG => DeGreedy::new().with_augment().solve_with_probe(inst, probe),
         Algorithm::SingleEventGreedy => SingleEventGreedy.solve_with_probe(inst, probe),
         Algorithm::UtilityGreedy => UtilityGreedy.solve_with_probe(inst, probe),
+    }
+}
+
+/// Runs `algorithm` on `inst` under `guard`, dispatching to the
+/// solver's [`Solver::solve_guarded`] implementation. For fallback
+/// orchestration on top of this, see [`GuardedSolver`].
+pub fn solve_guarded(
+    algorithm: Algorithm,
+    inst: &Instance,
+    guard: &Guard,
+    probe: &dyn Probe,
+) -> GuardedSolve {
+    match algorithm {
+        Algorithm::RatioGreedy => RatioGreedy.solve_guarded(inst, guard, probe),
+        Algorithm::DeDP => DeDP::new().solve_guarded(inst, guard, probe),
+        Algorithm::DeDPO => DeDPO::new().solve_guarded(inst, guard, probe),
+        Algorithm::DeDPORG => DeDPO::new().with_augment().solve_guarded(inst, guard, probe),
+        Algorithm::DeGreedy => DeGreedy::new().solve_guarded(inst, guard, probe),
+        Algorithm::DeGreedyRG => DeGreedy::new().with_augment().solve_guarded(inst, guard, probe),
+        Algorithm::SingleEventGreedy => SingleEventGreedy.solve_guarded(inst, guard, probe),
+        Algorithm::UtilityGreedy => UtilityGreedy.solve_guarded(inst, guard, probe),
     }
 }
 

@@ -13,10 +13,11 @@
 //! start from a non-empty planning and restrict itself to a subset of
 //! events (those with residual capacity).
 
-use crate::Solver;
+use crate::{finish_guarded, GuardedSolve, Solver};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 use usep_core::{Cost, EventId, Instance, Planning, UserId};
+use usep_guard::Guard;
 use usep_trace::{with_span, Counter, Probe};
 
 /// The RatioGreedy heuristic (Algorithm 1). No approximation guarantee,
@@ -31,12 +32,16 @@ impl Solver for RatioGreedy {
     }
 
     fn solve_with_probe(&self, inst: &Instance, probe: &dyn Probe) -> Planning {
+        self.solve_guarded(inst, Guard::none(), probe).planning
+    }
+
+    fn solve_guarded(&self, inst: &Instance, guard: &Guard, probe: &dyn Probe) -> GuardedSolve {
         let mut planning = Planning::empty(inst);
         let events: Vec<EventId> = inst.event_ids().collect();
         with_span(probe, "ratio_greedy", || {
-            run_ratio_greedy(inst, &mut planning, &events, probe);
+            run_ratio_greedy(inst, &mut planning, &events, guard, probe);
         });
-        planning
+        GuardedSolve { planning, outcome: finish_guarded(guard, probe) }
     }
 }
 
@@ -117,6 +122,7 @@ struct Engine<'a> {
     /// Maps `EventId` to its position in `events` (u32::MAX = excluded).
     event_pos: Vec<u32>,
     next_gen: u64,
+    guard: &'a Guard,
     probe: &'a dyn Probe,
 }
 
@@ -125,6 +131,7 @@ impl<'a> Engine<'a> {
         inst: &'a Instance,
         planning: &'a mut Planning,
         events: &'a [EventId],
+        guard: &'a Guard,
         probe: &'a dyn Probe,
     ) -> Self {
         let mut event_pos = vec![u32::MAX; inst.num_events()];
@@ -142,6 +149,7 @@ impl<'a> Engine<'a> {
             user_best: vec![None; inst.num_users()],
             event_pos,
             next_gen: 1,
+            guard,
             probe,
         }
     }
@@ -234,14 +242,25 @@ impl<'a> Engine<'a> {
     fn run(&mut self) {
         self.probe.span_enter("ratio_greedy.seed");
         for i in 0..self.events.len() {
+            if self.guard.checkpoint() {
+                break;
+            }
             self.refresh_event(self.events[i]);
         }
         for u in 0..self.inst.num_users() as u32 {
+            if self.guard.checkpoint() {
+                break;
+            }
             self.refresh_user(UserId(u));
         }
         self.probe.span_exit("ratio_greedy.seed");
         self.probe.span_enter("ratio_greedy.drain");
         while let Some(c) = self.heap.pop() {
+            // every assignment made so far is a valid prefix — stop here
+            // when the budget is exhausted
+            if self.guard.checkpoint() {
+                break;
+            }
             self.probe.count(Counter::HeapPop, 1);
             // lazy deletion: only the entry matching the side's current
             // generation is live
@@ -310,12 +329,13 @@ pub(crate) fn run_ratio_greedy(
     inst: &Instance,
     planning: &mut Planning,
     events: &[EventId],
+    guard: &Guard,
     probe: &dyn Probe,
 ) {
     if events.is_empty() || inst.num_users() == 0 {
         return;
     }
-    Engine::new(inst, planning, events, probe).run();
+    Engine::new(inst, planning, events, guard, probe).run();
 }
 
 #[cfg(test)]

@@ -1,0 +1,161 @@
+//! Chaos mode: trip the guard at *every* checkpoint a solver ever
+//! reaches, and prove the anytime contract each time — the returned
+//! planning is constraint-valid, the outcome tag is accurate, and a
+//! complete outcome means the planning is the one an unguarded solve
+//! produces.
+
+use proptest::prelude::*;
+use usep_algos::{solve, solve_guarded, Algorithm, Guard, SolveBudget, TruncationReason};
+use usep_core::Instance;
+use usep_gen::{generate, SyntheticConfig};
+use usep_trace::NOOP;
+
+const INTERRUPTIBLE: [Algorithm; 6] = [
+    Algorithm::RatioGreedy,
+    Algorithm::DeDP,
+    Algorithm::DeDPO,
+    Algorithm::DeDPORG,
+    Algorithm::DeGreedy,
+    Algorithm::DeGreedyRG,
+];
+
+/// Recomputes Ω from first principles: per-user schedule utilities,
+/// summed. Guards must never leave a planning whose cached structure
+/// disagrees with a from-scratch recount.
+fn recompute_omega(inst: &Instance, planning: &usep_core::Planning) -> f64 {
+    inst.user_ids()
+        .map(|u| {
+            planning
+                .schedule(u)
+                .events()
+                .iter()
+                .map(|&v| inst.mu(v, u))
+                .sum::<f64>()
+        })
+        .sum()
+}
+
+/// Runs `algo` with the sentinel budget that counts checkpoints without
+/// tripping, returning how many the solver polls on this instance.
+fn count_checkpoints(algo: Algorithm, inst: &Instance) -> u64 {
+    let budget = SolveBudget::unlimited().with_chaos_trip(u64::MAX, TruncationReason::Deadline);
+    let guard = Guard::new(&budget);
+    let gs = solve_guarded(algo, inst, &guard, &NOOP);
+    assert!(gs.outcome.is_complete(), "{algo}: sentinel must not trip");
+    guard.checkpoints()
+}
+
+#[test]
+fn every_checkpoint_is_a_safe_stopping_point() {
+    let inst = generate(&SyntheticConfig::tiny().with_events(5).with_users(8), 77);
+    for algo in INTERRUPTIBLE {
+        let reference = solve(algo, &inst);
+        let total = count_checkpoints(algo, &inst);
+        assert!(total > 0, "{algo}: no checkpoints polled — guard not threaded");
+        for k in 0..=total {
+            let reason = match k % 3 {
+                0 => TruncationReason::Deadline,
+                1 => TruncationReason::MemoryCeiling,
+                _ => TruncationReason::Cancelled,
+            };
+            let budget = SolveBudget::unlimited().with_chaos_trip(k, reason);
+            let guard = Guard::new(&budget);
+            let gs = solve_guarded(algo, &inst, &guard, &NOOP);
+
+            gs.planning
+                .validate(&inst)
+                .unwrap_or_else(|e| panic!("{algo} tripped at {k}/{total}: infeasible: {e}"));
+            let omega = gs.planning.omega(&inst);
+            let recounted = recompute_omega(&inst, &gs.planning);
+            assert!(
+                (omega - recounted).abs() < 1e-9,
+                "{algo} at {k}: Ω cache {omega} != recount {recounted}"
+            );
+            // the outcome tag must mirror the guard state exactly
+            assert_eq!(gs.outcome.is_complete(), !guard.is_tripped(), "{algo} at {k}");
+            if gs.outcome.is_complete() {
+                assert_eq!(
+                    gs.planning, reference,
+                    "{algo} at {k}: complete outcome but planning differs from unguarded"
+                );
+            } else {
+                assert_eq!(gs.outcome.reason(), Some(reason), "{algo} at {k}: wrong reason");
+                assert!(
+                    omega <= reference.omega(&inst) + 1e-9,
+                    "{algo} at {k}: truncated Ω {omega} beats complete Ω"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn cancellation_mid_solve_yields_valid_prefix() {
+    use usep_algos::CancelToken;
+    let inst = generate(&SyntheticConfig::tiny().with_events(8).with_users(20), 5);
+    for algo in INTERRUPTIBLE {
+        let token = CancelToken::new();
+        token.cancel(); // cancelled before the solve even starts
+        let budget = SolveBudget::unlimited().with_cancel(token);
+        let guard = Guard::new(&budget);
+        let gs = solve_guarded(algo, &inst, &guard, &NOOP);
+        assert_eq!(gs.outcome.reason(), Some(TruncationReason::Cancelled), "{algo}");
+        assert!(gs.planning.validate(&inst).is_ok(), "{algo}");
+    }
+}
+
+#[test]
+fn non_interruptible_solvers_report_complete_under_any_guard() {
+    // the default trait path ignores the guard and never lies about it
+    let inst = generate(&SyntheticConfig::tiny(), 3);
+    for algo in [Algorithm::SingleEventGreedy, Algorithm::UtilityGreedy] {
+        let budget = SolveBudget::unlimited().with_chaos_trip(0, TruncationReason::Deadline);
+        let guard = Guard::new(&budget);
+        let gs = solve_guarded(algo, &inst, &guard, &NOOP);
+        assert!(gs.outcome.is_complete(), "{algo}");
+        assert_eq!(gs.planning, solve(algo, &inst), "{algo}");
+    }
+}
+
+fn arb_instance() -> impl Strategy<Value = Instance> {
+    (1usize..10, 1usize..16, 1u32..6, any::<u64>()).prop_map(|(nv, nu, cap, seed)| {
+        generate(
+            &SyntheticConfig::tiny().with_events(nv).with_users(nu).with_capacity_mean(cap),
+            seed,
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Guarded solves with a random chaos trip point are always
+    /// constraint-valid, their Ω survives recomputation, and the tag is
+    /// truthful: complete ⇔ identical to the unguarded planning.
+    #[test]
+    fn guarded_outputs_always_valid(inst in arb_instance(), k in 0u64..500, ai in 0usize..6) {
+        let algo = INTERRUPTIBLE[ai];
+        let budget = SolveBudget::unlimited().with_chaos_trip(k, TruncationReason::Deadline);
+        let guard = Guard::new(&budget);
+        let gs = solve_guarded(algo, &inst, &guard, &NOOP);
+        prop_assert!(gs.planning.validate(&inst).is_ok(), "{} at {}", algo, k);
+        let omega = gs.planning.omega(&inst);
+        let recounted = recompute_omega(&inst, &gs.planning);
+        prop_assert!((omega - recounted).abs() < 1e-9);
+        if gs.outcome.is_complete() {
+            prop_assert_eq!(gs.planning, solve(algo, &inst));
+        }
+    }
+
+    /// The unguarded path through the guarded machinery (the shared
+    /// `Guard::none()`) is bit-for-bit the legacy solve — and the shared
+    /// guard never sticks a trip.
+    #[test]
+    fn unguarded_path_unchanged(inst in arb_instance(), ai in 0usize..6) {
+        let algo = INTERRUPTIBLE[ai];
+        let gs = solve_guarded(algo, &inst, Guard::none(), &NOOP);
+        prop_assert!(gs.outcome.is_complete());
+        prop_assert!(!Guard::none().is_tripped());
+        prop_assert_eq!(gs.planning, solve(algo, &inst));
+    }
+}

@@ -2,10 +2,16 @@
 
 use crate::args::Flags;
 use std::path::Path;
-use usep_algos::{bounds, local_search, solve_with_probe, Algorithm};
+use std::time::Duration;
+use usep_algos::{bounds, local_search, Algorithm, GuardedSolver, SolveBudget};
 use usep_core::{Instance, Planning, PlanningStats};
 use usep_gen::{generate, generate_city, CityConfig, Spread, SyntheticConfig, UtilityDistribution};
 use usep_trace::{Probe, TraceSink, NOOP};
+
+/// Exit code for a solve that hit its budget and returned a truncated
+/// (but constraint-valid) planning. Distinct from 0 (complete) and
+/// 1 (error) so scripts can tell the three apart.
+pub const EXIT_TRUNCATED: u8 = 3;
 
 const HELP: &str = "usep — utility-aware social event-participant planning (SIGMOD'15)
 
@@ -13,6 +19,8 @@ SUBCOMMANDS:
     gen       generate a synthetic instance (Table-7 knobs)
     city      generate a simulated Meetup city instance (Table 6)
     solve     run a planning algorithm on an instance
+              (--timeout-ms N / --mem-budget-mb N bound the solve; a
+              truncated solve prints its outcome and exits with code 3)
     stats     print instance / planning statistics
     validate  check a planning against all four USEP constraints
     bound     print upper bounds on the optimal Ω (and the gap of a plan)
@@ -28,25 +36,26 @@ Tracing (solve): --trace-out FILE writes a JSON-lines trace (span and
 counter events, one JSON object per line, final 'summary' record);
 --trace-summary true prints the counter/span summary to stderr.";
 
-/// Dispatches a parsed command line.
-pub fn dispatch(argv: &[String]) -> Result<(), String> {
+/// Dispatches a parsed command line. Returns the process exit code on
+/// success (`0`, or [`EXIT_TRUNCATED`] for a budget-truncated solve).
+pub fn dispatch(argv: &[String]) -> Result<u8, String> {
     let Some((cmd, rest)) = argv.split_first() else {
         println!("{HELP}");
-        return Ok(());
+        return Ok(0);
     };
     let flags = Flags::parse(rest)?;
     match cmd.as_str() {
-        "gen" => cmd_gen(&flags),
-        "city" => cmd_city(&flags),
+        "gen" => cmd_gen(&flags).map(|()| 0),
+        "city" => cmd_city(&flags).map(|()| 0),
         "solve" => cmd_solve(&flags),
-        "stats" => cmd_stats(&flags),
-        "validate" => cmd_validate(&flags),
-        "bound" => cmd_bound(&flags),
-        "convert" => cmd_convert(&flags),
-        "plan-user" => cmd_plan_user(&flags),
+        "stats" => cmd_stats(&flags).map(|()| 0),
+        "validate" => cmd_validate(&flags).map(|()| 0),
+        "bound" => cmd_bound(&flags).map(|()| 0),
+        "convert" => cmd_convert(&flags).map(|()| 0),
+        "plan-user" => cmd_plan_user(&flags).map(|()| 0),
         "help" | "--help" | "-h" => {
             println!("{HELP}");
-            Ok(())
+            Ok(0)
         }
         other => Err(format!("unknown subcommand '{other}' (try 'usep help')")),
     }
@@ -77,13 +86,21 @@ fn load_instance(flags: &Flags) -> Result<Instance, String> {
 
 /// Loads an instance from JSON or the compact binary format, sniffing
 /// the `USEP` magic so either extension works.
+///
+/// The binary decoder re-validates through `InstanceBuilder`; the JSON
+/// path deserializes structurally and trusts its input, so the loaded
+/// instance is passed through [`Instance::validate`] here — otherwise a
+/// hand-edited file can smuggle in NaN utilities, zero capacities or an
+/// infinite budget and panic (or silently corrupt) a solve later.
 fn load_instance_path(path: &str) -> Result<Instance, String> {
     let raw = std::fs::read(path).map_err(|e| format!("read {path}: {e}"))?;
     if raw.starts_with(b"USEP") {
         return usep_core::codec::decode(&raw).map_err(|e| format!("parse {path}: {e}"));
     }
     let text = String::from_utf8(raw).map_err(|e| format!("read {path}: {e}"))?;
-    serde_json::from_str(&text).map_err(|e| format!("parse {path}: {e}"))
+    let inst: Instance = serde_json::from_str(&text).map_err(|e| format!("parse {path}: {e}"))?;
+    inst.validate().map_err(|e| format!("invalid instance {path}: {e}"))?;
+    Ok(inst)
 }
 
 fn load_plan(path: &str) -> Result<Planning, String> {
@@ -149,16 +166,28 @@ fn cmd_city(flags: &Flags) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_solve(flags: &Flags) -> Result<(), String> {
+fn cmd_solve(flags: &Flags) -> Result<u8, String> {
     let inst = load_instance(flags)?;
     let algo_name = flags.get("algorithm").unwrap_or_else(|| "dedpo".into());
     let algo = Algorithm::parse(&algo_name)
         .ok_or_else(|| format!("unknown --algorithm '{algo_name}'"))?;
     let ls_rounds = flags.get_or("local-search", 0usize)?;
+    let timeout_ms = flags.get("timeout-ms").map(|s| s.parse::<u64>()).transpose()
+        .map_err(|e| format!("bad --timeout-ms: {e}"))?;
+    let mem_budget_mb = flags.get("mem-budget-mb").map(|s| s.parse::<usize>()).transpose()
+        .map_err(|e| format!("bad --mem-budget-mb: {e}"))?;
     let out = flags.get("out");
     let trace_out = flags.get("trace-out");
     let trace_summary = flags.get_or("trace-summary", false)?;
     flags.reject_unknown()?;
+
+    let mut budget = SolveBudget::unlimited();
+    if let Some(ms) = timeout_ms {
+        budget = budget.with_deadline(Duration::from_millis(ms));
+    }
+    if let Some(mb) = mem_budget_mb {
+        budget = budget.with_memory_ceiling(mb.saturating_mul(1024 * 1024));
+    }
 
     let sink: Option<TraceSink> = match &trace_out {
         Some(path) => {
@@ -173,9 +202,12 @@ fn cmd_solve(flags: &Flags) -> Result<(), String> {
     };
 
     let t0 = std::time::Instant::now();
-    let mut plan = solve_with_probe(algo, &inst, probe);
+    let mut report = GuardedSolver::new(algo, budget).solve_with_probe(&inst, probe);
     let solve_secs = t0.elapsed().as_secs_f64();
-    let improved = if ls_rounds > 0 {
+    let mut plan = std::mem::replace(&mut report.planning, Planning::empty(&inst));
+    // local search only polishes complete solves: after a truncation
+    // there is no time (or memory) left to spend
+    let improved = if ls_rounds > 0 && report.outcome.is_complete() {
         local_search::improve(&inst, &mut plan, ls_rounds)
     } else {
         0
@@ -183,7 +215,7 @@ fn cmd_solve(flags: &Flags) -> Result<(), String> {
     plan.validate(&inst).map_err(|e| format!("solver bug — infeasible planning: {e}"))?;
     println!(
         "{}: Ω = {:.4}, {} assignments, {:.3}s{}",
-        algo.name(),
+        report.executed.name(),
         plan.omega(&inst),
         plan.num_assignments(),
         solve_secs,
@@ -193,6 +225,18 @@ fn cmd_solve(flags: &Flags) -> Result<(), String> {
             String::new()
         }
     );
+    if report.degraded() {
+        let trail: Vec<&str> = report.fallbacks.iter().map(|a| a.name()).collect();
+        eprintln!(
+            "degraded: {} → {} (abandoned: {})",
+            report.requested.name(),
+            report.executed.name(),
+            trail.join(", ")
+        );
+    }
+    if !report.outcome.is_complete() {
+        eprintln!("outcome: {}", report.outcome);
+    }
     if let Some(out) = out {
         write_json(&plan, &out)?;
         eprintln!("wrote {out}");
@@ -206,7 +250,7 @@ fn cmd_solve(flags: &Flags) -> Result<(), String> {
             print_trace_summary(sink);
         }
     }
-    Ok(())
+    Ok(if report.outcome.is_complete() { 0 } else { EXIT_TRUNCATED })
 }
 
 /// Human-readable counter/span/histogram summary on stderr, mirroring
@@ -487,6 +531,70 @@ mod tests {
                 "unexpected record {line}"
             );
         }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn expired_timeout_exits_truncated() {
+        let dir = std::env::temp_dir().join(format!("usep_cli_to_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let inst = dir.join("inst.json");
+        let inst_s = inst.to_str().unwrap();
+        dispatch(&argv(&[
+            "gen", "--events", "8", "--users", "30", "--seed", "7", "--out", inst_s,
+        ]))
+        .unwrap();
+        // a zero deadline expires before the first attempt starts: the
+        // planning is empty-but-valid and the exit code flags truncation
+        let code = dispatch(&argv(&[
+            "solve", "--instance", inst_s, "--algorithm", "dedpo", "--timeout-ms", "0",
+        ]))
+        .unwrap();
+        assert_eq!(code, EXIT_TRUNCATED);
+        // an unbudgeted solve of the same instance exits 0
+        let code =
+            dispatch(&argv(&["solve", "--instance", inst_s, "--algorithm", "dedpo"])).unwrap();
+        assert_eq!(code, 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn zero_mem_budget_degrades_but_completes() {
+        let dir = std::env::temp_dir().join(format!("usep_cli_mb_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let inst = dir.join("inst.json");
+        let inst_s = inst.to_str().unwrap();
+        dispatch(&argv(&[
+            "gen", "--events", "6", "--users", "10", "--seed", "5", "--out", inst_s,
+        ]))
+        .unwrap();
+        // a 0 MB ceiling forces the chain down to RatioGreedy, which
+        // charges no allocations and completes — exit code stays 0
+        let code = dispatch(&argv(&[
+            "solve", "--instance", inst_s, "--algorithm", "dedp", "--mem-budget-mb", "0",
+        ]))
+        .unwrap();
+        assert_eq!(code, 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_instance_rejected_on_load() {
+        let dir = std::env::temp_dir().join(format!("usep_cli_val_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let good = dir.join("good.json");
+        let bad = dir.join("bad.json");
+        dispatch(&argv(&[
+            "gen", "--events", "4", "--users", "6", "--seed", "11", "--out",
+            good.to_str().unwrap(),
+        ]))
+        .unwrap();
+        // graft an extra utility entry: |mu| no longer equals |V|·|U|
+        let text = std::fs::read_to_string(&good).unwrap();
+        assert!(text.contains("\"mu\": ["), "serialized shape changed: {text}");
+        std::fs::write(&bad, text.replacen("\"mu\": [", "\"mu\": [9.0,", 1)).unwrap();
+        let e = dispatch(&argv(&["solve", "--instance", bad.to_str().unwrap()])).unwrap_err();
+        assert!(e.contains("invalid instance"), "{e}");
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -7,6 +7,7 @@
 //! usep city  --name singapore [--fb 2] [--seed 42] --out instance.json
 //! usep solve --instance instance.json --algorithm dedpo
 //!            [--local-search 3] [--out plan.json]
+//!            [--timeout-ms N] [--mem-budget-mb N]
 //! usep stats --instance instance.json [--plan plan.json]
 //! usep validate --instance instance.json --plan plan.json
 //! usep bound --instance instance.json [--plan plan.json]
@@ -20,7 +21,9 @@ use std::process::ExitCode;
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     match commands::dispatch(&argv) {
-        Ok(()) => ExitCode::SUCCESS,
+        // 0 = success; EXIT_TRUNCATED (3) = a budgeted solve returned a
+        // valid but truncated planning
+        Ok(code) => ExitCode::from(code),
         Err(e) => {
             eprintln!("error: {e}");
             ExitCode::FAILURE

@@ -118,6 +118,31 @@ impl Cost {
         }
     }
 
+    /// A finite cost of `v` units, or `None` when `v` is the infinity
+    /// sentinel — the non-panicking form of [`Cost::new`] for untrusted
+    /// input (e.g. values arriving through deserialization).
+    #[inline]
+    pub fn checked_new(v: u32) -> Option<Cost> {
+        if v == u32::MAX {
+            None
+        } else {
+            Some(Cost(v))
+        }
+    }
+
+    /// Subtraction without the panics of [`Cost::sub`]: `None` on an
+    /// infinite operand or a would-be-negative result. Use this where
+    /// the triangle inequality has not been established (untrusted
+    /// instances before [`Instance::validate`](crate::Instance::validate)).
+    #[inline]
+    #[must_use]
+    pub fn checked_sub(self, other: Cost) -> Option<Cost> {
+        if self.is_infinite() || other.is_infinite() {
+            return None;
+        }
+        self.0.checked_sub(other.0).map(Cost)
+    }
+
     /// Saturating doubling, used for round-trip costs.
     #[inline]
     #[must_use]

@@ -76,6 +76,112 @@ impl fmt::Display for BuildError {
 
 impl Error for BuildError {}
 
+/// Defects found by [`Instance::validate`](crate::Instance::validate) in
+/// an already-assembled instance.
+///
+/// Construction through [`InstanceBuilder`](crate::InstanceBuilder)
+/// rejects these up front, but deserialization (`serde`'s
+/// `from = "InstanceData"` path) trusts its input by design, so anything
+/// loaded from JSON must be re-checked before solving: the vendored
+/// serde maps JSON `null` to `NaN` for floats, accepts `u32::MAX` (the
+/// [`Cost::INFINITE`](crate::Cost::INFINITE) sentinel) as a budget, and
+/// performs no cross-field checks, all of which can later panic or
+/// corrupt a solve if left in.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ValidateError {
+    /// The utility matrix does not have `|U| · |V|` entries.
+    UtilityShape {
+        /// Expected number of entries.
+        expected: usize,
+        /// Actual number of entries.
+        got: usize,
+    },
+    /// A utility value is outside `[0, 1]` or not finite (NaN/∞).
+    Utility {
+        /// Event of the offending pair.
+        event: EventId,
+        /// User of the offending pair.
+        user: UserId,
+        /// The rejected value.
+        value: f64,
+    },
+    /// An event has capacity zero (the paper requires `c_v ∈ Z_+`).
+    ZeroCapacity(EventId),
+    /// An event's time interval has `start >= end`.
+    EmptyInterval {
+        /// The event.
+        event: EventId,
+        /// Offending start time.
+        start: i64,
+        /// Offending end time.
+        end: i64,
+    },
+    /// A user's budget is the `∞` sentinel, which no solver supports
+    /// (budgets drive pseudo-polynomial DP table sizes).
+    InfiniteBudget(UserId),
+    /// The fee vector is neither empty nor `|V|` entries long.
+    FeeShape {
+        /// Expected number of entries (`|V|`).
+        expected: usize,
+        /// Actual number of entries.
+        got: usize,
+    },
+    /// An explicit cost matrix has the wrong dimensions.
+    CostShape {
+        /// Which matrix (`"user_event"` or `"event_event"`).
+        which: &'static str,
+        /// Expected number of entries.
+        expected: usize,
+        /// Actual number of entries.
+        got: usize,
+    },
+    /// An explicit event-event cost is finite for a temporally
+    /// incompatible pair (must be `∞`).
+    FiniteCostForConflict(EventId, EventId),
+    /// A sampled cost triple violates the triangle inequality the
+    /// problem statement assumes (Eq. (3)'s incremental costs go
+    /// negative without it, and schedule insertion would panic).
+    TriangleViolation {
+        /// Human-readable description of the violating triple.
+        detail: String,
+    },
+}
+
+impl fmt::Display for ValidateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidateError::UtilityShape { expected, got } => {
+                write!(f, "utility matrix has {got} entries, expected {expected}")
+            }
+            ValidateError::Utility { event, user, value } => {
+                write!(f, "utility μ({event}, {user}) = {value} outside [0, 1] or not finite")
+            }
+            ValidateError::ZeroCapacity(v) => write!(f, "event {v} has capacity 0"),
+            ValidateError::EmptyInterval { event, start, end } => {
+                write!(f, "event {event} has empty time interval [{start}, {end}]")
+            }
+            ValidateError::InfiniteBudget(u) => {
+                write!(f, "user {u} has an infinite budget (u32::MAX sentinel)")
+            }
+            ValidateError::FeeShape { expected, got } => {
+                write!(f, "fee vector has {got} entries, expected 0 or {expected}")
+            }
+            ValidateError::CostShape { which, expected, got } => {
+                write!(f, "{which} matrix has {got} entries, expected {expected}")
+            }
+            ValidateError::FiniteCostForConflict(a, b) => write!(
+                f,
+                "finite cost for temporally incompatible pair ({a}, {b}); must be infinite"
+            ),
+            ValidateError::TriangleViolation { detail } => {
+                write!(f, "triangle inequality violated: {detail}")
+            }
+        }
+    }
+}
+
+impl Error for ValidateError {}
+
 /// A violated USEP constraint, as reported by
 /// [`Planning::validate`](crate::Planning::validate).
 #[derive(Clone, Debug, PartialEq)]

@@ -1,7 +1,7 @@
 //! USEP problem instances.
 
 use crate::cost::Cost;
-use crate::error::BuildError;
+use crate::error::{BuildError, ValidateError};
 use crate::event::Event;
 use crate::geo::Point;
 use crate::ids::{EventId, UserId};
@@ -299,6 +299,195 @@ impl Instance {
     pub fn total_utility_mass(&self) -> f64 {
         self.mu.iter().map(|&m| f64::from(m)).sum()
     }
+
+    /// Re-checks the invariants [`InstanceBuilder::build`] enforces, on
+    /// an instance that may have bypassed the builder.
+    ///
+    /// Deserialization (`from = "InstanceData"`) trusts its input, so
+    /// adversarial or corrupted JSON can smuggle in values no builder
+    /// would accept: `NaN` utilities (the vendored serde maps JSON
+    /// `null` to `NaN`), utilities outside `[0, 1]`, zero capacities,
+    /// empty time intervals, `u32::MAX` (infinite) budgets, misshapen
+    /// matrices, and triangle-inequality violations. Any of these can
+    /// later panic deep inside a solver or silently corrupt the
+    /// objective; call `validate` before solving anything untrusted.
+    ///
+    /// The triangle-inequality audit is exhaustive for small explicit
+    /// matrices and deterministic spot sampling beyond that (the full
+    /// `O(|V|³ + |U||V|²)` audit stays available through
+    /// [`InstanceBuilder`]).
+    pub fn validate(&self) -> Result<(), ValidateError> {
+        let nv = self.events.len();
+        let nu = self.users.len();
+
+        if self.mu.len() != nv * nu {
+            return Err(ValidateError::UtilityShape { expected: nv * nu, got: self.mu.len() });
+        }
+        for (idx, &val) in self.mu.iter().enumerate() {
+            if !val.is_finite() || !(0.0..=1.0).contains(&val) {
+                return Err(ValidateError::Utility {
+                    event: EventId((idx % nv) as u32),
+                    user: UserId((idx / nv) as u32),
+                    value: f64::from(val),
+                });
+            }
+        }
+
+        for (i, e) in self.events.iter().enumerate() {
+            if e.capacity == 0 {
+                return Err(ValidateError::ZeroCapacity(EventId(i as u32)));
+            }
+            if e.time.start() >= e.time.end() {
+                return Err(ValidateError::EmptyInterval {
+                    event: EventId(i as u32),
+                    start: e.time.start(),
+                    end: e.time.end(),
+                });
+            }
+        }
+
+        for (i, u) in self.users.iter().enumerate() {
+            if u.budget.is_infinite() {
+                return Err(ValidateError::InfiniteBudget(UserId(i as u32)));
+            }
+        }
+
+        if !self.fees.is_empty() && self.fees.len() != nv {
+            return Err(ValidateError::FeeShape { expected: nv, got: self.fees.len() });
+        }
+
+        if let TravelCost::Explicit { user_event, event_event } = &self.travel {
+            if user_event.len() != nu * nv {
+                return Err(ValidateError::CostShape {
+                    which: "user_event",
+                    expected: nu * nv,
+                    got: user_event.len(),
+                });
+            }
+            if event_event.len() != nv * nv {
+                return Err(ValidateError::CostShape {
+                    which: "event_event",
+                    expected: nv * nv,
+                    got: event_event.len(),
+                });
+            }
+            for i in 0..nv {
+                for j in 0..nv {
+                    let incompatible =
+                        i == j || !self.events[i].time.precedes(self.events[j].time);
+                    if incompatible && event_event[i * nv + j].is_finite() {
+                        return Err(ValidateError::FiniteCostForConflict(
+                            EventId(i as u32),
+                            EventId(j as u32),
+                        ));
+                    }
+                }
+            }
+            spot_check_triangle(nv, nu, user_event, event_event)?;
+        }
+
+        Ok(())
+    }
+}
+
+/// Per-family sample budget of the [`Instance::validate`] triangle
+/// audit: below this many triples a family is checked exhaustively,
+/// above it the same number of deterministically-sampled triples.
+const TRIANGLE_SPOT_SAMPLES: u64 = 4096;
+
+fn spot_check_triangle(
+    nv: usize,
+    nu: usize,
+    user_event: &[Cost],
+    event_event: &[Cost],
+) -> Result<(), ValidateError> {
+    if nv == 0 {
+        return Ok(());
+    }
+    let ee = |i: usize, j: usize| event_event[i * nv + j];
+    let ue = |u: usize, v: usize| user_event[u * nv + v];
+
+    let check_eee = |i: usize, j: usize, k: usize| -> Result<(), ValidateError> {
+        if ee(i, j).is_finite()
+            && ee(j, k).is_finite()
+            && ee(i, k).is_finite()
+            && ee(i, k) > ee(i, j).add(ee(j, k))
+        {
+            return Err(ValidateError::TriangleViolation {
+                detail: format!(
+                    "cost(v{i}, v{k}) = {} > cost(v{i}, v{j}) + cost(v{j}, v{k}) = {}",
+                    ee(i, k),
+                    ee(i, j).add(ee(j, k))
+                ),
+            });
+        }
+        Ok(())
+    };
+    let check_uee = |u: usize, i: usize, j: usize| -> Result<(), ValidateError> {
+        if ee(i, j).is_infinite() {
+            return Ok(());
+        }
+        if ue(u, j) > ue(u, i).add(ee(i, j)) {
+            return Err(ValidateError::TriangleViolation {
+                detail: format!(
+                    "cost(u{u}, v{j}) = {} > cost(u{u}, v{i}) + cost(v{i}, v{j}) = {}",
+                    ue(u, j),
+                    ue(u, i).add(ee(i, j))
+                ),
+            });
+        }
+        if ee(i, j) > ue(u, i).add(ue(u, j)) {
+            return Err(ValidateError::TriangleViolation {
+                detail: format!(
+                    "cost(v{i}, v{j}) = {} > cost(v{i}, u{u}) + cost(u{u}, v{j}) = {}",
+                    ee(i, j),
+                    ue(u, i).add(ue(u, j))
+                ),
+            });
+        }
+        Ok(())
+    };
+
+    // fixed-seed xorshift64* so validation is deterministic
+    let mut state: u64 = 0x9E37_79B9_7F4A_7C15;
+    let mut next = move |m: usize| -> usize {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state.wrapping_mul(0x2545_F491_4F6C_DD1D) % m as u64) as usize
+    };
+
+    let eee_total = (nv as u64).saturating_pow(3);
+    if eee_total <= TRIANGLE_SPOT_SAMPLES {
+        for i in 0..nv {
+            for j in 0..nv {
+                for k in 0..nv {
+                    check_eee(i, j, k)?;
+                }
+            }
+        }
+    } else {
+        for _ in 0..TRIANGLE_SPOT_SAMPLES {
+            check_eee(next(nv), next(nv), next(nv))?;
+        }
+    }
+
+    let uee_total = (nu as u64).saturating_mul((nv as u64).saturating_pow(2));
+    if uee_total <= TRIANGLE_SPOT_SAMPLES {
+        for u in 0..nu {
+            for i in 0..nv {
+                for j in 0..nv {
+                    check_uee(u, i, j)?;
+                }
+            }
+        }
+    } else {
+        for _ in 0..TRIANGLE_SPOT_SAMPLES {
+            check_uee(next(nu), next(nv), next(nv))?;
+        }
+    }
+
+    Ok(())
 }
 
 fn compute_event_costs(events: &[Event], travel: &TravelCost, fees: &[u32]) -> Vec<Cost> {
@@ -328,7 +517,13 @@ fn compute_event_costs(events: &[Event], travel: &TravelCost, fees: &[u32]) -> V
             }
         }
         TravelCost::Explicit { event_event, .. } => {
-            costs.copy_from_slice(event_event);
+            // A wrong-length matrix (corrupted or forged file) must not
+            // panic here — deserialization runs before `validate` can
+            // report the shape error. Leave the costs all-infinite; the
+            // instance is unusable either way until validation rejects it.
+            if event_event.len() == costs.len() {
+                costs.copy_from_slice(event_event);
+            }
         }
     }
     // Remark 2: the fee of the target event rides on the inbound leg

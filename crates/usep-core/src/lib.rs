@@ -60,7 +60,7 @@ pub mod user;
 
 pub use codec::CodecError;
 pub use cost::Cost;
-pub use error::{BuildError, ConstraintViolation, PlanningError};
+pub use error::{BuildError, ConstraintViolation, PlanningError, ValidateError};
 pub use event::Event;
 pub use fairness::FairnessStats;
 pub use geo::Point;

@@ -181,7 +181,8 @@ impl Schedule {
 
     /// Total utility `Ω(S_u) = Σ_{v ∈ S_u} μ(v, u)`.
     pub fn utility(&self, inst: &Instance, u: UserId) -> f64 {
-        self.events.iter().map(|&v| inst.mu(v, u)).sum()
+        // `+ 0.0` normalizes the `-0.0` an empty `Sum` produces
+        self.events.iter().map(|&v| inst.mu(v, u)).sum::<f64>() + 0.0
     }
 
     /// Attempts to insert `v`, enforcing time feasibility, leg

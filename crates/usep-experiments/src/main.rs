@@ -35,6 +35,9 @@ struct Args {
     seed: u64,
     out: PathBuf,
     list: bool,
+    /// Per-measurement wall-clock deadline; truncated runs are recorded
+    /// with their outcome tag instead of running unboundedly.
+    timeout_ms: Option<u64>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -45,6 +48,7 @@ fn parse_args() -> Result<Args, String> {
         seed: 2015, // SIGMOD'15
         out: PathBuf::from("results"),
         list: false,
+        timeout_ms: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -66,6 +70,13 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("bad seed: {e}"))?
             }
+            "--timeout-ms" => {
+                args.timeout_ms = Some(
+                    next("--timeout-ms")?
+                        .parse()
+                        .map_err(|e| format!("bad --timeout-ms: {e}"))?,
+                )
+            }
             "--out" | "-o" => args.out = PathBuf::from(next("--out")?),
             "--list" | "-l" => args.list = true,
             "--help" | "-h" => {
@@ -83,6 +94,8 @@ const HELP: &str = "usep-experiments — regenerate the USEP paper's figures
 USAGE:
     usep-experiments [--figure all|2|3|4|table6|special|ext] [--panel NAME]
                      [--scale quick|full] [--seed N] [--out DIR]
+                     [--timeout-ms N]   # per-measurement deadline; truncated
+                                        # runs are tagged, not discarded
     usep-experiments --list
     usep-experiments --figure replot [--out DIR]   # re-render SVGs from CSVs
 
@@ -138,6 +151,12 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
 
+    let budget = args
+        .timeout_ms
+        .map(|ms| {
+            usep_metrics::SolveBudget::unlimited()
+                .with_deadline(std::time::Duration::from_millis(ms))
+        });
     let scale = if args.quick { "quick" } else { "full" };
     eprintln!(
         "running {} panel(s) at scale '{scale}', seed {}, into {}",
@@ -147,7 +166,7 @@ fn main() -> ExitCode {
     );
     for p in selected {
         eprintln!("== figure {} / {} — {}", p.figure, p.name, p.title);
-        match sweep::run_panel(p, args.seed, &args.out) {
+        match sweep::run_panel(p, args.seed, &args.out, budget.as_ref()) {
             Ok(files) => {
                 for f in files {
                     eprintln!("   wrote {}", f.display());

@@ -6,7 +6,7 @@ use std::path::{Path, PathBuf};
 use std::time::Instant;
 use usep_core::PlanningStats;
 use usep_gen::CityConfig;
-use usep_metrics::{run_measured, Measurement, ResultTable};
+use usep_metrics::{run_measured, run_measured_guarded, Measurement, ResultTable, SolveBudget};
 
 /// Re-renders an SVG next to every `*_{utility,time,memory}.csv` in
 /// `dir` without re-running any experiment. Returns the number of SVGs
@@ -42,11 +42,21 @@ pub fn replot(dir: &Path) -> io::Result<usize> {
 }
 
 /// Runs one panel, writing CSVs plus a markdown summary into `out`.
-/// Returns the written file paths.
-pub fn run_panel(panel: &Panel, seed: u64, out: &Path) -> io::Result<Vec<PathBuf>> {
+/// Returns the written file paths. When `budget` is set, sweep
+/// measurements run guarded: a solve that trips the deadline records a
+/// truncated (but constraint-valid) data point instead of running
+/// unboundedly. Non-sweep panels ignore the budget — their solves are
+/// either fast (city stats) or Ω-comparisons where truncation would
+/// invalidate the comparison.
+pub fn run_panel(
+    panel: &Panel,
+    seed: u64,
+    out: &Path,
+    budget: Option<&SolveBudget>,
+) -> io::Result<Vec<PathBuf>> {
     match &panel.kind {
         PanelKind::Sweep { x_label, algos, points } => {
-            run_sweep(panel, x_label, algos, points, seed, out)
+            run_sweep(panel, x_label, algos, points, seed, out, budget)
         }
         PanelKind::CityStats => run_city_stats(panel, seed, out),
         PanelKind::QualityGap { x_label, points } => {
@@ -211,6 +221,7 @@ fn run_sweep(
     points: &[crate::panels::PanelPoint],
     seed: u64,
     out: &Path,
+    budget: Option<&SolveBudget>,
 ) -> io::Result<Vec<PathBuf>> {
     let columns: Vec<String> = algos.iter().map(|a| a.name().to_string()).collect();
     let mk = |metric: &str| {
@@ -242,9 +253,17 @@ fn run_sweep(
         let mut ms = Vec::with_capacity(algos.len());
         let mut measurements = Vec::with_capacity(algos.len());
         for &a in algos {
-            let m = run_measured(a, &inst);
+            let m = match budget {
+                Some(b) => run_measured_guarded(a, &inst, b),
+                None => run_measured(a, &inst),
+            };
+            let tag = if m.outcome == "complete" {
+                String::new()
+            } else {
+                format!("   [{}]", m.outcome)
+            };
             eprintln!(
-                "      {:<12} Ω = {:>10.2}   {:>8.2}s   {:>8.1} MB   ({} assignments)",
+                "      {:<12} Ω = {:>10.2}   {:>8.2}s   {:>8.1} MB   ({} assignments){tag}",
                 m.algorithm,
                 m.omega,
                 m.seconds,

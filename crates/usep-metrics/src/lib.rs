@@ -26,5 +26,6 @@ pub mod timer;
 pub use alloc::CountingAllocator;
 pub use ensemble::{evaluate as evaluate_ensemble, Ensemble};
 pub use plot::LinePlot;
-pub use runner::{run_measured, Measurement};
+pub use runner::{run_measured, run_measured_guarded, Measurement};
 pub use table::ResultTable;
+pub use usep_algos::{CancelToken, SolveBudget, SolveOutcome, TruncationReason};

@@ -3,7 +3,7 @@
 use crate::alloc::measure_peak;
 use crate::timer::time;
 use serde::{Deserialize, Serialize};
-use usep_algos::Algorithm;
+use usep_algos::{Algorithm, GuardedSolver, SolveBudget};
 use usep_core::Instance;
 use usep_trace::TraceSink;
 
@@ -28,6 +28,16 @@ pub struct Measurement {
     /// recorded before counters existed.
     #[serde(default)]
     pub counters: Vec<(String, u64)>,
+    /// How the solve ended: `"complete"` or `"truncated:<reason>"`
+    /// (see `usep_guard::SolveOutcome::describe`). Empty in records
+    /// written before budgets existed — treat as complete.
+    #[serde(default)]
+    pub outcome: String,
+    /// Algorithms abandoned by the degradation chain before the one
+    /// whose planning was measured (empty for unguarded runs and
+    /// legacy records).
+    #[serde(default)]
+    pub fallbacks: Vec<String>,
 }
 
 /// Runs `algorithm` on `inst`, validating the output planning and
@@ -51,6 +61,39 @@ pub fn run_measured(algorithm: Algorithm, inst: &Instance) -> Measurement {
         peak_bytes: peak,
         assignments: planning.num_assignments(),
         counters: sink.counters().into_iter().map(|(c, v)| (c.name().to_string(), v)).collect(),
+        outcome: "complete".to_string(),
+        fallbacks: Vec::new(),
+    }
+}
+
+/// [`run_measured`] under a [`SolveBudget`]: the solve runs through the
+/// [`GuardedSolver`] degradation chain, and the measurement records the
+/// outcome tag, any fallbacks taken, and — in `algorithm` — the
+/// algorithm that actually produced the planning.
+///
+/// Truncated plannings are still validated: a guard trip must never
+/// yield an infeasible result.
+pub fn run_measured_guarded(
+    algorithm: Algorithm,
+    inst: &Instance,
+    budget: &SolveBudget,
+) -> Measurement {
+    let sink = TraceSink::new();
+    let solver = GuardedSolver::new(algorithm, budget.clone());
+    let ((report, dur), peak) = measure_peak(|| time(|| solver.solve_with_probe(inst, &sink)));
+    report
+        .planning
+        .validate(inst)
+        .unwrap_or_else(|e| panic!("{algorithm} returned an infeasible planning: {e}"));
+    Measurement {
+        algorithm: report.executed.name().to_string(),
+        omega: report.planning.omega(inst),
+        seconds: dur.as_secs_f64(),
+        peak_bytes: peak,
+        assignments: report.planning.num_assignments(),
+        counters: sink.counters().into_iter().map(|(c, v)| (c.name().to_string(), v)).collect(),
+        outcome: report.outcome.describe(),
+        fallbacks: report.fallbacks.iter().map(|a| a.name().to_string()).collect(),
     }
 }
 
@@ -90,14 +133,35 @@ mod tests {
             peak_bytes: 1024,
             assignments: 30,
             counters: vec![("dp_cell_visit".to_string(), 420)],
+            outcome: "truncated:deadline".into(),
+            fallbacks: vec!["DeDP".into()],
         };
         let json = serde_json::to_string(&m).unwrap();
         let back: Measurement = serde_json::from_str(&json).unwrap();
         assert_eq!(back, m);
-        // counter-free records from before the field existed still load
+        // counter- and outcome-free records from before those fields
+        // existed still load
         let legacy = r#"{"algorithm":"DeDPO","omega":1.0,"seconds":0.1,
                          "peak_bytes":0,"assignments":2}"#;
         let old: Measurement = serde_json::from_str(legacy).unwrap();
         assert!(old.counters.is_empty());
+        assert!(old.outcome.is_empty());
+        assert!(old.fallbacks.is_empty());
+    }
+
+    #[test]
+    fn guarded_run_records_outcome_and_fallbacks() {
+        let inst = generate(&SyntheticConfig::tiny(), 5);
+        let unlimited = run_measured_guarded(Algorithm::DeDPO, &inst, &SolveBudget::unlimited());
+        assert_eq!(unlimited.outcome, "complete");
+        assert!(unlimited.fallbacks.is_empty());
+
+        // a 1-byte ceiling forces DeDPO's DP table reservation to fail
+        // and the chain to land on RatioGreedy
+        let tight = SolveBudget::unlimited().with_memory_ceiling(1);
+        let m = run_measured_guarded(Algorithm::DeDPO, &inst, &tight);
+        assert_eq!(m.algorithm, "RatioGreedy");
+        assert_eq!(m.fallbacks, vec!["DeDPO".to_string()]);
+        assert_eq!(m.outcome, "complete");
     }
 }

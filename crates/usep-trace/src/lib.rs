@@ -63,11 +63,19 @@ pub enum Counter {
     CapacityReject,
     /// Candidate rejected because the user's budget was exceeded.
     BudgetReject,
+    /// Guard tripped on the wall-clock deadline (solve truncated).
+    GuardDeadlineTrip,
+    /// Guard tripped on the memory ceiling (solve truncated).
+    GuardMemoryTrip,
+    /// Guard tripped by cooperative cancellation (solve truncated).
+    GuardCancelTrip,
+    /// GuardedSolver fell back one step along DeDP → DeDPO → RatioGreedy.
+    GuardFallback,
 }
 
 impl Counter {
     /// Every counter, in registry order.
-    pub const ALL: [Counter; 11] = [
+    pub const ALL: [Counter; 15] = [
         Counter::HeapPush,
         Counter::HeapPop,
         Counter::HeapPopStale,
@@ -79,6 +87,10 @@ impl Counter {
         Counter::AugmentSwap,
         Counter::CapacityReject,
         Counter::BudgetReject,
+        Counter::GuardDeadlineTrip,
+        Counter::GuardMemoryTrip,
+        Counter::GuardCancelTrip,
+        Counter::GuardFallback,
     ];
 
     /// The stable snake_case identifier used in traces and tables.
@@ -95,6 +107,10 @@ impl Counter {
             Counter::AugmentSwap => "augment_swap",
             Counter::CapacityReject => "capacity_reject",
             Counter::BudgetReject => "budget_reject",
+            Counter::GuardDeadlineTrip => "guard_deadline_trip",
+            Counter::GuardMemoryTrip => "guard_memory_trip",
+            Counter::GuardCancelTrip => "guard_cancel_trip",
+            Counter::GuardFallback => "guard_fallback",
         }
     }
 }

@@ -12,6 +12,10 @@
 //!   max-min fairness solver.
 //! * [`gen`] — workload generators: the Table-7 synthetic generator and a
 //!   Meetup-like EBSN simulator for the Table-6 city datasets.
+//! * [`guard`] — resource governance: solve budgets (deadline, memory
+//!   ceiling, cancellation) and truncation outcomes for bounded solves
+//!   ([`SolveBudget`](guard::SolveBudget) +
+//!   [`GuardedSolver`](algos::GuardedSolver)).
 //! * [`metrics`] — timers, a counting allocator and experiment plumbing.
 //! * [`trace`] — the instrumentation layer: algorithm counters, phase
 //!   spans and JSON-lines trace export
@@ -33,6 +37,7 @@
 pub use usep_algos as algos;
 pub use usep_core as core;
 pub use usep_gen as gen;
+pub use usep_guard as guard;
 pub use usep_metrics as metrics;
 pub use usep_trace as trace;
 

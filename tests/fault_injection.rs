@@ -1,0 +1,153 @@
+//! Fault injection: adversarially malformed instance JSON.
+//!
+//! The serde path (`from = "InstanceData"`) trusts its input by design —
+//! it is the job of [`Instance::validate`] to catch corrupted or
+//! hand-forged files before any solver sees them (the CLI calls it on
+//! every JSON load). Each test here mutates one field of a known-good
+//! serialized instance into something adversarial and asserts that
+//! `validate` rejects it with the *right* error, not a panic.
+
+use usep::core::{Instance, ValidateError};
+
+/// A hand-written valid instance: two compatible events, two users,
+/// grid travel. `validate` accepts it, and every mutation below is one
+//  textual edit away from it.
+fn base_json() -> String {
+    r#"{
+        "events": [
+            {"capacity": 2, "location": {"x": 0, "y": 0}, "time": {"start": 0, "end": 10}},
+            {"capacity": 2, "location": {"x": 3, "y": 0}, "time": {"start": 20, "end": 30}}
+        ],
+        "users": [
+            {"location": {"x": 1, "y": 1}, "budget": 100},
+            {"location": {"x": 2, "y": 2}, "budget": 100}
+        ],
+        "mu": [0.5, 0.25, 0.75, 1.0],
+        "travel": {"Grid": {"time_per_unit": 0}}
+    }"#
+    .to_string()
+}
+
+/// Same shape but with explicit cost matrices (event 0 precedes event
+/// 1, so only `ee[0][1]` may be finite).
+fn explicit_json(user_event: &str, event_event: &str) -> String {
+    let inf = u32::MAX;
+    format!(
+        r#"{{
+        "events": [
+            {{"capacity": 2, "location": {{"x": 0, "y": 0}}, "time": {{"start": 0, "end": 10}}}},
+            {{"capacity": 2, "location": {{"x": 3, "y": 0}}, "time": {{"start": 20, "end": 30}}}}
+        ],
+        "users": [
+            {{"location": {{"x": 1, "y": 1}}, "budget": 100}},
+            {{"location": {{"x": 2, "y": 2}}, "budget": 100}}
+        ],
+        "mu": [0.5, 0.25, 0.75, 1.0],
+        "travel": {{"Explicit": {{"user_event": {user_event}, "event_event": {event_event}}}}}
+    }}"#
+    )
+    .replace("INF", &inf.to_string())
+}
+
+fn load(json: &str) -> Result<(), ValidateError> {
+    let inst: Instance = serde_json::from_str(json).expect("structurally valid JSON");
+    inst.validate()
+}
+
+fn mutate(from: &str, to: &str) -> Result<(), ValidateError> {
+    let base = base_json();
+    let mutated = base.replacen(from, to, 1);
+    assert_ne!(base, mutated, "mutation '{from}' did not apply");
+    load(&mutated)
+}
+
+#[test]
+fn pristine_instances_pass() {
+    assert!(load(&base_json()).is_ok());
+    let ok = explicit_json("[2, 4, 3, 2]", "[INF, 3, INF, INF]");
+    assert!(load(&ok).is_ok(), "{:?}", load(&ok));
+}
+
+#[test]
+fn nan_utility_rejected() {
+    // the vendored serde maps JSON null to NaN for floats — the classic
+    // smuggling channel for "not a number" into a trusting loader
+    let got = mutate("0.25", "null");
+    assert!(
+        matches!(got, Err(ValidateError::Utility { value, .. }) if value.is_nan()),
+        "{got:?}"
+    );
+}
+
+#[test]
+fn out_of_range_utilities_rejected() {
+    for bad in ["1.5", "-0.25", "1e300"] {
+        let got = mutate("0.75", bad);
+        assert!(matches!(got, Err(ValidateError::Utility { .. })), "μ={bad}: {got:?}");
+    }
+}
+
+#[test]
+fn utility_shape_mismatch_rejected() {
+    let got = mutate("\"mu\": [0.5,", "\"mu\": [0.5, 0.5,");
+    assert!(matches!(got, Err(ValidateError::UtilityShape { .. })), "{got:?}");
+}
+
+#[test]
+fn zero_capacity_rejected() {
+    let got = mutate("\"capacity\": 2, \"location\": {\"x\": 3", "\"capacity\": 0, \"location\": {\"x\": 3");
+    assert!(matches!(got, Err(ValidateError::ZeroCapacity(_))), "{got:?}");
+}
+
+#[test]
+fn empty_and_inverted_intervals_rejected() {
+    for bad in ["{\"start\": 20, \"end\": 20}", "{\"start\": 30, \"end\": 20}"] {
+        let got = mutate("{\"start\": 20, \"end\": 30}", bad);
+        assert!(matches!(got, Err(ValidateError::EmptyInterval { .. })), "{bad}: {got:?}");
+    }
+}
+
+#[test]
+fn infinite_budget_rejected() {
+    // u32::MAX is the Cost::INFINITE sentinel; a user with an infinite
+    // budget would overflow the DP tables keyed by budget value
+    let got = mutate("\"budget\": 100}", &format!("\"budget\": {}}}", u32::MAX));
+    assert!(matches!(got, Err(ValidateError::InfiniteBudget(_))), "{got:?}");
+}
+
+#[test]
+fn cost_matrix_shape_mismatch_rejected() {
+    let got = load(&explicit_json("[2, 4, 3]", "[INF, 3, INF, INF]"));
+    assert!(matches!(got, Err(ValidateError::CostShape { which: "user_event", .. })), "{got:?}");
+    let got = load(&explicit_json("[2, 4, 3, 2]", "[INF, 3, INF]"));
+    assert!(matches!(got, Err(ValidateError::CostShape { which: "event_event", .. })), "{got:?}");
+}
+
+#[test]
+fn finite_cost_on_conflicting_leg_rejected() {
+    // event 1 does not precede event 0, so ee[1][0] must be infinite;
+    // a finite value would let schedulers travel back in time
+    let got = load(&explicit_json("[2, 4, 3, 2]", "[INF, 3, 7, INF]"));
+    assert!(matches!(got, Err(ValidateError::FiniteCostForConflict(_, _))), "{got:?}");
+    // ... and so must the diagonal
+    let got = load(&explicit_json("[2, 4, 3, 2]", "[5, 3, INF, INF]"));
+    assert!(matches!(got, Err(ValidateError::FiniteCostForConflict(_, _))), "{got:?}");
+}
+
+#[test]
+fn triangle_violation_rejected() {
+    // cost(u0, v1) = 90 > cost(u0, v0) + cost(v0, v1) = 2 + 3: the
+    // "detour is cheaper than the direct leg" forgery that would break
+    // the incremental-cost reasoning of every scheduler
+    let got = load(&explicit_json("[2, 90, 3, 2]", "[INF, 3, INF, INF]"));
+    assert!(matches!(got, Err(ValidateError::TriangleViolation { .. })), "{got:?}");
+}
+
+#[test]
+fn rejected_instances_never_reach_solvers_via_the_cli_loader() {
+    // end-to-end: the same corrupt bytes, loaded the way `usep solve`
+    // loads them, yield an error — not a solver panic
+    let corrupt = base_json().replacen("0.25", "7.5", 1);
+    let inst: Instance = serde_json::from_str(&corrupt).unwrap();
+    assert!(inst.validate().is_err());
+}
