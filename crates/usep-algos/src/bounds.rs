@@ -16,21 +16,41 @@
 //! Each relaxation only enlarges the feasible set, so both values bound
 //! `Ω(A*)` from above; [`best_upper_bound`] takes their minimum.
 
-use crate::dedp::optimal_user_schedule;
+use crate::dedp::{optimal_user_schedule_with, DpScheduler};
 use usep_core::{EventId, Instance, UserId};
+use usep_guard::Guard;
+use usep_par::{current_threads, par_map_init};
 
 /// Upper bound from dropping the capacity constraint: the sum over users
 /// of their individually optimal schedule utilities.
+///
+/// The per-user DPs are independent, so they fan out over the
+/// configured thread pool; each worker owns one reusable `DpScheduler`
+/// workspace across all the users it processes. The
+/// per-user utilities are summed on the caller's thread in user-id
+/// order — float addition is not associative, so a scheduling-dependent
+/// reduction order would break bit-identity with a sequential run.
 pub fn capacity_relaxed_bound(inst: &Instance) -> f64 {
-    let mut total = 0.0;
-    for u in inst.user_ids() {
-        total += optimal_user_utility(inst, u);
-    }
-    total
+    let users: Vec<UserId> = inst.user_ids().collect();
+    par_map_init(
+        current_threads(),
+        &users,
+        Guard::none(),
+        DpScheduler::new,
+        |ws, _, &u| optimal_user_utility_with(ws, inst, u),
+        |_| (),
+    )
+    .into_iter()
+    .map(|r| r.expect("no guard was active"))
+    .sum()
 }
 
 /// The DP-optimal schedule utility of one user, ignoring capacities.
 pub fn optimal_user_utility(inst: &Instance, u: UserId) -> f64 {
+    optimal_user_utility_with(&mut DpScheduler::new(), inst, u)
+}
+
+fn optimal_user_utility_with(ws: &mut DpScheduler<'_>, inst: &Instance, u: UserId) -> f64 {
     let mu_row = inst.mu_row(u);
     let cands: Vec<(EventId, f64)> = mu_row
         .iter()
@@ -44,7 +64,7 @@ pub fn optimal_user_utility(inst: &Instance, u: UserId) -> f64 {
             }
         })
         .collect();
-    optimal_user_schedule(inst, u, &cands).1
+    optimal_user_schedule_with(ws, inst, u, &cands).1
 }
 
 /// Upper bound from dropping budgets and time conflicts: each event

@@ -15,7 +15,7 @@
 //! identical plannings at a fraction of the footprint.
 
 use super::{
-    build_planning_from_holders, passes_lemma1, Candidate, DpScheduler, PseudoLayout,
+    build_planning_from_holders, Candidate, DpScheduler, Lemma1Row, PseudoLayout,
     SingleScheduler,
 };
 use crate::{finish_guarded, GuardedSolve, Solver};
@@ -78,6 +78,7 @@ impl Solver for DeDP {
         let mut scheduler = DpScheduler::with_guard(probe, guard);
         let order = inst.temporal().order();
         let mut cands: Vec<Candidate> = Vec::with_capacity(inst.num_events());
+        let mut lemma1 = Lemma1Row::new(inst);
 
         probe.span_enter("decomposed.step1");
         for r in 0..nu {
@@ -88,6 +89,7 @@ impl Solver for DeDP {
             }
             let u = UserId(r as u32);
             probe.count(Counter::CandidateRefreshUser, 1);
+            lemma1.fill(inst, u);
             cands.clear();
             for &vi in order {
                 let v = EventId(vi);
@@ -102,7 +104,7 @@ impl Solver for DeDP {
                         best_slot = p;
                     }
                 }
-                if best_val > 0.0 && passes_lemma1(inst, u, v) {
+                if best_val > 0.0 && lemma1.passes(v) {
                     cands.push(Candidate { v, slot: best_slot as u32, mu: best_val });
                 }
             }

@@ -13,7 +13,7 @@
 //! [`DeGreedy`](crate::DeGreedy) reuses it with the greedy of Alg. 5.
 
 use super::{
-    build_planning_from_holders, passes_lemma1, Candidate, DpScheduler, PseudoLayout,
+    build_planning_from_holders, Candidate, DpScheduler, Lemma1Row, PseudoLayout,
     SingleScheduler,
 };
 use crate::augment::augment_with_ratio_greedy_guarded;
@@ -91,6 +91,7 @@ pub(crate) fn decomposed_with_select(
     let mut select = vec![0u32; layout.total()];
     let order = inst.temporal().order();
     let mut cands: Vec<Candidate> = Vec::with_capacity(inst.num_events());
+    let mut lemma1 = Lemma1Row::new(inst);
 
     probe.span_enter("decomposed.step1");
     for r in 0..inst.num_users() as u32 {
@@ -104,6 +105,7 @@ pub(crate) fn decomposed_with_select(
         // refresh (step 1 of Alg. 3/4)
         probe.count(Counter::CandidateRefreshUser, 1);
         let mu_row = inst.mu_row(u);
+        lemma1.fill(inst, u);
         cands.clear();
         for &vi in order {
             let v = EventId(vi);
@@ -124,7 +126,7 @@ pub(crate) fn decomposed_with_select(
                     best_slot = p;
                 }
             }
-            if best_val > 0.0 && passes_lemma1(inst, u, v) {
+            if best_val > 0.0 && lemma1.passes(v) {
                 cands.push(Candidate { v, slot: best_slot as u32, mu: best_val });
             }
         }

@@ -33,7 +33,7 @@ pub use dedpo::DeDPO;
 pub(crate) use dedpo::decomposed_with_select;
 pub(crate) use dp_single::DpScheduler;
 
-use usep_core::{EventId, Instance, Planning, Schedule, UserId};
+use usep_core::{Cost, EventId, Instance, Planning, Schedule, UserId};
 
 /// A candidate pseudo-event offered to the single-user subproblem:
 /// event `v`, the global index of the chosen pseudo-event slot, and the
@@ -120,6 +120,36 @@ pub(crate) fn passes_lemma1(inst: &Instance, u: UserId, v: EventId) -> bool {
     inst.round_trip(u, v) <= inst.user(u).budget
 }
 
+/// The Lemma-1 filter as a precomputed row: one `round_trip` evaluation
+/// per event when [`Lemma1Row::fill`] switches to a user, then pure
+/// lookups during the candidate scan. The buffer is allocated once per
+/// solve and reused across all `|U|` users, so the step-1 loops of
+/// DeDP/DeDPO/DeGreedy never recompute travel geometry inside the scan.
+pub(crate) struct Lemma1Row {
+    rt: Vec<Cost>,
+    budget: Cost,
+}
+
+impl Lemma1Row {
+    pub fn new(inst: &Instance) -> Lemma1Row {
+        Lemma1Row { rt: vec![Cost::new(0); inst.num_events()], budget: Cost::new(0) }
+    }
+
+    /// Recomputes the row for user `u`.
+    pub fn fill(&mut self, inst: &Instance, u: UserId) {
+        self.budget = inst.user(u).budget;
+        for (vi, slot) in self.rt.iter_mut().enumerate() {
+            *slot = inst.round_trip(u, EventId(vi as u32));
+        }
+    }
+
+    /// `passes_lemma1` for the filled user, as a table lookup.
+    #[inline]
+    pub fn passes(&self, v: EventId) -> bool {
+        self.rt[v.index()] <= self.budget
+    }
+}
+
 /// The utility-optimal feasible schedule for a *single* user (Algorithm
 /// 2 as a standalone tool): given `(event, utility)` candidates, returns
 /// the chosen events in time order and their total utility. Candidates
@@ -130,6 +160,19 @@ pub(crate) fn passes_lemma1(inst: &Instance, u: UserId, v: EventId) -> bool {
 /// as an optimal personal day-planner, and as the engine of the
 /// capacity-relaxed upper bound in [`crate::bounds`].
 pub fn optimal_user_schedule(
+    inst: &Instance,
+    u: UserId,
+    candidates: &[(EventId, f64)],
+) -> (Vec<EventId>, f64) {
+    let mut ws = DpScheduler::new();
+    optimal_user_schedule_with(&mut ws, inst, u, candidates)
+}
+
+/// [`optimal_user_schedule`] against a caller-owned workspace, so a
+/// loop over many users (the capacity-relaxed bound's hot path) reuses
+/// one DP table instead of reallocating it per user.
+pub(crate) fn optimal_user_schedule_with(
+    ws: &mut DpScheduler<'_>,
     inst: &Instance,
     u: UserId,
     candidates: &[(EventId, f64)],
@@ -150,7 +193,6 @@ pub fn optimal_user_schedule(
             }
         })
         .collect();
-    let mut ws = DpScheduler::new();
     let chosen = ws.schedule(inst, u, &cands);
     let score = chosen.iter().map(|&c| cands[c].mu).sum();
     (chosen.into_iter().map(|c| cands[c].v).collect(), score)

@@ -16,18 +16,29 @@
 //! (finitely many plannings, strictly monotone objective); each round is
 //! `O(|V| |U| · |S|)`. Feasibility is preserved by construction — moves
 //! are validated with the same checks as `Planning::assign`.
+//!
+//! Rounds are **evaluate-then-apply**: every candidate move is scored
+//! in parallel against a snapshot of the planning (pure reads), then
+//! the proposals are applied on the driving thread in a fixed order,
+//! each revalidated against the now-mutating planning and skipped if an
+//! earlier application invalidated it. The applied sequence is a pure
+//! function of the snapshot, so the result is bit-identical at every
+//! thread count.
 
 use crate::Solver;
 use usep_core::{EventId, Instance, Planning, UserId};
+use usep_guard::Guard;
+use usep_par::{current_threads, par_map};
 
 /// Improves `planning` in place until no transfer/swap move helps or
 /// `max_rounds` passes complete. Returns the number of applied moves.
 pub fn improve(inst: &Instance, planning: &mut Planning, max_rounds: usize) -> usize {
+    let threads = current_threads();
     let mut applied = 0;
     for _ in 0..max_rounds {
         let before = applied;
-        applied += transfer_round(inst, planning);
-        applied += swap_round(inst, planning);
+        applied += transfer_round(inst, planning, threads);
+        applied += swap_round(inst, planning, threads);
         if applied == before {
             break; // fixpoint
         }
@@ -35,94 +46,111 @@ pub fn improve(inst: &Instance, planning: &mut Planning, max_rounds: usize) -> u
     applied
 }
 
-/// One pass of transfer moves. For each assigned `(u_from, v)`, find the
-/// best user `u_to` with `μ(v, u_to) > μ(v, u_from)` that can host `v`;
-/// if found, move it.
-fn transfer_round(inst: &Instance, planning: &mut Planning) -> usize {
+/// One pass of transfer moves. Every assigned `(v, u_from)` pair is
+/// scored in parallel: the best user `u_to` with `μ(v, u_to) >
+/// μ(v, u_from)` that can host `v` in the snapshot. Proposals are then
+/// applied in `(v, u_from)` order, each re-checked against the current
+/// planning (an earlier transfer may have filled `u_to`'s schedule).
+fn transfer_round(inst: &Instance, planning: &mut Planning, threads: usize) -> usize {
+    let mut pairs: Vec<(EventId, UserId)> =
+        planning.assignments().map(|(u, v)| (v, u)).collect();
+    pairs.sort_unstable();
+    let snapshot: &Planning = planning;
+    let proposals = par_map(threads, &pairs, Guard::none(), |_, &(v, u_from)| {
+        let mu_from = inst.mu(v, u_from);
+        let mut best: Option<(UserId, f64)> = None;
+        for u_to in inst.user_ids() {
+            if u_to == u_from {
+                continue;
+            }
+            let mu_to = inst.mu(v, u_to);
+            if mu_to <= mu_from {
+                continue;
+            }
+            if best.is_some_and(|(_, m)| mu_to <= m) {
+                continue;
+            }
+            if snapshot.schedule(u_to).can_insert(inst, u_to, v) {
+                best = Some((u_to, mu_to));
+            }
+        }
+        best.map(|(u_to, _)| u_to)
+    });
     let mut moves = 0;
-    for v in inst.event_ids() {
-        // snapshot attendees: the move mutates the planning
-        let holders: Vec<UserId> = planning
-            .assignments()
-            .filter(|&(_, ev)| ev == v)
-            .map(|(u, _)| u)
-            .collect();
-        for u_from in holders {
-            let mu_from = inst.mu(v, u_from);
-            let mut best: Option<(UserId, f64)> = None;
-            for u_to in inst.user_ids() {
-                if u_to == u_from {
-                    continue;
-                }
-                let mu_to = inst.mu(v, u_to);
-                if mu_to <= mu_from {
-                    continue;
-                }
-                if best.is_some_and(|(_, m)| mu_to <= m) {
-                    continue;
-                }
-                if planning.schedule(u_to).can_insert(inst, u_to, v) {
-                    best = Some((u_to, mu_to));
-                }
-            }
-            if let Some((u_to, _)) = best {
-                assert!(planning.unassign(u_from, v));
-                planning
-                    .assign(inst, u_to, v)
-                    .expect("transfer target validated");
-                moves += 1;
-            }
+    for (k, proposal) in proposals.into_iter().enumerate() {
+        let Some(Some(u_to)) = proposal else { continue };
+        let (v, u_from) = pairs[k];
+        // revalidate against the mutated planning; a skipped proposal is
+        // simply re-found (or not) next round
+        if !planning.schedule(u_to).can_insert(inst, u_to, v) {
+            continue;
+        }
+        assert!(planning.unassign(u_from, v));
+        planning.assign(inst, u_to, v).expect("transfer target validated");
+        moves += 1;
+    }
+    moves
+}
+
+/// One pass of swap moves. Each user's best single swap — replace an
+/// arranged `v_out` with an unarranged, spare-capacity `v_in` of
+/// strictly higher utility that fits once `v_out` is gone — is found in
+/// parallel on a cloned schedule (the trial removal never touches the
+/// shared snapshot), then the proposals are applied in user-id order,
+/// re-checking capacity and fit (an earlier user's swap may have taken
+/// the last slot of `v_in`).
+fn swap_round(inst: &Instance, planning: &mut Planning, threads: usize) -> usize {
+    let users: Vec<UserId> = inst.user_ids().collect();
+    let snapshot: &Planning = planning;
+    let proposals = par_map(threads, &users, Guard::none(), |_, &u| {
+        best_swap(inst, snapshot, u)
+    });
+    let mut moves = 0;
+    for (k, proposal) in proposals.into_iter().enumerate() {
+        let Some(Some((v_out, v_in))) = proposal else { continue };
+        let u = users[k];
+        if planning.remaining_capacity(inst, v_in) == 0 {
+            continue;
+        }
+        assert!(planning.unassign(u, v_out));
+        if planning.schedule(u).can_insert(inst, u, v_in) {
+            planning.assign(inst, u, v_in).expect("swap target validated");
+            moves += 1;
+        } else {
+            planning.assign(inst, u, v_out).expect("reinsertion of removed event");
         }
     }
     moves
 }
 
-/// One pass of swap moves. For each user and each arranged event `v_out`,
-/// look for an unarranged `v_in` with spare capacity and
-/// `μ(v_in, u) > μ(v_out, u)` that fits once `v_out` is removed.
-fn swap_round(inst: &Instance, planning: &mut Planning) -> usize {
-    let mut moves = 0;
-    for u in inst.user_ids() {
-        let mut arranged: Vec<EventId> = planning.schedule(u).events().to_vec();
-        let mut i = 0;
-        while i < arranged.len() {
-            let v_out = arranged[i];
-            let mu_out = inst.mu(v_out, u);
-            let mut best: Option<(EventId, f64)> = None;
-            // trial removal
-            assert!(planning.unassign(u, v_out));
-            for v_in in inst.event_ids() {
-                if v_in == v_out || planning.schedule(u).contains(v_in) {
-                    continue;
-                }
-                let mu_in = inst.mu(v_in, u);
-                if mu_in <= mu_out || planning.remaining_capacity(inst, v_in) == 0 {
-                    continue;
-                }
-                if best.is_some_and(|(_, m)| mu_in <= m) {
-                    continue;
-                }
-                if planning.schedule(u).can_insert(inst, u, v_in) {
-                    best = Some((v_in, mu_in));
-                }
+/// The best swap for `u` against the snapshot: maximal utility gain,
+/// ties broken by smallest `(v_out, v_in)` so the choice is unique.
+fn best_swap(inst: &Instance, snapshot: &Planning, u: UserId) -> Option<(EventId, EventId)> {
+    let mut best: Option<(EventId, EventId, f64)> = None;
+    for &v_out in snapshot.schedule(u).events() {
+        let mu_out = inst.mu(v_out, u);
+        let mut trial = snapshot.schedule(u).clone();
+        trial.remove(v_out);
+        for v_in in inst.event_ids() {
+            if v_in == v_out || trial.contains(v_in) {
+                continue;
             }
-            match best {
-                Some((v_in, _)) => {
-                    planning.assign(inst, u, v_in).expect("swap target validated");
-                    arranged = planning.schedule(u).events().to_vec();
-                    moves += 1;
-                    // restart this user's scan: the schedule changed
-                    i = 0;
-                }
-                None => {
-                    // undo the trial removal
-                    planning.assign(inst, u, v_out).expect("reinsertion of removed event");
-                    i += 1;
-                }
+            let mu_in = inst.mu(v_in, u);
+            if mu_in <= mu_out || snapshot.remaining_capacity(inst, v_in) == 0 {
+                continue;
+            }
+            let gain = mu_in - mu_out;
+            if best.is_some_and(|(bo, bi, bg)| {
+                gain < bg || (gain == bg && (v_out, v_in) > (bo, bi))
+            }) {
+                continue;
+            }
+            if trial.can_insert(inst, u, v_in) {
+                best = Some((v_out, v_in, gain));
             }
         }
     }
-    moves
+    best.map(|(v_out, v_in, _)| (v_out, v_in))
 }
 
 /// Wraps any solver with a local-search post-pass.

@@ -12,13 +12,25 @@
 //! The same engine drives the `+RG` augmentation pass of §4.3.2: it can
 //! start from a non-empty planning and restrict itself to a subset of
 //! events (those with residual capacity).
+//!
+//! The two `O(|U|·|V|)` scan phases — heap seeding and the incident
+//! refresh after an accepted pop — fan out over `usep-par` when more
+//! than one thread is configured. Scans are pure reads of the planning;
+//! the commits (generation bumps and heap pushes) replay sequentially
+//! in index order afterwards, so the heap — and therefore the final
+//! planning — is bit-identical to a single-threaded run.
 
 use crate::{finish_guarded, GuardedSolve, Solver};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 use usep_core::{Cost, EventId, Instance, Planning, UserId};
 use usep_guard::Guard;
-use usep_trace::{with_span, Counter, Probe};
+use usep_par::{current_threads, par_map_init};
+use usep_trace::{with_span, Counter, LocalCounters, Probe};
+
+/// Below this many scan items a parallel section's thread spawns cost
+/// more than the scans they would offload; stay inline.
+const MIN_PAR_ITEMS: usize = 32;
 
 /// The RatioGreedy heuristic (Algorithm 1). No approximation guarantee,
 /// but fast on small instances; used standalone and as the `+RG`
@@ -106,6 +118,92 @@ fn ratio_of(mu: f64, inc: Cost) -> f64 {
     }
 }
 
+/// Validity of the pair per Alg. 1: capacity left, `μ > 0`, not yet in
+/// `S_u`, time-feasible insertion, reachable legs, and budget. Returns
+/// the incremental cost when valid. A pure read of the planning, so
+/// parallel scans may call it concurrently; rejects accumulate in the
+/// caller's local counter block.
+fn pair_inc(
+    inst: &Instance,
+    planning: &Planning,
+    v: EventId,
+    u: UserId,
+    lc: &mut LocalCounters,
+) -> Option<Cost> {
+    if planning.remaining_capacity(inst, v) == 0 {
+        lc.count(Counter::CapacityReject, 1);
+        return None;
+    }
+    if inst.mu(v, u) <= 0.0 {
+        return None;
+    }
+    let s = planning.schedule(u);
+    let pos = s.insertion_point(inst, v)?;
+    let inc = s.inc_cost_at(inst, u, v, pos);
+    if inc.is_infinite() {
+        return None;
+    }
+    if s.total_cost(inst, u).add(inc) > inst.user(u).budget {
+        lc.count(Counter::BudgetReject, 1);
+        return None;
+    }
+    Some(inc)
+}
+
+/// The scan half of an event refresh (lines 3–5 / 12–14): the best user
+/// for `v` by ratio, tie-broken by `inc_cost` then id. Pure.
+fn scan_event(
+    inst: &Instance,
+    planning: &Planning,
+    v: EventId,
+    lc: &mut LocalCounters,
+) -> Option<(UserId, f64, Cost)> {
+    if planning.remaining_capacity(inst, v) == 0 {
+        return None;
+    }
+    let mut best: Option<(UserId, f64, Cost)> = None;
+    for u in inst.user_ids() {
+        let Some(inc) = pair_inc(inst, planning, v, u, lc) else { continue };
+        let r = ratio_of(inst.mu(v, u), inc);
+        let better = match best {
+            None => true,
+            Some((bu, br, binc)) => {
+                r > br || (r == br && (inc < binc || (inc == binc && u < bu)))
+            }
+        };
+        if better {
+            best = Some((u, r, inc));
+        }
+    }
+    best
+}
+
+/// The scan half of a user refresh (lines 6–8 / 19–20): the best event
+/// for `u` among `events`. Pure.
+fn scan_user(
+    inst: &Instance,
+    planning: &Planning,
+    events: &[EventId],
+    u: UserId,
+    lc: &mut LocalCounters,
+) -> Option<(EventId, f64, Cost)> {
+    let mut best: Option<(EventId, f64, Cost)> = None;
+    for &v in events {
+        let Some(inc) = pair_inc(inst, planning, v, u, lc) else { continue };
+        let r = ratio_of(inst.mu(v, u), inc);
+        let better = match best {
+            None => true,
+            Some((bv, br, binc)) => {
+                r > br || (r == br && (inc < binc || (inc == binc && v < bv)))
+            }
+        };
+        if better {
+            best = Some((v, r, inc));
+        }
+    }
+    best
+}
+
 struct Engine<'a> {
     inst: &'a Instance,
     planning: &'a mut Planning,
@@ -122,6 +220,8 @@ struct Engine<'a> {
     /// Maps `EventId` to its position in `events` (u32::MAX = excluded).
     event_pos: Vec<u32>,
     next_gen: u64,
+    /// Worker count for the scan fan-outs (resolved once per run).
+    threads: usize,
     guard: &'a Guard,
     probe: &'a dyn Probe,
 }
@@ -149,33 +249,36 @@ impl<'a> Engine<'a> {
             user_best: vec![None; inst.num_users()],
             event_pos,
             next_gen: 1,
+            threads: current_threads(),
             guard,
             probe,
         }
     }
 
-    /// Validity of the pair per Alg. 1: capacity left, `μ > 0`, not yet in
-    /// `S_u`, time-feasible insertion, reachable legs, and budget. Returns
-    /// the incremental cost when valid.
-    fn pair_inc(&self, v: EventId, u: UserId) -> Option<Cost> {
-        if self.planning.remaining_capacity(self.inst, v) == 0 {
-            self.probe.count(Counter::CapacityReject, 1);
-            return None;
+    /// The commit half of an event refresh: bumps the generation, stores
+    /// the scan's best and pushes it. Commits always run on the driving
+    /// thread, in item-index order.
+    fn commit_event(&mut self, pos: usize, v: EventId, best: Option<(UserId, f64, Cost)>) {
+        self.probe.count(Counter::CandidateRefreshEvent, 1);
+        self.next_gen += 1;
+        self.event_gen[pos] = self.next_gen;
+        self.event_best[pos] = best;
+        if let Some((u, r, inc)) = best {
+            self.probe.count(Counter::HeapPush, 1);
+            self.heap.push(Cand { ratio: r, inc, v, u, side: Side::Event, gen: self.next_gen });
         }
-        if self.inst.mu(v, u) <= 0.0 {
-            return None;
+    }
+
+    /// The commit half of a user refresh.
+    fn commit_user(&mut self, u: UserId, best: Option<(EventId, f64, Cost)>) {
+        self.probe.count(Counter::CandidateRefreshUser, 1);
+        self.next_gen += 1;
+        self.user_gen[u.index()] = self.next_gen;
+        self.user_best[u.index()] = best;
+        if let Some((v, r, inc)) = best {
+            self.probe.count(Counter::HeapPush, 1);
+            self.heap.push(Cand { ratio: r, inc, v, u, side: Side::User, gen: self.next_gen });
         }
-        let s = self.planning.schedule(u);
-        let pos = s.insertion_point(self.inst, v)?;
-        let inc = s.inc_cost_at(self.inst, u, v, pos);
-        if inc.is_infinite() {
-            return None;
-        }
-        if s.total_cost(self.inst, u).add(inc) > self.inst.user(u).budget {
-            self.probe.count(Counter::BudgetReject, 1);
-            return None;
-        }
-        Some(inc)
     }
 
     /// Recomputes the best user for event `v` (lines 3–5 / 12–14) and
@@ -185,74 +288,77 @@ impl<'a> Engine<'a> {
         if pos == u32::MAX {
             return; // event excluded from this run
         }
-        let pos = pos as usize;
-        self.probe.count(Counter::CandidateRefreshEvent, 1);
-        self.next_gen += 1;
-        self.event_gen[pos] = self.next_gen;
-        let mut best: Option<(UserId, f64, Cost)> = None;
-        if self.planning.remaining_capacity(self.inst, v) > 0 {
-            for u in self.inst.user_ids() {
-                let Some(inc) = self.pair_inc(v, u) else { continue };
-                let r = ratio_of(self.inst.mu(v, u), inc);
-                let better = match best {
-                    None => true,
-                    Some((bu, br, binc)) => {
-                        r > br || (r == br && (inc < binc || (inc == binc && u < bu)))
-                    }
-                };
-                if better {
-                    best = Some((u, r, inc));
-                }
-            }
-        }
-        self.event_best[pos] = best;
-        if let Some((u, r, inc)) = best {
-            self.probe.count(Counter::HeapPush, 1);
-            self.heap.push(Cand { ratio: r, inc, v, u, side: Side::Event, gen: self.next_gen });
-        }
+        let mut lc = LocalCounters::new();
+        let best = scan_event(self.inst, self.planning, v, &mut lc);
+        lc.flush_into(self.probe);
+        self.commit_event(pos as usize, v, best);
     }
 
     /// Recomputes the best event for user `u` (lines 6–8 / 19–20) and
     /// pushes it.
     fn refresh_user(&mut self, u: UserId) {
-        self.probe.count(Counter::CandidateRefreshUser, 1);
-        self.next_gen += 1;
-        self.user_gen[u.index()] = self.next_gen;
-        let mut best: Option<(EventId, f64, Cost)> = None;
-        for &v in self.events {
-            let Some(inc) = self.pair_inc(v, u) else { continue };
-            let r = ratio_of(self.inst.mu(v, u), inc);
-            let better = match best {
-                None => true,
-                Some((bv, br, binc)) => {
-                    r > br || (r == br && (inc < binc || (inc == binc && v < bv)))
-                }
-            };
-            if better {
-                best = Some((v, r, inc));
+        let mut lc = LocalCounters::new();
+        let best = scan_user(self.inst, self.planning, self.events, u, &mut lc);
+        lc.flush_into(self.probe);
+        self.commit_user(u, best);
+    }
+
+    /// Seeds the heap with every event's and every user's best pair.
+    /// With more than one thread the scans fan out over the pool and
+    /// the commits replay in index order, reproducing the sequential
+    /// generation sequence exactly.
+    fn seed(&mut self) {
+        let users: Vec<UserId> = self.inst.user_ids().collect();
+        if self.threads > 1 && self.events.len().max(users.len()) >= MIN_PAR_ITEMS {
+            let (inst, probe) = (self.inst, self.probe);
+            let planning: &Planning = self.planning;
+            let event_scans = par_map_init(
+                self.threads,
+                self.events,
+                self.guard,
+                LocalCounters::new,
+                |lc, _, &v| scan_event(inst, planning, v, lc),
+                |mut lc| lc.flush_into(probe),
+            );
+            for (pos, scan) in event_scans.into_iter().enumerate() {
+                // a `None` slot means the guard tripped before this
+                // chunk: skip the commit, the drain loop stops anyway
+                let Some(best) = scan else { continue };
+                self.commit_event(pos, self.events[pos], best);
             }
-        }
-        self.user_best[u.index()] = best;
-        if let Some((v, r, inc)) = best {
-            self.probe.count(Counter::HeapPush, 1);
-            self.heap.push(Cand { ratio: r, inc, v, u, side: Side::User, gen: self.next_gen });
+            let events = self.events;
+            let planning: &Planning = self.planning;
+            let user_scans = par_map_init(
+                self.threads,
+                &users,
+                self.guard,
+                LocalCounters::new,
+                |lc, _, &u| scan_user(inst, planning, events, u, lc),
+                |mut lc| lc.flush_into(probe),
+            );
+            for (i, scan) in user_scans.into_iter().enumerate() {
+                let Some(best) = scan else { continue };
+                self.commit_user(users[i], best);
+            }
+        } else {
+            for i in 0..self.events.len() {
+                if self.guard.checkpoint() {
+                    break;
+                }
+                self.refresh_event(self.events[i]);
+            }
+            for &u in &users {
+                if self.guard.checkpoint() {
+                    break;
+                }
+                self.refresh_user(u);
+            }
         }
     }
 
     fn run(&mut self) {
         self.probe.span_enter("ratio_greedy.seed");
-        for i in 0..self.events.len() {
-            if self.guard.checkpoint() {
-                break;
-            }
-            self.refresh_event(self.events[i]);
-        }
-        for u in 0..self.inst.num_users() as u32 {
-            if self.guard.checkpoint() {
-                break;
-            }
-            self.refresh_user(UserId(u));
-        }
+        self.seed();
         self.probe.span_exit("ratio_greedy.seed");
         self.probe.span_enter("ratio_greedy.drain");
         while let Some(c) = self.heap.pop() {
@@ -280,7 +386,10 @@ impl<'a> Engine<'a> {
                 Side::Event => self.event_best[self.event_pos[c.v.index()] as usize] = None,
                 Side::User => self.user_best[c.u.index()] = None,
             }
-            let added = if let Some(inc) = self.pair_inc(c.v, c.u) {
+            let mut lc = LocalCounters::new();
+            let revalidated = pair_inc(self.inst, self.planning, c.v, c.u, &mut lc);
+            lc.flush_into(self.probe);
+            let added = if let Some(inc) = revalidated {
                 self.planning
                     .assign(self.inst, c.u, c.v)
                     .expect("pair validated as assignable");
@@ -298,19 +407,37 @@ impl<'a> Engine<'a> {
                 // lines 15-18: u's schedule changed, so every heap pair
                 // incident to u may have a different inc_cost — recompute
                 // the events whose current best user is u
-                let incident: Vec<EventId> = self
+                let incident: Vec<(u32, EventId)> = self
                     .event_best
                     .iter()
                     .enumerate()
                     .filter_map(|(i, b)| match b {
                         Some((bu, _, _)) if *bu == c.u && self.events[i] != c.v => {
-                            Some(self.events[i])
+                            Some((i as u32, self.events[i]))
                         }
                         _ => None,
                     })
                     .collect();
-                for v in incident {
-                    self.refresh_event(v);
+                if self.threads > 1 && incident.len() >= MIN_PAR_ITEMS {
+                    let (inst, probe) = (self.inst, self.probe);
+                    let planning: &Planning = self.planning;
+                    let scans = par_map_init(
+                        self.threads,
+                        &incident,
+                        self.guard,
+                        LocalCounters::new,
+                        |lc, _, &(_, v)| scan_event(inst, planning, v, lc),
+                        |mut lc| lc.flush_into(probe),
+                    );
+                    for (k, scan) in scans.into_iter().enumerate() {
+                        let Some(best) = scan else { continue };
+                        let (pos, v) = incident[k];
+                        self.commit_event(pos as usize, v, best);
+                    }
+                } else {
+                    for &(_, v) in &incident {
+                        self.refresh_event(v);
+                    }
                 }
                 // and the user-side entries offering the now-possibly-full
                 // event v are handled lazily: they fail `pair_inc` on pop

@@ -20,7 +20,9 @@ SUBCOMMANDS:
     city      generate a simulated Meetup city instance (Table 6)
     solve     run a planning algorithm on an instance
               (--timeout-ms N / --mem-budget-mb N bound the solve; a
-              truncated solve prints its outcome and exits with code 3)
+              truncated solve prints its outcome and exits with code 3;
+              --threads N spreads the parallel solver sections over N
+              worker threads — results are bit-identical at any count)
     stats     print instance / planning statistics
     validate  check a planning against all four USEP constraints
     bound     print upper bounds on the optimal Ω (and the gap of a plan)
@@ -30,7 +32,9 @@ SUBCOMMANDS:
 
 Common flags: --instance FILE, --plan FILE, --out FILE, --seed N,
 --algorithm ratiogreedy|dedp|dedpo|dedpo+rg|degreedy|degreedy+rg|baseline,
---local-search N (solve). See the crate docs for the full flag list.
+--local-search N (solve), --threads N (solve, bound; defaults to the
+USEP_THREADS environment variable, then the machine's core count).
+See the crate docs for the full flag list.
 
 Tracing (solve): --trace-out FILE writes a JSON-lines trace (span and
 counter events, one JSON object per line, final 'summary' record);
@@ -59,6 +63,21 @@ pub fn dispatch(argv: &[String]) -> Result<u8, String> {
         }
         other => Err(format!("unknown subcommand '{other}' (try 'usep help')")),
     }
+}
+
+/// Installs `--threads N` as the process-global worker count for the
+/// parallel solver sections. Absent, the resolution falls through to
+/// `USEP_THREADS` and then the machine's core count; plannings are
+/// bit-identical at every setting.
+fn apply_threads_flag(flags: &Flags) -> Result<(), String> {
+    if let Some(t) = flags.get("threads") {
+        let n: usize = t.parse().map_err(|e| format!("bad --threads '{t}': {e}"))?;
+        if n == 0 {
+            return Err("--threads must be at least 1".into());
+        }
+        usep_par::set_threads(n);
+    }
+    Ok(())
 }
 
 fn parse_mu(s: &str) -> Result<UtilityDistribution, String> {
@@ -179,6 +198,7 @@ fn cmd_solve(flags: &Flags) -> Result<u8, String> {
     let out = flags.get("out");
     let trace_out = flags.get("trace-out");
     let trace_summary = flags.get_or("trace-summary", false)?;
+    apply_threads_flag(flags)?;
     flags.reject_unknown()?;
 
     let mut budget = SolveBudget::unlimited();
@@ -328,6 +348,7 @@ fn cmd_validate(flags: &Flags) -> Result<(), String> {
 fn cmd_bound(flags: &Flags) -> Result<(), String> {
     let inst = load_instance(flags)?;
     let plan_path = flags.get("plan");
+    apply_threads_flag(flags)?;
     flags.reject_unknown()?;
     let cap = bounds::capacity_relaxed_bound(&inst);
     let bud = bounds::budget_relaxed_bound(&inst);

@@ -7,10 +7,10 @@
 //! usep city  --name singapore [--fb 2] [--seed 42] --out instance.json
 //! usep solve --instance instance.json --algorithm dedpo
 //!            [--local-search 3] [--out plan.json]
-//!            [--timeout-ms N] [--mem-budget-mb N]
+//!            [--timeout-ms N] [--mem-budget-mb N] [--threads N]
 //! usep stats --instance instance.json [--plan plan.json]
 //! usep validate --instance instance.json --plan plan.json
-//! usep bound --instance instance.json [--plan plan.json]
+//! usep bound --instance instance.json [--plan plan.json] [--threads N]
 //! ```
 
 mod args;

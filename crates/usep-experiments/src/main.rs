@@ -77,6 +77,15 @@ fn parse_args() -> Result<Args, String> {
                         .map_err(|e| format!("bad --timeout-ms: {e}"))?,
                 )
             }
+            "--threads" | "-t" => {
+                let n: usize = next("--threads")?
+                    .parse()
+                    .map_err(|e| format!("bad --threads: {e}"))?;
+                if n == 0 {
+                    return Err("--threads must be at least 1".into());
+                }
+                usep_par::set_threads(n);
+            }
             "--out" | "-o" => args.out = PathBuf::from(next("--out")?),
             "--list" | "-l" => args.list = true,
             "--help" | "-h" => {
@@ -96,6 +105,9 @@ USAGE:
                      [--scale quick|full] [--seed N] [--out DIR]
                      [--timeout-ms N]   # per-measurement deadline; truncated
                                         # runs are tagged, not discarded
+                     [--threads N]      # worker threads for the parallel
+                                        # panels (default: USEP_THREADS,
+                                        # then the machine's core count)
     usep-experiments --list
     usep-experiments --figure replot [--out DIR]   # re-render SVGs from CSVs
 

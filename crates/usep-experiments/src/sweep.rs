@@ -130,7 +130,9 @@ fn run_variance(
     make: &(dyn Fn(u64) -> usep_core::Instance + Send + Sync),
     out: &Path,
 ) -> io::Result<Vec<PathBuf>> {
-    let threads = std::thread::available_parallelism().map_or(4, |n| n.get()).min(8);
+    // honors --threads / USEP_THREADS; capped because seed ensembles
+    // are small and per-thread instance generation dominates beyond 8
+    let threads = usep_par::current_threads().min(8);
     let mut table = ResultTable::new(
         format!("Extension — {}", panel.title),
         "algorithm",
@@ -178,7 +180,14 @@ fn run_quality_gap(
             "LS moves".into(),
         ],
     );
-    for (pi, p) in points.iter().enumerate() {
+    // each panel cell is an independent untimed Ω measurement, so the
+    // cells fan out over the worker pool (unlike run_sweep, whose
+    // timing/memory numbers would be corrupted by co-running solves);
+    // rows are collected by point index, keeping the table order and
+    // values identical to a sequential run
+    let indices: Vec<usize> = (0..points.len()).collect();
+    let rows = usep_par::par_map_complete(usep_par::current_threads(), &indices, |_, &pi| {
+        let p = &points[pi];
         let inst = (p.make)(seed.wrapping_add(pi as u64));
         let ub = bounds::best_upper_bound(&inst);
         let dedporg = solve(Algorithm::DeDPORG, &inst).omega(&inst);
@@ -187,6 +196,10 @@ fn run_quality_gap(
         let moves = local_search::improve(&inst, &mut dgr, 5);
         dgr.validate(&inst).expect("local search keeps plannings feasible");
         let ls_omega = dgr.omega(&inst);
+        (ub, dedporg, dgr_omega, ls_omega, moves)
+    });
+    for (pi, (ub, dedporg, dgr_omega, ls_omega, moves)) in rows.into_iter().enumerate() {
+        let p = &points[pi];
         eprintln!(
             "   [{x_label}={}] bound {ub:.1}: DeDPO+RG {:.1}% | DeGreedy+RG {:.1}% | +LS {:.1}% ({moves} moves)",
             p.x,
@@ -223,6 +236,10 @@ fn run_sweep(
     out: &Path,
     budget: Option<&SolveBudget>,
 ) -> io::Result<Vec<PathBuf>> {
+    // measurements stay sequential on the panel level: co-running
+    // solves would contaminate each other's wall-clock and the global
+    // counting allocator's peak; parallelism happens *inside* each
+    // solve instead, via the usep-par hot paths
     let columns: Vec<String> = algos.iter().map(|a| a.name().to_string()).collect();
     let mk = |metric: &str| {
         ResultTable::new(

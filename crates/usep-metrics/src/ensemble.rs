@@ -2,11 +2,10 @@
 //!
 //! The paper plots one run per configuration; instance noise is left
 //! unquantified. This module runs an algorithm over many seeds of the
-//! same configuration — in parallel with `crossbeam::scope`, since Ω is
-//! timing-independent — and reports mean/std/min/max, giving the
-//! experiment tables error bars.
+//! same configuration — in parallel over the `usep-par` fork-join pool,
+//! since Ω is timing-independent — and reports mean/std/min/max, giving
+//! the experiment tables error bars.
 
-use crossbeam::thread;
 use serde::{Deserialize, Serialize};
 use usep_algos::Algorithm;
 use usep_core::Instance;
@@ -41,30 +40,13 @@ where
 {
     assert!(!seeds.is_empty(), "need at least one seed");
     assert!(threads > 0, "need at least one thread");
-    let chunk = seeds.len().div_ceil(threads);
-    let omegas: Vec<f64> = thread::scope(|s| {
-        let handles: Vec<_> = seeds
-            .chunks(chunk)
-            .map(|chunk_seeds| {
-                let make = &make;
-                s.spawn(move |_| {
-                    chunk_seeds
-                        .iter()
-                        .map(|&seed| {
-                            let inst = make(seed);
-                            let plan = usep_algos::solve(algorithm, &inst);
-                            plan.validate(&inst).unwrap_or_else(|e| {
-                                panic!("{algorithm} infeasible on seed {seed}: {e}")
-                            });
-                            plan.omega(&inst)
-                        })
-                        .collect::<Vec<f64>>()
-                })
-            })
-            .collect();
-        handles.into_iter().flat_map(|h| h.join().expect("worker panicked")).collect()
-    })
-    .expect("crossbeam scope");
+    let omegas: Vec<f64> = usep_par::par_map_complete(threads, seeds, |_, &seed| {
+        let inst = make(seed);
+        let plan = usep_algos::solve(algorithm, &inst);
+        plan.validate(&inst)
+            .unwrap_or_else(|e| panic!("{algorithm} infeasible on seed {seed}: {e}"));
+        plan.omega(&inst)
+    });
 
     let n = omegas.len() as f64;
     let mean = omegas.iter().sum::<f64>() / n;

@@ -1,0 +1,341 @@
+//! Deterministic fork-join parallelism for the USEP solver hot paths.
+//!
+//! The paper's scalability figures (Figs. 2–4) measure running time as
+//! the headline axis, and the hot paths they exercise — RatioGreedy's
+//! `O(|U|·|V|)` heap seeding and incident-pair refreshes, the per-user
+//! DPs of the capacity-relaxed bound, local-search move evaluation,
+//! experiment fan-out — are all embarrassingly parallel *scans* whose
+//! results feed a sequential commit step. This crate supplies exactly
+//! that shape and nothing more:
+//!
+//! * [`par_map`] / [`par_map_init`] — a scoped fork-join map over a
+//!   slice. Work is distributed as contiguous index chunks through a
+//!   `crossbeam::channel`, each worker owns optional per-worker state
+//!   (a scratch DP workspace, a local trace-counter block), and results
+//!   are merged **by item index**, so the output is bit-identical to a
+//!   sequential run of the same closure regardless of thread count or
+//!   scheduling. The closure must be a pure function of `(index, item)`
+//!   and its own worker state for that guarantee to mean anything;
+//!   every call site in this workspace reads shared solver state
+//!   immutably during the map and applies effects in index order
+//!   afterwards.
+//! * [`resolve_threads`] / [`set_threads`] — the thread-count
+//!   resolution chain: explicit per-call value, then the process-global
+//!   override (set once from `--threads`), then the `USEP_THREADS`
+//!   environment variable, then [`std::thread::available_parallelism`].
+//!
+//! # Guard integration
+//!
+//! Every worker polls [`Guard::checkpoint`] once per chunk, before
+//! computing it. [`Guard`] is `Sync` and its trip is sticky, so one
+//! tripped worker stops the whole pool within a chunk's worth of work.
+//! Items whose chunk was never computed come back as `None`; callers
+//! treat computed items as the usable prefix and keep the planning
+//! constraint-valid, exactly as the sequential truncation paths do.
+//! On a completed (untripped) run every slot is `Some` and the
+//! `Vec<Option<R>>` unwraps losslessly.
+//!
+//! # No external dependencies
+//!
+//! Built on `std::thread::scope` via the vendored `crossbeam` adapter;
+//! no rayon, no thread-pool daemon, no global state beyond one atomic
+//! for the `--threads` override. Spawning a handful of OS threads per
+//! parallel section costs microseconds, which is noise against the
+//! millisecond-scale sections it pays for — and keeps every section's
+//! lifetime lexically scoped, so borrowing the instance and planning
+//! from the caller's stack needs no `Arc`.
+
+#![forbid(unsafe_code)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use usep_guard::Guard;
+
+/// Process-global thread-count override; 0 means "not set".
+static GLOBAL_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Sets (or with `0` clears) the process-global thread-count override.
+/// Sits between an explicit per-call count and `USEP_THREADS` in the
+/// resolution chain; the CLI's `--threads` flag lands here.
+pub fn set_threads(n: usize) {
+    GLOBAL_THREADS.store(n, Ordering::Relaxed);
+}
+
+/// The current process-global override, if any.
+pub fn global_threads() -> Option<usize> {
+    match GLOBAL_THREADS.load(Ordering::Relaxed) {
+        0 => None,
+        n => Some(n),
+    }
+}
+
+/// Resolves a thread count: `explicit` > [`set_threads`] override >
+/// `USEP_THREADS` env var > [`std::thread::available_parallelism`].
+/// Always at least 1; malformed or zero values fall through to the
+/// next link in the chain.
+pub fn resolve_threads(explicit: Option<usize>) -> usize {
+    explicit
+        .filter(|&n| n > 0)
+        .or_else(global_threads)
+        .or_else(|| {
+            std::env::var("USEP_THREADS").ok().and_then(|s| s.trim().parse().ok()).filter(|&n| n > 0)
+        })
+        .or_else(|| std::thread::available_parallelism().ok().map(|n| n.get()))
+        .unwrap_or(1)
+}
+
+/// Shorthand for [`resolve_threads`]`(None)`: the thread count every
+/// hot path uses unless a caller passes one explicitly.
+pub fn current_threads() -> usize {
+    resolve_threads(None)
+}
+
+/// Chunk length for `n` items across `threads` workers: 4 chunks per
+/// worker for load balance (scan costs per item are uneven — users
+/// differ in candidate counts), never below 1.
+fn chunk_len(n: usize, threads: usize) -> usize {
+    n.div_ceil(threads * 4).max(1)
+}
+
+/// Maps `f` over `items` on `threads` workers and returns the results
+/// in item order. See [`par_map_init`] for the full contract; this is
+/// the stateless form.
+pub fn par_map<T, R, F>(threads: usize, items: &[T], guard: &Guard, f: F) -> Vec<Option<R>>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    par_map_init(threads, items, guard, || (), |(), i, item| f(i, item), |()| ())
+}
+
+/// Maps `f` over `items` on `threads` workers with per-worker state.
+///
+/// Each worker calls `init` once to build its state `S` (a scratch
+/// workspace, a local counter block), threads it through every `f`
+/// call it executes, and hands it to `drain` when done — which is
+/// where per-worker trace counters merge into the session sink.
+/// `drain` also runs for workers that stopped on a guard trip, so no
+/// counts are lost on truncation.
+///
+/// Results are placed by item index: `out[i]` is `Some(f(state, i,
+/// &items[i]))` when item `i`'s chunk was computed and `None` when a
+/// guard trip stopped the pool first. On a run where the guard never
+/// trips, every slot is `Some` and the output is bit-identical to
+/// `items.iter().enumerate().map(…)` with a single state.
+///
+/// `threads <= 1`, few items, or an inactive single chunk run inline
+/// on the caller's thread with the same chunked checkpoint cadence, so
+/// sequential and parallel runs see guard checkpoints at the same
+/// rate.
+pub fn par_map_init<T, R, S, I, F, D>(
+    threads: usize,
+    items: &[T],
+    guard: &Guard,
+    init: I,
+    f: F,
+    drain: D,
+) -> Vec<Option<R>>
+where
+    T: Sync,
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize, &T) -> R + Sync,
+    D: Fn(S) + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = threads.max(1).min(n);
+    let chunk = chunk_len(n, threads);
+
+    if threads == 1 {
+        let mut state = init();
+        let mut out: Vec<Option<R>> = Vec::with_capacity(n);
+        for start in (0..n).step_by(chunk) {
+            if guard.checkpoint() {
+                break;
+            }
+            for (i, item) in items.iter().enumerate().skip(start).take(chunk) {
+                out.push(Some(f(&mut state, i, item)));
+            }
+        }
+        out.resize_with(n, || None);
+        drain(state);
+        return out;
+    }
+
+    let (tx, rx) = crossbeam::channel::unbounded::<usize>();
+    for start in (0..n).step_by(chunk) {
+        let _ = tx.send(start);
+    }
+    drop(tx);
+
+    let mut out: Vec<Option<R>> = Vec::new();
+    out.resize_with(n, || None);
+    let worker_results = crossbeam::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let rx = rx.clone();
+                let (init, f, drain) = (&init, &f, &drain);
+                s.spawn(move |_| {
+                    let mut state = init();
+                    let mut local: Vec<(usize, R)> = Vec::new();
+                    while let Ok(start) = rx.recv() {
+                        if guard.checkpoint() {
+                            break;
+                        }
+                        for (i, item) in items.iter().enumerate().skip(start).take(chunk) {
+                            local.push((i, f(&mut state, i, item)));
+                        }
+                    }
+                    drain(state);
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("usep-par worker panicked"))
+            .collect::<Vec<_>>()
+    })
+    .expect("scope itself cannot fail");
+
+    for (i, r) in worker_results.into_iter().flatten() {
+        out[i] = Some(r);
+    }
+    out
+}
+
+/// [`par_map`] that panics on guard-trip holes: for call sites with an
+/// inactive (or absent) guard where truncation is impossible, this
+/// unwraps the `Option` layer.
+pub fn par_map_complete<T, R, F>(threads: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    par_map(threads, items, Guard::none(), f)
+        .into_iter()
+        .map(|r| r.expect("no guard was active, so no item can be missing"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+    use usep_guard::{SolveBudget, TruncationReason};
+
+    /// Serializes tests that touch process-global state (the override
+    /// atomic and the environment).
+    static GLOBAL_LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn resolution_chain_precedence() {
+        let _g = GLOBAL_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+        std::env::set_var("USEP_THREADS", "3");
+        set_threads(0);
+        assert_eq!(resolve_threads(Some(7)), 7);
+        assert_eq!(resolve_threads(None), 3);
+        set_threads(5);
+        assert_eq!(resolve_threads(None), 5);
+        assert_eq!(resolve_threads(Some(2)), 2);
+        set_threads(0);
+        std::env::set_var("USEP_THREADS", "zebra");
+        let fallback = resolve_threads(None);
+        assert!(fallback >= 1, "malformed env falls through to hardware");
+        std::env::remove_var("USEP_THREADS");
+        assert!(resolve_threads(None) >= 1);
+    }
+
+    #[test]
+    fn par_map_matches_sequential_at_all_thread_counts() {
+        let items: Vec<u64> = (0..997).collect();
+        let expect: Vec<u64> = items.iter().enumerate().map(|(i, x)| x * 3 + i as u64).collect();
+        for threads in [1, 2, 3, 8, 64] {
+            let got: Vec<u64> = par_map(threads, &items, Guard::none(), |i, x| x * 3 + i as u64)
+                .into_iter()
+                .map(Option::unwrap)
+                .collect();
+            assert_eq!(got, expect, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn empty_and_oversized_thread_counts_are_safe() {
+        let out = par_map(8, &[] as &[u32], Guard::none(), |_, x| *x);
+        assert!(out.is_empty());
+        let out = par_map_complete(100, &[1u32, 2], |_, x| x + 1);
+        assert_eq!(out, vec![2, 3]);
+    }
+
+    #[test]
+    fn tripped_guard_computes_nothing() {
+        let budget = SolveBudget::unlimited().with_chaos_trip(0, TruncationReason::Cancelled);
+        let guard = Guard::new(&budget);
+        let items: Vec<u32> = (0..100).collect();
+        for threads in [1, 4] {
+            let out = par_map(threads, &items, &guard, |_, x| *x);
+            assert!(out.iter().all(Option::is_none), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn mid_run_trip_leaves_holes_but_keeps_computed_results_correct() {
+        let items: Vec<u32> = (0..1000).collect();
+        for threads in [1, 4] {
+            let budget =
+                SolveBudget::unlimited().with_chaos_trip(2, TruncationReason::Deadline);
+            let guard = Guard::new(&budget);
+            let out = par_map(threads, &items, &guard, |_, x| x * 2);
+            assert!(guard.is_tripped());
+            let computed = out.iter().flatten().count();
+            assert!(computed < items.len(), "threads={threads}: trip must truncate");
+            for (i, r) in out.iter().enumerate() {
+                if let Some(v) = r {
+                    assert_eq!(*v, items[i] * 2);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn per_worker_state_inits_and_drains_once_per_worker() {
+        use std::sync::atomic::AtomicU64;
+        let inits = AtomicU64::new(0);
+        let drained_total = AtomicU64::new(0);
+        let items: Vec<u64> = (0..256).collect();
+        let out = par_map_init(
+            4,
+            &items,
+            Guard::none(),
+            || {
+                inits.fetch_add(1, Ordering::Relaxed);
+                0u64
+            },
+            |acc, _, x| {
+                *acc += x;
+                *x
+            },
+            |acc| {
+                drained_total.fetch_add(acc, Ordering::Relaxed);
+            },
+        );
+        assert_eq!(out.iter().flatten().copied().collect::<Vec<_>>(), items);
+        assert_eq!(inits.load(Ordering::Relaxed), 4, "one state per worker");
+        assert_eq!(drained_total.load(Ordering::Relaxed), items.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn chunk_len_is_positive_and_covers() {
+        for n in [1usize, 2, 7, 100, 1000] {
+            for t in [1usize, 2, 8, 64] {
+                let c = chunk_len(n, t);
+                assert!(c >= 1);
+                assert!((0..n).step_by(c).count() * c >= n);
+            }
+        }
+    }
+}

@@ -1,0 +1,244 @@
+//! Multi-producer multi-consumer channels, API-compatible with the
+//! `crossbeam-channel` subset this workspace uses.
+//!
+//! Implemented over a `Mutex<VecDeque>` + `Condvar` rather than a
+//! lock-free queue: the workspace only pushes coarse work descriptors
+//! (chunk ranges, seeds) through these channels, a few per worker per
+//! solve, so queue contention is irrelevant and the simple
+//! implementation keeps the stand-in auditable.
+//!
+//! Semantics mirror crossbeam's: senders and receivers are cloneable,
+//! `recv` blocks until a message arrives or every `Sender` has been
+//! dropped (then errors), and dropping all receivers does not error the
+//! senders (messages are silently queued and freed on drop, which the
+//! workspace never relies on).
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Error returned by [`Receiver::recv`] when the channel is empty and
+/// every sender has been dropped.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RecvError;
+
+impl std::fmt::Display for RecvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("receiving on an empty and disconnected channel")
+    }
+}
+
+impl std::error::Error for RecvError {}
+
+/// Error returned by [`Receiver::try_recv`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TryRecvError {
+    /// The channel is currently empty but senders remain.
+    Empty,
+    /// The channel is empty and every sender has been dropped.
+    Disconnected,
+}
+
+/// Error returned by [`Sender::send`] when every receiver has been
+/// dropped. Carries the unsent message back, as in crossbeam.
+#[derive(Debug, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+struct Shared<T> {
+    queue: Mutex<Inner<T>>,
+    not_empty: Condvar,
+}
+
+struct Inner<T> {
+    queue: VecDeque<T>,
+    senders: usize,
+    receivers: usize,
+}
+
+/// The sending half of an unbounded channel.
+pub struct Sender<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// The receiving half of an unbounded channel. Cloneable: each message
+/// is delivered to exactly one receiver.
+pub struct Receiver<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// Creates an unbounded MPMC channel.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    let shared = Arc::new(Shared {
+        queue: Mutex::new(Inner { queue: VecDeque::new(), senders: 1, receivers: 1 }),
+        not_empty: Condvar::new(),
+    });
+    (Sender { shared: Arc::clone(&shared) }, Receiver { shared })
+}
+
+impl<T> Sender<T> {
+    /// Enqueues `msg`, waking one blocked receiver. Errors (returning
+    /// the message) only when every receiver has been dropped.
+    pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+        let mut inner = self.shared.queue.lock().unwrap_or_else(|p| p.into_inner());
+        if inner.receivers == 0 {
+            return Err(SendError(msg));
+        }
+        inner.queue.push_back(msg);
+        drop(inner);
+        self.shared.not_empty.notify_one();
+        Ok(())
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Sender<T> {
+        let mut inner = self.shared.queue.lock().unwrap_or_else(|p| p.into_inner());
+        inner.senders += 1;
+        drop(inner);
+        Sender { shared: Arc::clone(&self.shared) }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut inner = self.shared.queue.lock().unwrap_or_else(|p| p.into_inner());
+        inner.senders -= 1;
+        let disconnected = inner.senders == 0;
+        drop(inner);
+        if disconnected {
+            // wake every blocked receiver so they can observe the hangup
+            self.shared.not_empty.notify_all();
+        }
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Blocks until a message arrives or the channel disconnects.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let mut inner = self.shared.queue.lock().unwrap_or_else(|p| p.into_inner());
+        loop {
+            if let Some(msg) = inner.queue.pop_front() {
+                return Ok(msg);
+            }
+            if inner.senders == 0 {
+                return Err(RecvError);
+            }
+            inner = self
+                .shared
+                .not_empty
+                .wait(inner)
+                .unwrap_or_else(|p| p.into_inner());
+        }
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        let mut inner = self.shared.queue.lock().unwrap_or_else(|p| p.into_inner());
+        match inner.queue.pop_front() {
+            Some(msg) => Ok(msg),
+            None if inner.senders == 0 => Err(TryRecvError::Disconnected),
+            None => Err(TryRecvError::Empty),
+        }
+    }
+
+    /// Drains the channel into an iterator that ends on disconnect
+    /// (blocking between messages), as crossbeam's `IntoIterator` does.
+    pub fn iter(&self) -> Iter<'_, T> {
+        Iter { receiver: self }
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Receiver<T> {
+        let mut inner = self.shared.queue.lock().unwrap_or_else(|p| p.into_inner());
+        inner.receivers += 1;
+        drop(inner);
+        Receiver { shared: Arc::clone(&self.shared) }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        let mut inner = self.shared.queue.lock().unwrap_or_else(|p| p.into_inner());
+        inner.receivers -= 1;
+    }
+}
+
+/// Blocking iterator over received messages; see [`Receiver::iter`].
+pub struct Iter<'a, T> {
+    receiver: &'a Receiver<T>,
+}
+
+impl<T> Iterator for Iter<'_, T> {
+    type Item = T;
+
+    fn next(&mut self) -> Option<T> {
+        self.receiver.recv().ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_single_thread() {
+        let (tx, rx) = unbounded();
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert_eq!(rx.try_recv(), Ok(1));
+        assert_eq!(rx.recv(), Ok(2));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+    }
+
+    #[test]
+    fn recv_errors_after_all_senders_drop() {
+        let (tx, rx) = unbounded::<u32>();
+        let tx2 = tx.clone();
+        tx.send(7).unwrap();
+        drop(tx);
+        drop(tx2);
+        assert_eq!(rx.recv(), Ok(7));
+        assert_eq!(rx.recv(), Err(RecvError));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+    }
+
+    #[test]
+    fn send_errors_after_all_receivers_drop() {
+        let (tx, rx) = unbounded::<u32>();
+        drop(rx);
+        assert_eq!(tx.send(1), Err(SendError(1)));
+    }
+
+    #[test]
+    fn each_message_delivered_to_exactly_one_receiver() {
+        let (tx, rx) = unbounded();
+        for i in 0..100u64 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        let rx2 = rx.clone();
+        let (a, b) = std::thread::scope(|s| {
+            let h1 = s.spawn(|| rx.iter().collect::<Vec<u64>>());
+            let h2 = s.spawn(|| rx2.iter().collect::<Vec<u64>>());
+            (h1.join().unwrap(), h2.join().unwrap())
+        });
+        let mut all: Vec<u64> = a.into_iter().chain(b).collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..100).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn blocked_receivers_wake_on_send_and_hangup() {
+        let (tx, rx) = unbounded::<u64>();
+        std::thread::scope(|s| {
+            let h = s.spawn(|| rx.recv());
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            tx.send(42).unwrap();
+            assert_eq!(h.join().unwrap(), Ok(42));
+            let h = s.spawn(|| rx.recv());
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            drop(tx);
+            assert_eq!(h.join().unwrap(), Err(RecvError));
+        });
+    }
+}

@@ -1,14 +1,18 @@
 //! Offline stand-in for the `crossbeam` crate.
 //!
-//! Only `crossbeam::thread::scope` is used in this workspace (by
-//! `usep-metrics::ensemble`), and since Rust 1.63 the standard library
-//! provides equivalent scoped threads, so this crate is a thin adapter
-//! over [`std::thread::scope`] that mirrors crossbeam's signatures: the
-//! spawn closure receives a `&Scope` argument and `scope` returns a
-//! `Result` (always `Ok` here — a panicking unjoined child propagates
-//! through std's scope instead).
+//! Two subsets are used in this workspace: `crossbeam::thread::scope`
+//! (by `usep-metrics::ensemble` and `usep-par`) and
+//! `crossbeam::channel` (by `usep-par` for work distribution). Since
+//! Rust 1.63 the standard library provides equivalent scoped threads,
+//! so `thread` is a thin adapter over [`std::thread::scope`] that
+//! mirrors crossbeam's signatures: the spawn closure receives a
+//! `&Scope` argument and `scope` returns a `Result` (always `Ok` here —
+//! a panicking unjoined child propagates through std's scope instead).
+//! `channel` is a Mutex+Condvar MPMC queue; see its module docs.
 
 #![forbid(unsafe_code)]
+
+pub mod channel;
 
 /// Scoped-thread API compatible with `crossbeam::thread`.
 pub mod thread {
