@@ -29,6 +29,15 @@ SUBCOMMANDS:
     convert   convert an instance between JSON and the compact binary format
     plan-user print the DP-optimal personal itinerary for one user
               (--instance FILE --user N; ignores capacities, Alg. 2)
+    serve     run the batch solve service (TCP, one JSON object per line;
+              --addr HOST:PORT, --workers N, --queue N, --max-bytes N,
+              --max-timeout-ms N, --journal FILE, --resume true,
+              --max-requests N to drain-and-exit; panics are contained
+              per request, overload is shed with a typed response, and
+              accepted work survives a crash via the journal)
+    request   submit one instance to a running server (--addr HOST:PORT
+              --instance FILE --id KEY; prints the response JSON; exits
+              0 on complete, 3 on truncated, 1 otherwise)
 
 Common flags: --instance FILE, --plan FILE, --out FILE, --seed N,
 --algorithm ratiogreedy|dedp|dedpo|dedpo+rg|degreedy|degreedy+rg|baseline,
@@ -57,6 +66,8 @@ pub fn dispatch(argv: &[String]) -> Result<u8, String> {
         "bound" => cmd_bound(&flags).map(|()| 0),
         "convert" => cmd_convert(&flags).map(|()| 0),
         "plan-user" => cmd_plan_user(&flags).map(|()| 0),
+        "serve" => cmd_serve(&flags).map(|()| 0),
+        "request" => cmd_request(&flags),
         "help" | "--help" | "-h" => {
             println!("{HELP}");
             Ok(0)
@@ -387,6 +398,89 @@ fn cmd_plan_user(flags: &Flags) -> Result<(), String> {
     print!("{}", sched.describe(&inst, u));
     println!("(capacity-free optimum: Ω = {score:.3} over {} candidate events)", cands.len());
     Ok(())
+}
+
+/// `usep serve`: runs the batch solve service until killed, or until
+/// `--max-requests N` completions drain (then exits 0 — the shape the
+/// crash-recovery scripts use to finish a dead server's journal).
+fn cmd_serve(flags: &Flags) -> Result<(), String> {
+    let algo_name = flags.get("algorithm").unwrap_or_else(|| "dedpo".into());
+    let default_algorithm = Algorithm::parse(&algo_name)
+        .ok_or_else(|| format!("unknown --algorithm '{algo_name}'"))?;
+    let max_requests = flags.get("max-requests").map(|s| s.parse::<u64>()).transpose()
+        .map_err(|e| format!("bad --max-requests: {e}"))?;
+    let max_mem_budget_bytes = flags.get("max-mem-budget-mb").map(|s| s.parse::<usize>())
+        .transpose()
+        .map_err(|e| format!("bad --max-mem-budget-mb: {e}"))?
+        .map(|mb| mb.saturating_mul(1024 * 1024));
+    let chaos_trip = flags.get("chaos-trip").map(|s| s.parse::<u64>()).transpose()
+        .map_err(|e| format!("bad --chaos-trip: {e}"))?;
+    let chaos_panic_every = flags.get("chaos-panic-every").map(|s| s.parse::<u64>()).transpose()
+        .map_err(|e| format!("bad --chaos-panic-every: {e}"))?;
+    let cfg = usep_serve::ServeConfig {
+        addr: flags.get("addr").unwrap_or_else(|| "127.0.0.1:7878".into()),
+        workers: flags.get_or("workers", 2usize)?,
+        queue_capacity: flags.get_or("queue", 64usize)?,
+        max_reserved_bytes: flags.get_or("max-bytes", 256usize * 1024 * 1024)?,
+        max_timeout_ms: flags.get_or("max-timeout-ms", 30_000u64)?,
+        max_mem_budget_bytes,
+        default_algorithm,
+        journal: flags.get("journal").map(std::path::PathBuf::from),
+        resume: flags.get_or("resume", false)?,
+        max_requests,
+        chaos_trip,
+        chaos_panic_every,
+        chaos_delay_ms: flags.get_or("chaos-delay-ms", 0u64)?,
+        ..usep_serve::ServeConfig::default()
+    };
+    flags.reject_unknown()?;
+    let server = usep_serve::Server::start(cfg).map_err(|e| format!("start server: {e}"))?;
+    // the bound address on stdout, so scripts using port 0 can find it
+    println!("listening {}", server.addr());
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    if server.resumed() > 0 {
+        eprintln!("resumed {} journaled request(s)", server.resumed());
+    }
+    server.wait();
+    eprintln!("server drained; exiting");
+    Ok(())
+}
+
+/// `usep request`: one solve against a running server. Exit code
+/// mirrors `solve`: 0 complete, [`EXIT_TRUNCATED`] truncated, error
+/// (1) for failed / overloaded / rejected outcomes.
+fn cmd_request(flags: &Flags) -> Result<u8, String> {
+    let addr = flags.get("addr").unwrap_or_else(|| "127.0.0.1:7878".into());
+    let id = flags.require("id")?;
+    let instance = load_instance(flags)?;
+    let request = usep_serve::SolveRequest {
+        id,
+        instance,
+        algorithm: flags.get("algorithm"),
+        timeout_ms: flags.get("timeout-ms").map(|s| s.parse()).transpose()
+            .map_err(|e| format!("bad --timeout-ms: {e}"))?,
+        mem_budget_mb: flags.get("mem-budget-mb").map(|s| s.parse()).transpose()
+            .map_err(|e| format!("bad --mem-budget-mb: {e}"))?,
+    };
+    let client_timeout = Duration::from_millis(flags.get_or("client-timeout-ms", 120_000u64)?);
+    flags.reject_unknown()?;
+    let response = usep_serve::send_request(&addr, &request, client_timeout)
+        .map_err(|e| format!("request to {addr}: {e}"))?;
+    println!("{}", serde_json::to_string(&response).map_err(|e| e.to_string())?);
+    eprintln!(
+        "{}: {} (Ω = {:.4}, {} assignments, {} retries)",
+        response.id,
+        response.status.describe(),
+        response.omega,
+        response.assignments,
+        response.retries
+    );
+    match response.status {
+        usep_serve::Status::Complete => Ok(0),
+        usep_serve::Status::Truncated { .. } => Ok(EXIT_TRUNCATED),
+        other => Err(format!("server answered: {}", other.describe())),
+    }
 }
 
 fn cmd_convert(flags: &Flags) -> Result<(), String> {

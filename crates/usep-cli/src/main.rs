@@ -11,6 +11,10 @@
 //! usep stats --instance instance.json [--plan plan.json]
 //! usep validate --instance instance.json --plan plan.json
 //! usep bound --instance instance.json [--plan plan.json] [--threads N]
+//! usep serve --addr 127.0.0.1:7878 [--workers N] [--queue N]
+//!            [--journal wal.jsonl] [--resume true] [--max-requests N]
+//! usep request --addr 127.0.0.1:7878 --instance instance.json --id job-1
+//!              [--algorithm dedpo] [--timeout-ms N] [--mem-budget-mb N]
 //! ```
 
 mod args;

@@ -1,0 +1,125 @@
+//! Crash/recovery against the real binary: SIGKILL a server mid-solve,
+//! restart with `--resume`, and prove the journal contract — no
+//! accepted request is lost, no completed request is re-solved.
+
+#![cfg(unix)]
+
+use std::io::{BufRead, BufReader};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+use usep_gen::{generate, SyntheticConfig};
+use usep_serve::{send_request, JournalState, SolveRequest, Status};
+
+fn usep() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_usep"))
+}
+
+/// Spawns `usep serve` with the given extra flags and returns the child
+/// plus the address it printed on stdout.
+fn spawn_server(wal: &std::path::Path, extra: &[&str]) -> (Child, String) {
+    let mut cmd = usep();
+    cmd.args(["serve", "--addr", "127.0.0.1:0", "--journal", wal.to_str().unwrap()])
+        .args(extra)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null());
+    let mut child = cmd.spawn().expect("spawn usep serve");
+    let stdout = child.stdout.take().expect("piped stdout");
+    let mut line = String::new();
+    BufReader::new(stdout).read_line(&mut line).expect("read listening line");
+    let addr = line
+        .trim()
+        .strip_prefix("listening ")
+        .unwrap_or_else(|| panic!("unexpected serve banner: {line:?}"))
+        .to_string();
+    (child, addr)
+}
+
+fn victim_request() -> SolveRequest {
+    SolveRequest {
+        id: "victim".to_string(),
+        instance: generate(
+            &SyntheticConfig::tiny().with_events(6).with_users(24).with_capacity_mean(4),
+            77,
+        ),
+        algorithm: None,
+        timeout_ms: Some(30_000),
+        mem_budget_mb: None,
+    }
+}
+
+fn wait_for(mut cond: impl FnMut() -> bool, what: &str) {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while !cond() {
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}
+
+#[test]
+fn sigkill_mid_solve_then_resume_completes_without_resolving() {
+    let dir = std::env::temp_dir().join(format!("usep_kill_resume_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let wal = dir.join("wal.jsonl");
+
+    // Phase 1: a server whose every solve stalls 10 s inside the solve
+    // path, guaranteeing the SIGKILL lands mid-solve.
+    let (mut server_a, addr_a) = spawn_server(&wal, &["--chaos-delay-ms", "10000"]);
+
+    // Fire the victim request from a throwaway thread; its client times
+    // out — all that matters is that the server fsyncs the accept.
+    let req = victim_request();
+    let fire = {
+        let req = req.clone();
+        let addr = addr_a.clone();
+        std::thread::spawn(move || {
+            let _ = send_request(&addr, &req, Duration::from_millis(1500));
+        })
+    };
+    wait_for(
+        || std::fs::read_to_string(&wal).is_ok_and(|t| t.contains("Accepted")),
+        "the accept record to reach the journal",
+    );
+    // the accept is durable and the solve is inside its 10 s stall: kill
+    server_a.kill().expect("SIGKILL server A");
+    server_a.wait().unwrap();
+    fire.join().unwrap();
+
+    let state = JournalState::replay(&wal).unwrap();
+    assert_eq!(state.pending.len(), 1, "the accepted solve is owed after the crash");
+    assert_eq!(state.pending[0].id, "victim");
+    assert!(state.completed.is_empty());
+
+    // Phase 2: restart with --resume and let it drain the owed solve,
+    // then exit 0 on its own via --max-requests.
+    let (mut server_b, _) = spawn_server(&wal, &["--resume", "true", "--max-requests", "1"]);
+    let status = server_b.wait().expect("server B exit status");
+    assert!(status.success(), "drain server must exit 0, got {status:?}");
+
+    let state = JournalState::replay(&wal).unwrap();
+    assert!(state.pending.is_empty(), "no accepted request may be lost");
+    let done = &state.completed["victim"];
+    assert_eq!(done.status, Status::Complete, "{done:?}");
+    done.planning.as_ref().unwrap().validate(&req.instance).unwrap();
+
+    // Phase 3: a third server answers a duplicate of the completed id
+    // from the journal, without re-solving it.
+    let completions_before = std::fs::read_to_string(&wal)
+        .unwrap()
+        .matches("Completed")
+        .count();
+    let (mut server_c, addr_c) = spawn_server(&wal, &["--resume", "true"]);
+    let dup = send_request(&addr_c, &req, Duration::from_secs(30)).unwrap();
+    assert_eq!(dup.status, Status::Complete);
+    assert_eq!(dup.omega, done.omega, "replayed answer must be the journaled one");
+    let completions_after = std::fs::read_to_string(&wal)
+        .unwrap()
+        .matches("Completed")
+        .count();
+    assert_eq!(
+        completions_after, completions_before,
+        "a completed request must never be re-solved or re-journaled"
+    );
+    server_c.kill().unwrap();
+    server_c.wait().unwrap();
+    std::fs::remove_dir_all(&dir).unwrap();
+}

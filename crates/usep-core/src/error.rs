@@ -126,6 +126,10 @@ pub enum ValidateError {
         /// Actual number of entries.
         got: usize,
     },
+    /// An event fee is the `u32::MAX` infinity sentinel (fees are
+    /// finite surcharges; an unaffordable event is modeled through
+    /// budgets or an infinite travel cost instead).
+    InfiniteFee(EventId),
     /// An explicit cost matrix has the wrong dimensions.
     CostShape {
         /// Which matrix (`"user_event"` or `"event_event"`).
@@ -165,6 +169,9 @@ impl fmt::Display for ValidateError {
             }
             ValidateError::FeeShape { expected, got } => {
                 write!(f, "fee vector has {got} entries, expected 0 or {expected}")
+            }
+            ValidateError::InfiniteFee(v) => {
+                write!(f, "event {v} has an infinite fee (u32::MAX sentinel)")
             }
             ValidateError::CostShape { which, expected, got } => {
                 write!(f, "{which} matrix has {got} entries, expected {expected}")

@@ -355,6 +355,11 @@ impl Instance {
         if !self.fees.is_empty() && self.fees.len() != nv {
             return Err(ValidateError::FeeShape { expected: nv, got: self.fees.len() });
         }
+        for (i, &fee) in self.fees.iter().enumerate() {
+            if fee == u32::MAX {
+                return Err(ValidateError::InfiniteFee(EventId(i as u32)));
+            }
+        }
 
         if let TravelCost::Explicit { user_event, event_event } = &self.travel {
             if user_event.len() != nu * nv {
@@ -526,10 +531,15 @@ fn compute_event_costs(events: &[Event], travel: &TravelCost, fees: &[u32]) -> V
             }
         }
     }
-    // Remark 2: the fee of the target event rides on the inbound leg
-    if !fees.is_empty() {
+    // Remark 2: the fee of the target event rides on the inbound leg.
+    // A misshapen fee vector or an infinite (`u32::MAX`) fee comes from
+    // a corrupted or forged file; like the wrong-length matrix above it
+    // must not panic here, because deserialization runs before
+    // `validate` can report the error. Skip — validation rejects the
+    // instance before any solver sees these costs.
+    if fees.len() == n {
         for j in 0..n {
-            if fees[j] == 0 {
+            if fees[j] == 0 || fees[j] == u32::MAX {
                 continue;
             }
             let fee = Cost::new(fees[j]);

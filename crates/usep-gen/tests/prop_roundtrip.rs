@@ -1,0 +1,209 @@
+//! Instance → JSON → `Instance::validate()` round-trip properties.
+//!
+//! Two halves:
+//!
+//! * every generated instance survives the JSON round trip bit-exact
+//!   and validates `Ok` afterwards;
+//! * the **corruption forge** applies one targeted single-field
+//!   corruption to the serialized JSON tree and asserts that the
+//!   reloaded instance (a) never panics on load — deserialization runs
+//!   before validation can reject anything — and (b) is rejected by
+//!   `validate()` with exactly the right `ValidateError` variant.
+
+use proptest::prelude::*;
+use serde::Content;
+use usep_core::{Instance, ValidateError};
+use usep_gen::{generate, SyntheticConfig};
+
+fn small_instance(nv: usize, nu: usize, seed: u64) -> Instance {
+    generate(
+        &SyntheticConfig::tiny().with_events(nv).with_users(nu).with_capacity_mean(3),
+        seed,
+    )
+}
+
+/// Navigates to a map entry; the serialized instance shape is a stable
+/// part of the format, so a miss is a test bug worth a panic.
+fn entry<'a>(c: &'a mut Content, key: &str) -> &'a mut Content {
+    match c {
+        Content::Map(m) => {
+            &mut m.iter_mut().find(|(k, _)| k == key).unwrap_or_else(|| panic!("no key {key}")).1
+        }
+        other => panic!("expected a map at {key}, got {other:?}"),
+    }
+}
+
+fn seq(c: &mut Content) -> &mut Vec<Content> {
+    match c {
+        Content::Seq(s) => s,
+        other => panic!("expected a sequence, got {other:?}"),
+    }
+}
+
+/// One single-field corruption and the `ValidateError` it must map to.
+#[derive(Clone, Copy, Debug)]
+enum Forge {
+    /// One extra μ entry → `UtilityShape`.
+    ExtraMu,
+    /// μ\[k\] pushed outside `[0, 1]` → `Utility`.
+    MuOutOfRange,
+    /// μ\[k\] = JSON `null` (deserializes to NaN) → `Utility`.
+    MuNull,
+    /// `events[k].capacity = 0` → `ZeroCapacity`.
+    ZeroCapacity,
+    /// `events[k].time` collapsed to `[t, t]` → `EmptyInterval`.
+    EmptyInterval,
+    /// `users[k].budget = u32::MAX` → `InfiniteBudget`.
+    InfiniteBudget,
+    /// Fee vector one entry too long → `FeeShape`.
+    FeeTooLong,
+    /// Fee vector one entry, |V| > 1 → `FeeShape` (and no panic from
+    /// the fee-application loop during deserialization).
+    FeeTooShort,
+    /// `fees[k] = u32::MAX` → `InfiniteFee`.
+    InfiniteFee,
+    /// Travel swapped for empty `Explicit` matrices → `CostShape`.
+    EmptyCostMatrices,
+}
+
+const ALL_FORGES: [Forge; 10] = [
+    Forge::ExtraMu,
+    Forge::MuOutOfRange,
+    Forge::MuNull,
+    Forge::ZeroCapacity,
+    Forge::EmptyInterval,
+    Forge::InfiniteBudget,
+    Forge::FeeTooLong,
+    Forge::FeeTooShort,
+    Forge::InfiniteFee,
+    Forge::EmptyCostMatrices,
+];
+
+/// Applies `forge` to the serialized tree, reloads, and checks the
+/// variant. `k` selects which event/user/entry is corrupted.
+fn assert_forge_maps_to_variant(inst: &Instance, forge: Forge, k: usize) {
+    let nv = inst.num_events();
+    let nu = inst.num_users();
+    let json = serde_json::to_string(inst).unwrap();
+    let mut tree: Content = serde_json::from_str(&json).unwrap();
+
+    match forge {
+        Forge::ExtraMu => seq(entry(&mut tree, "mu")).push(Content::F64(0.5)),
+        Forge::MuOutOfRange => {
+            let mu = seq(entry(&mut tree, "mu"));
+            let idx = k % mu.len();
+            mu[idx] = Content::F64(1.5);
+        }
+        Forge::MuNull => {
+            let mu = seq(entry(&mut tree, "mu"));
+            let idx = k % mu.len();
+            mu[idx] = Content::Null;
+        }
+        Forge::ZeroCapacity => {
+            let ev = &mut seq(entry(&mut tree, "events"))[k % nv];
+            *entry(ev, "capacity") = Content::I64(0);
+        }
+        Forge::EmptyInterval => {
+            let ev = &mut seq(entry(&mut tree, "events"))[k % nv];
+            let time = entry(ev, "time");
+            *entry(time, "start") = Content::I64(7);
+            *entry(time, "end") = Content::I64(7);
+        }
+        Forge::InfiniteBudget => {
+            let user = &mut seq(entry(&mut tree, "users"))[k % nu];
+            *entry(user, "budget") = Content::I64(i64::from(u32::MAX));
+        }
+        Forge::FeeTooLong => {
+            *entry(&mut tree, "fees") = Content::Seq(vec![Content::I64(1); nv + 1]);
+        }
+        Forge::FeeTooShort => {
+            *entry(&mut tree, "fees") = Content::Seq(vec![Content::I64(1)]);
+        }
+        Forge::InfiniteFee => {
+            let mut fees = vec![Content::I64(0); nv];
+            fees[k % nv] = Content::I64(i64::from(u32::MAX));
+            *entry(&mut tree, "fees") = Content::Seq(fees);
+        }
+        Forge::EmptyCostMatrices => {
+            *entry(&mut tree, "travel") = Content::Map(vec![(
+                "Explicit".to_string(),
+                Content::Map(vec![
+                    ("user_event".to_string(), Content::Seq(Vec::new())),
+                    ("event_event".to_string(), Content::Seq(Vec::new())),
+                ]),
+            )]);
+        }
+    }
+
+    // reload must never panic, whatever the forge smuggled in
+    let corrupted = serde_json::to_string(&tree).unwrap();
+    let reloaded: Instance = serde_json::from_str(&corrupted).unwrap();
+    let err = reloaded.validate().expect_err("corrupted instance must not validate");
+
+    let matches = match forge {
+        Forge::ExtraMu => matches!(
+            err,
+            ValidateError::UtilityShape { expected, got } if got == expected + 1
+        ),
+        Forge::MuOutOfRange | Forge::MuNull => matches!(err, ValidateError::Utility { .. }),
+        Forge::ZeroCapacity => {
+            matches!(err, ValidateError::ZeroCapacity(v) if v.0 as usize == k % nv)
+        }
+        Forge::EmptyInterval => matches!(
+            err,
+            ValidateError::EmptyInterval { event, start: 7, end: 7 } if event.0 as usize == k % nv
+        ),
+        Forge::InfiniteBudget => {
+            matches!(err, ValidateError::InfiniteBudget(u) if u.0 as usize == k % nu)
+        }
+        Forge::FeeTooLong => matches!(
+            err,
+            ValidateError::FeeShape { expected, got } if expected == nv && got == nv + 1
+        ),
+        Forge::FeeTooShort => matches!(
+            err,
+            ValidateError::FeeShape { expected, got } if expected == nv && got == 1
+        ),
+        Forge::InfiniteFee => {
+            matches!(err, ValidateError::InfiniteFee(v) if v.0 as usize == k % nv)
+        }
+        Forge::EmptyCostMatrices => matches!(
+            err,
+            ValidateError::CostShape { which: "user_event", got: 0, .. }
+        ),
+    };
+    assert!(matches, "{forge:?} produced the wrong error: {err:?}");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Clean round trip: serialize, reload, bit-identical, validates Ok.
+    #[test]
+    fn generated_instances_roundtrip_and_validate(
+        nv in 1usize..10,
+        nu in 1usize..12,
+        seed in any::<u64>(),
+    ) {
+        let inst = small_instance(nv, nu, seed);
+        let json = serde_json::to_string(&inst).unwrap();
+        let back: Instance = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(&back, &inst);
+        prop_assert!(back.validate().is_ok());
+    }
+
+    /// Every forge corruption is caught with the right variant, for
+    /// every corruption site the index picks.
+    #[test]
+    fn every_forge_corruption_maps_to_its_variant(
+        nv in 2usize..8,
+        nu in 1usize..10,
+        seed in any::<u64>(),
+        k in any::<usize>(),
+    ) {
+        let inst = small_instance(nv, nu, seed);
+        for forge in ALL_FORGES {
+            assert_forge_maps_to_variant(&inst, forge, k);
+        }
+    }
+}

@@ -224,6 +224,61 @@ impl SolveBudget {
     }
 }
 
+/// A shared, non-sticky byte-reservation pool for admission control.
+///
+/// [`Guard::try_reserve`] is the right shape *inside* one solve: a
+/// refused reservation trips the guard and the whole solve winds down.
+/// A long-running server needs the opposite semantics — refusing one
+/// request's reservation must leave the pool serving every other
+/// request — so the ledger refuses without tripping anything, and
+/// releases return headroom immediately.
+///
+/// The accounting is the same saturating fetch-add/fetch-sub scheme as
+/// the guard's, so a ledger and per-solve guards can share one mental
+/// model: the ledger bounds what is admitted, each admitted solve's
+/// guard bounds what that solve allocates.
+#[derive(Debug)]
+pub struct MemoryLedger {
+    capacity: usize,
+    in_use: AtomicUsize,
+}
+
+impl MemoryLedger {
+    /// A ledger with `capacity` reservable bytes.
+    pub fn new(capacity: usize) -> MemoryLedger {
+        MemoryLedger { capacity, in_use: AtomicUsize::new(0) }
+    }
+
+    /// Reserves `bytes` if they fit under the capacity. On `false`
+    /// nothing was reserved and the ledger is unchanged — later
+    /// (smaller, or post-release) reservations may still succeed.
+    pub fn try_reserve(&self, bytes: usize) -> bool {
+        let prev = self.in_use.fetch_add(bytes, Ordering::Relaxed);
+        if prev.saturating_add(bytes) > self.capacity {
+            self.in_use.fetch_sub(bytes, Ordering::Relaxed);
+            return false;
+        }
+        true
+    }
+
+    /// Returns a reservation made with [`MemoryLedger::try_reserve`].
+    pub fn release(&self, bytes: usize) {
+        let _ = self.in_use.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |cur| {
+            Some(cur.saturating_sub(bytes))
+        });
+    }
+
+    /// Bytes currently reserved.
+    pub fn in_use(&self) -> usize {
+        self.in_use.load(Ordering::Relaxed)
+    }
+
+    /// The reservable capacity in bytes.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
 const NOT_TRIPPED: u8 = 0;
 
 /// The runtime handle solvers poll. Construction captures the start
@@ -512,6 +567,29 @@ mod tests {
         assert!(SolveBudget::unlimited()
             .with_remaining_deadline(Duration::from_secs(999))
             .is_some());
+    }
+
+    #[test]
+    fn ledger_refusals_are_not_sticky() {
+        let ledger = MemoryLedger::new(1000);
+        assert!(ledger.try_reserve(600));
+        // refused: does not fit — but the ledger keeps serving
+        assert!(!ledger.try_reserve(500));
+        assert_eq!(ledger.in_use(), 600);
+        assert!(ledger.try_reserve(400));
+        assert!(!ledger.try_reserve(1));
+        ledger.release(600);
+        assert!(ledger.try_reserve(600));
+        assert_eq!(ledger.in_use(), 1000);
+        assert_eq!(ledger.capacity(), 1000);
+    }
+
+    #[test]
+    fn ledger_release_saturates_at_zero() {
+        let ledger = MemoryLedger::new(10);
+        ledger.release(100);
+        assert_eq!(ledger.in_use(), 0);
+        assert!(ledger.try_reserve(10));
     }
 
     #[test]

@@ -47,7 +47,9 @@
 
 #![forbid(unsafe_code)]
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::any::Any;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use usep_guard::Guard;
 
 /// Process-global thread-count override; 0 means "not set".
@@ -71,16 +73,36 @@ pub fn global_threads() -> Option<usize> {
 /// Resolves a thread count: `explicit` > [`set_threads`] override >
 /// `USEP_THREADS` env var > [`std::thread::available_parallelism`].
 /// Always at least 1; malformed or zero values fall through to the
-/// next link in the chain.
+/// next link in the chain (with a one-time stderr warning for a set
+/// but unusable `USEP_THREADS`, so a typo'd environment doesn't
+/// silently change the parallelism).
 pub fn resolve_threads(explicit: Option<usize>) -> usize {
     explicit
         .filter(|&n| n > 0)
         .or_else(global_threads)
-        .or_else(|| {
-            std::env::var("USEP_THREADS").ok().and_then(|s| s.trim().parse().ok()).filter(|&n| n > 0)
-        })
+        .or_else(env_threads)
         .or_else(|| std::thread::available_parallelism().ok().map(|n| n.get()))
         .unwrap_or(1)
+}
+
+/// `USEP_THREADS`, when set to a usable (positive integer) value.
+/// An unusable value warns once per process and falls through.
+fn env_threads() -> Option<usize> {
+    let raw = std::env::var("USEP_THREADS").ok()?;
+    match raw.trim().parse::<usize>() {
+        Ok(n) if n > 0 => Some(n),
+        _ => {
+            static WARNED: std::sync::Once = std::sync::Once::new();
+            WARNED.call_once(|| {
+                eprintln!(
+                    "warning: ignoring invalid USEP_THREADS='{raw}' \
+                     (expected a positive integer); using the next link \
+                     in the resolution chain"
+                );
+            });
+            None
+        }
+    }
 }
 
 /// Shorthand for [`resolve_threads`]`(None)`: the thread count every
@@ -127,6 +149,15 @@ where
 /// on the caller's thread with the same chunked checkpoint cadence, so
 /// sequential and parallel runs see guard checkpoints at the same
 /// rate.
+///
+/// # Panics
+///
+/// A panic inside `f` re-raises on the calling thread with the
+/// original payload (the first panicking chunk in index order wins,
+/// deterministically at every thread count); remaining workers stop
+/// within one chunk and the pool never hangs. The panicking worker's
+/// state is dropped without `drain`, since the panic may have left it
+/// mid-update.
 pub fn par_map_init<T, R, S, I, F, D>(
     threads: usize,
     items: &[T],
@@ -171,6 +202,15 @@ where
     }
     drop(tx);
 
+    // A panic inside `f` must reach the caller as a panic with the
+    // original payload, never as a hung channel or a poisoned scope.
+    // Each worker catches its chunk's panic, poisons the pool so idle
+    // workers stop dequeuing, and reports the payload with its chunk
+    // start; the driving thread re-raises the panic of the *lowest*
+    // chunk index. Chunks are dequeued in index order, so that is the
+    // first panic a sequential run of the same closure would hit (at
+    // chunk granularity) — deterministic at every thread count.
+    let poisoned = AtomicBool::new(false);
     let mut out: Vec<Option<R>> = Vec::new();
     out.resize_with(n, || None);
     let worker_results = crossbeam::thread::scope(|s| {
@@ -178,31 +218,57 @@ where
             .map(|_| {
                 let rx = rx.clone();
                 let (init, f, drain) = (&init, &f, &drain);
+                let poisoned = &poisoned;
                 s.spawn(move |_| {
-                    let mut state = init();
+                    let mut state = Some(init());
                     let mut local: Vec<(usize, R)> = Vec::new();
+                    let mut panicked: Option<(usize, Box<dyn Any + Send>)> = None;
                     while let Ok(start) = rx.recv() {
-                        if guard.checkpoint() {
+                        if poisoned.load(Ordering::Relaxed) || guard.checkpoint() {
                             break;
                         }
-                        for (i, item) in items.iter().enumerate().skip(start).take(chunk) {
-                            local.push((i, f(&mut state, i, item)));
+                        let st = state.as_mut().expect("state lives until a panic");
+                        let attempt = catch_unwind(AssertUnwindSafe(|| {
+                            for (i, item) in items.iter().enumerate().skip(start).take(chunk) {
+                                local.push((i, f(st, i, item)));
+                            }
+                        }));
+                        if let Err(payload) = attempt {
+                            poisoned.store(true, Ordering::Relaxed);
+                            panicked = Some((start, payload));
+                            // the panic may have left the worker state
+                            // mid-update; drop it without draining
+                            state = None;
+                            break;
                         }
                     }
-                    drain(state);
-                    local
+                    if let Some(st) = state {
+                        drain(st);
+                    }
+                    (local, panicked)
                 })
             })
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("usep-par worker panicked"))
+            .map(|h| h.join().expect("usep-par workers contain panics via catch_unwind"))
             .collect::<Vec<_>>()
     })
     .expect("scope itself cannot fail");
 
-    for (i, r) in worker_results.into_iter().flatten() {
-        out[i] = Some(r);
+    let mut first_panic: Option<(usize, Box<dyn Any + Send>)> = None;
+    for (local, panicked) in worker_results {
+        if let Some((start, payload)) = panicked {
+            if first_panic.as_ref().is_none_or(|&(s, _)| start < s) {
+                first_panic = Some((start, payload));
+            }
+        }
+        for (i, r) in local {
+            out[i] = Some(r);
+        }
+    }
+    if let Some((_, payload)) = first_panic {
+        resume_unwind(payload);
     }
     out
 }
@@ -326,6 +392,77 @@ mod tests {
         assert_eq!(out.iter().flatten().copied().collect::<Vec<_>>(), items);
         assert_eq!(inits.load(Ordering::Relaxed), 4, "one state per worker");
         assert_eq!(drained_total.load(Ordering::Relaxed), items.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn worker_panic_propagates_payload_to_caller() {
+        let items: Vec<u32> = (0..500).collect();
+        for threads in [1, 2, 4, 16] {
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                par_map(threads, &items, Guard::none(), |_, x| {
+                    if *x == 97 {
+                        panic!("boom at {x}");
+                    }
+                    *x * 2
+                })
+            }));
+            let payload = result.expect_err("panic must propagate");
+            let msg = payload.downcast_ref::<String>().expect("String payload");
+            assert_eq!(msg, "boom at 97", "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn first_panicking_chunk_wins_deterministically() {
+        // every item from 100 on panics; the propagated payload must be
+        // the lowest-index one at every thread count, every run
+        let items: Vec<u32> = (0..400).collect();
+        for threads in [1, 3, 8] {
+            for _ in 0..5 {
+                let result = catch_unwind(AssertUnwindSafe(|| {
+                    par_map(threads, &items, Guard::none(), |_, x| {
+                        if *x >= 100 {
+                            panic!("panic item {x}");
+                        }
+                        *x
+                    })
+                }));
+                let payload = result.expect_err("panic must propagate");
+                let msg = payload.downcast_ref::<String>().expect("String payload");
+                assert_eq!(msg, "panic item 100", "threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn panic_skips_drain_for_the_panicking_worker_only() {
+        use std::sync::atomic::AtomicU64;
+        let inits = AtomicU64::new(0);
+        let drains = AtomicU64::new(0);
+        let items: Vec<u64> = (0..256).collect();
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            par_map_init(
+                4,
+                &items,
+                Guard::none(),
+                || {
+                    inits.fetch_add(1, Ordering::Relaxed);
+                },
+                |(), _, x| {
+                    if *x == 3 {
+                        panic!("die");
+                    }
+                    *x
+                },
+                |()| {
+                    drains.fetch_add(1, Ordering::Relaxed);
+                },
+            )
+        }));
+        assert!(result.is_err());
+        let inited = inits.load(Ordering::Relaxed);
+        let drained = drains.load(Ordering::Relaxed);
+        assert_eq!(drained, inited - 1, "exactly the panicking worker skips drain");
     }
 
     #[test]

@@ -1,0 +1,121 @@
+//! Admission control: a bounded queue slot plus a byte reservation.
+//!
+//! Admission is the server's only defense against unbounded growth —
+//! everything past it is already paid for. A request is admitted when
+//! both of these hold, atomically enough for the purpose (the two
+//! counters are acquired in order and rolled back on partial failure):
+//!
+//! * a **queue slot** is free (`depth < max_queue`), and
+//! * its **estimated bytes** fit the shared [`MemoryLedger`].
+//!
+//! The returned [`Ticket`] is RAII: dropping it (response written,
+//! request abandoned, worker panicked — any path) releases both
+//! resources. Refusals are non-sticky by construction, so one giant
+//! request bouncing off the ledger leaves every smaller one admissible.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use usep_guard::MemoryLedger;
+
+/// Why a request was shed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ShedReason {
+    /// The bounded queue was full.
+    QueueFull,
+    /// The memory ledger could not fit the request's estimate.
+    MemoryPressure,
+}
+
+/// Shared admission state: queue depth and byte ledger.
+#[derive(Debug)]
+pub struct Admission {
+    max_queue: usize,
+    depth: AtomicUsize,
+    ledger: MemoryLedger,
+}
+
+impl Admission {
+    /// Admission with `max_queue` queue slots and `max_bytes`
+    /// reservable estimate bytes.
+    pub fn new(max_queue: usize, max_bytes: usize) -> Admission {
+        Admission { max_queue, depth: AtomicUsize::new(0), ledger: MemoryLedger::new(max_bytes) }
+    }
+
+    /// Tries to admit a request estimated at `bytes`. On success the
+    /// ticket holds one queue slot and the reservation until dropped.
+    pub fn try_admit(self: &Arc<Self>, bytes: usize) -> Result<Ticket, ShedReason> {
+        let prev = self.depth.fetch_add(1, Ordering::Relaxed);
+        if prev >= self.max_queue {
+            self.depth.fetch_sub(1, Ordering::Relaxed);
+            return Err(ShedReason::QueueFull);
+        }
+        if !self.ledger.try_reserve(bytes) {
+            self.depth.fetch_sub(1, Ordering::Relaxed);
+            return Err(ShedReason::MemoryPressure);
+        }
+        Ok(Ticket { admission: Arc::clone(self), bytes })
+    }
+
+    /// Requests currently holding a queue slot (queued or solving).
+    pub fn depth(&self) -> usize {
+        self.depth.load(Ordering::Relaxed)
+    }
+
+    /// Estimate bytes currently reserved.
+    pub fn reserved_bytes(&self) -> usize {
+        self.ledger.in_use()
+    }
+}
+
+/// One admitted request's hold on the queue slot and byte reservation.
+#[derive(Debug)]
+pub struct Ticket {
+    admission: Arc<Admission>,
+    bytes: usize,
+}
+
+impl Drop for Ticket {
+    fn drop(&mut self) {
+        self.admission.ledger.release(self.bytes);
+        self.admission.depth.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn queue_slots_bound_admission_and_tickets_release() {
+        let adm = Arc::new(Admission::new(2, 1_000_000));
+        let t1 = adm.try_admit(10).unwrap();
+        let _t2 = adm.try_admit(10).unwrap();
+        assert_eq!(adm.try_admit(10).unwrap_err(), ShedReason::QueueFull);
+        assert_eq!(adm.depth(), 2);
+        drop(t1);
+        assert_eq!(adm.depth(), 1);
+        let _t3 = adm.try_admit(10).unwrap();
+    }
+
+    #[test]
+    fn memory_pressure_sheds_without_stickiness() {
+        let adm = Arc::new(Admission::new(100, 1000));
+        let big = adm.try_admit(900).unwrap();
+        assert_eq!(adm.try_admit(200).unwrap_err(), ShedReason::MemoryPressure);
+        // a smaller request still fits: refusals are per-request
+        let small = adm.try_admit(100).unwrap();
+        assert_eq!(adm.reserved_bytes(), 1000);
+        drop(big);
+        drop(small);
+        assert_eq!(adm.reserved_bytes(), 0);
+        assert_eq!(adm.depth(), 0);
+    }
+
+    #[test]
+    fn failed_memory_admission_returns_the_queue_slot() {
+        let adm = Arc::new(Admission::new(1, 10));
+        assert_eq!(adm.try_admit(100).unwrap_err(), ShedReason::MemoryPressure);
+        // the slot taken during the failed attempt was rolled back
+        let _t = adm.try_admit(5).unwrap();
+    }
+}

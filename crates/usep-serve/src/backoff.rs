@@ -1,0 +1,111 @@
+//! Capped exponential backoff with deterministic jitter.
+//!
+//! Between degradation-chain retries the server waits: the trip that
+//! caused the retry was a *resource* trip, and an immediate re-attempt
+//! under the same pressure mostly re-trips. The delay doubles per
+//! attempt up to a cap, and is jittered into `[delay/2, delay]` so a
+//! burst of requests tripping together does not retry in lockstep
+//! ("equal jitter"). The jitter is a pure hash of `(seed, attempt)` —
+//! no RNG state, no clock — so a given request retries on an identical
+//! schedule every time it is replayed, which keeps crash/resume tests
+//! and trace diffs deterministic.
+
+use std::time::Duration;
+
+/// Backoff policy: `base * 2^(attempt-1)` capped at `cap`, jittered.
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicy {
+    /// Delay before the first retry (attempt 1), pre-jitter.
+    pub base: Duration,
+    /// Upper bound on the pre-jitter delay.
+    pub cap: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy { base: Duration::from_millis(25), cap: Duration::from_millis(400) }
+    }
+}
+
+/// SplitMix64 — the same tiny deterministic mixer the generators use.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl RetryPolicy {
+    /// The jittered delay before retry number `attempt` (1-based; 0
+    /// returns zero). `seed` individualizes the jitter per request —
+    /// the server hashes the request id into it.
+    pub fn delay(&self, attempt: u32, seed: u64) -> Duration {
+        if attempt == 0 {
+            return Duration::ZERO;
+        }
+        let exp = attempt.min(20) - 1;
+        let uncapped = self.base.saturating_mul(1u32 << exp.min(20));
+        let full = uncapped.min(self.cap);
+        let half = full / 2;
+        let jitter_span = (full - half).as_nanos() as u64;
+        if jitter_span == 0 {
+            return full;
+        }
+        let jitter = splitmix64(seed ^ u64::from(attempt)) % (jitter_span + 1);
+        half + Duration::from_nanos(jitter)
+    }
+}
+
+/// A stable 64-bit hash of a request id, used as the jitter seed.
+pub fn seed_from_id(id: &str) -> u64 {
+    // FNV-1a: tiny, stable across platforms and runs
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in id.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delays_double_then_cap() {
+        let p = RetryPolicy { base: Duration::from_millis(10), cap: Duration::from_millis(100) };
+        // jitter keeps each delay in [full/2, full]
+        for (attempt, full_ms) in [(1u32, 10u64), (2, 20), (3, 40), (4, 80), (5, 100), (9, 100)] {
+            let d = p.delay(attempt, 42);
+            assert!(
+                d >= Duration::from_millis(full_ms) / 2 && d <= Duration::from_millis(full_ms),
+                "attempt {attempt}: {d:?} outside [{}/2, {}] ms",
+                full_ms,
+                full_ms
+            );
+        }
+        assert_eq!(p.delay(0, 42), Duration::ZERO);
+    }
+
+    #[test]
+    fn jitter_is_deterministic_per_seed_and_varies_across_seeds() {
+        let p = RetryPolicy::default();
+        assert_eq!(p.delay(3, 7), p.delay(3, 7));
+        let distinct: std::collections::BTreeSet<Duration> =
+            (0..32u64).map(|s| p.delay(3, s)).collect();
+        assert!(distinct.len() > 16, "jitter should spread seeds: {}", distinct.len());
+    }
+
+    #[test]
+    fn huge_attempt_numbers_do_not_overflow() {
+        let p = RetryPolicy::default();
+        assert!(p.delay(u32::MAX, 1) <= p.cap);
+    }
+
+    #[test]
+    fn id_seed_is_stable() {
+        assert_eq!(seed_from_id("req-1"), seed_from_id("req-1"));
+        assert_ne!(seed_from_id("req-1"), seed_from_id("req-2"));
+    }
+}

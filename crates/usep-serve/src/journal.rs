@@ -1,0 +1,238 @@
+//! Crash-safe write-ahead journal: append-only JSON lines, fsynced.
+//!
+//! Two record kinds, both carrying their full payload so a restarted
+//! server needs nothing but the journal:
+//!
+//! * `Accepted{request}` — written (and fsynced) *before* the request
+//!   enters the queue. If the process dies mid-solve, the restarted
+//!   server re-enqueues it.
+//! * `Completed{response}` — written (and fsynced) when the solve
+//!   finishes, whatever the outcome. A completed id is never re-solved:
+//!   a duplicate submission is answered from this record.
+//!
+//! [`JournalState::replay`] is a pure function of the file bytes —
+//! replaying the same journal any number of times yields the same
+//! state, which is what makes resume idempotent. A torn final line
+//! (the crash happened mid-`write`) is tolerated and ignored; a
+//! malformed line anywhere *else* is an error, because it means the
+//! file was edited or corrupted rather than torn.
+
+use crate::protocol::{SolveRequest, SolveResponse};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::io::{self, BufRead, Write};
+use std::path::Path;
+use std::sync::Mutex;
+
+/// One journal line.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub enum JournalRecord {
+    /// Request admitted; solve owed.
+    Accepted {
+        /// The full request, so resume needs no other source.
+        request: SolveRequest,
+    },
+    /// Request finished with this response.
+    Completed {
+        /// The full response, so duplicate ids replay without solving.
+        response: SolveResponse,
+    },
+}
+
+/// Append handle. One line per [`Journal::append`], fsynced before it
+/// returns — the caller may treat a returned `Ok` as durable.
+#[derive(Debug)]
+pub struct Journal {
+    file: Mutex<std::fs::File>,
+}
+
+impl Journal {
+    /// Opens (creating if missing) `path` for appending.
+    pub fn open(path: &Path) -> io::Result<Journal> {
+        let file = std::fs::OpenOptions::new().create(true).append(true).open(path)?;
+        Ok(Journal { file: Mutex::new(file) })
+    }
+
+    /// Appends one record and fsyncs.
+    pub fn append(&self, record: &JournalRecord) -> io::Result<()> {
+        let line = serde_json::to_string(record)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        let mut file = self.file.lock().unwrap_or_else(|p| p.into_inner());
+        writeln!(file, "{line}")?;
+        file.sync_data()
+    }
+}
+
+/// The state a journal replays to.
+#[derive(Debug, Default)]
+pub struct JournalState {
+    /// Accepted ids with no completion, in acceptance order (the order
+    /// the dead server would have solved them). Duplicate accepts of
+    /// one id keep the first request.
+    pub pending: Vec<SolveRequest>,
+    /// Completed responses by id. Duplicate completions of one id keep
+    /// the first response, so replaying cannot change an answer.
+    pub completed: BTreeMap<String, SolveResponse>,
+    /// Whether a torn (unparseable) final line was skipped — the
+    /// fingerprint of a crash mid-append.
+    pub torn_tail: bool,
+}
+
+impl JournalState {
+    /// Replays the journal at `path`. Missing file replays to the
+    /// empty state (a fresh server with a journal configured but never
+    /// written).
+    pub fn replay(path: &Path) -> io::Result<JournalState> {
+        let file = match std::fs::File::open(path) {
+            Ok(f) => f,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(JournalState::default()),
+            Err(e) => return Err(e),
+        };
+        let mut state = JournalState::default();
+        let mut accepted: BTreeMap<String, usize> = BTreeMap::new();
+        let lines: Vec<String> = io::BufReader::new(file).lines().collect::<Result<_, _>>()?;
+        let last = lines.len().saturating_sub(1);
+        for (lineno, line) in lines.iter().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let record: JournalRecord = match serde_json::from_str(line) {
+                Ok(r) => r,
+                Err(_) if lineno == last => {
+                    state.torn_tail = true;
+                    continue;
+                }
+                Err(e) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("journal line {}: {e}", lineno + 1),
+                    ));
+                }
+            };
+            match record {
+                JournalRecord::Accepted { request } => {
+                    if !accepted.contains_key(&request.id) {
+                        accepted.insert(request.id.clone(), state.pending.len());
+                        state.pending.push(request);
+                    }
+                }
+                JournalRecord::Completed { response } => {
+                    state.completed.entry(response.id.clone()).or_insert(response);
+                }
+            }
+        }
+        state.pending.retain(|r| !state.completed.contains_key(&r.id));
+        Ok(state)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::Status;
+    use usep_core::{Cost, EventId, InstanceBuilder, Point, TimeInterval, UserId};
+
+    fn request(id: &str) -> SolveRequest {
+        let mut b = InstanceBuilder::new();
+        b.event(1, Point::new(0, 0), TimeInterval::new(0, 5).unwrap());
+        b.user(Point::new(0, 1), Cost::new(10));
+        b.utility(EventId(0), UserId(0), 0.9);
+        SolveRequest {
+            id: id.to_string(),
+            instance: b.build().unwrap(),
+            algorithm: None,
+            timeout_ms: None,
+            mem_budget_mb: None,
+        }
+    }
+
+    fn tempdir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("usep_journal_{tag}_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn append_then_replay_partitions_pending_and_completed() {
+        let dir = tempdir("basic");
+        let path = dir.join("wal.jsonl");
+        let journal = Journal::open(&path).unwrap();
+        journal.append(&JournalRecord::Accepted { request: request("a") }).unwrap();
+        journal.append(&JournalRecord::Accepted { request: request("b") }).unwrap();
+        journal
+            .append(&JournalRecord::Completed {
+                response: SolveResponse::bare("a", Status::Complete),
+            })
+            .unwrap();
+        let state = JournalState::replay(&path).unwrap();
+        assert_eq!(state.pending.len(), 1);
+        assert_eq!(state.pending[0].id, "b");
+        assert_eq!(state.completed.len(), 1);
+        assert_eq!(state.completed["a"].status, Status::Complete);
+        assert!(!state.torn_tail);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_journal_replays_empty() {
+        let state = JournalState::replay(Path::new("/nonexistent/usep/wal.jsonl")).unwrap();
+        assert!(state.pending.is_empty());
+        assert!(state.completed.is_empty());
+    }
+
+    #[test]
+    fn torn_final_line_is_tolerated_but_interior_corruption_is_not() {
+        let dir = tempdir("torn");
+        let path = dir.join("wal.jsonl");
+        let journal = Journal::open(&path).unwrap();
+        journal.append(&JournalRecord::Accepted { request: request("a") }).unwrap();
+        drop(journal);
+        // simulate a crash mid-append: a half-written record at the tail
+        let mut raw = std::fs::read(&path).unwrap();
+        raw.extend_from_slice(b"{\"Accepted\":{\"requ");
+        std::fs::write(&path, &raw).unwrap();
+        let state = JournalState::replay(&path).unwrap();
+        assert!(state.torn_tail);
+        assert_eq!(state.pending.len(), 1);
+
+        // the same garbage *followed by* a valid line is corruption
+        let mut raw = std::fs::read(&path).unwrap();
+        raw.extend_from_slice(b"\n");
+        std::fs::write(&path, &raw).unwrap();
+        let journal = Journal::open(&path).unwrap();
+        journal.append(&JournalRecord::Accepted { request: request("b") }).unwrap();
+        assert!(JournalState::replay(&path).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn replay_is_idempotent_and_duplicate_records_keep_first() {
+        let dir = tempdir("idem");
+        let path = dir.join("wal.jsonl");
+        let journal = Journal::open(&path).unwrap();
+        journal.append(&JournalRecord::Accepted { request: request("a") }).unwrap();
+        // duplicate accept (a resumed server re-journaling would be a
+        // bug, but the replay must still converge)
+        journal.append(&JournalRecord::Accepted { request: request("a") }).unwrap();
+        journal
+            .append(&JournalRecord::Completed {
+                response: SolveResponse::bare("a", Status::Complete),
+            })
+            .unwrap();
+        journal
+            .append(&JournalRecord::Completed {
+                response: SolveResponse::bare(
+                    "a",
+                    Status::Failed { panic: "late duplicate must not win".into() },
+                ),
+            })
+            .unwrap();
+        let once = JournalState::replay(&path).unwrap();
+        let twice = JournalState::replay(&path).unwrap();
+        assert_eq!(once.completed["a"].status, Status::Complete);
+        assert_eq!(twice.completed["a"].status, Status::Complete);
+        assert!(once.pending.is_empty() && twice.pending.is_empty());
+        assert_eq!(once.completed.len(), twice.completed.len());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

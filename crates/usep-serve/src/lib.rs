@@ -1,0 +1,49 @@
+//! Long-running batch solve service for USEP.
+//!
+//! The rest of the workspace solves one instance per process: a panic,
+//! a malformed request or a `kill -9` loses all work. This crate turns
+//! those solvers into a *service* with the robustness substrate a
+//! planning platform needs, built from the layers underneath it —
+//! `usep-guard` budgets bound each solve, `usep-par` contains worker
+//! panics, `usep-trace` counts what the server does:
+//!
+//! * **Protocol** ([`protocol`]) — one JSON object per line over plain
+//!   TCP (`std::net`, matching the repo's vendored-deps policy). A
+//!   [`SolveRequest`] carries the instance inline plus budget fields;
+//!   every reply is a typed [`SolveResponse`] — `Complete`,
+//!   `Truncated{reason}`, `Failed{panic}`, `Overloaded{..}` or
+//!   `Rejected{error}` — never a dropped connection.
+//! * **Admission control** ([`admission`]) — a bounded request queue
+//!   plus a non-sticky byte ledger ([`usep_guard::MemoryLedger`]).
+//!   Requests whose estimated footprint or queue slot does not fit are
+//!   shed with `Overloaded` instead of degrading everyone.
+//! * **Fault isolation** ([`server`]) — each solve runs behind a
+//!   `catch_unwind` fence; `usep-par` propagates worker-pool panics to
+//!   the fence deterministically, so a panicking request answers
+//!   `Failed{panic}` and the server keeps serving.
+//! * **Retry with backoff** ([`backoff`]) — a `truncated:memory_ceiling`
+//!   attempt is retried one tier *down* the existing
+//!   DeDP → DeDPO → RatioGreedy degradation chain after a capped
+//!   exponential backoff with deterministic jitter, rather than
+//!   re-running the same solver into the same wall.
+//! * **Crash-safe journal** ([`journal`]) — an append-only JSON-lines
+//!   write-ahead journal, fsynced on accept and on completion. A
+//!   restarted server (`usep serve --resume <journal>`) re-enqueues
+//!   accepted-but-incomplete requests and answers duplicate ids from
+//!   the journaled completion cache without re-solving.
+
+#![forbid(unsafe_code)]
+
+pub mod admission;
+pub mod backoff;
+pub mod client;
+pub mod journal;
+pub mod protocol;
+pub mod server;
+
+pub use admission::{Admission, ShedReason, Ticket};
+pub use backoff::RetryPolicy;
+pub use client::send_request;
+pub use journal::{Journal, JournalRecord, JournalState};
+pub use protocol::{estimate_instance_bytes, SolveRequest, SolveResponse, Status};
+pub use server::{Server, ServerHandle, ServeConfig};

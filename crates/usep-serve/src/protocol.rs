@@ -1,0 +1,232 @@
+//! Wire types: one JSON object per line, both directions.
+//!
+//! The framing is deliberately the same JSON-lines shape as the
+//! `usep-trace` export and the journal: line-oriented, self-describing,
+//! greppable with standard tools. A client sends one [`SolveRequest`]
+//! per line and reads one [`SolveResponse`] line back; a connection may
+//! carry any number of request/response pairs sequentially.
+
+use serde::{Deserialize, Serialize};
+use usep_core::{Instance, Planning};
+
+/// A solve request, instance inline.
+///
+/// The `id` is the idempotence key: the server journals accepted ids
+/// and answers a duplicate of an already-completed id from its cache
+/// without re-solving. Budget fields are *requests* — the server caps
+/// them with its own limits before building the [`usep_guard::SolveBudget`].
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SolveRequest {
+    /// Client-chosen idempotence key.
+    pub id: String,
+    /// The instance to plan.
+    pub instance: Instance,
+    /// Algorithm name (same names as `usep solve --algorithm`);
+    /// the server default applies when absent.
+    #[serde(default)]
+    pub algorithm: Option<String>,
+    /// Requested wall-clock budget for the whole solve (all retry
+    /// tiers together), capped server-side.
+    #[serde(default)]
+    pub timeout_ms: Option<u64>,
+    /// Requested per-solve memory ceiling, capped server-side.
+    #[serde(default)]
+    pub mem_budget_mb: Option<u64>,
+}
+
+/// How a request ended. Every request gets exactly one of these.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Status {
+    /// Some tier ran to its natural end; the planning is final.
+    Complete,
+    /// Every usable tier was cut short; the planning is the best
+    /// constraint-valid prefix found. `reason` is the stable
+    /// [`usep_guard::TruncationReason`] name of the *last* trip.
+    Truncated {
+        /// `deadline`, `memory_ceiling` or `cancelled`.
+        reason: String,
+    },
+    /// The solve panicked; the panic was contained at the request
+    /// fence and the server kept serving.
+    Failed {
+        /// Stringified panic payload.
+        panic: String,
+    },
+    /// Shed at admission: the queue or the memory ledger was full.
+    Overloaded {
+        /// Queue depth observed at the admission decision.
+        queue_depth: usize,
+        /// Ledger bytes reserved at the admission decision.
+        reserved_bytes: usize,
+    },
+    /// The request never entered the queue: unparseable, failed
+    /// instance validation, or named an unknown algorithm.
+    Rejected {
+        /// Human-readable cause.
+        error: String,
+    },
+}
+
+impl Status {
+    /// Stable one-token description for logs and exit-code mapping.
+    pub fn describe(&self) -> String {
+        match self {
+            Status::Complete => "complete".to_string(),
+            Status::Truncated { reason } => format!("truncated:{reason}"),
+            Status::Failed { .. } => "failed:panic".to_string(),
+            Status::Overloaded { .. } => "overloaded".to_string(),
+            Status::Rejected { .. } => "rejected".to_string(),
+        }
+    }
+}
+
+/// The reply to one [`SolveRequest`].
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SolveResponse {
+    /// Echo of the request id (empty for unparseable requests).
+    pub id: String,
+    /// Typed outcome.
+    pub status: Status,
+    /// Ω of `planning` (0 when there is none).
+    #[serde(default)]
+    pub omega: f64,
+    /// Assignment count of `planning`.
+    #[serde(default)]
+    pub assignments: u64,
+    /// Algorithm that produced `planning` (after degradation).
+    #[serde(default)]
+    pub executed: Option<String>,
+    /// Serve-level retries spent walking down the degradation chain.
+    #[serde(default)]
+    pub retries: u64,
+    /// The planning, for `Complete` and `Truncated` outcomes.
+    #[serde(default)]
+    pub planning: Option<Planning>,
+}
+
+impl SolveResponse {
+    /// A planning-free response with the given id and status.
+    pub fn bare(id: impl Into<String>, status: Status) -> SolveResponse {
+        SolveResponse {
+            id: id.into(),
+            status,
+            omega: 0.0,
+            assignments: 0,
+            executed: None,
+            retries: 0,
+            planning: None,
+        }
+    }
+}
+
+/// Estimated resident footprint of solving `inst`, charged against the
+/// admission ledger while the request is queued or in flight. Dominated
+/// by the `μ` matrix and the worst-case explicit cost matrices; the
+/// per-entity term covers ids, locations and intervals. An estimate —
+/// the per-solve `Guard` ceiling, not this, is the hard bound.
+pub fn estimate_instance_bytes(inst: &Instance) -> usize {
+    let nv = inst.num_events();
+    let nu = inst.num_users();
+    let mu = nv.saturating_mul(nu).saturating_mul(8);
+    let costs = nv.saturating_mul(nu + nv).saturating_mul(4);
+    let entities = (nv + nu).saturating_mul(48);
+    mu.saturating_add(costs).saturating_add(entities)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_instance() -> Instance {
+        let mut b = usep_core::InstanceBuilder::new();
+        b.event(
+            2,
+            usep_core::Point::new(0, 0),
+            usep_core::TimeInterval::new(0, 10).unwrap(),
+        );
+        b.user(usep_core::Point::new(1, 1), usep_core::Cost::new(50));
+        b.utility(usep_core::EventId(0), usep_core::UserId(0), 0.5);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn request_roundtrips_with_and_without_optional_fields() {
+        let full = SolveRequest {
+            id: "r1".into(),
+            instance: tiny_instance(),
+            algorithm: Some("dedpo".into()),
+            timeout_ms: Some(500),
+            mem_budget_mb: Some(64),
+        };
+        let json = serde_json::to_string(&full).unwrap();
+        let back: SolveRequest = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.id, "r1");
+        assert_eq!(back.algorithm.as_deref(), Some("dedpo"));
+        assert_eq!(back.timeout_ms, Some(500));
+        assert_eq!(back.instance, full.instance);
+
+        // optional fields may be omitted entirely on the wire
+        let sparse = format!(
+            r#"{{"id":"r2","instance":{}}}"#,
+            serde_json::to_string(&tiny_instance()).unwrap()
+        );
+        let back: SolveRequest = serde_json::from_str(&sparse).unwrap();
+        assert_eq!(back.id, "r2");
+        assert!(back.algorithm.is_none());
+        assert!(back.timeout_ms.is_none());
+        assert!(back.mem_budget_mb.is_none());
+    }
+
+    #[test]
+    fn every_status_roundtrips() {
+        let statuses = [
+            Status::Complete,
+            Status::Truncated { reason: "memory_ceiling".into() },
+            Status::Failed { panic: "boom".into() },
+            Status::Overloaded { queue_depth: 9, reserved_bytes: 1024 },
+            Status::Rejected { error: "bad instance".into() },
+        ];
+        for status in statuses {
+            let resp = SolveResponse::bare("x", status.clone());
+            let json = serde_json::to_string(&resp).unwrap();
+            let back: SolveResponse = serde_json::from_str(&json).unwrap();
+            assert_eq!(back.status, status, "{json}");
+        }
+    }
+
+    #[test]
+    fn describe_is_stable() {
+        assert_eq!(Status::Complete.describe(), "complete");
+        assert_eq!(
+            Status::Truncated { reason: "deadline".into() }.describe(),
+            "truncated:deadline"
+        );
+        assert_eq!(Status::Failed { panic: "p".into() }.describe(), "failed:panic");
+        assert_eq!(
+            Status::Overloaded { queue_depth: 0, reserved_bytes: 0 }.describe(),
+            "overloaded"
+        );
+    }
+
+    #[test]
+    fn footprint_estimate_scales_with_the_matrix() {
+        let small = estimate_instance_bytes(&tiny_instance());
+        assert!(small > 0);
+        // μ dominates: 100×1000 ≈ 800 KB just for the matrix
+        let mut b = usep_core::InstanceBuilder::new();
+        for i in 0..100 {
+            let s = i64::from(i) * 20;
+            b.event(
+                5,
+                usep_core::Point::new(i, 0),
+                usep_core::TimeInterval::new(s, s + 10).unwrap(),
+            );
+        }
+        for j in 0..1000 {
+            b.user(usep_core::Point::new(j % 50, 1), usep_core::Cost::new(100));
+        }
+        let big = b.build().unwrap();
+        assert!(estimate_instance_bytes(&big) >= 100 * 1000 * 8);
+        assert!(estimate_instance_bytes(&big) > small);
+    }
+}

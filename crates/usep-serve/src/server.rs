@@ -1,0 +1,615 @@
+//! The serve loop: accept, admit, journal, solve behind a fence, reply.
+//!
+//! Thread layout:
+//!
+//! * one **accept** thread owning the `TcpListener`;
+//! * one **connection** thread per client connection, which parses,
+//!   validates, admits and journals requests, then blocks on the
+//!   reply channel and writes the response line;
+//! * `workers` **solver** threads draining one shared job queue. Each
+//!   job runs behind a `catch_unwind` fence with the serve-level
+//!   retry/degradation loop inside it.
+//!
+//! Shutdown is cooperative: set the flag, poke the listener with a
+//! dummy connection, let connection threads finish their in-flight
+//! request, and let the workers drain the queue until the job channel
+//! disconnects. Nothing is dropped on a *graceful* stop; on a crash
+//! (`SIGKILL`) the journal carries the pending set instead.
+
+use crate::admission::{Admission, ShedReason, Ticket};
+use crate::backoff::{seed_from_id, RetryPolicy};
+use crate::journal::{Journal, JournalRecord, JournalState};
+use crate::protocol::{estimate_instance_bytes, SolveRequest, SolveResponse, Status};
+use std::io::{BufRead, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+use usep_algos::{solve_guarded, Algorithm, GuardedSolver};
+use usep_core::Planning;
+use usep_guard::{Guard, SolveBudget, SolveOutcome, TruncationReason};
+use usep_trace::{Counter, Probe, TraceSink};
+
+/// Server configuration. The defaults are sized for tests and small
+/// deployments; production callers should size `queue_capacity` and
+/// `max_reserved_bytes` to their tail latency and RAM.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Bind address; use port 0 to let the OS pick (the bound address
+    /// is on the [`ServerHandle`]).
+    pub addr: String,
+    /// Solver threads draining the queue.
+    pub workers: usize,
+    /// Bounded queue slots (queued + solving).
+    pub queue_capacity: usize,
+    /// Byte capacity of the admission ledger.
+    pub max_reserved_bytes: usize,
+    /// Hard server-side cap on a request's wall-clock budget; also the
+    /// budget for requests that ask for none. The server never runs an
+    /// unbounded solve.
+    pub max_timeout_ms: u64,
+    /// Server-side cap on a request's memory ceiling. `None` leaves
+    /// requests without one uncapped (the admission ledger still
+    /// bounds aggregate footprint).
+    pub max_mem_budget_bytes: Option<usize>,
+    /// Algorithm for requests that name none.
+    pub default_algorithm: Algorithm,
+    /// Write-ahead journal path; `None` disables durability.
+    pub journal: Option<PathBuf>,
+    /// Replay the journal before serving: re-enqueue accepted-but-
+    /// incomplete requests, remember completed ids.
+    pub resume: bool,
+    /// Backoff between degradation-chain retries.
+    pub retry: RetryPolicy,
+    /// Read timeout on client connections.
+    pub conn_read_timeout: Duration,
+    /// Stop (gracefully) after this many journaled completions —
+    /// resumed solves count. For tests and drain scripts.
+    pub max_requests: Option<u64>,
+    /// Fault injection: arm every solve's guard with a chaos trip
+    /// (memory-ceiling reason) at this checkpoint count.
+    pub chaos_trip: Option<u64>,
+    /// Fault injection: panic inside the fence on every Nth solve.
+    pub chaos_panic_every: Option<u64>,
+    /// Fault injection: sleep this long inside each solve, to widen
+    /// the kill window for crash/recovery tests.
+    pub chaos_delay_ms: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 2,
+            queue_capacity: 64,
+            max_reserved_bytes: 256 * 1024 * 1024,
+            max_timeout_ms: 30_000,
+            max_mem_budget_bytes: None,
+            default_algorithm: Algorithm::DeDPO,
+            journal: None,
+            resume: false,
+            retry: RetryPolicy::default(),
+            conn_read_timeout: Duration::from_secs(30),
+            max_requests: None,
+            chaos_trip: None,
+            chaos_panic_every: None,
+            chaos_delay_ms: 0,
+        }
+    }
+}
+
+struct Job {
+    request: SolveRequest,
+    /// Admission hold; `None` for journal-resumed jobs (their client
+    /// is gone, nothing is queued on their behalf).
+    ticket: Option<Ticket>,
+    /// Where the response goes; `None` for resumed jobs (journal only).
+    reply: Option<crossbeam::channel::Sender<SolveResponse>>,
+}
+
+struct Inner {
+    cfg: ServeConfig,
+    admission: Arc<Admission>,
+    journal: Option<Journal>,
+    completed: Mutex<std::collections::BTreeMap<String, SolveResponse>>,
+    sink: TraceSink,
+    shutdown: AtomicBool,
+    addr: SocketAddr,
+    solves_started: AtomicU64,
+    completions: AtomicU64,
+}
+
+/// A running server. Dropping the handle does not stop the server;
+/// call [`ServerHandle::shutdown`] then [`ServerHandle::wait`].
+pub struct ServerHandle {
+    inner: Arc<Inner>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+    worker_threads: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The address actually bound (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.inner.addr
+    }
+
+    /// Requests resumed from the journal at startup.
+    pub fn resumed(&self) -> u64 {
+        self.inner.sink.counter(Counter::ServeResume)
+    }
+
+    /// Snapshot of one serve/solver counter.
+    pub fn counter(&self, c: Counter) -> u64 {
+        self.inner.sink.counter(c)
+    }
+
+    /// The trace sink collecting the server's counters and histograms.
+    pub fn sink(&self) -> &TraceSink {
+        &self.inner.sink
+    }
+
+    /// Requests a graceful stop: no new connections, queue drained.
+    pub fn shutdown(&self) {
+        self.inner.initiate_shutdown();
+    }
+
+    /// Blocks until every thread has exited (after [`Self::shutdown`]
+    /// or a `max_requests` stop).
+    pub fn wait(mut self) {
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        for t in self.worker_threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Inner {
+    fn initiate_shutdown(&self) {
+        if !self.shutdown.swap(true, Ordering::SeqCst) {
+            // unblock the accept() call
+            let _ = TcpStream::connect(self.addr);
+        }
+    }
+
+    fn journal_append(&self, record: &JournalRecord) -> std::io::Result<()> {
+        match &self.journal {
+            Some(j) => j.append(record),
+            None => Ok(()),
+        }
+    }
+}
+
+/// The server type; [`Server::start`] is the only entry point.
+pub struct Server;
+
+impl Server {
+    /// Binds, replays the journal when resuming, spawns the worker and
+    /// accept threads, and returns the running server's handle.
+    pub fn start(cfg: ServeConfig) -> std::io::Result<ServerHandle> {
+        let resumed_state = match (&cfg.journal, cfg.resume) {
+            (Some(path), true) => JournalState::replay(path)?,
+            (None, true) => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidInput,
+                    "resume requested without a journal path",
+                ));
+            }
+            _ => JournalState::default(),
+        };
+        let journal = cfg.journal.as_deref().map(Journal::open).transpose()?;
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let addr = listener.local_addr()?;
+
+        let inner = Arc::new(Inner {
+            admission: Arc::new(Admission::new(cfg.queue_capacity, cfg.max_reserved_bytes)),
+            journal,
+            completed: Mutex::new(resumed_state.completed.into_iter().collect()),
+            sink: TraceSink::new(),
+            shutdown: AtomicBool::new(false),
+            addr,
+            solves_started: AtomicU64::new(0),
+            completions: AtomicU64::new(0),
+            cfg,
+        });
+        if resumed_state.torn_tail {
+            eprintln!("usep-serve: journal had a torn final line (crash mid-append); ignored");
+        }
+
+        let (job_tx, job_rx) = crossbeam::channel::unbounded::<Job>();
+
+        // Re-enqueue in-flight work from the journal before accepting
+        // any traffic, preserving the dead server's acceptance order.
+        for request in resumed_state.pending {
+            inner.sink.count(Counter::ServeResume, 1);
+            let _ = job_tx.send(Job { request, ticket: None, reply: None });
+        }
+
+        let worker_threads: Vec<_> = (0..inner.cfg.workers.max(1))
+            .map(|_| {
+                let rx = job_rx.clone();
+                let inner = Arc::clone(&inner);
+                std::thread::spawn(move || {
+                    while let Ok(job) = rx.recv() {
+                        process_job(&inner, job);
+                    }
+                })
+            })
+            .collect();
+        drop(job_rx);
+
+        let accept_inner = Arc::clone(&inner);
+        let accept_thread = std::thread::spawn(move || {
+            accept_loop(&accept_inner, &listener, job_tx);
+        });
+
+        Ok(ServerHandle { inner, accept_thread: Some(accept_thread), worker_threads })
+    }
+}
+
+fn accept_loop(inner: &Arc<Inner>, listener: &TcpListener, job_tx: crossbeam::channel::Sender<Job>) {
+    let mut conn_threads = Vec::new();
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(e) => {
+                if inner.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                eprintln!("usep-serve: accept error: {e}");
+                continue;
+            }
+        };
+        if inner.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let inner = Arc::clone(inner);
+        let job_tx = job_tx.clone();
+        conn_threads.push(std::thread::spawn(move || {
+            handle_connection(&inner, stream, &job_tx);
+        }));
+    }
+    // finish in-flight connections before letting the job channel
+    // disconnect, so every admitted request gets its response line
+    for t in conn_threads {
+        let _ = t.join();
+    }
+}
+
+fn write_response(stream: &mut TcpStream, response: &SolveResponse) -> std::io::Result<()> {
+    let line = serde_json::to_string(response)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+    writeln!(stream, "{line}")?;
+    stream.flush()
+}
+
+/// Parses and pre-validates one request line. `Err` is the typed
+/// rejection to send back.
+fn screen_request(line: &str) -> Result<SolveRequest, Box<SolveResponse>> {
+    let request: SolveRequest = serde_json::from_str(line).map_err(|e| {
+        Box::new(SolveResponse::bare("", Status::Rejected { error: format!("parse: {e}") }))
+    })?;
+    if request.id.is_empty() {
+        return Err(Box::new(SolveResponse::bare(
+            "",
+            Status::Rejected { error: "empty request id".to_string() },
+        )));
+    }
+    if let Some(name) = &request.algorithm {
+        if Algorithm::parse(name).is_none() {
+            return Err(Box::new(SolveResponse::bare(
+                request.id.clone(),
+                Status::Rejected { error: format!("unknown algorithm '{name}'") },
+            )));
+        }
+    }
+    if let Err(e) = request.instance.validate() {
+        return Err(Box::new(SolveResponse::bare(
+            request.id.clone(),
+            Status::Rejected { error: format!("invalid instance: {e}") },
+        )));
+    }
+    Ok(request)
+}
+
+fn handle_connection(
+    inner: &Arc<Inner>,
+    mut stream: TcpStream,
+    job_tx: &crossbeam::channel::Sender<Job>,
+) {
+    // Short read timeout as a poll interval: an idle connection is
+    // dropped after `conn_read_timeout` of silence, and a graceful
+    // shutdown is never held hostage by an open idle connection.
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+    let Ok(read_half) = stream.try_clone() else { return };
+    let mut reader = std::io::BufReader::new(read_half);
+    let mut line = String::new();
+    'conn: loop {
+        line.clear();
+        let mut idle = Instant::now();
+        let mut seen = 0;
+        loop {
+            match reader.read_line(&mut line) {
+                Ok(0) => break 'conn, // client closed
+                Ok(_) => break,
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    // mid-line bytes stay in `line`; keep appending
+                    if line.len() > seen {
+                        seen = line.len();
+                        idle = Instant::now();
+                    }
+                    if inner.shutdown.load(Ordering::SeqCst)
+                        || idle.elapsed() >= inner.cfg.conn_read_timeout
+                    {
+                        break 'conn;
+                    }
+                }
+                Err(_) => break 'conn, // reset
+            }
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        let request = match screen_request(&line) {
+            Ok(r) => r,
+            Err(rejection) => {
+                if write_response(&mut stream, &rejection).is_err() {
+                    break;
+                }
+                continue;
+            }
+        };
+
+        // Idempotent replay: a completed id answers from the journal
+        // cache, solving nothing.
+        let cached = inner
+            .completed
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .get(&request.id)
+            .cloned();
+        if let Some(response) = cached {
+            inner.sink.count(Counter::ServeReplay, 1);
+            if write_response(&mut stream, &response).is_err() {
+                break;
+            }
+            continue;
+        }
+
+        // Admission: queue slot + estimated bytes, or shed.
+        let estimate = estimate_instance_bytes(&request.instance);
+        let ticket = match inner.admission.try_admit(estimate) {
+            Ok(t) => t,
+            Err(ShedReason::QueueFull | ShedReason::MemoryPressure) => {
+                inner.sink.count(Counter::ServeShed, 1);
+                let (queue_depth, reserved_bytes) =
+                    (inner.admission.depth(), inner.admission.reserved_bytes());
+                let response = SolveResponse::bare(
+                    request.id.clone(),
+                    Status::Overloaded { queue_depth, reserved_bytes },
+                );
+                if write_response(&mut stream, &response).is_err() {
+                    break;
+                }
+                continue;
+            }
+        };
+
+        // Write-ahead: the accept record is durable before the solve
+        // can begin; a crash after this point re-enqueues on resume.
+        if let Err(e) =
+            inner.journal_append(&JournalRecord::Accepted { request: request.clone() })
+        {
+            let response = SolveResponse::bare(
+                request.id.clone(),
+                Status::Rejected { error: format!("journal unavailable: {e}") },
+            );
+            let _ = write_response(&mut stream, &response);
+            continue; // ticket drops, slot returns
+        }
+        inner.sink.count(Counter::ServeAccept, 1);
+        inner.sink.record("serve.queue_depth", inner.admission.depth() as f64);
+
+        let (reply_tx, reply_rx) = crossbeam::channel::unbounded::<SolveResponse>();
+        if job_tx
+            .send(Job { request, ticket: Some(ticket), reply: Some(reply_tx) })
+            .is_err()
+        {
+            break; // workers gone: server is shutting down
+        }
+        match reply_rx.recv() {
+            Ok(response) => {
+                if write_response(&mut stream, &response).is_err() {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+/// Runs one job start to finish: fence, retry chain, journal, reply.
+fn process_job(inner: &Arc<Inner>, job: Job) {
+    let started = Instant::now();
+    let response = solve_request(inner, &job.request);
+    inner.sink.record("serve.solve_ms", started.elapsed().as_secs_f64() * 1e3);
+
+    if let Err(e) =
+        inner.journal_append(&JournalRecord::Completed { response: response.clone() })
+    {
+        eprintln!("usep-serve: journal append failed for '{}': {e}", response.id);
+    }
+    inner
+        .completed
+        .lock()
+        .unwrap_or_else(|p| p.into_inner())
+        .entry(response.id.clone())
+        .or_insert_with(|| response.clone());
+    if let Some(reply) = &job.reply {
+        let _ = reply.send(response);
+    }
+    drop(job.ticket); // release queue slot + ledger bytes
+
+    let done = inner.completions.fetch_add(1, Ordering::SeqCst) + 1;
+    if inner.cfg.max_requests.is_some_and(|max| done >= max) {
+        inner.initiate_shutdown();
+    }
+}
+
+fn describe_panic(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// The solve itself: budget capping, the fence, and the serve-level
+/// walk down the degradation chain with backoff between tiers.
+fn solve_request(inner: &Inner, request: &SolveRequest) -> SolveResponse {
+    let cfg = &inner.cfg;
+    let probe: &dyn Probe = &inner.sink;
+    let seq = inner.solves_started.fetch_add(1, Ordering::SeqCst) + 1;
+
+    let algorithm = request
+        .algorithm
+        .as_deref()
+        .and_then(Algorithm::parse)
+        .unwrap_or(cfg.default_algorithm);
+    let chain = GuardedSolver::degradation_chain(algorithm);
+
+    let total = Duration::from_millis(request.timeout_ms.unwrap_or(cfg.max_timeout_ms))
+        .min(Duration::from_millis(cfg.max_timeout_ms));
+    let ceiling = {
+        let requested = request.mem_budget_mb.map(|mb| (mb as usize).saturating_mul(1 << 20));
+        match (requested, cfg.max_mem_budget_bytes) {
+            (Some(r), Some(cap)) => Some(r.min(cap)),
+            (Some(r), None) => Some(r),
+            (None, cap) => cap,
+        }
+    };
+    let seed = seed_from_id(&request.id);
+    let start = Instant::now();
+
+    let mut retries: u64 = 0;
+    // best constraint-valid planning across tiers, by Ω
+    let mut best: Option<(Planning, Algorithm, f64)> = None;
+    let mut last_reason = TruncationReason::Deadline;
+
+    for (k, &tier) in chain.iter().enumerate() {
+        let is_last = k + 1 == chain.len();
+        let Some(remaining) = SolveBudget::unlimited()
+            .with_deadline(total)
+            .with_remaining_deadline(start.elapsed())
+        else {
+            last_reason = TruncationReason::Deadline;
+            break;
+        };
+        let mut budget = remaining;
+        if let Some(bytes) = ceiling {
+            budget = budget.with_memory_ceiling(bytes);
+        }
+        if let Some(at) = cfg.chaos_trip {
+            budget = budget.with_chaos_trip(at, TruncationReason::MemoryCeiling);
+        }
+        let guard = Guard::new(&budget);
+
+        if cfg.chaos_delay_ms > 0 {
+            std::thread::sleep(Duration::from_millis(cfg.chaos_delay_ms));
+        }
+
+        // The fence: a panic anywhere in the solver stack (including
+        // usep-par workers, which forward their payload here) becomes
+        // a typed response instead of a dead server.
+        let attempt = catch_unwind(AssertUnwindSafe(|| {
+            if cfg.chaos_panic_every.is_some_and(|n| n > 0 && seq.is_multiple_of(n)) {
+                panic!("chaos: injected panic (solve #{seq})");
+            }
+            solve_guarded(tier, &request.instance, &guard, probe)
+        }));
+
+        let solved = match attempt {
+            Ok(s) => s,
+            Err(payload) => {
+                inner.sink.count(Counter::ServePanic, 1);
+                return SolveResponse {
+                    retries,
+                    ..SolveResponse::bare(
+                        request.id.clone(),
+                        Status::Failed { panic: describe_panic(payload) },
+                    )
+                };
+            }
+        };
+
+        // A solver that returns an infeasible planning is a bug, not a
+        // client error; quarantine it like a panic.
+        if let Err(e) = solved.planning.validate(&request.instance) {
+            inner.sink.count(Counter::ServePanic, 1);
+            return SolveResponse {
+                retries,
+                ..SolveResponse::bare(
+                    request.id.clone(),
+                    Status::Failed { panic: format!("solver produced infeasible planning: {e}") },
+                )
+            };
+        }
+
+        let omega = solved.planning.omega(&request.instance);
+        if best.as_ref().is_none_or(|&(_, _, b)| omega > b) {
+            best = Some((solved.planning, tier, omega));
+        }
+
+        match solved.outcome {
+            SolveOutcome::Complete => {
+                let (planning, executed, omega) = best.expect("just inserted");
+                return SolveResponse {
+                    id: request.id.clone(),
+                    status: Status::Complete,
+                    omega,
+                    assignments: planning.num_assignments() as u64,
+                    executed: Some(executed.name().to_string()),
+                    retries,
+                    planning: Some(planning),
+                };
+            }
+            SolveOutcome::Truncated { reason: TruncationReason::MemoryCeiling } if !is_last => {
+                // one tier down, after a jittered, deadline-bounded wait
+                retries += 1;
+                inner.sink.count(Counter::ServeRetry, 1);
+                last_reason = TruncationReason::MemoryCeiling;
+                let delay = cfg.retry.delay(retries as u32, seed);
+                let left = total.saturating_sub(start.elapsed());
+                std::thread::sleep(delay.min(left));
+            }
+            SolveOutcome::Truncated { reason } => {
+                last_reason = reason;
+                break;
+            }
+        }
+    }
+
+    let (planning, executed, omega) = match best {
+        Some(b) => b,
+        None => (Planning::empty(&request.instance), *chain.last().expect("non-empty"), 0.0),
+    };
+    SolveResponse {
+        id: request.id.clone(),
+        status: Status::Truncated { reason: last_reason.name().to_string() },
+        omega,
+        assignments: planning.num_assignments() as u64,
+        executed: Some(executed.name().to_string()),
+        retries,
+        planning: Some(planning),
+    }
+}

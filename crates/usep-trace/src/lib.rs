@@ -71,11 +71,26 @@ pub enum Counter {
     GuardCancelTrip,
     /// GuardedSolver fell back one step along DeDP → DeDPO → RatioGreedy.
     GuardFallback,
+    /// Request admitted into the serve queue (journaled as accepted).
+    ServeAccept,
+    /// Request shed at admission (queue full or memory ledger refused).
+    ServeShed,
+    /// Serve-level retry: a memory-truncated attempt re-ran one tier
+    /// down the degradation chain after backoff.
+    ServeRetry,
+    /// Solve panicked and was contained by the request's unwind fence.
+    ServePanic,
+    /// Accepted-but-incomplete request re-enqueued from the journal at
+    /// server startup (`serve --resume`).
+    ServeResume,
+    /// Duplicate request id answered from the journaled completion
+    /// cache without re-solving.
+    ServeReplay,
 }
 
 impl Counter {
     /// Every counter, in registry order.
-    pub const ALL: [Counter; 15] = [
+    pub const ALL: [Counter; 21] = [
         Counter::HeapPush,
         Counter::HeapPop,
         Counter::HeapPopStale,
@@ -91,6 +106,12 @@ impl Counter {
         Counter::GuardMemoryTrip,
         Counter::GuardCancelTrip,
         Counter::GuardFallback,
+        Counter::ServeAccept,
+        Counter::ServeShed,
+        Counter::ServeRetry,
+        Counter::ServePanic,
+        Counter::ServeResume,
+        Counter::ServeReplay,
     ];
 
     /// The stable snake_case identifier used in traces and tables.
@@ -111,6 +132,12 @@ impl Counter {
             Counter::GuardMemoryTrip => "guard_memory_trip",
             Counter::GuardCancelTrip => "guard_cancel_trip",
             Counter::GuardFallback => "guard_fallback",
+            Counter::ServeAccept => "serve_accept",
+            Counter::ServeShed => "serve_shed",
+            Counter::ServeRetry => "serve_retry",
+            Counter::ServePanic => "serve_panic",
+            Counter::ServeResume => "serve_resume",
+            Counter::ServeReplay => "serve_replay",
         }
     }
 }
