@@ -1,0 +1,46 @@
+//! Soundness audit of the relaxation bounds against the exhaustive
+//! optimum: on 200 seeded small instances, `capacity_relaxed_bound`
+//! (and the budget relaxation) must always sit at or above `OPT`. A
+//! bound below the optimum would silently corrupt every "% of optimal"
+//! figure the experiments and the verification oracle report.
+
+use usep_algos::{bounds, exact};
+use usep_gen::{generate, SyntheticConfig};
+
+/// Float slack: both sides sum the same `f32` utilities as `f64`, so
+/// only association noise can separate them.
+const EPS: f64 = 1e-9;
+
+#[test]
+fn capacity_relaxed_bound_upper_bounds_exact_on_200_seeds() {
+    let mut checked = 0;
+    for seed in 0..200u64 {
+        // rotate through small shapes (all within the exact solver's
+        // caps), including full-conflict instances where the capacity
+        // relaxation is loosest
+        let cfg = match seed % 4 {
+            0 => SyntheticConfig::tiny().with_events(4).with_users(3).with_capacity_mean(2),
+            1 => SyntheticConfig::tiny().with_events(5).with_users(4).with_capacity_mean(2),
+            2 => SyntheticConfig::tiny().with_events(6).with_users(5).with_capacity_mean(3),
+            _ => SyntheticConfig::tiny()
+                .with_events(6)
+                .with_users(4)
+                .with_capacity_mean(1)
+                .with_conflict_ratio(1.0),
+        };
+        let inst = generate(&cfg, seed);
+        let (_, opt) = exact::optimal_planning(&inst);
+        let cap = bounds::capacity_relaxed_bound(&inst);
+        assert!(
+            cap >= opt - EPS,
+            "seed {seed}: capacity-relaxed bound {cap} below OPT {opt}"
+        );
+        let bud = bounds::budget_relaxed_bound(&inst);
+        assert!(
+            bud >= opt - EPS,
+            "seed {seed}: budget-relaxed bound {bud} below OPT {opt}"
+        );
+        checked += 1;
+    }
+    assert_eq!(checked, 200);
+}

@@ -12,11 +12,12 @@
 use proptest::prelude::*;
 use std::sync::Mutex;
 use usep_algos::{
-    bounds, local_search, solve, solve_guarded, Algorithm, Guard, SolveBudget, TruncationReason,
+    bounds, local_search, solve, solve_guarded, Algorithm, Guard, GuardedSolver, SolveBudget,
+    TruncationReason,
 };
 use usep_core::{Instance, Planning};
 use usep_gen::{generate, SyntheticConfig};
-use usep_trace::NOOP;
+use usep_trace::{TraceSink, NOOP};
 
 static THREADS_LOCK: Mutex<()> = Mutex::new(());
 
@@ -93,6 +94,35 @@ fn bounds_bit_identical_across_thread_counts() {
                 "seed {seed}: bound {par} != {seq} at {threads} threads"
             );
         }
+    }
+}
+
+/// Fifty seeded instances through the guarded solve path: the planning
+/// AND the complete trace-counter snapshot must be identical at 1 and 4
+/// threads. Counters catch divergence that equal plannings can mask —
+/// e.g. a parallel section doing different work per thread count but
+/// converging on the same output by luck.
+#[test]
+fn guarded_plannings_and_counter_snapshots_identical_1_vs_4_threads() {
+    let _g = THREADS_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+    for seed in 0..50u64 {
+        // cycle through all six solvers across the seed sweep
+        let algo = Algorithm::PAPER_SET[(seed % Algorithm::PAPER_SET.len() as u64) as usize];
+        let inst = large_instance(100 + seed);
+        let run = |threads: usize| {
+            at_threads(threads, || {
+                let sink = TraceSink::new();
+                let report =
+                    GuardedSolver::new(algo, SolveBudget::unlimited()).solve_with_probe(&inst, &sink);
+                (report.planning, report.executed, report.fallbacks, sink.counters())
+            })
+        };
+        let (p1, e1, f1, c1) = run(1);
+        let (p4, e4, f4, c4) = run(4);
+        assert_eq!(p1, p4, "{algo} seed {seed}: planning differs at 4 threads");
+        assert_eq!(e1, e4, "{algo} seed {seed}: executed tier differs");
+        assert_eq!(f1, f4, "{algo} seed {seed}: fallback trail differs");
+        assert_eq!(c1, c4, "{algo} seed {seed}: trace-counter snapshot differs");
     }
 }
 

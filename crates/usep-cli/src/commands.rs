@@ -6,7 +6,8 @@ use std::time::Duration;
 use usep_algos::{bounds, local_search, Algorithm, GuardedSolver, SolveBudget};
 use usep_core::{Instance, Planning, PlanningStats};
 use usep_gen::{generate, generate_city, CityConfig, Spread, SyntheticConfig, UtilityDistribution};
-use usep_trace::{Probe, TraceSink, NOOP};
+use usep_oracle::FuzzConfig;
+use usep_trace::{Counter, Probe, TraceSink, NOOP};
 
 /// Exit code for a solve that hit its budget and returned a truncated
 /// (but constraint-valid) planning. Distinct from 0 (complete) and
@@ -25,6 +26,14 @@ SUBCOMMANDS:
               worker threads — results are bit-identical at any count)
     stats     print instance / planning statistics
     validate  check a planning against all four USEP constraints
+    verify    run the independent verification oracle: every solver, the
+              guarded chain and the serve path differentially checked
+              against a from-scratch validator, exact optima (small
+              instances) and relaxation bounds, plus the metamorphic
+              suite (--instance FILE for one instance, or --fuzz N
+              --seed S for a seeded campaign; --repro-out FILE writes a
+              minimized JSON repro of the first violation; exits 0 only
+              when no violations were found)
     bound     print upper bounds on the optimal Ω (and the gap of a plan)
     convert   convert an instance between JSON and the compact binary format
     plan-user print the DP-optimal personal itinerary for one user
@@ -63,6 +72,7 @@ pub fn dispatch(argv: &[String]) -> Result<u8, String> {
         "solve" => cmd_solve(&flags),
         "stats" => cmd_stats(&flags).map(|()| 0),
         "validate" => cmd_validate(&flags).map(|()| 0),
+        "verify" => cmd_verify(&flags).map(|()| 0),
         "bound" => cmd_bound(&flags).map(|()| 0),
         "convert" => cmd_convert(&flags).map(|()| 0),
         "plan-user" => cmd_plan_user(&flags).map(|()| 0),
@@ -354,6 +364,80 @@ fn cmd_validate(flags: &Flags) -> Result<(), String> {
         }
         Err(e) => Err(format!("planning violates constraints: {e}")),
     }
+}
+
+/// `usep verify`: the independent verification oracle, over one
+/// instance file or a seeded fuzz campaign. Violations are printed as
+/// JSON findings (one per line) and turn the exit code non-zero, so a
+/// CI job is just `usep verify --fuzz 500 --seed 42`.
+fn cmd_verify(flags: &Flags) -> Result<(), String> {
+    let instance_path = flags.get("instance");
+    let fuzz_count = flags.get("fuzz").map(|s| s.parse::<u64>()).transpose()
+        .map_err(|e| format!("bad --fuzz: {e}"))?;
+    let seed = flags.get_or("seed", 42u64)?;
+    let metamorphic_every = flags.get_or("metamorphic-every", 5u64)?;
+    let repro_out = flags.get("repro-out");
+    flags.reject_unknown()?;
+    let sink = TraceSink::new();
+
+    let (label, findings, repro) = match (instance_path, fuzz_count) {
+        (Some(path), None) => {
+            let inst = load_instance_path(&path)?;
+            let mut findings = usep_oracle::verify_instance(&inst, &sink);
+            findings.extend(usep_oracle::run_metamorphic(&inst, seed, &sink));
+            // only minimize when there is something to reproduce
+            let repro = if findings.is_empty() {
+                None
+            } else {
+                let minimal = usep_oracle::minimize(
+                    &inst,
+                    |i| !usep_oracle::verify_instance(i, &NOOP).is_empty(),
+                    &sink,
+                );
+                serde_json::to_string(&minimal).ok()
+            };
+            let findings = findings
+                .into_iter()
+                .map(|f| serde_json::to_string(&f).map_err(|e| e.to_string()))
+                .collect::<Result<Vec<_>, _>>()?;
+            (path, findings, repro)
+        }
+        (None, Some(count)) => {
+            let report =
+                usep_oracle::run_fuzz(&FuzzConfig { count, seed, metamorphic_every }, &sink);
+            eprintln!(
+                "fuzz: {} instances verified, {} through the metamorphic suite",
+                report.instances, report.metamorphic_runs
+            );
+            let findings = report
+                .findings
+                .iter()
+                .map(|f| {
+                    serde_json::to_string(&f.finding)
+                        .map(|j| format!("instance #{} (seed {}): {j}", f.index, f.instance_seed))
+                        .map_err(|e| e.to_string())
+                })
+                .collect::<Result<Vec<_>, _>>()?;
+            (format!("fuzz --seed {seed}"), findings, report.repro)
+        }
+        _ => return Err("verify needs exactly one of --instance FILE or --fuzz N".into()),
+    };
+
+    let checks = sink.counter(Counter::OracleCheck);
+    if findings.is_empty() {
+        println!("{label}: verified clean — {checks} oracle checks, 0 violations");
+        return Ok(());
+    }
+    for f in &findings {
+        println!("{f}");
+    }
+    if let Some(json) = repro {
+        if let Some(out) = repro_out {
+            std::fs::write(&out, json).map_err(|e| format!("write {out}: {e}"))?;
+            eprintln!("wrote minimized repro {out}");
+        }
+    }
+    Err(format!("{label}: {} violation(s) found after {checks} oracle checks", findings.len()))
 }
 
 fn cmd_bound(flags: &Flags) -> Result<(), String> {
@@ -711,6 +795,34 @@ mod tests {
         let e = dispatch(&argv(&["solve", "--instance", bad.to_str().unwrap()])).unwrap_err();
         assert!(e.contains("invalid instance"), "{e}");
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn verify_single_instance_reports_clean() {
+        let dir = std::env::temp_dir().join(format!("usep_cli_ver_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let inst = dir.join("inst.json");
+        let inst_s = inst.to_str().unwrap();
+        dispatch(&argv(&[
+            "gen", "--events", "5", "--users", "4", "--capacity-mean", "2", "--seed", "3",
+            "--out", inst_s,
+        ]))
+        .unwrap();
+        assert_eq!(dispatch(&argv(&["verify", "--instance", inst_s])).unwrap(), 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn verify_fuzz_campaign_reports_clean() {
+        assert_eq!(dispatch(&argv(&["verify", "--fuzz", "8", "--seed", "42"])).unwrap(), 0);
+    }
+
+    #[test]
+    fn verify_requires_exactly_one_mode() {
+        let e = dispatch(&argv(&["verify"])).unwrap_err();
+        assert!(e.contains("exactly one"), "{e}");
+        let e = dispatch(&argv(&["verify", "--fuzz", "2", "--instance", "x.json"])).unwrap_err();
+        assert!(e.contains("exactly one"), "{e}");
     }
 
     #[test]

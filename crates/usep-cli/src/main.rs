@@ -10,6 +10,8 @@
 //!            [--timeout-ms N] [--mem-budget-mb N] [--threads N]
 //! usep stats --instance instance.json [--plan plan.json]
 //! usep validate --instance instance.json --plan plan.json
+//! usep verify [--instance instance.json | --fuzz 500] [--seed 42]
+//!             [--metamorphic-every 5] [--repro-out repro.json]
 //! usep bound --instance instance.json [--plan plan.json] [--threads N]
 //! usep serve --addr 127.0.0.1:7878 [--workers N] [--queue N]
 //!            [--journal wal.jsonl] [--resume true] [--max-requests N]

@@ -180,6 +180,16 @@ impl Instance {
         }
     }
 
+    /// The raw participation-fee vector (Remark 2): one entry per event,
+    /// or empty when every fee is zero. Oracle-facing accessor — external
+    /// validators and instance transforms rebuild instances from this
+    /// plus [`Instance::events`]/[`Instance::users`]/[`Instance::mu_row`]
+    /// and [`Instance::travel`].
+    #[inline]
+    pub fn fees(&self) -> &[u32] {
+        &self.fees
+    }
+
     /// The participation fee of event `v` (Remark 2; 0 by default).
     #[inline]
     pub fn fee(&self, v: EventId) -> u32 {

@@ -67,6 +67,20 @@ impl Schedule {
         Schedule { events }
     }
 
+    /// Builds a schedule from a raw event list with **no invariant
+    /// checks** — the events are taken verbatim, whatever their order,
+    /// overlaps or duplicates.
+    ///
+    /// This is an oracle-facing constructor: external validators and
+    /// corruption harnesses (see the `usep-oracle` crate) need to
+    /// materialize deliberately *broken* schedules to prove that the
+    /// auditors catch them. It must never be used by a solver; feasible
+    /// construction goes through [`Schedule::try_insert`] or
+    /// [`Schedule::from_time_ordered`].
+    pub fn from_events_unchecked(events: Vec<EventId>) -> Schedule {
+        Schedule { events }
+    }
+
     /// Number of arranged events.
     #[inline]
     pub fn len(&self) -> usize {

@@ -36,8 +36,64 @@ fn arb_instance(max_v: usize, max_u: usize) -> impl Strategy<Value = Instance> {
         })
 }
 
+/// From-scratch round-trip cost of a grid schedule: home → first event,
+/// consecutive event legs, last event → home, all as raw Manhattan
+/// distances plus per-event fees on the inbound leg (Remark 2).
+/// Deliberately shares nothing with `Schedule::total_cost`'s Eq.-3
+/// bookkeeping — this is the independent recomputation the incremental
+/// path is audited against.
+fn raw_round_trip(inst: &Instance, u: UserId, events: &[EventId]) -> u64 {
+    let (Some(&first), Some(&last)) = (events.first(), events.last()) else {
+        return 0;
+    };
+    let home = inst.user(u).location;
+    let fee = |v: EventId| inst.fees().get(v.index()).copied().unwrap_or(0) as u64;
+    let mut total = home.manhattan(inst.event(first).location) + fee(first);
+    for w in events.windows(2) {
+        total += inst.event(w[0]).location.manhattan(inst.event(w[1]).location) + fee(w[1]);
+    }
+    total + inst.event(last).location.manhattan(home)
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// After every feasible insertion — under time-ascending (pure tail),
+    /// time-descending (pure head) and shuffled insertion orders — the
+    /// incrementally maintained total cost equals the from-scratch
+    /// round-trip recomputation. This pins Eq. 3's bookkeeping to ground
+    /// truth rather than to its own delta.
+    #[test]
+    fn incremental_cost_matches_from_scratch_roundtrip(
+        inst in arb_instance(8, 3),
+        order in 0u8..3,
+        shuffle in any::<u64>(),
+    ) {
+        let u = UserId(0);
+        let mut evs: Vec<EventId> = inst.event_ids().collect();
+        match order {
+            // ascending start times: every insertion lands at the tail
+            0 => evs.sort_by_key(|&v| inst.event(v).time.start()),
+            // descending start times: every insertion lands at the head
+            1 => evs.sort_by_key(|&v| std::cmp::Reverse(inst.event(v).time.start())),
+            _ => {
+                let mut seed = shuffle | 1;
+                for i in (1..evs.len()).rev() {
+                    seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    evs.swap(i, (seed >> 33) as usize % (i + 1));
+                }
+            }
+        }
+        let mut s = Schedule::new();
+        for v in evs {
+            if s.try_insert(&inst, u, v).is_ok() {
+                let expected = raw_round_trip(&inst, u, s.events());
+                let got = s.total_cost(&inst, u);
+                prop_assert!(got.is_finite());
+                prop_assert_eq!(u64::from(got.value()), expected);
+            }
+        }
+    }
 
     /// inc_cost (Eq. 3) is exactly the total-cost delta of the insertion,
     /// for every feasible insertion in any order.

@@ -1,0 +1,186 @@
+//! Deliberate planning corruption — the oracle's negative controls.
+//!
+//! A validator that never fires is indistinguishable from a validator
+//! that checks nothing, so the test suite (and `usep verify`'s
+//! self-test) corrupts known-good plannings in targeted ways and
+//! asserts the oracle reports the matching typed violation. These
+//! helpers are the only intended users of
+//! [`Schedule::from_events_unchecked`].
+
+use usep_core::{EventId, Instance, Planning, Schedule, UserId};
+
+/// The corruption repertoire. Each variant breaks exactly one class of
+/// invariant (though collateral violations may follow — e.g. an
+/// overload can also blow a budget).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Corruption {
+    /// Duplicate the first assignment of some user.
+    DuplicateAssignment,
+    /// Reverse a multi-event schedule, breaking time order.
+    ReverseSchedule,
+    /// Assign one event to more users than its capacity.
+    OverloadEvent,
+    /// Append an event the user has zero utility for.
+    ZeroUtilityAssignment,
+}
+
+impl Corruption {
+    /// All corruption kinds.
+    pub const ALL: [Corruption; 4] = [
+        Corruption::DuplicateAssignment,
+        Corruption::ReverseSchedule,
+        Corruption::OverloadEvent,
+        Corruption::ZeroUtilityAssignment,
+    ];
+}
+
+/// Applies `kind` to a copy of `planning`, returning `None` when the
+/// planning has no site for that corruption (e.g. no user with a
+/// multi-event schedule to reverse).
+pub fn corrupt(inst: &Instance, planning: &Planning, kind: Corruption) -> Option<Planning> {
+    let mut schedules: Vec<Vec<EventId>> =
+        planning.schedules().iter().map(|s| s.events().to_vec()).collect();
+    match kind {
+        Corruption::DuplicateAssignment => {
+            let (u, v) = schedules
+                .iter()
+                .enumerate()
+                .find_map(|(u, s)| s.first().map(|&v| (u, v)))?;
+            schedules[u].push(v);
+        }
+        Corruption::ReverseSchedule => {
+            let u = schedules.iter().position(|s| s.len() >= 2)?;
+            schedules[u].reverse();
+        }
+        Corruption::OverloadEvent => {
+            // pick the event whose capacity is easiest to exceed, then
+            // append it to enough schedules that don't already hold it
+            let (v, cap) = inst
+                .event_ids()
+                .map(|v| (v, inst.event(v).capacity))
+                .min_by_key(|&(_, c)| c)?;
+            let mut load: u32 =
+                schedules.iter().filter(|s| s.contains(&v)).count() as u32;
+            for s in schedules.iter_mut() {
+                if load > cap {
+                    break;
+                }
+                if !s.contains(&v) {
+                    s.push(v);
+                    load += 1;
+                }
+            }
+            if load <= cap {
+                return None; // not enough users to overload any event
+            }
+        }
+        Corruption::ZeroUtilityAssignment => {
+            let mut site = None;
+            'outer: for u in inst.user_ids() {
+                for v in inst.event_ids() {
+                    if inst.mu(v, u) <= 0.0 && !schedules[u.index()].contains(&v) {
+                        site = Some((u, v));
+                        break 'outer;
+                    }
+                }
+            }
+            let (u, v) = site?;
+            schedules[u.index()].push(v);
+        }
+    }
+    Some(Planning::from_schedules(
+        inst,
+        schedules.into_iter().map(Schedule::from_events_unchecked).collect(),
+    ))
+}
+
+/// Appends `v` to `u`'s schedule with no checks at all — the raw
+/// corruption primitive for tests that need full control.
+pub fn assign_unchecked(inst: &Instance, planning: &Planning, u: UserId, v: EventId) -> Planning {
+    let schedules = planning
+        .schedules()
+        .iter()
+        .enumerate()
+        .map(|(i, s)| {
+            let mut events = s.events().to_vec();
+            if i == u.index() {
+                events.push(v);
+            }
+            Schedule::from_events_unchecked(events)
+        })
+        .collect();
+    Planning::from_schedules(inst, schedules)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::check_planning;
+    use crate::report::Violation;
+    use usep_algos::{solve, Algorithm};
+    use usep_gen::{generate, SyntheticConfig};
+    use usep_trace::NOOP;
+
+    fn setup() -> (Instance, Planning) {
+        let inst = generate(&SyntheticConfig::tiny(), 11);
+        let planning = solve(Algorithm::DeDPO, &inst);
+        assert!(planning.num_assignments() > 0, "seed must yield a non-empty planning");
+        (inst, planning)
+    }
+
+    #[test]
+    fn duplicate_corruption_caught() {
+        let (inst, p) = setup();
+        let bad = corrupt(&inst, &p, Corruption::DuplicateAssignment).unwrap();
+        let report = check_planning(&inst, &bad, &NOOP);
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::DuplicateAssignment { .. })));
+    }
+
+    #[test]
+    fn reverse_corruption_caught() {
+        let (inst, p) = setup();
+        if let Some(bad) = corrupt(&inst, &p, Corruption::ReverseSchedule) {
+            let report = check_planning(&inst, &bad, &NOOP);
+            assert!(report.violations.iter().any(|v| matches!(
+                v,
+                Violation::OrderInfeasible { .. } | Violation::UnreachableLeg { .. }
+            )));
+        }
+    }
+
+    #[test]
+    fn overload_corruption_caught() {
+        let (inst, p) = setup();
+        let bad = corrupt(&inst, &p, Corruption::OverloadEvent).unwrap();
+        let report = check_planning(&inst, &bad, &NOOP);
+        assert!(report.violations.iter().any(|v| matches!(v, Violation::Capacity { .. })));
+    }
+
+    #[test]
+    fn zero_utility_corruption_caught() {
+        let (inst, p) = setup();
+        if let Some(bad) = corrupt(&inst, &p, Corruption::ZeroUtilityAssignment) {
+            let report = check_planning(&inst, &bad, &NOOP);
+            assert!(report
+                .violations
+                .iter()
+                .any(|v| matches!(v, Violation::ZeroUtility { .. })));
+        }
+    }
+
+    #[test]
+    fn assign_unchecked_touches_only_the_target_user() {
+        let (inst, p) = setup();
+        let bad = assign_unchecked(&inst, &p, UserId(0), EventId(0));
+        assert_eq!(
+            bad.schedule(UserId(0)).len(),
+            p.schedule(UserId(0)).len() + 1
+        );
+        for u in inst.user_ids().skip(1) {
+            assert_eq!(bad.schedule(u), p.schedule(u));
+        }
+    }
+}

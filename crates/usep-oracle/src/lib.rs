@@ -1,0 +1,57 @@
+//! # usep-oracle — independent verification for the USEP solvers
+//!
+//! A from-scratch checking subsystem that trusts nothing the solvers
+//! computed. The crate has four parts:
+//!
+//! * [`oracle`] — an **independent constraint validator**. It recomputes
+//!   reachability, travel costs, fees and `Ω` from the instance's raw
+//!   data (locations, time intervals, utility matrix, explicit cost
+//!   matrices) and shares *no code* with `usep-core`'s incremental-cost
+//!   (Eq. 3) machinery: it never calls `Schedule::inc_cost`,
+//!   `Schedule::total_cost`, `Planning::validate`, `Planning::omega`, or
+//!   any `Instance::cost_*` accessor. A bug in the production cost path
+//!   therefore cannot hide itself from the oracle.
+//! * [`differential`] — runs all six paper solvers, the
+//!   `GuardedSolver` chain and the serve retry path on one instance,
+//!   oracle-checks every planning, cross-checks each reported `Ω`
+//!   against independent recomputation, and audits quality against the
+//!   exhaustive optimum (small instances: `Ω ≤ OPT`, and Theorem 3's
+//!   `Ω ≥ ½·OPT` for DeDP/DeDPO) or the capacity-relaxed upper bound.
+//! * [`metamorphic`] — six relations (event/user permutation,
+//!   μ-scaling, capacity/budget monotonicity, single-user removal) that
+//!   hold without knowing the right answer.
+//! * [`mod@minimize`] + [`fuzz`] — seeded instance streams feeding the
+//!   above, with greedy shrinking of any violating instance to a
+//!   minimal JSON repro.
+//!
+//! Everything is deterministic in the seed, and every check emits
+//! `oracle_*` trace counters through the standard [`usep_trace::Probe`]
+//! interface.
+//!
+//! ```
+//! use usep_oracle::{run_fuzz, FuzzConfig};
+//! use usep_trace::NOOP;
+//!
+//! let report = run_fuzz(&FuzzConfig { count: 4, seed: 42, metamorphic_every: 2 }, &NOOP);
+//! assert!(report.is_clean());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod corrupt;
+pub mod differential;
+pub mod fuzz;
+pub mod metamorphic;
+pub mod minimize;
+pub mod oracle;
+pub mod report;
+pub mod transform;
+
+pub use corrupt::{assign_unchecked, corrupt, Corruption};
+pub use differential::{exact_applies, verify_instance};
+pub use fuzz::{run_fuzz, FuzzConfig, FuzzFinding, FuzzReport};
+pub use metamorphic::run_metamorphic;
+pub use minimize::minimize;
+pub use oracle::{check_planning, check_planning_with_omega};
+pub use report::{Finding, OracleReport, Violation};

@@ -1,0 +1,344 @@
+//! The metamorphic suite.
+//!
+//! Relations that must hold between a solver's outputs on an instance
+//! and on a transformed copy of it, checked without knowing the right
+//! answer for either:
+//!
+//! 1. **`event_permutation`** — relabeling events must not let a solver
+//!    emit an invalid planning; mapped back to the original labels, the
+//!    planning must pass the oracle. On small instances (see
+//!    [`META_EXACT_EVENT_CAP`]) the exhaustive optimum must be exactly
+//!    invariant.
+//! 2. **`user_permutation`** — the same for user relabeling.
+//! 3. **`mu_scaling`** — multiplying every utility by `0.5` (exact in
+//!    floating point) must leave every solver's planning byte-identical
+//!    and exactly halve its `Ω`.
+//! 4. **`capacity_monotonicity`** — raising every capacity can only
+//!    loosen the instance: outputs stay oracle-valid and (on small
+//!    instances) the optimum cannot decrease.
+//! 5. **`budget_monotonicity`** — the same for raising every budget.
+//! 6. **`user_removal`** — deleting one user keeps outputs oracle-valid
+//!    and (on small instances) the optimum cannot increase.
+//!
+//! Heuristic plannings are *not* required to be invariant under
+//! permutation — the solvers break ties by index, so relabeling can
+//! legitimately flip which of two equal-ratio assignments wins. Only
+//! validity (always) and the exhaustive optimum (small instances) are
+//! label-free.
+
+use crate::oracle::check_planning;
+use crate::report::{Finding, Violation};
+use crate::transform::{
+    bump_budgets, bump_capacities, drop_user, permute_events, permute_users, scale_mu,
+    seeded_permutation,
+};
+use usep_algos::{exact, solve, Algorithm};
+use usep_core::{EventId, Instance, Planning, Schedule, UserId};
+use usep_trace::Probe;
+
+/// Absolute slack for comparisons of exhaustive optima, which are
+/// computed twice through identical arithmetic.
+const EXACT_EPS: f64 = 1e-9;
+
+/// Size caps for the exhaustive-optimum invariance checks. Tighter than
+/// the differential engine's caps because one metamorphic run needs up
+/// to six exhaustive solves (base + five transformed instances), and
+/// the capacity/budget bumps loosen the instance, inflating the search
+/// space further. Validity checks run at every size regardless.
+pub const META_EXACT_EVENT_CAP: usize = 6;
+/// See [`META_EXACT_EVENT_CAP`].
+pub const META_EXACT_USER_CAP: usize = 5;
+
+/// Relative slack for the `Ω`-halving check (`0.5` scaling is exact, so
+/// this only absorbs the sum's re-association — in practice zero).
+const SCALE_EPS: f64 = 1e-12;
+
+fn map_events_back(inst: &Instance, p: &Planning, perm: &[usize]) -> Planning {
+    let schedules = p
+        .schedules()
+        .iter()
+        .map(|s| {
+            Schedule::from_events_unchecked(
+                s.events().iter().map(|v| EventId(perm[v.index()] as u32)).collect(),
+            )
+        })
+        .collect();
+    Planning::from_schedules(inst, schedules)
+}
+
+fn map_users_back(inst: &Instance, p: &Planning, perm: &[usize]) -> Planning {
+    let mut events: Vec<Vec<EventId>> = vec![Vec::new(); perm.len()];
+    for (new, s) in p.schedules().iter().enumerate() {
+        events[perm[new]] = s.events().to_vec();
+    }
+    Planning::from_schedules(
+        inst,
+        events.into_iter().map(Schedule::from_events_unchecked).collect(),
+    )
+}
+
+fn same_schedules(a: &Planning, b: &Planning) -> bool {
+    a.schedules().len() == b.schedules().len()
+        && a.schedules()
+            .iter()
+            .zip(b.schedules())
+            .all(|(x, y)| x.events() == y.events())
+}
+
+/// Oracle-checks `planning` against `inst` and records any violations
+/// under `label` (solver name plus relation).
+fn check_into(
+    inst: &Instance,
+    planning: &Planning,
+    label: String,
+    probe: &dyn Probe,
+    findings: &mut Vec<Finding>,
+) {
+    let report = check_planning(inst, planning, probe);
+    findings.extend(report.violations.into_iter().map(|violation| Finding {
+        algorithm: label.clone(),
+        violation,
+    }));
+}
+
+fn broken(relation: &str, detail: String) -> Finding {
+    Finding {
+        algorithm: relation.to_string(),
+        violation: Violation::MetamorphicBroken { relation: relation.to_string(), detail },
+    }
+}
+
+/// Records a [`Violation::MetamorphicBroken`] with both optima and the
+/// violated `law` unless `ok` holds.
+fn check_opt(
+    relation: &str,
+    base: f64,
+    transformed: f64,
+    ok: bool,
+    law: &str,
+    findings: &mut Vec<Finding>,
+) {
+    if !ok {
+        findings.push(broken(
+            relation,
+            format!("expected {law}: base OPT = {base}, transformed OPT = {transformed}"),
+        ));
+    }
+}
+
+/// Runs all six metamorphic relations on `inst` for every paper solver
+/// and returns the violations found (empty means all relations held).
+pub fn run_metamorphic(inst: &Instance, seed: u64, probe: &dyn Probe) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let small =
+        inst.num_events() <= META_EXACT_EVENT_CAP && inst.num_users() <= META_EXACT_USER_CAP;
+    let base_opt = if small { Some(exact::optimal_planning(inst).1) } else { None };
+
+    // 1. event permutation
+    let perm = seeded_permutation(inst.num_events(), seed);
+    if let Some(pinst) = permute_events(inst, &perm) {
+        for alg in Algorithm::PAPER_SET {
+            let p = solve(alg, &pinst);
+            let mapped = map_events_back(inst, &p, &perm);
+            check_into(
+                inst,
+                &mapped,
+                format!("{}@event_permutation", alg.name()),
+                probe,
+                &mut findings,
+            );
+        }
+        if let Some(opt) = base_opt {
+            let opt2 = exact::optimal_planning(&pinst).1;
+            check_opt(
+                "event_permutation",
+                opt,
+                opt2,
+                (opt2 - opt).abs() <= EXACT_EPS,
+                "OPT invariant under event relabeling",
+                &mut findings,
+            );
+        }
+    } else {
+        findings.push(broken("event_permutation", "permuted instance failed to rebuild".into()));
+    }
+
+    // 2. user permutation
+    let perm = seeded_permutation(inst.num_users(), seed.wrapping_add(1));
+    if let Some(pinst) = permute_users(inst, &perm) {
+        for alg in Algorithm::PAPER_SET {
+            let p = solve(alg, &pinst);
+            let mapped = map_users_back(inst, &p, &perm);
+            check_into(
+                inst,
+                &mapped,
+                format!("{}@user_permutation", alg.name()),
+                probe,
+                &mut findings,
+            );
+        }
+        if let Some(opt) = base_opt {
+            let opt2 = exact::optimal_planning(&pinst).1;
+            check_opt(
+                "user_permutation",
+                opt,
+                opt2,
+                (opt2 - opt).abs() <= EXACT_EPS,
+                "OPT invariant under user relabeling",
+                &mut findings,
+            );
+        }
+    } else {
+        findings.push(broken("user_permutation", "permuted instance failed to rebuild".into()));
+    }
+
+    // 3. μ-scaling by 0.5
+    if let Some(sinst) = scale_mu(inst, 0.5) {
+        for alg in Algorithm::PAPER_SET {
+            let p1 = solve(alg, inst);
+            let p2 = solve(alg, &sinst);
+            if !same_schedules(&p1, &p2) {
+                findings.push(broken(
+                    "mu_scaling",
+                    format!("{}: planning changed under exact 0.5 scaling", alg.name()),
+                ));
+                continue;
+            }
+            let o1 = check_planning(inst, &p1, probe).omega;
+            let o2 = check_planning(&sinst, &p2, probe).omega;
+            if (o2 - 0.5 * o1).abs() > SCALE_EPS * o1.abs().max(1.0) {
+                findings.push(broken(
+                    "mu_scaling",
+                    format!("{}: omega {o1} scaled to {o2}, expected {}", alg.name(), 0.5 * o1),
+                ));
+            }
+        }
+    } else {
+        findings.push(broken("mu_scaling", "scaled instance failed to rebuild".into()));
+    }
+
+    // 4. capacity monotonicity
+    if let Some(binst) = bump_capacities(inst, 1) {
+        for alg in Algorithm::PAPER_SET {
+            let p = solve(alg, &binst);
+            check_into(
+                &binst,
+                &p,
+                format!("{}@capacity_monotonicity", alg.name()),
+                probe,
+                &mut findings,
+            );
+        }
+        if let Some(opt) = base_opt {
+            let opt2 = exact::optimal_planning(&binst).1;
+            check_opt(
+                "capacity_monotonicity",
+                opt,
+                opt2,
+                opt2 >= opt - EXACT_EPS,
+                "OPT non-decreasing when capacities grow",
+                &mut findings,
+            );
+        }
+    }
+
+    // 5. budget monotonicity
+    if let Some(binst) = bump_budgets(inst, 10) {
+        for alg in Algorithm::PAPER_SET {
+            let p = solve(alg, &binst);
+            check_into(
+                &binst,
+                &p,
+                format!("{}@budget_monotonicity", alg.name()),
+                probe,
+                &mut findings,
+            );
+        }
+        if let Some(opt) = base_opt {
+            let opt2 = exact::optimal_planning(&binst).1;
+            check_opt(
+                "budget_monotonicity",
+                opt,
+                opt2,
+                opt2 >= opt - EXACT_EPS,
+                "OPT non-decreasing when budgets grow",
+                &mut findings,
+            );
+        }
+    }
+
+    // 6. single-user removal
+    if inst.num_users() >= 2 {
+        let last = UserId((inst.num_users() - 1) as u32);
+        if let Some(dinst) = drop_user(inst, last) {
+            for alg in Algorithm::PAPER_SET {
+                let p = solve(alg, &dinst);
+                check_into(
+                    &dinst,
+                    &p,
+                    format!("{}@user_removal", alg.name()),
+                    probe,
+                    &mut findings,
+                );
+            }
+            if let Some(opt) = base_opt {
+                let opt2 = exact::optimal_planning(&dinst).1;
+                check_opt(
+                    "user_removal",
+                    opt,
+                    opt2,
+                    opt2 <= opt + EXACT_EPS,
+                    "OPT non-increasing when a user is removed",
+                    &mut findings,
+                );
+            }
+        }
+    }
+
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use usep_gen::{generate, SyntheticConfig};
+    use usep_trace::NOOP;
+
+    #[test]
+    fn relations_hold_on_small_instances_with_exact_audit() {
+        let cfg = SyntheticConfig::tiny().with_events(5).with_users(4).with_capacity_mean(2);
+        for seed in 0..5 {
+            let inst = generate(&cfg, seed);
+            let findings = run_metamorphic(&inst, seed ^ 0xd1ce, &NOOP);
+            assert!(findings.is_empty(), "seed {seed}: {findings:?}");
+        }
+    }
+
+    #[test]
+    fn relations_hold_on_medium_instances() {
+        let cfg = SyntheticConfig::tiny().with_events(12).with_users(20).with_capacity_mean(4);
+        let inst = generate(&cfg, 17);
+        let findings = run_metamorphic(&inst, 17, &NOOP);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn mapped_back_permutation_planning_matches_original_omega_domain() {
+        // sanity for the mapping helpers themselves: mapping a planning
+        // back must preserve the multiset of (user, event-label) pairs
+        let cfg = SyntheticConfig::tiny().with_events(6).with_users(5).with_capacity_mean(2);
+        let inst = generate(&cfg, 2);
+        let perm = seeded_permutation(inst.num_events(), 9);
+        let pinst = permute_events(&inst, &perm).unwrap();
+        let p = solve(Algorithm::DeDPO, &pinst);
+        let mapped = map_events_back(&inst, &p, &perm);
+        assert_eq!(mapped.num_assignments(), p.num_assignments());
+        // every mapped assignment points at the event with identical data
+        for (u, s) in p.schedules().iter().enumerate() {
+            for (k, v) in s.events().iter().enumerate() {
+                let back = mapped.schedules()[u].events()[k];
+                assert_eq!(inst.event(back), pinst.event(*v));
+            }
+        }
+    }
+}

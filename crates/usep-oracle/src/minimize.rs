@@ -1,0 +1,147 @@
+//! Greedy failure minimization.
+//!
+//! Given a violating instance and a predicate that re-checks it, shrink
+//! the instance as far as possible while the predicate keeps failing:
+//! drop events, drop users, halve capacities, halve budgets. Each
+//! accepted shrink restarts the scan; the round repeats until a whole
+//! pass produces no accepted shrink (a greedy fixpoint, the classic
+//! delta-debugging ddmin simplification). The result is the smallest
+//! instance this greedy walk can reach — typically a handful of events
+//! and users — ready to serialize as a repro.
+
+use crate::transform::{drop_event, drop_user, halve_budget, halve_capacity};
+use usep_core::{EventId, Instance, UserId};
+use usep_trace::{Counter, Probe};
+
+/// Hard cap on shrink attempts, so a pathological predicate (e.g. one
+/// that re-runs an expensive differential check) cannot spin forever.
+pub const MAX_STEPS: usize = 10_000;
+
+/// Shrinks `inst` to a (locally) minimal instance on which
+/// `still_fails` still returns `true`.
+///
+/// `still_fails(inst)` must be `true` on entry — the caller found a
+/// violation there — and is re-invoked on every candidate shrink, so
+/// keep it deterministic. Every attempt emits one
+/// [`Counter::OracleMinimizeStep`].
+pub fn minimize<F>(inst: &Instance, still_fails: F, probe: &dyn Probe) -> Instance
+where
+    F: Fn(&Instance) -> bool,
+{
+    let mut cur = inst.clone();
+    let mut steps = 0usize;
+
+    // one shrink attempt; returns the candidate if it still fails
+    let attempt = |steps: &mut usize, cand: Option<Instance>| -> Option<Instance> {
+        *steps += 1;
+        probe.count(Counter::OracleMinimizeStep, 1);
+        cand.filter(|c| still_fails(c))
+    };
+
+    loop {
+        let mut shrunk = false;
+
+        // drop events (keep at least one so solvers stay meaningful)
+        let mut v = 0;
+        while v < cur.num_events() && cur.num_events() > 1 && steps < MAX_STEPS {
+            match attempt(&mut steps, drop_event(&cur, EventId(v as u32))) {
+                Some(smaller) => {
+                    cur = smaller;
+                    shrunk = true; // same index now names the next event
+                }
+                None => v += 1,
+            }
+        }
+
+        // drop users
+        let mut u = 0;
+        while u < cur.num_users() && cur.num_users() > 1 && steps < MAX_STEPS {
+            match attempt(&mut steps, drop_user(&cur, UserId(u as u32))) {
+                Some(smaller) => {
+                    cur = smaller;
+                    shrunk = true;
+                }
+                None => u += 1,
+            }
+        }
+
+        // halve capacities (each halving is one attempt; repeated rounds
+        // drive a capacity from, say, 8 down to 1 if the failure allows)
+        for v in 0..cur.num_events() {
+            if steps >= MAX_STEPS {
+                break;
+            }
+            if let Some(smaller) = attempt(&mut steps, halve_capacity(&cur, EventId(v as u32))) {
+                cur = smaller;
+                shrunk = true;
+            }
+        }
+
+        // halve budgets
+        for u in 0..cur.num_users() {
+            if steps >= MAX_STEPS {
+                break;
+            }
+            if let Some(smaller) = attempt(&mut steps, halve_budget(&cur, UserId(u as u32))) {
+                cur = smaller;
+                shrunk = true;
+            }
+        }
+
+        if !shrunk || steps >= MAX_STEPS {
+            return cur;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use usep_gen::{generate, SyntheticConfig};
+    use usep_trace::{TraceSink, NOOP};
+
+    #[test]
+    fn minimizes_capacity_failure_to_a_tiny_instance() {
+        // predicate: "some event has capacity ≥ 2" — a monotone property
+        // the minimizer should shrink to one event, one user
+        let inst = generate(&SyntheticConfig::tiny(), 5);
+        let fails = |i: &Instance| i.event_ids().any(|v| i.event(v).capacity >= 2);
+        assert!(fails(&inst));
+        let min = minimize(&inst, fails, &NOOP);
+        assert!(fails(&min));
+        assert_eq!(min.num_events(), 1);
+        assert_eq!(min.num_users(), 1);
+        // halving stops once it would break the predicate: 2 stays, 3
+        // would halve to 1, so either terminal value is minimal here
+        assert!(min.event(EventId(0)).capacity <= 3);
+    }
+
+    #[test]
+    fn preserves_failures_tied_to_specific_users() {
+        // predicate keyed to the count of rich users: the minimizer must
+        // keep exactly one of them around
+        let inst = generate(&SyntheticConfig::tiny(), 6);
+        let median = {
+            let mut budgets: Vec<u32> =
+                inst.user_ids().map(|u| inst.user(u).budget.value()).collect();
+            budgets.sort_unstable();
+            budgets[budgets.len() / 2]
+        };
+        let fails = move |i: &Instance| i.user_ids().any(|u| i.user(u).budget.value() > median);
+        assert!(fails(&inst));
+        let min = minimize(&inst, fails, &NOOP);
+        assert!(fails(&min));
+        assert_eq!(min.num_users(), 1);
+        assert!(min.user(UserId(0)).budget.value() > median);
+    }
+
+    #[test]
+    fn emits_minimize_step_counters_and_respects_the_cap() {
+        let inst = generate(&SyntheticConfig::tiny(), 7);
+        let sink = TraceSink::new();
+        let _ = minimize(&inst, |_| true, &sink);
+        let steps = sink.counter(usep_trace::Counter::OracleMinimizeStep);
+        assert!(steps > 0);
+        assert!(steps as usize <= MAX_STEPS + 4, "runaway minimizer: {steps} steps");
+    }
+}

@@ -1,0 +1,433 @@
+//! The independent constraint oracle.
+//!
+//! [`check_planning`] re-derives every constraint of §2 **from raw
+//! instance data only** — event fields, user fields, the utility
+//! matrix, the fee vector and the travel model. It deliberately shares
+//! no code with the production cost path: no
+//! [`Schedule::total_cost`](usep_core::Schedule::total_cost), no
+//! incremental Eq.-3 logic, no precomputed event-event matrix (which
+//! folds fees in), no [`Planning::validate`](usep_core::Planning::validate).
+//! Leg costs are recomputed here from `Point::manhattan` /
+//! the raw explicit matrices, fees are re-applied per Remark 2, and
+//! all arithmetic is plain `u64` — so a bug in the shared `Cost`
+//! bookkeeping cannot cancel itself out of the audit.
+//!
+//! Unlike the production validator (which returns the *first*
+//! violation), the oracle scans everything and returns all of them:
+//! a fuzz failure should arrive with the complete damage report.
+
+use crate::report::{OracleReport, Violation};
+use usep_core::{EventId, Instance, Planning, TravelCost, UserId};
+use usep_trace::{Counter, Probe};
+
+/// A leg cost in plain `u64` units; `None` means the leg is
+/// unreachable. Mirrors the production `Cost` saturation rule: any
+/// value at or above `u32::MAX` is treated as infinite.
+type LegCost = Option<u64>;
+
+fn saturate(d: u64) -> LegCost {
+    if d >= u64::from(u32::MAX) {
+        None
+    } else {
+        Some(d)
+    }
+}
+
+/// Travel cost between user `u`'s home and event `v`, fee excluded.
+fn home_leg(inst: &Instance, u: UserId, v: EventId) -> LegCost {
+    match inst.travel() {
+        TravelCost::Grid { .. } => {
+            saturate(inst.users()[u.index()].location.manhattan(inst.events()[v.index()].location))
+        }
+        TravelCost::Explicit { user_event, .. } => {
+            user_event[u.index() * inst.num_events() + v.index()].finite_value().map(u64::from)
+        }
+    }
+}
+
+/// Travel cost of attending `b` right after `a`, fee excluded. `None`
+/// when the pair is spatio-temporally unreachable — for grid travel
+/// that re-derives the time gate from the raw intervals, for explicit
+/// travel it reads the raw (fee-free) matrix.
+fn event_leg(inst: &Instance, a: EventId, b: EventId) -> LegCost {
+    match inst.travel() {
+        TravelCost::Grid { time_per_unit } => {
+            let (ea, eb) = (&inst.events()[a.index()], &inst.events()[b.index()]);
+            if ea.time.end() > eb.time.start() {
+                return None;
+            }
+            let dist = ea.location.manhattan(eb.location);
+            if *time_per_unit > 0 {
+                let gap = (eb.time.start() - ea.time.end()) as u64;
+                if dist.saturating_mul(u64::from(*time_per_unit)) > gap {
+                    return None;
+                }
+            }
+            saturate(dist)
+        }
+        TravelCost::Explicit { event_event, .. } => {
+            event_event[a.index() * inst.num_events() + b.index()].finite_value().map(u64::from)
+        }
+    }
+}
+
+/// The fee of event `v` as `u64` (Remark 2; 0 when the instance has no
+/// fee vector).
+fn fee(inst: &Instance, v: EventId) -> u64 {
+    if inst.fees().is_empty() {
+        0
+    } else {
+        u64::from(inst.fees()[v.index()])
+    }
+}
+
+/// Audits `planning` against `inst` from scratch, returning the
+/// recomputed objective and **every** violation found.
+///
+/// Emits one `oracle_check` counter tick per call and one
+/// `oracle_violation` tick per violation.
+pub fn check_planning(inst: &Instance, planning: &Planning, probe: &dyn Probe) -> OracleReport {
+    probe.count(Counter::OracleCheck, 1);
+    let nv = inst.num_events();
+    let mut violations = Vec::new();
+    let mut load = vec![0u64; nv];
+    let mut omega = 0.0f64;
+
+    for (ui, schedule) in planning.schedules().iter().enumerate() {
+        let u = UserId(ui as u32);
+        let events = schedule.events();
+
+        // structural: ids in range, no duplicates
+        let mut in_range = true;
+        for &v in events {
+            if v.index() >= nv {
+                violations.push(Violation::UnknownEvent { user: u, event: v });
+                in_range = false;
+            }
+        }
+        if !in_range {
+            // the remaining checks index by event id; skip this user
+            continue;
+        }
+        let mut seen = vec![false; nv];
+        for &v in events {
+            if seen[v.index()] {
+                violations.push(Violation::DuplicateAssignment { user: u, event: v });
+            }
+            seen[v.index()] = true;
+            load[v.index()] += 1;
+        }
+
+        // constraint 4: positive utility, and the Ω recomputation
+        let mu_row = inst.mu_row(u);
+        for &v in events {
+            let m = mu_row[v.index()];
+            if m <= 0.0 || m.is_nan() {
+                violations.push(Violation::ZeroUtility { user: u, event: v });
+            }
+            omega += f64::from(m);
+        }
+
+        // constraint 3: strict time order and reachable legs
+        for w in events.windows(2) {
+            let (a, b) = (w[0], w[1]);
+            if inst.events()[a.index()].time.end() > inst.events()[b.index()].time.start() {
+                violations.push(Violation::OrderInfeasible { user: u, first: a, second: b });
+            } else if event_leg(inst, a, b).is_none() {
+                violations.push(Violation::UnreachableLeg { user: u, from: a, to: b });
+            }
+        }
+
+        // constraint 2: round-trip cost within budget, fees on inbound
+        // legs (Remark 2). Only meaningful when every leg is reachable;
+        // unreachable legs were already reported above.
+        if let (Some(&first), Some(&last)) = (events.first(), events.last()) {
+            let mut total: Option<u64> = home_leg(inst, u, first).map(|c| c + fee(inst, first));
+            for w in events.windows(2) {
+                total = match (total, event_leg(inst, w[0], w[1])) {
+                    (Some(t), Some(c)) => Some(t + c + fee(inst, w[1])),
+                    _ => None,
+                };
+            }
+            total = match (total, home_leg(inst, u, last)) {
+                (Some(t), Some(c)) => Some(t + c),
+                _ => None,
+            };
+            let budget =
+                inst.users()[u.index()].budget.finite_value().map_or(u64::MAX, u64::from);
+            match total {
+                Some(t) if t <= budget => {}
+                Some(t) => {
+                    violations.push(Violation::Budget { user: u, cost: t, budget });
+                }
+                None => {
+                    // a home leg was unreachable (event legs are
+                    // reported by the feasibility pass above)
+                    if home_leg(inst, u, first).is_none() {
+                        violations.push(Violation::UnreachableHomeLeg { user: u, event: first });
+                    }
+                    if home_leg(inst, u, last).is_none() && last != first {
+                        violations.push(Violation::UnreachableHomeLeg { user: u, event: last });
+                    }
+                }
+            }
+        }
+    }
+
+    // constraint 1: capacities, from independently recounted loads
+    for (vi, &n) in load.iter().enumerate() {
+        let cap = inst.events()[vi].capacity;
+        if n > u64::from(cap) {
+            violations.push(Violation::Capacity {
+                event: EventId(vi as u32),
+                assigned: n.min(u64::from(u32::MAX)) as u32,
+                capacity: cap,
+            });
+        }
+    }
+
+    probe.count(Counter::OracleViolation, violations.len() as u64);
+    OracleReport { omega, violations }
+}
+
+/// Relative tolerance for Ω cross-checks. The oracle sums utilities in
+/// the same (user-id, schedule) order as the production code, so the
+/// two values should agree to the last bit; the epsilon only forgives
+/// future reorderings of either summation.
+pub const OMEGA_TOLERANCE: f64 = 1e-9;
+
+/// [`check_planning`] plus a cross-check of the production-reported
+/// objective against the oracle's recomputation.
+pub fn check_planning_with_omega(
+    inst: &Instance,
+    planning: &Planning,
+    reported_omega: f64,
+    probe: &dyn Probe,
+) -> OracleReport {
+    let mut report = check_planning(inst, planning, probe);
+    let scale = report.omega.abs().max(1.0);
+    if (reported_omega - report.omega).abs() > OMEGA_TOLERANCE * scale {
+        report.violations.push(Violation::OmegaMismatch {
+            reported: reported_omega,
+            recomputed: report.omega,
+        });
+        probe.count(Counter::OracleViolation, 1);
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use usep_core::{Cost, InstanceBuilder, Point, Schedule, TimeInterval};
+    use usep_trace::{TraceSink, NOOP};
+
+    fn iv(a: i64, b: i64) -> TimeInterval {
+        TimeInterval::new(a, b).unwrap()
+    }
+
+    /// 3 events on a line, 2 users; v0 [0,10] → v1 [10,20] reachable.
+    fn instance() -> Instance {
+        let mut b = InstanceBuilder::new();
+        b.event(1, Point::new(0, 0), iv(0, 10));
+        b.event(2, Point::new(5, 0), iv(10, 20));
+        b.event(1, Point::new(2, 2), iv(5, 15));
+        let u0 = b.user(Point::new(1, 0), Cost::new(50));
+        let u1 = b.user(Point::new(3, 0), Cost::new(4));
+        b.utility(EventId(0), u0, 0.5);
+        b.utility(EventId(1), u0, 0.7);
+        b.utility(EventId(1), u1, 0.9);
+        b.utility(EventId(2), u1, 0.2);
+        b.build().unwrap()
+    }
+
+    fn planning_of(inst: &Instance, events: Vec<Vec<u32>>) -> Planning {
+        let schedules = events
+            .into_iter()
+            .map(|evs| Schedule::from_events_unchecked(evs.into_iter().map(EventId).collect()))
+            .collect();
+        Planning::from_schedules(inst, schedules)
+    }
+
+    #[test]
+    fn valid_planning_passes_with_exact_omega() {
+        let inst = instance();
+        let p = planning_of(&inst, vec![vec![0, 1], vec![1]]);
+        let report = check_planning(&inst, &p, &NOOP);
+        assert!(report.is_valid(), "{:?}", report.violations);
+        assert!((report.omega - (0.5 + 0.7 + 0.9)).abs() < 1e-6);
+        // and it agrees with the production objective bit-for-bit
+        assert_eq!(report.omega, p.omega(&inst));
+    }
+
+    #[test]
+    fn capacity_violation_detected_with_counts() {
+        let inst = instance();
+        // v0 has capacity 1; put both users there
+        let p = planning_of(&inst, vec![vec![0], vec![0]]);
+        let report = check_planning(&inst, &p, &NOOP);
+        assert!(report.violations.contains(&Violation::Capacity {
+            event: EventId(0),
+            assigned: 2,
+            capacity: 1,
+        }));
+    }
+
+    #[test]
+    fn budget_violation_detected_with_recomputed_cost() {
+        let inst = instance();
+        // u1 (budget 4) at v0: round trip |3-0|·2 = 6 > 4
+        let p = planning_of(&inst, vec![vec![], vec![0]]);
+        let report = check_planning(&inst, &p, &NOOP);
+        assert!(report
+            .violations
+            .contains(&Violation::Budget { user: UserId(1), cost: 6, budget: 4 }));
+    }
+
+    #[test]
+    fn order_and_duplicate_violations_detected() {
+        let inst = instance();
+        let p = planning_of(&inst, vec![vec![1, 0], vec![1, 1]]);
+        let report = check_planning(&inst, &p, &NOOP);
+        assert!(report.violations.contains(&Violation::OrderInfeasible {
+            user: UserId(0),
+            first: EventId(1),
+            second: EventId(0),
+        }));
+        assert!(report
+            .violations
+            .contains(&Violation::DuplicateAssignment { user: UserId(1), event: EventId(1) }));
+    }
+
+    #[test]
+    fn zero_utility_and_overlap_detected() {
+        let inst = instance();
+        // u0 has μ = 0 for v2, and v0 → v2 overlap in time
+        let p = planning_of(&inst, vec![vec![0, 2], vec![]]);
+        let report = check_planning(&inst, &p, &NOOP);
+        assert!(report
+            .violations
+            .contains(&Violation::ZeroUtility { user: UserId(0), event: EventId(2) }));
+        assert!(report.violations.iter().any(|v| matches!(
+            v,
+            Violation::OrderInfeasible { user: UserId(0), .. }
+        )));
+    }
+
+    #[test]
+    fn unknown_event_detected_without_panicking() {
+        let inst = instance();
+        // an out-of-range planning can only enter through deserialization
+        // (`Planning::from_schedules` recomputes loads and would panic),
+        // so that is exactly how the hostile input is built here
+        let p: Planning = serde_json::from_str(
+            r#"{"schedules":[{"events":[9]},{"events":[]}],"load":[0,0,0]}"#,
+        )
+        .unwrap();
+        let report = check_planning(&inst, &p, &NOOP);
+        assert!(report
+            .violations
+            .contains(&Violation::UnknownEvent { user: UserId(0), event: EventId(9) }));
+    }
+
+    #[test]
+    fn time_gated_grid_leg_reported_unreachable() {
+        // gap 5 between the events, distance 10, 1 time unit per step
+        let mut b = InstanceBuilder::new();
+        b.event(1, Point::new(0, 0), iv(0, 10));
+        b.event(1, Point::new(10, 0), iv(15, 20));
+        let u = b.user(Point::ORIGIN, Cost::new(100));
+        b.utility(EventId(0), u, 0.5);
+        b.utility(EventId(1), u, 0.5);
+        b.travel(TravelCost::Grid { time_per_unit: 1 });
+        let inst = b.build().unwrap();
+        let p = planning_of(&inst, vec![vec![0, 1]]);
+        let report = check_planning(&inst, &p, &NOOP);
+        assert!(report.violations.contains(&Violation::UnreachableLeg {
+            user: UserId(0),
+            from: EventId(0),
+            to: EventId(1),
+        }));
+    }
+
+    #[test]
+    fn fees_counted_on_inbound_legs() {
+        let mut b = InstanceBuilder::new();
+        let v0 = b.event(1, Point::new(0, 0), iv(0, 10));
+        let v1 = b.event(1, Point::new(4, 0), iv(10, 20));
+        let u = b.user(Point::new(1, 0), Cost::new(20));
+        b.utility(v0, u, 0.5);
+        b.utility(v1, u, 0.5);
+        b.fee(v0, 3).fee(v1, 9);
+        let inst = b.build().unwrap();
+        // 1 + fee 3 + 4 + fee 9 + 3 = 20 — exactly on budget
+        let p = planning_of(&inst, vec![vec![0, 1]]);
+        assert!(check_planning(&inst, &p, &NOOP).is_valid());
+        // one unit less budget and the oracle flags it
+        let mut b = InstanceBuilder::new();
+        let v0 = b.event(1, Point::new(0, 0), iv(0, 10));
+        let v1 = b.event(1, Point::new(4, 0), iv(10, 20));
+        let u = b.user(Point::new(1, 0), Cost::new(19));
+        b.utility(v0, u, 0.5);
+        b.utility(v1, u, 0.5);
+        b.fee(v0, 3).fee(v1, 9);
+        let inst = b.build().unwrap();
+        let p = planning_of(&inst, vec![vec![0, 1]]);
+        let report = check_planning(&inst, &p, &NOOP);
+        assert!(report
+            .violations
+            .contains(&Violation::Budget { user: UserId(0), cost: 20, budget: 19 }));
+    }
+
+    #[test]
+    fn omega_cross_check_flags_mismatch() {
+        let inst = instance();
+        let p = planning_of(&inst, vec![vec![0, 1], vec![1]]);
+        let honest = p.omega(&inst);
+        assert!(check_planning_with_omega(&inst, &p, honest, &NOOP).is_valid());
+        let report = check_planning_with_omega(&inst, &p, honest + 0.25, &NOOP);
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::OmegaMismatch { .. })));
+    }
+
+    #[test]
+    fn oracle_counters_emitted() {
+        let inst = instance();
+        let sink = TraceSink::new();
+        let p = planning_of(&inst, vec![vec![0], vec![0]]);
+        let _ = check_planning(&inst, &p, &sink);
+        assert_eq!(sink.counter(Counter::OracleCheck), 1);
+        assert!(sink.counter(Counter::OracleViolation) >= 1);
+    }
+
+    #[test]
+    fn explicit_travel_audited_from_raw_matrices() {
+        let mut b = InstanceBuilder::new();
+        b.event(1, Point::ORIGIN, iv(0, 1));
+        b.event(1, Point::ORIGIN, iv(2, 3));
+        let u = b.user(Point::ORIGIN, Cost::new(8));
+        b.utility(EventId(0), u, 0.5);
+        b.utility(EventId(1), u, 0.5);
+        let inf = Cost::INFINITE;
+        b.travel(TravelCost::Explicit {
+            user_event: vec![Cost::new(2), Cost::new(3)],
+            event_event: vec![inf, Cost::new(4), inf, inf],
+        });
+        let inst = b.build().unwrap();
+        // 2 + 4 + 3 = 9 > 8
+        let p = planning_of(&inst, vec![vec![0, 1]]);
+        let report = check_planning(&inst, &p, &NOOP);
+        assert!(report
+            .violations
+            .contains(&Violation::Budget { user: UserId(0), cost: 9, budget: 8 }));
+        // reversed order: the raw matrix has no 1 → 0 leg
+        let p = planning_of(&inst, vec![vec![1, 0]]);
+        let report = check_planning(&inst, &p, &NOOP);
+        assert!(report.violations.iter().any(|v| matches!(
+            v,
+            Violation::OrderInfeasible { .. } | Violation::UnreachableLeg { .. }
+        )));
+    }
+}

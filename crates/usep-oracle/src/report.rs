@@ -1,0 +1,185 @@
+//! Typed violation reports.
+//!
+//! Every anomaly the oracle can detect has its own variant carrying the
+//! concrete numbers involved, so a failing fuzz run produces a bug
+//! report ("event v3 holds 4 users against capacity 2"), not a boolean.
+
+use serde::{Deserialize, Serialize};
+use usep_core::{EventId, UserId};
+
+/// One concrete violation found by the oracle.
+///
+/// The constraint variants mirror the four USEP constraints of §2 plus
+/// the structural invariants a schedule must satisfy; the audit
+/// variants come from the differential engine (omega cross-check,
+/// exact/bound comparisons, Theorem-3 ratio) and the metamorphic suite.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Violation {
+    /// Constraint 1: event holds more users than its capacity.
+    Capacity {
+        /// The overfull event.
+        event: EventId,
+        /// Independently recounted attendance.
+        assigned: u32,
+        /// The event's capacity `c_v`.
+        capacity: u32,
+    },
+    /// Constraint 2: a user's recomputed travel + fee total exceeds
+    /// their budget.
+    Budget {
+        /// The over-budget user.
+        user: UserId,
+        /// From-scratch round-trip cost including fees.
+        cost: u64,
+        /// The user's budget `b_u`.
+        budget: u64,
+    },
+    /// Constraint 3: consecutive events are not in strict time order.
+    OrderInfeasible {
+        /// The user whose schedule is out of order.
+        user: UserId,
+        /// The earlier-scheduled event.
+        first: EventId,
+        /// The event scheduled right after it.
+        second: EventId,
+    },
+    /// Constraint 3: a leg between consecutive events is unreachable
+    /// (explicit `+∞` cost, or the time gap is too short to travel).
+    UnreachableLeg {
+        /// The user attempting the leg.
+        user: UserId,
+        /// Leg origin.
+        from: EventId,
+        /// Leg destination.
+        to: EventId,
+    },
+    /// Constraint 3: the home leg to or from an event is unreachable
+    /// (explicit `+∞` user-event cost).
+    UnreachableHomeLeg {
+        /// The user.
+        user: UserId,
+        /// The first or last event of their schedule.
+        event: EventId,
+    },
+    /// Constraint 4: a user attends an event they have zero utility for.
+    ZeroUtility {
+        /// The indifferent user.
+        user: UserId,
+        /// The event they were assigned to.
+        event: EventId,
+    },
+    /// An event appears more than once in one user's schedule.
+    DuplicateAssignment {
+        /// The user.
+        user: UserId,
+        /// The repeated event.
+        event: EventId,
+    },
+    /// A schedule references an event index outside the instance.
+    UnknownEvent {
+        /// The user.
+        user: UserId,
+        /// The out-of-range index.
+        event: EventId,
+    },
+    /// The production `Ω` disagrees with the oracle's independent
+    /// recomputation.
+    OmegaMismatch {
+        /// `Ω` as reported by the code under test.
+        reported: f64,
+        /// `Ω` recomputed from raw utilities.
+        recomputed: f64,
+    },
+    /// A heuristic scored above the exhaustive optimum — impossible
+    /// unless one of the two is wrong.
+    AboveOptimal {
+        /// The offending algorithm.
+        algorithm: String,
+        /// The heuristic's `Ω`.
+        omega: f64,
+        /// The exhaustive optimum.
+        optimal: f64,
+    },
+    /// DeDP/DeDPO scored below `½ · OPT`, violating Theorem 3.
+    RatioBelowHalf {
+        /// The offending algorithm.
+        algorithm: String,
+        /// The algorithm's `Ω`.
+        omega: f64,
+        /// The exhaustive optimum.
+        optimal: f64,
+    },
+    /// A planning scored above a relaxation upper bound on `OPT`.
+    BoundExceeded {
+        /// The offending algorithm.
+        algorithm: String,
+        /// The algorithm's `Ω`.
+        omega: f64,
+        /// The capacity-relaxed upper bound.
+        bound: f64,
+    },
+    /// A metamorphic relation failed.
+    MetamorphicBroken {
+        /// Which relation (e.g. `"event_permutation"`).
+        relation: String,
+        /// Free-form description with the concrete numbers.
+        detail: String,
+    },
+}
+
+/// What the oracle found in one planning: the independently recomputed
+/// objective and every violation (not just the first).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct OracleReport {
+    /// `Ω` recomputed from raw utilities, summed in user-id order.
+    pub omega: f64,
+    /// All violations found, in scan order.
+    pub violations: Vec<Violation>,
+}
+
+impl OracleReport {
+    /// Whether the planning passed every check.
+    pub fn is_valid(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// A violation attributed to the code path that produced the planning.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Finding {
+    /// Which solver / path produced the offending planning (an
+    /// [`Algorithm`](usep_algos::Algorithm) name, `"Guarded(...)"`,
+    /// `"serve"`, or `"exact"`).
+    pub algorithm: String,
+    /// The violation itself.
+    pub violation: Violation,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_validity_reflects_violations() {
+        let ok = OracleReport { omega: 1.5, violations: vec![] };
+        assert!(ok.is_valid());
+        let bad = OracleReport {
+            omega: 1.5,
+            violations: vec![Violation::ZeroUtility { user: UserId(0), event: EventId(1) }],
+        };
+        assert!(!bad.is_valid());
+    }
+
+    #[test]
+    fn findings_serialize_to_json() {
+        let f = Finding {
+            algorithm: "DeDP".to_string(),
+            violation: Violation::Capacity { event: EventId(3), assigned: 4, capacity: 2 },
+        };
+        let json = serde_json::to_string(&f).unwrap();
+        assert!(json.contains("DeDP"), "{json}");
+        assert!(json.contains("Capacity"), "{json}");
+        let back: Finding = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, f);
+    }
+}

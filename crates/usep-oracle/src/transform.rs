@@ -1,0 +1,401 @@
+//! Instance transforms for the metamorphic suite and the minimizer.
+//!
+//! Every transform decomposes an instance into its raw parts, edits
+//! them, and rebuilds through [`InstanceBuilder`] — so a transformed
+//! instance re-derives its event-cost matrix and temporal index from
+//! scratch and is exactly what the builder would have produced in the
+//! first place. Rebuilds skip the `O(|V|³)` triangle audit: the parts
+//! come from an instance that already passed it, and dropping rows or
+//! columns of a metric cost matrix keeps it metric.
+
+use usep_core::{
+    Cost, Event, EventId, Instance, InstanceBuilder, TravelCost, User, UserId,
+};
+
+/// The raw parts of an instance, as the builder consumes them.
+#[derive(Clone, Debug)]
+pub struct Parts {
+    /// Events, by `EventId`.
+    pub events: Vec<Event>,
+    /// Users, by `UserId`.
+    pub users: Vec<User>,
+    /// Dense utilities, row-major by user.
+    pub mu: Vec<f32>,
+    /// The travel model.
+    pub travel: TravelCost,
+    /// Per-event fees, length `|V|` (zero-filled when the instance has
+    /// none).
+    pub fees: Vec<u32>,
+}
+
+/// Decomposes `inst` into its raw parts.
+pub fn parts(inst: &Instance) -> Parts {
+    let nv = inst.num_events();
+    let mut mu = Vec::with_capacity(nv * inst.num_users());
+    for u in inst.user_ids() {
+        mu.extend_from_slice(inst.mu_row(u));
+    }
+    let fees = if inst.fees().is_empty() {
+        vec![0; nv]
+    } else {
+        inst.fees().to_vec()
+    };
+    Parts {
+        events: inst.events().to_vec(),
+        users: inst.users().to_vec(),
+        mu,
+        travel: inst.travel().clone(),
+        fees,
+    }
+}
+
+/// Rebuilds an instance from parts; `None` when the edited parts no
+/// longer form a valid instance (e.g. a capacity hit zero).
+pub fn rebuild(p: Parts) -> Option<Instance> {
+    let mut b = InstanceBuilder::new();
+    for e in &p.events {
+        b.event(e.capacity, e.location, e.time);
+    }
+    for u in &p.users {
+        b.user(u.location, u.budget);
+    }
+    b.utility_matrix(p.mu);
+    b.travel(p.travel);
+    for (i, &f) in p.fees.iter().enumerate() {
+        if f != 0 {
+            b.fee(EventId(i as u32), f);
+        }
+    }
+    b.skip_triangle_check();
+    b.build().ok()
+}
+
+/// Removes row `idx` and column `idx` from a square row-major matrix.
+fn drop_square_row_col(m: &[Cost], n: usize, idx: usize) -> Vec<Cost> {
+    let mut out = Vec::with_capacity((n - 1) * (n - 1));
+    for i in 0..n {
+        if i == idx {
+            continue;
+        }
+        for j in 0..n {
+            if j != idx {
+                out.push(m[i * n + j]);
+            }
+        }
+    }
+    out
+}
+
+/// The instance without event `v` (utilities, fees and cost matrices
+/// shrink accordingly). `None` if the rebuild fails.
+pub fn drop_event(inst: &Instance, v: EventId) -> Option<Instance> {
+    let nv = inst.num_events();
+    let mut p = parts(inst);
+    p.events.remove(v.index());
+    p.fees.remove(v.index());
+    let mut mu = Vec::with_capacity((nv - 1) * p.users.len());
+    for row in p.mu.chunks(nv) {
+        for (j, &m) in row.iter().enumerate() {
+            if j != v.index() {
+                mu.push(m);
+            }
+        }
+    }
+    p.mu = mu;
+    let travel = match &p.travel {
+        TravelCost::Grid { time_per_unit } => TravelCost::Grid { time_per_unit: *time_per_unit },
+        TravelCost::Explicit { user_event, event_event } => {
+            let mut ue = Vec::with_capacity((nv - 1) * p.users.len());
+            for row in user_event.chunks(nv) {
+                for (j, &c) in row.iter().enumerate() {
+                    if j != v.index() {
+                        ue.push(c);
+                    }
+                }
+            }
+            TravelCost::Explicit {
+                user_event: ue,
+                event_event: drop_square_row_col(event_event, nv, v.index()),
+            }
+        }
+    };
+    p.travel = travel;
+    rebuild(p)
+}
+
+/// The instance without user `u`. `None` if the rebuild fails.
+pub fn drop_user(inst: &Instance, u: UserId) -> Option<Instance> {
+    let nv = inst.num_events();
+    let mut p = parts(inst);
+    p.users.remove(u.index());
+    let start = u.index() * nv;
+    p.mu.drain(start..start + nv);
+    let travel = match &p.travel {
+        TravelCost::Grid { time_per_unit } => TravelCost::Grid { time_per_unit: *time_per_unit },
+        TravelCost::Explicit { user_event, event_event } => {
+            let mut ue = user_event.clone();
+            ue.drain(start..start + nv);
+            TravelCost::Explicit { user_event: ue, event_event: event_event.clone() }
+        }
+    };
+    p.travel = travel;
+    rebuild(p)
+}
+
+/// The instance with event `v`'s capacity halved (floored at 1; `None`
+/// when the capacity is already 1, i.e. nothing shrinks).
+pub fn halve_capacity(inst: &Instance, v: EventId) -> Option<Instance> {
+    let mut p = parts(inst);
+    let c = p.events[v.index()].capacity;
+    if c <= 1 {
+        return None;
+    }
+    p.events[v.index()].capacity = (c / 2).max(1);
+    rebuild(p)
+}
+
+/// The instance with user `u`'s budget halved (`None` when it is
+/// already 0).
+pub fn halve_budget(inst: &Instance, u: UserId) -> Option<Instance> {
+    let mut p = parts(inst);
+    let b = p.users[u.index()].budget.finite_value().unwrap_or(0);
+    if b == 0 {
+        return None;
+    }
+    p.users[u.index()].budget = Cost::new(b / 2);
+    rebuild(p)
+}
+
+/// Every capacity raised by `delta` — a pure constraint loosening.
+pub fn bump_capacities(inst: &Instance, delta: u32) -> Option<Instance> {
+    let mut p = parts(inst);
+    for e in &mut p.events {
+        e.capacity = e.capacity.saturating_add(delta);
+    }
+    rebuild(p)
+}
+
+/// Every budget raised by `delta` — a pure constraint loosening.
+pub fn bump_budgets(inst: &Instance, delta: u32) -> Option<Instance> {
+    let mut p = parts(inst);
+    for u in &mut p.users {
+        let b = u.budget.finite_value().unwrap_or(0);
+        let raised = b.saturating_add(delta).min(u32::MAX - 1);
+        u.budget = Cost::new(raised);
+    }
+    rebuild(p)
+}
+
+/// Every utility multiplied by `factor`. With a power-of-two factor
+/// like `0.5` the scaling is exact in floating point, so solver
+/// decisions (all ratio and sum comparisons) are provably unchanged.
+pub fn scale_mu(inst: &Instance, factor: f32) -> Option<Instance> {
+    let mut p = parts(inst);
+    for m in &mut p.mu {
+        *m *= factor;
+    }
+    rebuild(p)
+}
+
+/// The instance with events relabeled: new event `i` is old event
+/// `perm[i]`. Returns `None` unless `perm` is a permutation of
+/// `0..|V|`.
+pub fn permute_events(inst: &Instance, perm: &[usize]) -> Option<Instance> {
+    let nv = inst.num_events();
+    if !is_permutation(perm, nv) {
+        return None;
+    }
+    let p = parts(inst);
+    let events = perm.iter().map(|&old| p.events[old]).collect();
+    let fees = perm.iter().map(|&old| p.fees[old]).collect();
+    let mut mu = Vec::with_capacity(p.mu.len());
+    for row in p.mu.chunks(nv) {
+        mu.extend(perm.iter().map(|&old| row[old]));
+    }
+    let travel = match &p.travel {
+        TravelCost::Grid { time_per_unit } => TravelCost::Grid { time_per_unit: *time_per_unit },
+        TravelCost::Explicit { user_event, event_event } => {
+            let mut ue = Vec::with_capacity(user_event.len());
+            for row in user_event.chunks(nv) {
+                ue.extend(perm.iter().map(|&old| row[old]));
+            }
+            let mut ee = Vec::with_capacity(event_event.len());
+            for &oi in perm {
+                ee.extend(perm.iter().map(|&oj| event_event[oi * nv + oj]));
+            }
+            TravelCost::Explicit { user_event: ue, event_event: ee }
+        }
+    };
+    rebuild(Parts { events, users: p.users, mu, travel, fees })
+}
+
+/// The instance with users relabeled: new user `i` is old user
+/// `perm[i]`. Returns `None` unless `perm` is a permutation of
+/// `0..|U|`.
+pub fn permute_users(inst: &Instance, perm: &[usize]) -> Option<Instance> {
+    let nv = inst.num_events();
+    let nu = inst.num_users();
+    if !is_permutation(perm, nu) {
+        return None;
+    }
+    let p = parts(inst);
+    let users = perm.iter().map(|&old| p.users[old]).collect();
+    let mut mu = Vec::with_capacity(p.mu.len());
+    for &old in perm {
+        mu.extend_from_slice(&p.mu[old * nv..(old + 1) * nv]);
+    }
+    let travel = match &p.travel {
+        TravelCost::Grid { time_per_unit } => TravelCost::Grid { time_per_unit: *time_per_unit },
+        TravelCost::Explicit { user_event, event_event } => {
+            let mut ue = Vec::with_capacity(user_event.len());
+            for &old in perm {
+                ue.extend_from_slice(&user_event[old * nv..(old + 1) * nv]);
+            }
+            TravelCost::Explicit { user_event: ue, event_event: event_event.clone() }
+        }
+    };
+    rebuild(Parts { events: p.events, users, mu, travel, fees: p.fees })
+}
+
+fn is_permutation(perm: &[usize], n: usize) -> bool {
+    if perm.len() != n {
+        return false;
+    }
+    let mut seen = vec![false; n];
+    for &i in perm {
+        if i >= n || seen[i] {
+            return false;
+        }
+        seen[i] = true;
+    }
+    true
+}
+
+/// A deterministic pseudo-random permutation of `0..n` (Fisher–Yates
+/// driven by SplitMix64).
+pub fn seeded_permutation(n: usize, seed: u64) -> Vec<usize> {
+    let mut perm: Vec<usize> = (0..n).collect();
+    let mut state = seed;
+    let mut next = move || {
+        state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    };
+    for i in (1..n).rev() {
+        let j = (next() % (i as u64 + 1)) as usize;
+        perm.swap(i, j);
+    }
+    perm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use usep_gen::{generate, SyntheticConfig};
+
+    fn inst() -> Instance {
+        generate(&SyntheticConfig::tiny(), 7)
+    }
+
+    #[test]
+    fn parts_roundtrip_rebuilds_identical_instance() {
+        let i = inst();
+        let back = rebuild(parts(&i)).unwrap();
+        assert_eq!(back, i);
+    }
+
+    #[test]
+    fn drop_event_shrinks_all_views() {
+        let i = inst();
+        let j = drop_event(&i, EventId(2)).unwrap();
+        assert_eq!(j.num_events(), i.num_events() - 1);
+        assert_eq!(j.num_users(), i.num_users());
+        // column removed: new v2 is old v3
+        assert_eq!(j.mu(EventId(2), UserId(0)), i.mu(EventId(3), UserId(0)));
+        assert_eq!(j.event(EventId(2)), i.event(EventId(3)));
+    }
+
+    #[test]
+    fn drop_user_shrinks_rows() {
+        let i = inst();
+        let j = drop_user(&i, UserId(0)).unwrap();
+        assert_eq!(j.num_users(), i.num_users() - 1);
+        assert_eq!(j.mu_row(UserId(0)), i.mu_row(UserId(1)));
+    }
+
+    #[test]
+    fn halvers_shrink_and_bottom_out() {
+        let i = inst();
+        let v = EventId(0);
+        let c0 = i.event(v).capacity;
+        if c0 > 1 {
+            let j = halve_capacity(&i, v).unwrap();
+            assert_eq!(j.event(v).capacity, (c0 / 2).max(1));
+        }
+        let u = UserId(0);
+        let b0 = i.user(u).budget.value();
+        let j = halve_budget(&i, u).unwrap();
+        assert_eq!(j.user(u).budget.value(), b0 / 2);
+    }
+
+    #[test]
+    fn bumps_loosen_constraints() {
+        let i = inst();
+        let j = bump_capacities(&i, 1).unwrap();
+        for v in i.event_ids() {
+            assert_eq!(j.event(v).capacity, i.event(v).capacity + 1);
+        }
+        let j = bump_budgets(&i, 10).unwrap();
+        for u in i.user_ids() {
+            assert_eq!(j.user(u).budget.value(), i.user(u).budget.value() + 10);
+        }
+    }
+
+    #[test]
+    fn permutations_relabel_consistently() {
+        let i = inst();
+        let perm = seeded_permutation(i.num_events(), 99);
+        let j = permute_events(&i, &perm).unwrap();
+        for (new, &old) in perm.iter().enumerate() {
+            assert_eq!(j.event(EventId(new as u32)), i.event(EventId(old as u32)));
+            for u in i.user_ids() {
+                assert_eq!(j.mu(EventId(new as u32), u), i.mu(EventId(old as u32), u));
+            }
+        }
+        let perm = seeded_permutation(i.num_users(), 5);
+        let j = permute_users(&i, &perm).unwrap();
+        for (new, &old) in perm.iter().enumerate() {
+            assert_eq!(j.user(UserId(new as u32)), i.user(UserId(old as u32)));
+            assert_eq!(j.mu_row(UserId(new as u32)), i.mu_row(UserId(old as u32)));
+        }
+    }
+
+    #[test]
+    fn seeded_permutation_is_deterministic_and_valid() {
+        let a = seeded_permutation(20, 42);
+        let b = seeded_permutation(20, 42);
+        assert_eq!(a, b);
+        assert!(is_permutation(&a, 20));
+        assert_ne!(a, seeded_permutation(20, 43));
+    }
+
+    #[test]
+    fn scale_mu_halves_every_entry_exactly() {
+        let i = inst();
+        let j = scale_mu(&i, 0.5).unwrap();
+        for u in i.user_ids() {
+            for (a, b) in i.mu_row(u).iter().zip(j.mu_row(u)) {
+                assert_eq!(*b, *a * 0.5);
+            }
+        }
+    }
+
+    #[test]
+    fn bad_permutations_rejected() {
+        let i = inst();
+        assert!(permute_events(&i, &[0, 0, 1]).is_none());
+        assert!(permute_users(&i, &[1]).is_none());
+    }
+}

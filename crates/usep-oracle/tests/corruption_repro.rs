@@ -1,0 +1,77 @@
+//! The oracle's negative controls, end to end: corrupt a known-good
+//! planning, get a typed violation, minimize the instance to a repro
+//! that still exhibits the failure, and round-trip it through JSON.
+
+use usep_algos::{solve, Algorithm};
+use usep_core::Instance;
+use usep_gen::{generate, SyntheticConfig};
+use usep_oracle::{check_planning, corrupt, minimize, Corruption, Violation};
+use usep_trace::NOOP;
+
+/// Whether `kind`-corrupting the DeDPO planning of `inst` still
+/// produces an oracle violation — the minimizer's failure predicate.
+fn corruption_detected(inst: &Instance, kind: Corruption) -> bool {
+    let p = solve(Algorithm::DeDPO, inst);
+    corrupt(inst, &p, kind)
+        .map(|bad| !check_planning(inst, &bad, &NOOP).is_valid())
+        .unwrap_or(false)
+}
+
+#[test]
+fn every_corruption_kind_yields_a_typed_violation() {
+    let inst = generate(&SyntheticConfig::tiny(), 11);
+    let p = solve(Algorithm::DeDPO, &inst);
+    assert!(p.num_assignments() > 0);
+    let mut kinds_fired = 0;
+    for kind in Corruption::ALL {
+        if let Some(bad) = corrupt(&inst, &p, kind) {
+            let report = check_planning(&inst, &bad, &NOOP);
+            assert!(!report.is_valid(), "{kind:?} went undetected");
+            kinds_fired += 1;
+        }
+    }
+    assert!(kinds_fired >= 2, "too few corruption sites on this seed");
+}
+
+#[test]
+fn corrupted_planning_minimizes_to_a_tiny_json_repro() {
+    let inst = generate(&SyntheticConfig::tiny(), 11);
+    let kind = Corruption::OverloadEvent;
+    assert!(corruption_detected(&inst, kind), "seed must admit an overload");
+
+    let minimal = minimize(&inst, |i| corruption_detected(i, kind), &NOOP);
+
+    // the acceptance bar: a handful of events and users, not the
+    // original 8×12 instance
+    assert!(minimal.num_events() <= 4, "repro has {} events", minimal.num_events());
+    assert!(minimal.num_users() <= 3, "repro has {} users", minimal.num_users());
+
+    // the violation is still typed on the minimal instance
+    let p = solve(Algorithm::DeDPO, &minimal);
+    let bad = corrupt(&minimal, &p, kind).unwrap();
+    let report = check_planning(&minimal, &bad, &NOOP);
+    assert!(report
+        .violations
+        .iter()
+        .any(|v| matches!(v, Violation::Capacity { .. })));
+
+    // and the repro round-trips through JSON without losing the failure
+    let json = serde_json::to_string(&minimal).unwrap();
+    let back: Instance = serde_json::from_str(&json).unwrap();
+    assert!(corruption_detected(&back, kind));
+}
+
+#[test]
+fn minimizer_keeps_the_failure_through_every_accepted_shrink() {
+    // run the minimizer with an instrumented predicate and check the
+    // invariant it promises: the returned instance still fails
+    let inst = generate(&SyntheticConfig::tiny(), 23);
+    let kind = Corruption::DuplicateAssignment;
+    if !corruption_detected(&inst, kind) {
+        return; // seed produced an empty planning; nothing to duplicate
+    }
+    let minimal = minimize(&inst, |i| corruption_detected(i, kind), &NOOP);
+    assert!(corruption_detected(&minimal, kind));
+    assert!(minimal.num_events() <= inst.num_events());
+    assert!(minimal.num_users() <= inst.num_users());
+}

@@ -1,0 +1,62 @@
+//! End-to-end oracle runs: the differential engine, the metamorphic
+//! suite and the seeded fuzzer, across a spread of instance shapes.
+
+use usep_gen::{generate, SyntheticConfig};
+use usep_oracle::fuzz::stream_config;
+use usep_oracle::{run_fuzz, run_metamorphic, verify_instance, FuzzConfig};
+use usep_trace::{Counter, TraceSink, NOOP};
+
+#[test]
+fn differential_engine_is_clean_across_the_size_classes() {
+    for i in 0..8u64 {
+        let inst = generate(&stream_config(i), 1000 + i);
+        let findings = verify_instance(&inst, &NOOP);
+        assert!(findings.is_empty(), "class {}: {findings:?}", i % 4);
+    }
+}
+
+#[test]
+fn differential_engine_is_clean_under_full_conflict() {
+    // every event overlaps every other: schedules are all single-event,
+    // which stresses the feasibility checks rather than the cost path
+    let cfg = SyntheticConfig::tiny()
+        .with_events(6)
+        .with_users(5)
+        .with_capacity_mean(2)
+        .with_conflict_ratio(1.0);
+    for seed in 0..3 {
+        let inst = generate(&cfg, seed);
+        let findings = verify_instance(&inst, &NOOP);
+        assert!(findings.is_empty(), "seed {seed}: {findings:?}");
+    }
+}
+
+#[test]
+fn metamorphic_suite_is_clean_across_seeds_and_shapes() {
+    for i in 0..6u64 {
+        let inst = generate(&stream_config(i), 2000 + i);
+        let findings = run_metamorphic(&inst, 31 + i, &NOOP);
+        assert!(findings.is_empty(), "class {}: {findings:?}", i % 4);
+    }
+}
+
+#[test]
+fn seeded_fuzz_campaign_is_clean() {
+    let report = run_fuzz(&FuzzConfig { count: 20, seed: 42, metamorphic_every: 5 }, &NOOP);
+    assert!(report.is_clean(), "{:?}", report.findings);
+    assert_eq!(report.instances, 20);
+    assert_eq!(report.metamorphic_runs, 4);
+    assert!(report.repro.is_none());
+}
+
+#[test]
+fn fuzz_campaign_emits_oracle_counters_deterministically() {
+    let cfg = FuzzConfig { count: 8, seed: 9, metamorphic_every: 4 };
+    let a = TraceSink::new();
+    let b = TraceSink::new();
+    assert!(run_fuzz(&cfg, &a).is_clean());
+    assert!(run_fuzz(&cfg, &b).is_clean());
+    assert!(a.counter(Counter::OracleCheck) > 0);
+    assert_eq!(a.counter(Counter::OracleCheck), b.counter(Counter::OracleCheck));
+    assert_eq!(a.counter(Counter::OracleViolation), 0);
+}

@@ -235,4 +235,58 @@ mod tests {
         assert_eq!(once.completed.len(), twice.completed.len());
         std::fs::remove_dir_all(&dir).unwrap();
     }
+
+    /// Regression: completion records landing *before* their accept
+    /// record (a journal assembled from a merge, or a resumed server
+    /// finishing an owed solve before any new accept lines). The accept
+    /// must not resurrect the id into `pending`, and among duplicate
+    /// completions the first record still wins regardless of where the
+    /// accept sits between them.
+    #[test]
+    fn completions_out_of_order_with_accepts_keep_first_and_stay_completed() {
+        let dir = tempdir("ooo");
+        let path = dir.join("wal.jsonl");
+        let journal = Journal::open(&path).unwrap();
+        // id "a": Completed → Accepted → Completed (conflicting)
+        journal
+            .append(&JournalRecord::Completed {
+                response: SolveResponse::bare("a", Status::Complete),
+            })
+            .unwrap();
+        journal.append(&JournalRecord::Accepted { request: request("a") }).unwrap();
+        journal
+            .append(&JournalRecord::Completed {
+                response: SolveResponse::bare(
+                    "a",
+                    Status::Failed { panic: "late duplicate must not win".into() },
+                ),
+            })
+            .unwrap();
+        // id "b": Completed with no accept record at all
+        journal
+            .append(&JournalRecord::Completed {
+                response: SolveResponse::bare(
+                    "b",
+                    Status::Truncated { reason: "deadline".into() },
+                ),
+            })
+            .unwrap();
+        // id "c": a genuinely pending accept, to prove retain() is
+        // surgical rather than clearing everything
+        journal.append(&JournalRecord::Accepted { request: request("c") }).unwrap();
+
+        let state = JournalState::replay(&path).unwrap();
+        assert_eq!(state.completed["a"].status, Status::Complete, "first record must win");
+        assert!(
+            matches!(state.completed["b"].status, Status::Truncated { .. }),
+            "acceptless completion is still an answer"
+        );
+        assert_eq!(state.pending.len(), 1, "completed ids must not be pending");
+        assert_eq!(state.pending[0].id, "c");
+        // and replaying again converges to the same verdicts
+        let again = JournalState::replay(&path).unwrap();
+        assert_eq!(again.completed["a"].status, Status::Complete);
+        assert_eq!(again.pending.len(), 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
 }

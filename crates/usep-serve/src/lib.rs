@@ -46,4 +46,4 @@ pub use backoff::RetryPolicy;
 pub use client::send_request;
 pub use journal::{Journal, JournalRecord, JournalState};
 pub use protocol::{estimate_instance_bytes, SolveRequest, SolveResponse, Status};
-pub use server::{Server, ServerHandle, ServeConfig};
+pub use server::{solve_with_retry, Server, ServerHandle, ServeConfig, SolveLimits};

@@ -478,21 +478,86 @@ fn describe_panic(payload: Box<dyn std::any::Any + Send>) -> String {
 /// walk down the degradation chain with backoff between tiers.
 fn solve_request(inner: &Inner, request: &SolveRequest) -> SolveResponse {
     let cfg = &inner.cfg;
-    let probe: &dyn Probe = &inner.sink;
     let seq = inner.solves_started.fetch_add(1, Ordering::SeqCst) + 1;
+    let limits = SolveLimits {
+        default_algorithm: cfg.default_algorithm,
+        max_timeout_ms: cfg.max_timeout_ms,
+        max_mem_budget_bytes: cfg.max_mem_budget_bytes,
+        retry: cfg.retry,
+        chaos_trip: cfg.chaos_trip,
+        chaos_panic_now: cfg.chaos_panic_every.is_some_and(|n| n > 0 && seq.is_multiple_of(n)),
+        chaos_delay_ms: cfg.chaos_delay_ms,
+    };
+    solve_with_retry(request, &limits, &inner.sink)
+}
 
+/// Server-side limits and fault-injection switches for one solve,
+/// decoupled from the socket/journal machinery so the retry chain can
+/// be driven in-process (differential tests, determinism audits).
+#[derive(Clone, Debug)]
+pub struct SolveLimits {
+    /// Algorithm for requests that name none.
+    pub default_algorithm: Algorithm,
+    /// Hard cap on the request's wall-clock budget (and the budget for
+    /// requests that ask for none).
+    pub max_timeout_ms: u64,
+    /// Cap on the request's memory ceiling; `None` leaves requests
+    /// without one uncapped.
+    pub max_mem_budget_bytes: Option<usize>,
+    /// Backoff between degradation-chain retries.
+    pub retry: RetryPolicy,
+    /// Fault injection: arm the guard with a chaos trip (memory-ceiling
+    /// reason) at this checkpoint count.
+    pub chaos_trip: Option<u64>,
+    /// Fault injection: panic inside the fence on this solve. The
+    /// server derives this from its solve sequence number and
+    /// `chaos_panic_every`.
+    pub chaos_panic_now: bool,
+    /// Fault injection: sleep this long inside each tier's solve.
+    pub chaos_delay_ms: u64,
+}
+
+impl Default for SolveLimits {
+    fn default() -> SolveLimits {
+        let cfg = ServeConfig::default();
+        SolveLimits {
+            default_algorithm: cfg.default_algorithm,
+            max_timeout_ms: cfg.max_timeout_ms,
+            max_mem_budget_bytes: cfg.max_mem_budget_bytes,
+            retry: cfg.retry,
+            chaos_trip: None,
+            chaos_panic_now: false,
+            chaos_delay_ms: 0,
+        }
+    }
+}
+
+/// Runs one request through the full serve retry/degradation chain —
+/// budget capping, the unwind fence, the infeasible-planning
+/// quarantine, best-by-Ω tier selection, and jittered backoff between
+/// tiers — without a server, socket, or journal.
+///
+/// This is exactly the path a live server executes per job; the server
+/// calls it through `solve_request`. Exposed so the `usep-oracle`
+/// differential engine and the cross-thread determinism tests can audit
+/// the serve path in-process.
+pub fn solve_with_retry(
+    request: &SolveRequest,
+    limits: &SolveLimits,
+    probe: &dyn Probe,
+) -> SolveResponse {
     let algorithm = request
         .algorithm
         .as_deref()
         .and_then(Algorithm::parse)
-        .unwrap_or(cfg.default_algorithm);
+        .unwrap_or(limits.default_algorithm);
     let chain = GuardedSolver::degradation_chain(algorithm);
 
-    let total = Duration::from_millis(request.timeout_ms.unwrap_or(cfg.max_timeout_ms))
-        .min(Duration::from_millis(cfg.max_timeout_ms));
+    let total = Duration::from_millis(request.timeout_ms.unwrap_or(limits.max_timeout_ms))
+        .min(Duration::from_millis(limits.max_timeout_ms));
     let ceiling = {
         let requested = request.mem_budget_mb.map(|mb| (mb as usize).saturating_mul(1 << 20));
-        match (requested, cfg.max_mem_budget_bytes) {
+        match (requested, limits.max_mem_budget_bytes) {
             (Some(r), Some(cap)) => Some(r.min(cap)),
             (Some(r), None) => Some(r),
             (None, cap) => cap,
@@ -519,21 +584,21 @@ fn solve_request(inner: &Inner, request: &SolveRequest) -> SolveResponse {
         if let Some(bytes) = ceiling {
             budget = budget.with_memory_ceiling(bytes);
         }
-        if let Some(at) = cfg.chaos_trip {
+        if let Some(at) = limits.chaos_trip {
             budget = budget.with_chaos_trip(at, TruncationReason::MemoryCeiling);
         }
         let guard = Guard::new(&budget);
 
-        if cfg.chaos_delay_ms > 0 {
-            std::thread::sleep(Duration::from_millis(cfg.chaos_delay_ms));
+        if limits.chaos_delay_ms > 0 {
+            std::thread::sleep(Duration::from_millis(limits.chaos_delay_ms));
         }
 
         // The fence: a panic anywhere in the solver stack (including
         // usep-par workers, which forward their payload here) becomes
         // a typed response instead of a dead server.
         let attempt = catch_unwind(AssertUnwindSafe(|| {
-            if cfg.chaos_panic_every.is_some_and(|n| n > 0 && seq.is_multiple_of(n)) {
-                panic!("chaos: injected panic (solve #{seq})");
+            if limits.chaos_panic_now {
+                panic!("chaos: injected panic");
             }
             solve_guarded(tier, &request.instance, &guard, probe)
         }));
@@ -541,7 +606,7 @@ fn solve_request(inner: &Inner, request: &SolveRequest) -> SolveResponse {
         let solved = match attempt {
             Ok(s) => s,
             Err(payload) => {
-                inner.sink.count(Counter::ServePanic, 1);
+                probe.count(Counter::ServePanic, 1);
                 return SolveResponse {
                     retries,
                     ..SolveResponse::bare(
@@ -555,7 +620,7 @@ fn solve_request(inner: &Inner, request: &SolveRequest) -> SolveResponse {
         // A solver that returns an infeasible planning is a bug, not a
         // client error; quarantine it like a panic.
         if let Err(e) = solved.planning.validate(&request.instance) {
-            inner.sink.count(Counter::ServePanic, 1);
+            probe.count(Counter::ServePanic, 1);
             return SolveResponse {
                 retries,
                 ..SolveResponse::bare(
@@ -586,9 +651,9 @@ fn solve_request(inner: &Inner, request: &SolveRequest) -> SolveResponse {
             SolveOutcome::Truncated { reason: TruncationReason::MemoryCeiling } if !is_last => {
                 // one tier down, after a jittered, deadline-bounded wait
                 retries += 1;
-                inner.sink.count(Counter::ServeRetry, 1);
+                probe.count(Counter::ServeRetry, 1);
                 last_reason = TruncationReason::MemoryCeiling;
-                let delay = cfg.retry.delay(retries as u32, seed);
+                let delay = limits.retry.delay(retries as u32, seed);
                 let left = total.saturating_sub(start.elapsed());
                 std::thread::sleep(delay.min(left));
             }

@@ -86,11 +86,18 @@ pub enum Counter {
     /// Duplicate request id answered from the journaled completion
     /// cache without re-solving.
     ServeReplay,
+    /// One planning audited by the independent constraint oracle
+    /// (`usep-oracle`).
+    OracleCheck,
+    /// Constraint or cross-check violation reported by the oracle.
+    OracleViolation,
+    /// One shrink attempt executed by the oracle's failure minimizer.
+    OracleMinimizeStep,
 }
 
 impl Counter {
     /// Every counter, in registry order.
-    pub const ALL: [Counter; 21] = [
+    pub const ALL: [Counter; 24] = [
         Counter::HeapPush,
         Counter::HeapPop,
         Counter::HeapPopStale,
@@ -112,6 +119,9 @@ impl Counter {
         Counter::ServePanic,
         Counter::ServeResume,
         Counter::ServeReplay,
+        Counter::OracleCheck,
+        Counter::OracleViolation,
+        Counter::OracleMinimizeStep,
     ];
 
     /// The stable snake_case identifier used in traces and tables.
@@ -138,6 +148,9 @@ impl Counter {
             Counter::ServePanic => "serve_panic",
             Counter::ServeResume => "serve_resume",
             Counter::ServeReplay => "serve_replay",
+            Counter::OracleCheck => "oracle_check",
+            Counter::OracleViolation => "oracle_violation",
+            Counter::OracleMinimizeStep => "oracle_minimize_step",
         }
     }
 }

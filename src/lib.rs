@@ -17,6 +17,12 @@
 //!   ([`SolveBudget`](guard::SolveBudget) +
 //!   [`GuardedSolver`](algos::GuardedSolver)).
 //! * [`metrics`] — timers, a counting allocator and experiment plumbing.
+//! * [`oracle`] — independent verification: a from-scratch constraint
+//!   validator sharing no code with the production cost path, a
+//!   differential engine over every solver and service path, a
+//!   metamorphic suite and a seeded fuzzer with failure minimization
+//!   ([`run_fuzz`](oracle::run_fuzz) +
+//!   [`verify_instance`](oracle::verify_instance)).
 //! * [`trace`] — the instrumentation layer: algorithm counters, phase
 //!   spans and JSON-lines trace export
 //!   ([`solve_with_probe`](algos::solve_with_probe) +
@@ -39,6 +45,7 @@ pub use usep_core as core;
 pub use usep_gen as gen;
 pub use usep_guard as guard;
 pub use usep_metrics as metrics;
+pub use usep_oracle as oracle;
 pub use usep_trace as trace;
 
 /// Crate version of the facade, for binaries that want to report it.
