@@ -19,7 +19,8 @@
 use crate::dedp::{optimal_user_schedule_with, DpScheduler};
 use usep_core::{EventId, Instance, UserId};
 use usep_guard::Guard;
-use usep_par::{current_threads, par_map_init};
+use usep_par::{current_threads, par_map_section};
+use usep_trace::{Probe, NOOP};
 
 /// Upper bound from dropping the capacity constraint: the sum over users
 /// of their individually optimal schedule utilities.
@@ -31,9 +32,18 @@ use usep_par::{current_threads, par_map_init};
 /// order — float addition is not associative, so a scheduling-dependent
 /// reduction order would break bit-identity with a sequential run.
 pub fn capacity_relaxed_bound(inst: &Instance) -> f64 {
+    capacity_relaxed_bound_with(inst, &NOOP)
+}
+
+/// [`capacity_relaxed_bound`] reporting through `probe`: the fan-out
+/// runs as an observable `par.capacity_relaxed_bound` section, so a
+/// request-scoped probe attributes the DP scan to its request.
+pub fn capacity_relaxed_bound_with(inst: &Instance, probe: &dyn Probe) -> f64 {
     let users: Vec<UserId> = inst.user_ids().collect();
-    par_map_init(
+    par_map_section(
         current_threads(),
+        "par.capacity_relaxed_bound",
+        probe,
         &users,
         Guard::none(),
         DpScheduler::new,

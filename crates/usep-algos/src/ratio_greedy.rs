@@ -25,7 +25,7 @@ use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 use usep_core::{Cost, EventId, Instance, Planning, UserId};
 use usep_guard::Guard;
-use usep_par::{current_threads, par_map_init};
+use usep_par::{current_threads, par_map_section};
 use usep_trace::{with_span, Counter, LocalCounters, Probe};
 
 /// Below this many scan items a parallel section's thread spawns cost
@@ -312,8 +312,10 @@ impl<'a> Engine<'a> {
         if self.threads > 1 && self.events.len().max(users.len()) >= MIN_PAR_ITEMS {
             let (inst, probe) = (self.inst, self.probe);
             let planning: &Planning = self.planning;
-            let event_scans = par_map_init(
+            let event_scans = par_map_section(
                 self.threads,
+                "par.seed_events",
+                probe,
                 self.events,
                 self.guard,
                 LocalCounters::new,
@@ -328,8 +330,10 @@ impl<'a> Engine<'a> {
             }
             let events = self.events;
             let planning: &Planning = self.planning;
-            let user_scans = par_map_init(
+            let user_scans = par_map_section(
                 self.threads,
+                "par.seed_users",
+                probe,
                 &users,
                 self.guard,
                 LocalCounters::new,
@@ -341,18 +345,28 @@ impl<'a> Engine<'a> {
                 self.commit_user(users[i], best);
             }
         } else {
-            for i in 0..self.events.len() {
-                if self.guard.checkpoint() {
-                    break;
+            // the inline fallback ticks the same section span/counter as
+            // the fan-out path, so trace snapshots stay identical across
+            // thread counts
+            let probe = self.probe;
+            with_span(probe, "par.seed_events", || {
+                probe.count(Counter::ParSection, 1);
+                for i in 0..self.events.len() {
+                    if self.guard.checkpoint() {
+                        break;
+                    }
+                    self.refresh_event(self.events[i]);
                 }
-                self.refresh_event(self.events[i]);
-            }
-            for &u in &users {
-                if self.guard.checkpoint() {
-                    break;
+            });
+            with_span(probe, "par.seed_users", || {
+                probe.count(Counter::ParSection, 1);
+                for &u in &users {
+                    if self.guard.checkpoint() {
+                        break;
+                    }
+                    self.refresh_user(u);
                 }
-                self.refresh_user(u);
-            }
+            });
         }
     }
 
@@ -421,8 +435,10 @@ impl<'a> Engine<'a> {
                 if self.threads > 1 && incident.len() >= MIN_PAR_ITEMS {
                     let (inst, probe) = (self.inst, self.probe);
                     let planning: &Planning = self.planning;
-                    let scans = par_map_init(
+                    let scans = par_map_section(
                         self.threads,
+                        "par.refresh_incident",
+                        probe,
                         &incident,
                         self.guard,
                         LocalCounters::new,
@@ -435,9 +451,13 @@ impl<'a> Engine<'a> {
                         self.commit_event(pos as usize, v, best);
                     }
                 } else {
-                    for &(_, v) in &incident {
-                        self.refresh_event(v);
-                    }
+                    let probe = self.probe;
+                    with_span(probe, "par.refresh_incident", || {
+                        probe.count(Counter::ParSection, 1);
+                        for &(_, v) in &incident {
+                            self.refresh_event(v);
+                        }
+                    });
                 }
                 // and the user-side entries offering the now-possibly-full
                 // event v are handled lazily: they fail `pair_inc` on pop

@@ -9,8 +9,9 @@
 //!
 //! Besides the usual criterion output, the run exports a machine-
 //! readable summary (median ns per section per thread count, plus the
-//! 4-thread speedup) to `BENCH_par.json` — path overridable via the
-//! `BENCH_PAR_JSON` environment variable — so CI can track the
+//! 4-thread speedup) to `BENCH_par.json` at the workspace root — path
+//! overridable via the `BENCH_PAR_JSON` environment variable — so CI
+//! can track the
 //! parallel-speedup trajectory across commits. On a single-core runner
 //! the speedups sit near (or below) 1×; the export happens regardless.
 
@@ -109,11 +110,15 @@ fn export_summary() {
         std::thread::available_parallelism().map_or(1, |n| n.get()),
         entries.join(",")
     );
-    let path =
-        std::env::var("BENCH_PAR_JSON").unwrap_or_else(|_| "BENCH_par.json".to_string());
+    // `BENCH_PAR_JSON` overrides; the default resolves to the workspace
+    // root (cargo runs benches from the package dir, which previously
+    // stranded the export in crates/usep-bench/)
+    let path = std::env::var("BENCH_PAR_JSON")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|_| usep_bench::workspace_root_path("BENCH_par.json"));
     match std::fs::write(&path, &json) {
-        Ok(()) => println!("wrote {path}"),
-        Err(e) => eprintln!("could not write {path}: {e}"),
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write {}: {e}", path.display()),
     }
 }
 

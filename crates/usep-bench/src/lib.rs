@@ -29,3 +29,18 @@ pub fn scalable_algorithms() -> Vec<Algorithm> {
 pub fn solve_omega(algorithm: Algorithm, inst: &Instance) -> f64 {
     usep_algos::solve(algorithm, inst).omega(inst)
 }
+
+/// Resolves a bench-export filename against the *workspace root*.
+///
+/// Cargo runs bench binaries with the package directory as the working
+/// directory, so a bare relative path would land the export in
+/// `crates/usep-bench/` instead of the repo root where CI (and the
+/// README) look for it. Anchoring on `CARGO_MANIFEST_DIR` makes the
+/// destination independent of the invoker's cwd.
+pub fn workspace_root_path(file: &str) -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2) // crates/usep-bench → crates → workspace root
+        .expect("usep-bench sits two levels below the workspace root")
+        .join(file)
+}

@@ -43,10 +43,20 @@ SUBCOMMANDS:
               --max-timeout-ms N, --journal FILE, --resume true,
               --max-requests N to drain-and-exit; panics are contained
               per request, overload is shed with a typed response, and
-              accepted work survives a crash via the journal)
+              accepted work survives a crash via the journal;
+              --metrics-addr HOST:PORT serves Prometheus-text /metrics,
+              /healthz, /buildinfo and /flightrec on a second port, and
+              --flightrec N sizes the flight-recorder ring)
     request   submit one instance to a running server (--addr HOST:PORT
               --instance FILE --id KEY; prints the response JSON; exits
               0 on complete, 3 on truncated, 1 otherwise)
+    top       live service summary from a /metrics endpoint
+              (--addr HOST:PORT of --metrics-addr; --interval-ms N,
+              --iterations N [0 = forever], --clear true; shows qps,
+              p50/p95/p99 solve latency, shed rate, degradation mix)
+    dump      dump a running server's flight recorder (--addr HOST:PORT
+              of the *solve* listener; prints the last-N annotated
+              events as one JSON line)
 
 Common flags: --instance FILE, --plan FILE, --out FILE, --seed N,
 --algorithm ratiogreedy|dedp|dedpo|dedpo+rg|degreedy|degreedy+rg|baseline,
@@ -78,6 +88,8 @@ pub fn dispatch(argv: &[String]) -> Result<u8, String> {
         "plan-user" => cmd_plan_user(&flags).map(|()| 0),
         "serve" => cmd_serve(&flags).map(|()| 0),
         "request" => cmd_request(&flags),
+        "top" => cmd_top(&flags).map(|()| 0),
+        "dump" => cmd_dump(&flags).map(|()| 0),
         "help" | "--help" | "-h" => {
             println!("{HELP}");
             Ok(0)
@@ -515,12 +527,17 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
         chaos_trip,
         chaos_panic_every,
         chaos_delay_ms: flags.get_or("chaos-delay-ms", 0u64)?,
+        metrics_addr: flags.get("metrics-addr"),
+        flight_recorder_capacity: flags.get_or("flightrec", 256usize)?,
         ..usep_serve::ServeConfig::default()
     };
     flags.reject_unknown()?;
     let server = usep_serve::Server::start(cfg).map_err(|e| format!("start server: {e}"))?;
     // the bound address on stdout, so scripts using port 0 can find it
     println!("listening {}", server.addr());
+    if let Some(maddr) = server.metrics_addr() {
+        println!("metrics {maddr}");
+    }
     use std::io::Write as _;
     let _ = std::io::stdout().flush();
     if server.resumed() > 0 {
@@ -565,6 +582,38 @@ fn cmd_request(flags: &Flags) -> Result<u8, String> {
         usep_serve::Status::Truncated { .. } => Ok(EXIT_TRUNCATED),
         other => Err(format!("server answered: {}", other.describe())),
     }
+}
+
+/// `usep top`: polls a server's `/metrics` endpoint and renders a
+/// one-screen service summary (qps, latency quantiles, shed rate,
+/// degradation mix) per poll.
+fn cmd_top(flags: &Flags) -> Result<(), String> {
+    let addr = flags.get("addr").unwrap_or_else(|| "127.0.0.1:9187".into());
+    let interval = Duration::from_millis(flags.get_or("interval-ms", 1000u64)?);
+    let iterations = flags.get_or("iterations", 0u64)?;
+    let clear = flags.get_or("clear", false)?;
+    flags.reject_unknown()?;
+    let mut stdout = std::io::stdout();
+    usep_obs::top::run(&addr, interval, iterations, clear, &mut stdout)
+        .map_err(|e| format!("top {addr}: {e}"))
+}
+
+/// `usep dump`: asks a running server (on its *solve* port) for its
+/// flight-recorder contents and prints the JSON line.
+fn cmd_dump(flags: &Flags) -> Result<(), String> {
+    use std::io::{BufRead, BufReader, Write as _};
+    let addr = flags.get("addr").unwrap_or_else(|| "127.0.0.1:7878".into());
+    let timeout = Duration::from_millis(flags.get_or("client-timeout-ms", 10_000u64)?);
+    flags.reject_unknown()?;
+    let mut stream =
+        std::net::TcpStream::connect(&addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    stream.set_read_timeout(Some(timeout)).map_err(|e| e.to_string())?;
+    writeln!(stream, "{}", r#"{"verb":"dump"}"#).map_err(|e| format!("send to {addr}: {e}"))?;
+    stream.flush().map_err(|e| e.to_string())?;
+    let mut line = String::new();
+    BufReader::new(stream).read_line(&mut line).map_err(|e| format!("read from {addr}: {e}"))?;
+    print!("{line}");
+    Ok(())
 }
 
 fn cmd_convert(flags: &Flags) -> Result<(), String> {
@@ -823,6 +872,27 @@ mod tests {
         assert!(e.contains("exactly one"), "{e}");
         let e = dispatch(&argv(&["verify", "--fuzz", "2", "--instance", "x.json"])).unwrap_err();
         assert!(e.contains("exactly one"), "{e}");
+    }
+
+    #[test]
+    fn top_and_dump_run_against_a_live_server() {
+        let cfg = usep_serve::ServeConfig {
+            metrics_addr: Some("127.0.0.1:0".to_string()),
+            ..usep_serve::ServeConfig::default()
+        };
+        let server = usep_serve::Server::start(cfg).unwrap();
+        let addr = server.addr().to_string();
+        let maddr = server.metrics_addr().unwrap().to_string();
+
+        dispatch(&argv(&["top", "--addr", &maddr, "--iterations", "1"])).unwrap();
+        dispatch(&argv(&["dump", "--addr", &addr])).unwrap();
+
+        // unreachable endpoints fail with a readable error, not a hang
+        let e = dispatch(&argv(&["dump", "--addr", "127.0.0.1:1"])).unwrap_err();
+        assert!(e.contains("connect"), "{e}");
+
+        server.shutdown();
+        server.wait();
     }
 
     #[test]

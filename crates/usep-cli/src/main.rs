@@ -15,8 +15,12 @@
 //! usep bound --instance instance.json [--plan plan.json] [--threads N]
 //! usep serve --addr 127.0.0.1:7878 [--workers N] [--queue N]
 //!            [--journal wal.jsonl] [--resume true] [--max-requests N]
+//!            [--metrics-addr 127.0.0.1:9187] [--flightrec N]
 //! usep request --addr 127.0.0.1:7878 --instance instance.json --id job-1
 //!              [--algorithm dedpo] [--timeout-ms N] [--mem-budget-mb N]
+//! usep top   --addr 127.0.0.1:9187 [--interval-ms 1000]
+//!            [--iterations N] [--clear true]
+//! usep dump  --addr 127.0.0.1:7878
 //! ```
 
 mod args;

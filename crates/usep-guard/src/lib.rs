@@ -412,6 +412,19 @@ impl Guard {
         self.tripped.load(Ordering::Relaxed) != NOT_TRIPPED
     }
 
+    /// The absolute wall-clock deadline this guard enforces, when one
+    /// was configured. The serve layer stamps this into its
+    /// request-scoped trace context so nested layers share one clock.
+    pub fn deadline_instant(&self) -> Option<Instant> {
+        self.deadline
+    }
+
+    /// Time left before the deadline trips (zero once it has passed);
+    /// `None` when no deadline is configured.
+    pub fn remaining(&self) -> Option<Duration> {
+        self.deadline.map(|d| d.saturating_duration_since(Instant::now()))
+    }
+
     /// Whether any limit is configured. Solvers with a legacy
     /// fail-fast path (e.g. a panic on an absurd table size) keep it
     /// when the guard is inactive — tripping a shared unlimited guard
@@ -590,6 +603,24 @@ mod tests {
         ledger.release(100);
         assert_eq!(ledger.in_use(), 0);
         assert!(ledger.try_reserve(10));
+    }
+
+    #[test]
+    fn deadline_accessors_expose_the_absolute_clock() {
+        let unlimited = Guard::unlimited();
+        assert!(unlimited.deadline_instant().is_none());
+        assert!(unlimited.remaining().is_none());
+
+        let budget = SolveBudget::unlimited().with_deadline(Duration::from_secs(60));
+        let guard = Guard::new(&budget);
+        let deadline = guard.deadline_instant().expect("deadline configured");
+        assert!(deadline > Instant::now());
+        let remaining = guard.remaining().expect("deadline configured");
+        assert!(remaining <= Duration::from_secs(60));
+        assert!(remaining >= Duration::from_secs(59));
+
+        let expired = Guard::new(&SolveBudget::unlimited().with_deadline(Duration::ZERO));
+        assert_eq!(expired.remaining(), Some(Duration::ZERO));
     }
 
     #[test]

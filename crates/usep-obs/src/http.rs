@@ -1,0 +1,227 @@
+//! Minimal HTTP/1.0 listener for the metrics plane.
+//!
+//! Scrapes are tiny, rare (once a second at most) and read-only, so a
+//! full HTTP stack would be all liability: this server accepts a
+//! connection, reads one `GET` request line, drains headers, routes on
+//! the path, writes one `Connection: close` response, and hangs up.
+//! The listener lives on its own address so a wedged solve socket
+//! never takes the health check down with it (and vice versa).
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// One routed response.
+pub struct Response {
+    /// HTTP status code (200, 404, …).
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Response body.
+    pub body: String,
+}
+
+impl Response {
+    /// A `200 OK` plain-text response.
+    pub fn text(body: impl Into<String>) -> Response {
+        Response { status: 200, content_type: "text/plain; version=0.0.4; charset=utf-8", body: body.into() }
+    }
+
+    /// A `200 OK` JSON response.
+    pub fn json(body: impl Into<String>) -> Response {
+        Response { status: 200, content_type: "application/json", body: body.into() }
+    }
+}
+
+/// Path router: returns `None` for unknown paths (rendered as 404).
+pub type Handler = Box<dyn Fn(&str) -> Option<Response> + Send + Sync>;
+
+/// A running metrics listener; shuts down when dropped or on
+/// [`HttpHandle::shutdown`].
+pub struct HttpHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl HttpHandle {
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the accept loop and joins it.
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // poke the blocking accept() so it observes the flag
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for HttpHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Binds `addr` and serves `handler` until shutdown.
+pub fn serve(addr: &str, handler: Handler) -> io::Result<HttpHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let addr = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop_accept = stop.clone();
+    let handler = Arc::new(handler);
+    let accept_thread = std::thread::Builder::new()
+        .name("usep-obs-http".to_string())
+        .spawn(move || {
+            for conn in listener.incoming() {
+                if stop_accept.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = conn else { continue };
+                let handler = handler.clone();
+                // scrape handling is quick; detach and let the stream
+                // close on completion
+                let _ = std::thread::Builder::new()
+                    .name("usep-obs-conn".to_string())
+                    .spawn(move || {
+                        let _ = handle_connection(stream, &handler);
+                    });
+            }
+        })?;
+    Ok(HttpHandle { addr, stop, accept_thread: Some(accept_thread) })
+}
+
+fn handle_connection(stream: TcpStream, handler: &Handler) -> io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(5)))?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut request_line = String::new();
+    reader.read_line(&mut request_line)?;
+    // drain headers up to the blank line; bodies are not supported
+    let mut header = String::new();
+    loop {
+        header.clear();
+        let n = reader.read_line(&mut header)?;
+        if n == 0 || header.trim_end().is_empty() {
+            break;
+        }
+    }
+    let mut parts = request_line.split_whitespace();
+    let (method, path) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
+    let response = if method != "GET" {
+        Response { status: 405, content_type: "text/plain; charset=utf-8", body: "method not allowed\n".to_string() }
+    } else {
+        match handler(path) {
+            Some(r) => r,
+            None => Response { status: 404, content_type: "text/plain; charset=utf-8", body: "not found\n".to_string() },
+        }
+    };
+    write_response(stream, &response)
+}
+
+fn write_response(mut stream: TcpStream, r: &Response) -> io::Result<()> {
+    let reason = match r.status {
+        200 => "OK",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        _ => "Error",
+    };
+    write!(
+        stream,
+        "HTTP/1.0 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        r.status,
+        reason,
+        r.content_type,
+        r.body.len()
+    )?;
+    stream.write_all(r.body.as_bytes())?;
+    stream.flush()
+}
+
+/// Minimal scrape client: one `GET path` against `addr`, returning the
+/// response body on any `2xx` status. Shared by `usep top` and tests.
+pub fn get(addr: &str, path: &str, timeout: Duration) -> io::Result<String> {
+    let sock_addr: SocketAddr = addr
+        .parse()
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, format!("bad address {addr:?}: {e}")))?;
+    let mut stream = TcpStream::connect_timeout(&sock_addr, timeout)?;
+    stream.set_read_timeout(Some(timeout))?;
+    stream.set_write_timeout(Some(timeout))?;
+    write!(stream, "GET {path} HTTP/1.0\r\nHost: {addr}\r\nConnection: close\r\n\r\n")?;
+    stream.flush()?;
+    let mut raw = String::new();
+    BufReader::new(stream).read_to_string(&mut raw)?;
+    let (head, body) = raw
+        .split_once("\r\n\r\n")
+        .or_else(|| raw.split_once("\n\n"))
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "malformed HTTP response"))?;
+    let status_line = head.lines().next().unwrap_or("");
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "missing status code"))?;
+    if !(200..300).contains(&status) {
+        return Err(io::Error::new(io::ErrorKind::Other, format!("GET {path}: HTTP {status}")));
+    }
+    Ok(body.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_server() -> HttpHandle {
+        serve(
+            "127.0.0.1:0",
+            Box::new(|path| match path {
+                "/metrics" => Some(Response::text("usep_up 1\n")),
+                "/healthz" => Some(Response::text("ok\n")),
+                "/buildinfo" => Some(Response::json("{\"name\":\"usep\"}")),
+                _ => None,
+            }),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn routes_paths_and_serves_bodies_over_real_tcp() {
+        let server = test_server();
+        let addr = server.addr.to_string();
+        let t = Duration::from_secs(5);
+        assert_eq!(get(&addr, "/metrics", t).unwrap(), "usep_up 1\n");
+        assert_eq!(get(&addr, "/healthz", t).unwrap(), "ok\n");
+        assert_eq!(get(&addr, "/buildinfo", t).unwrap(), "{\"name\":\"usep\"}");
+    }
+
+    #[test]
+    fn unknown_paths_404_and_non_get_405() {
+        let server = test_server();
+        let addr = server.addr.to_string();
+        let t = Duration::from_secs(5);
+        let err = get(&addr, "/nope", t).unwrap_err();
+        assert!(err.to_string().contains("404"), "{err}");
+
+        let mut stream = TcpStream::connect(server.addr).unwrap();
+        stream.set_read_timeout(Some(t)).unwrap();
+        write!(stream, "POST /metrics HTTP/1.0\r\n\r\n").unwrap();
+        let mut raw = String::new();
+        BufReader::new(stream).read_to_string(&mut raw).unwrap();
+        assert!(raw.starts_with("HTTP/1.0 405"), "{raw}");
+    }
+
+    #[test]
+    fn shutdown_stops_accepting() {
+        let mut server = test_server();
+        let addr = server.addr.to_string();
+        server.shutdown();
+        let err = get(&addr, "/healthz", Duration::from_millis(500));
+        assert!(err.is_err(), "listener must be closed after shutdown");
+    }
+}

@@ -1,0 +1,33 @@
+//! Service observability plane for the USEP serve fleet.
+//!
+//! `usep-trace` (PR 1) instruments the solvers; this crate makes a
+//! running *service* observable from the outside without attaching a
+//! debugger or tailing JSONL traces:
+//!
+//! * [`MetricsRegistry`] — named gauges, monotonic counters and
+//!   histograms backed by pull closures, rendered in the Prometheus
+//!   text exposition format (`render`).
+//! * [`http`] — a minimal HTTP/1.0 listener serving `GET /metrics`,
+//!   `/healthz`, `/buildinfo` and `/flightrec` on a dedicated address,
+//!   isolated from the solve protocol socket.
+//! * [`FlightRecorder`] — a fixed-size lock-free ring buffer of the
+//!   last N annotated events (admission decisions, guard trips,
+//!   retries, panics) for post-mortem dumps without always-on JSONL
+//!   cost.
+//! * [`top`] — the scrape client + renderer behind `usep top`: polls
+//!   `/metrics` and draws a one-screen qps / latency / shed / mix
+//!   summary.
+//!
+//! Like every crate below the serve layer, `usep-obs` has no external
+//! dependencies: the HTTP server and client are hand-rolled over
+//! `std::net`, and JSON output reuses `usep-trace`'s value model.
+
+#![forbid(unsafe_code)]
+
+pub mod http;
+mod recorder;
+mod registry;
+pub mod top;
+
+pub use recorder::{FlightEvent, FlightRecorder};
+pub use registry::{MetricKind, MetricsRegistry, Sample};

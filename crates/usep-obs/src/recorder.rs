@@ -1,0 +1,196 @@
+//! Flight recorder: a fixed-size ring buffer of annotated events.
+//!
+//! JSONL tracing answers "what happened?" at full fidelity but costs a
+//! write per span; the flight recorder instead keeps only the last N
+//! *notable* events (admission decisions, guard trips, retries,
+//! panics) in memory, always on, and serializes them to JSON only when
+//! someone asks — a `dump` protocol verb, the `/flightrec` endpoint,
+//! or the automatic dump on panic/shutdown.
+//!
+//! Writers are wait-free on the ring cursor: a single atomic
+//! `fetch_add` claims a slot, and the per-slot mutex is held only for
+//! the event move, so two writers contend only when they land on the
+//! same slot (i.e. the ring has already wrapped a full lap between
+//! them). Readers snapshot every slot and order by sequence number; a
+//! reader racing a writer on one slot sees either the old or the new
+//! event, never a torn one.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use usep_trace::json::Value;
+
+/// One recorded event.
+#[derive(Clone, Debug)]
+pub struct FlightEvent {
+    /// Global sequence number (total order across the ring).
+    pub seq: u64,
+    /// Milliseconds since the recorder was created.
+    pub t_ms: u64,
+    /// Event class, e.g. `"admit"`, `"shed"`, `"retry"`, `"panic"`.
+    pub kind: &'static str,
+    /// Request id the event belongs to, when there is one.
+    pub request_id: Option<String>,
+    /// Free-form human-readable annotation.
+    pub detail: String,
+}
+
+impl FlightEvent {
+    fn to_json(&self) -> Value {
+        let mut fields = vec![
+            ("seq".to_string(), Value::U64(self.seq)),
+            ("t_ms".to_string(), Value::U64(self.t_ms)),
+            ("kind".to_string(), Value::Str(self.kind.to_string())),
+        ];
+        if let Some(id) = &self.request_id {
+            fields.push(("request_id".to_string(), Value::Str(id.clone())));
+        }
+        fields.push(("detail".to_string(), Value::Str(self.detail.clone())));
+        Value::Map(fields)
+    }
+}
+
+/// Ring buffer of the last `capacity` events.
+pub struct FlightRecorder {
+    slots: Vec<Mutex<Option<FlightEvent>>>,
+    cursor: AtomicU64,
+    epoch: Instant,
+}
+
+impl FlightRecorder {
+    /// A recorder holding the last `capacity` events (min 1).
+    pub fn new(capacity: usize) -> FlightRecorder {
+        let capacity = capacity.max(1);
+        FlightRecorder {
+            slots: (0..capacity).map(|_| Mutex::new(None)).collect(),
+            cursor: AtomicU64::new(0),
+            epoch: Instant::now(),
+        }
+    }
+
+    /// Ring capacity.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Total number of events ever recorded (≥ events retained).
+    pub fn recorded(&self) -> u64 {
+        self.cursor.load(Ordering::Relaxed)
+    }
+
+    /// Records one event, overwriting the oldest once full.
+    pub fn record(&self, kind: &'static str, request_id: Option<&str>, detail: impl Into<String>) {
+        let seq = self.cursor.fetch_add(1, Ordering::Relaxed);
+        let event = FlightEvent {
+            seq,
+            t_ms: self.epoch.elapsed().as_millis() as u64,
+            kind,
+            request_id: request_id.map(str::to_string),
+            detail: detail.into(),
+        };
+        let slot = (seq % self.slots.len() as u64) as usize;
+        *self.slots[slot].lock().unwrap_or_else(|p| p.into_inner()) = Some(event);
+    }
+
+    /// Snapshot of the retained events, oldest first.
+    pub fn events(&self) -> Vec<FlightEvent> {
+        let mut out: Vec<FlightEvent> = self
+            .slots
+            .iter()
+            .filter_map(|s| s.lock().unwrap_or_else(|p| p.into_inner()).clone())
+            .collect();
+        out.sort_by_key(|e| e.seq);
+        out
+    }
+
+    /// Renders the retained events as one compact JSON line:
+    /// `{"type":"flight_recorder","recorded":…,"capacity":…,"events":[…]}`.
+    pub fn dump_json(&self) -> String {
+        let events = self.events();
+        Value::Map(vec![
+            ("type".to_string(), Value::Str("flight_recorder".to_string())),
+            ("recorded".to_string(), Value::U64(self.recorded())),
+            ("capacity".to_string(), Value::U64(self.capacity() as u64)),
+            (
+                "events".to_string(),
+                Value::Seq(events.iter().map(FlightEvent::to_json).collect()),
+            ),
+        ])
+        .render()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_in_order_and_wraps_at_capacity() {
+        let rec = FlightRecorder::new(4);
+        for i in 0..10u64 {
+            rec.record("tick", Some(&format!("req-{i}")), format!("event {i}"));
+        }
+        assert_eq!(rec.recorded(), 10);
+        let events = rec.events();
+        assert_eq!(events.len(), 4, "ring keeps only the last 4");
+        let seqs: Vec<u64> = events.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![6, 7, 8, 9], "oldest first, newest retained");
+        assert_eq!(events[3].request_id.as_deref(), Some("req-9"));
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped_to_one() {
+        let rec = FlightRecorder::new(0);
+        rec.record("a", None, "x");
+        rec.record("b", None, "y");
+        let events = rec.events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].kind, "b");
+    }
+
+    #[test]
+    fn dump_is_one_json_line_with_request_ids() {
+        let rec = FlightRecorder::new(8);
+        rec.record("admit", Some("job-1"), "queue_depth=0");
+        rec.record("panic", Some("job-2"), "payload: \"boom\"");
+        let dump = rec.dump_json();
+        assert!(!dump.contains('\n'), "dump must be a single line");
+        assert!(dump.starts_with("{\"type\":\"flight_recorder\""));
+        assert!(dump.contains("\"recorded\":2"));
+        assert!(dump.contains("\"request_id\":\"job-1\""));
+        assert!(dump.contains("\"kind\":\"panic\""));
+        assert!(dump.contains(r#"payload: \"boom\""#), "details are escaped: {dump}");
+    }
+
+    #[test]
+    fn concurrent_writers_never_tear_events() {
+        use std::sync::Arc;
+        let rec = Arc::new(FlightRecorder::new(16));
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let rec = rec.clone();
+                std::thread::spawn(move || {
+                    for i in 0..100 {
+                        rec.record("w", Some(&format!("t{t}-{i}")), format!("thread {t} event {i}"));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(rec.recorded(), 400);
+        let events = rec.events();
+        assert_eq!(events.len(), 16);
+        for e in &events {
+            // id and detail always came from the same record() call
+            let id = e.request_id.as_ref().unwrap();
+            let (t, i) = id[1..].split_once('-').unwrap();
+            assert_eq!(e.detail, format!("thread {t} event {i}"));
+        }
+        for w in events.windows(2) {
+            assert!(w[0].seq < w[1].seq);
+        }
+    }
+}

@@ -1,0 +1,354 @@
+//! Pull-based metrics registry with Prometheus text exposition.
+//!
+//! Metrics are registered once at service start as *closures* over the
+//! live data structures (atomic cells, the trace sink, the admission
+//! ledger); a scrape walks the registry and samples every closure, so
+//! there is no push path to instrument and no background thread to
+//! keep fresh. Rendering follows the Prometheus text format, version
+//! 0.0.4: one `# HELP` / `# TYPE` pair per family, `_total`-suffixed
+//! counters, and log₂ histograms re-exported as cumulative
+//! `_bucket{le="..."}` ladders plus `_sum` / `_count`.
+
+use std::sync::Arc;
+use std::sync::Mutex;
+
+use usep_trace::Histogram;
+
+/// What a metric is, for the `# TYPE` line and rendering rules.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Monotonically non-decreasing count. Family names should end in
+    /// `_total` by convention; the registry enforces it.
+    Counter,
+    /// Point-in-time value that may go up or down.
+    Gauge,
+    /// Log₂-bucketed distribution, rendered as a cumulative ladder.
+    Histogram,
+}
+
+/// One sampled value, produced by a metric's source closure.
+pub enum Sample {
+    /// Counter or gauge value.
+    Value(f64),
+    /// Histogram snapshot (cloned out of the live sink).
+    Hist(Histogram),
+}
+
+type Source = Box<dyn Fn() -> Sample + Send + Sync>;
+
+struct Metric {
+    name: String,
+    help: String,
+    kind: MetricKind,
+    labels: Vec<(&'static str, String)>,
+    source: Source,
+}
+
+/// The registry: a flat, insertion-ordered list of metric series.
+///
+/// Multiple series may share a family name (same name, different
+/// labels); `render` groups them so HELP/TYPE appear once per family.
+#[derive(Default)]
+pub struct MetricsRegistry {
+    metrics: Mutex<Vec<Metric>>,
+}
+
+fn valid_name(name: &str) -> bool {
+    !name.is_empty()
+        && name
+            .chars()
+            .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_' || c == ':')
+        && !name.starts_with(|c: char| c.is_ascii_digit())
+}
+
+/// Renders a value the way Prometheus expects: integers bare, floats
+/// via shortest-roundtrip `Display`.
+fn format_value(v: f64) -> String {
+    if v.is_finite() && v.fract() == 0.0 && v.abs() < 9e15 {
+        format!("{}", v as i64)
+    } else if v.is_nan() {
+        "NaN".to_string()
+    } else if v.is_infinite() {
+        if v > 0.0 { "+Inf".to_string() } else { "-Inf".to_string() }
+    } else {
+        format!("{v}")
+    }
+}
+
+fn escape_label(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn render_labels(labels: &[(&'static str, String)], extra: Option<(&str, &str)>) -> String {
+    let mut parts: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label(v)))
+        .collect();
+    if let Some((k, v)) = extra {
+        parts.push(format!("{k}=\"{}\"", escape_label(v)));
+    }
+    if parts.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", parts.join(","))
+    }
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Registers one series. Panics on malformed names, on counters not
+    /// ending in `_total`, and on exact (name, labels) duplicates —
+    /// registration happens once at service start, so misuse is a
+    /// programming error worth failing loudly on.
+    pub fn register(
+        &self,
+        name: &str,
+        help: &str,
+        kind: MetricKind,
+        labels: Vec<(&'static str, String)>,
+        source: Source,
+    ) {
+        assert!(valid_name(name), "invalid metric name {name:?}");
+        assert!(
+            kind != MetricKind::Counter || name.ends_with("_total"),
+            "counter {name:?} must end in _total"
+        );
+        let mut metrics = self.metrics.lock().unwrap_or_else(|p| p.into_inner());
+        assert!(
+            !metrics.iter().any(|m| m.name == name && m.labels == labels),
+            "duplicate series {name:?} {labels:?}"
+        );
+        if let Some(prior) = metrics.iter().find(|m| m.name == name) {
+            assert!(prior.kind == kind, "family {name:?} registered with two kinds");
+        }
+        metrics.push(Metric { name: name.to_string(), help: help.to_string(), kind, labels, source });
+    }
+
+    /// Registers a counter backed by an atomic cell and returns the
+    /// cell; the serve layer increments it on the hot path.
+    pub fn counter_cell(
+        &self,
+        name: &str,
+        help: &str,
+        labels: Vec<(&'static str, String)>,
+    ) -> Arc<std::sync::atomic::AtomicU64> {
+        let cell = Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let read = cell.clone();
+        self.register(
+            name,
+            help,
+            MetricKind::Counter,
+            labels,
+            Box::new(move || Sample::Value(read.load(std::sync::atomic::Ordering::Relaxed) as f64)),
+        );
+        cell
+    }
+
+    /// Registers a counter sampled from a closure.
+    pub fn counter_fn(
+        &self,
+        name: &str,
+        help: &str,
+        labels: Vec<(&'static str, String)>,
+        f: impl Fn() -> u64 + Send + Sync + 'static,
+    ) {
+        self.register(name, help, MetricKind::Counter, labels, Box::new(move || Sample::Value(f() as f64)));
+    }
+
+    /// Registers a gauge sampled from a closure.
+    pub fn gauge_fn(
+        &self,
+        name: &str,
+        help: &str,
+        labels: Vec<(&'static str, String)>,
+        f: impl Fn() -> f64 + Send + Sync + 'static,
+    ) {
+        self.register(name, help, MetricKind::Gauge, labels, Box::new(move || Sample::Value(f())));
+    }
+
+    /// Registers a histogram family whose snapshot is pulled per scrape.
+    pub fn histogram_fn(
+        &self,
+        name: &str,
+        help: &str,
+        labels: Vec<(&'static str, String)>,
+        f: impl Fn() -> Histogram + Send + Sync + 'static,
+    ) {
+        self.register(name, help, MetricKind::Histogram, labels, Box::new(move || Sample::Hist(f())));
+    }
+
+    /// Number of registered series.
+    pub fn len(&self) -> usize {
+        self.metrics.lock().unwrap_or_else(|p| p.into_inner()).len()
+    }
+
+    /// `true` when nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Samples every source and renders the Prometheus text exposition.
+    pub fn render(&self) -> String {
+        let metrics = self.metrics.lock().unwrap_or_else(|p| p.into_inner());
+        let mut out = String::new();
+        let mut seen_family: Vec<&str> = Vec::new();
+        for m in metrics.iter() {
+            if !seen_family.contains(&m.name.as_str()) {
+                seen_family.push(&m.name);
+                let kind = match m.kind {
+                    MetricKind::Counter => "counter",
+                    MetricKind::Gauge => "gauge",
+                    MetricKind::Histogram => "histogram",
+                };
+                out.push_str(&format!("# HELP {} {}\n", m.name, m.help));
+                out.push_str(&format!("# TYPE {} {}\n", m.name, kind));
+            }
+            match (m.source)() {
+                Sample::Value(v) => {
+                    out.push_str(&format!(
+                        "{}{} {}\n",
+                        m.name,
+                        render_labels(&m.labels, None),
+                        format_value(v)
+                    ));
+                }
+                Sample::Hist(h) => {
+                    for (le, cum) in h.cumulative_buckets() {
+                        out.push_str(&format!(
+                            "{}_bucket{} {}\n",
+                            m.name,
+                            render_labels(&m.labels, Some(("le", &format_value(le)))),
+                            cum
+                        ));
+                    }
+                    out.push_str(&format!(
+                        "{}_bucket{} {}\n",
+                        m.name,
+                        render_labels(&m.labels, Some(("le", "+Inf"))),
+                        h.count()
+                    ));
+                    out.push_str(&format!(
+                        "{}_sum{} {}\n",
+                        m.name,
+                        render_labels(&m.labels, None),
+                        format_value(h.sum())
+                    ));
+                    out.push_str(&format!(
+                        "{}_count{} {}\n",
+                        m.name,
+                        render_labels(&m.labels, None),
+                        h.count()
+                    ));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::Ordering;
+
+    #[test]
+    fn renders_counters_gauges_and_help_type_once_per_family() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter_cell("usep_requests_total", "Requests seen.", vec![]);
+        c.store(7, Ordering::Relaxed);
+        reg.gauge_fn("usep_queue_depth", "Jobs queued.", vec![], || 3.5);
+        reg.counter_cell(
+            "usep_shed_total",
+            "Requests shed.",
+            vec![("reason", "queue_full".to_string())],
+        );
+        reg.counter_cell(
+            "usep_shed_total",
+            "Requests shed.",
+            vec![("reason", "memory_pressure".to_string())],
+        );
+        let text = reg.render();
+        assert!(text.contains("# HELP usep_requests_total Requests seen.\n"));
+        assert!(text.contains("# TYPE usep_requests_total counter\n"));
+        assert!(text.contains("usep_requests_total 7\n"));
+        assert!(text.contains("usep_queue_depth 3.5\n"));
+        assert!(text.contains("usep_shed_total{reason=\"queue_full\"} 0\n"));
+        assert!(text.contains("usep_shed_total{reason=\"memory_pressure\"} 0\n"));
+        assert_eq!(text.matches("# TYPE usep_shed_total").count(), 1, "one TYPE per family");
+    }
+
+    #[test]
+    fn renders_histograms_as_cumulative_ladders() {
+        let reg = MetricsRegistry::new();
+        reg.histogram_fn("usep_solve_ms", "Solve latency.", vec![], || {
+            let mut h = Histogram::new();
+            for v in [0.5, 3.0, 3.0, 100.0] {
+                h.record(v);
+            }
+            h
+        });
+        let text = reg.render();
+        assert!(text.contains("# TYPE usep_solve_ms histogram\n"));
+        assert!(text.contains("usep_solve_ms_bucket{le=\"1\"} 1\n"));
+        assert!(text.contains("usep_solve_ms_bucket{le=\"4\"} 3\n"));
+        assert!(text.contains("usep_solve_ms_bucket{le=\"128\"} 4\n"));
+        assert!(text.contains("usep_solve_ms_bucket{le=\"+Inf\"} 4\n"));
+        assert!(text.contains("usep_solve_ms_count 4\n"));
+        assert!(text.contains("usep_solve_ms_sum 106.5\n"));
+    }
+
+    #[test]
+    fn empty_histogram_renders_only_inf_bucket() {
+        let reg = MetricsRegistry::new();
+        reg.histogram_fn("usep_empty_ms", "Never recorded.", vec![], Histogram::new);
+        let text = reg.render();
+        assert!(text.contains("usep_empty_ms_bucket{le=\"+Inf\"} 0\n"));
+        assert!(text.contains("usep_empty_ms_count 0\n"));
+        assert!(text.contains("usep_empty_ms_sum 0\n"));
+    }
+
+    #[test]
+    #[should_panic(expected = "must end in _total")]
+    fn counters_must_end_in_total() {
+        MetricsRegistry::new().counter_cell("usep_requests", "x", vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate series")]
+    fn duplicate_series_are_rejected() {
+        let reg = MetricsRegistry::new();
+        reg.gauge_fn("usep_g", "x", vec![], || 0.0);
+        reg.gauge_fn("usep_g", "x", vec![], || 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid metric name")]
+    fn invalid_names_are_rejected() {
+        MetricsRegistry::new().gauge_fn("Usep-Bad", "x", vec![], || 0.0);
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let reg = MetricsRegistry::new();
+        reg.gauge_fn(
+            "usep_g",
+            "x",
+            vec![("path", "a\"b\\c\nd".to_string())],
+            || 1.0,
+        );
+        assert!(reg.render().contains(r#"usep_g{path="a\"b\\c\nd"} 1"#));
+    }
+}

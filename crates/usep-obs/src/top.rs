@@ -1,0 +1,315 @@
+//! The scrape-and-render side of `usep top`.
+//!
+//! `usep top` is a client of the metrics plane, not a privileged
+//! observer: it issues `GET /metrics` like any Prometheus scraper,
+//! parses the text exposition, and renders a one-screen summary —
+//! qps, p50/p95/p99 solve latency (reconstructed from the cumulative
+//! bucket ladder), shed rate, and the degradation mix. Keeping it on
+//! the public scrape path means the endpoint stays honest: anything
+//! `top` can show, any external scraper can collect.
+
+use std::collections::BTreeMap;
+use std::io::{self, Write};
+use std::time::Duration;
+
+use crate::http;
+
+/// One parsed `/metrics` scrape: full series key (name plus labels) to
+/// sampled value.
+#[derive(Clone, Debug, Default)]
+pub struct Scrape {
+    series: BTreeMap<String, f64>,
+}
+
+/// Parses the Prometheus text exposition format (comments skipped).
+pub fn parse_exposition(text: &str) -> Scrape {
+    let mut series = BTreeMap::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        // value is the last whitespace-separated token; the series key
+        // is everything before it (label values may contain spaces)
+        let Some(split) = line.rfind(|c: char| c.is_ascii_whitespace()) else { continue };
+        let (key, value) = (line[..split].trim_end(), line[split + 1..].trim());
+        let value = match value {
+            "+Inf" => f64::INFINITY,
+            "-Inf" => f64::NEG_INFINITY,
+            v => match v.parse::<f64>() {
+                Ok(x) => x,
+                Err(_) => continue,
+            },
+        };
+        series.insert(key.to_string(), value);
+    }
+    Scrape { series }
+}
+
+impl Scrape {
+    /// Exact series lookup (`name` or `name{labels}`).
+    pub fn value(&self, series: &str) -> Option<f64> {
+        self.series.get(series).copied()
+    }
+
+    /// Number of parsed series.
+    pub fn len(&self) -> usize {
+        self.series.len()
+    }
+
+    /// `true` when the scrape parsed no series.
+    pub fn is_empty(&self) -> bool {
+        self.series.is_empty()
+    }
+
+    /// Sum across every series of one family (any label combination).
+    pub fn family_sum(&self, name: &str) -> f64 {
+        let labeled = format!("{name}{{");
+        self.series
+            .iter()
+            .filter(|(k, _)| *k == name || k.starts_with(&labeled))
+            .map(|(_, v)| v)
+            .sum()
+    }
+
+    /// `(label_value, value)` pairs for one family keyed by one label.
+    pub fn by_label(&self, name: &str, label: &str) -> Vec<(String, f64)> {
+        let prefix = format!("{name}{{");
+        let mut out = Vec::new();
+        for (k, v) in &self.series {
+            if !k.starts_with(&prefix) {
+                continue;
+            }
+            let needle = format!("{label}=\"");
+            if let Some(start) = k.find(&needle) {
+                let rest = &k[start + needle.len()..];
+                if let Some(end) = rest.find('"') {
+                    out.push((rest[..end].to_string(), *v));
+                }
+            }
+        }
+        out
+    }
+
+    /// Cumulative `(le, count)` ladder of one histogram family, sorted
+    /// ascending, `+Inf` last.
+    pub fn buckets(&self, name: &str) -> Vec<(f64, u64)> {
+        let mut out = Vec::new();
+        let prefix = format!("{name}_bucket{{");
+        for (k, v) in &self.series {
+            if !k.starts_with(&prefix) {
+                continue;
+            }
+            let Some(start) = k.find("le=\"") else { continue };
+            let rest = &k[start + 4..];
+            let Some(end) = rest.find('"') else { continue };
+            let le = match &rest[..end] {
+                "+Inf" => f64::INFINITY,
+                s => match s.parse::<f64>() {
+                    Ok(x) => x,
+                    Err(_) => continue,
+                },
+            };
+            out.push((le, *v as u64));
+        }
+        out.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+        out
+    }
+
+    /// Nearest-rank quantile over a cumulative bucket ladder; returns
+    /// the bucket's upper bound (the log-scale resolution limit).
+    pub fn quantile(&self, name: &str, q: f64) -> Option<f64> {
+        let buckets = self.buckets(name);
+        let total = buckets.last().map(|&(_, n)| n)?;
+        if total == 0 {
+            return None;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        buckets.iter().find(|&&(_, cum)| cum >= rank).map(|&(le, _)| le)
+    }
+}
+
+fn fmt_mib(bytes: f64) -> String {
+    format!("{:.1}", bytes / (1024.0 * 1024.0))
+}
+
+fn fmt_quantile(v: Option<f64>) -> String {
+    match v {
+        Some(x) if x.is_finite() => format!("{x:.0}"),
+        Some(_) => ">2^64".to_string(),
+        None => "-".to_string(),
+    }
+}
+
+/// Renders the one-screen summary for one scrape, with rate deltas
+/// against the previous scrape when there is one.
+pub fn render_summary(addr: &str, cur: &Scrape, prev: Option<(&Scrape, Duration)>) -> String {
+    let accepted = cur.family_sum("usep_serve_accepted_total");
+    let requests = cur.family_sum("usep_serve_requests_total");
+    let shed = cur.family_sum("usep_serve_shed_total");
+    let failed = cur.family_sum("usep_serve_failed_total");
+    let retried = cur.family_sum("usep_serve_retried_total");
+    let replayed = cur.family_sum("usep_serve_replayed_total");
+    let completed = cur.family_sum("usep_serve_completed_total");
+    let uptime = cur.value("usep_uptime_seconds").unwrap_or(0.0);
+
+    let (qps, d_completed, d_shed) = match prev {
+        Some((p, dt)) if dt.as_secs_f64() > 0.0 => {
+            let dc = completed - p.family_sum("usep_serve_completed_total");
+            (dc / dt.as_secs_f64(), dc, shed - p.family_sum("usep_serve_shed_total"))
+        }
+        _ if uptime > 0.0 => (completed / uptime, completed, shed),
+        _ => (0.0, completed, shed),
+    };
+
+    let shed_rate = if requests > 0.0 { 100.0 * shed / requests } else { 0.0 };
+
+    let mut out = String::new();
+    out.push_str(&format!("usep top — {addr} — uptime {uptime:.0}s\n"));
+    out.push_str(&format!(
+        "throughput   qps {:.1}   inflight {}   queue {}   ledger {}/{} MiB\n",
+        qps,
+        cur.value("usep_serve_inflight").unwrap_or(0.0) as u64,
+        cur.value("usep_serve_queue_depth").unwrap_or(0.0) as u64,
+        fmt_mib(cur.value("usep_serve_ledger_reserved_bytes").unwrap_or(0.0)),
+        fmt_mib(cur.value("usep_serve_ledger_capacity_bytes").unwrap_or(0.0)),
+    ));
+    out.push_str(&format!(
+        "requests     accepted {} (+{})   shed {} (+{}, {:.1}%)   failed {}   retried {}   replayed {}\n",
+        accepted as u64, d_completed as u64, shed as u64, d_shed as u64, shed_rate,
+        failed as u64, retried as u64, replayed as u64,
+    ));
+    out.push_str(&format!(
+        "solve ms     p50 {}   p95 {}   p99 {}   (n={})\n",
+        fmt_quantile(cur.quantile("usep_serve_solve_ms", 0.50)),
+        fmt_quantile(cur.quantile("usep_serve_solve_ms", 0.95)),
+        fmt_quantile(cur.quantile("usep_serve_solve_ms", 0.99)),
+        cur.value("usep_serve_solve_ms_count").unwrap_or(0.0) as u64,
+    ));
+    let mut mix = cur.by_label("usep_serve_degraded_total", "executed");
+    mix.retain(|(_, v)| *v > 0.0);
+    let mix_total: f64 = mix.iter().map(|(_, v)| v).sum();
+    if mix_total > 0.0 {
+        mix.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        let parts: Vec<String> = mix
+            .iter()
+            .map(|(algo, v)| format!("{algo} {:.0}%", 100.0 * v / mix_total))
+            .collect();
+        out.push_str(&format!("mix          {}\n", parts.join("  ")));
+    } else {
+        out.push_str("mix          (no completed solves yet)\n");
+    }
+    out
+}
+
+/// Polls `/metrics` at `addr` every `interval` and writes one summary
+/// frame per poll; `iterations = 0` polls forever. When `clear` is
+/// set, each frame starts with an ANSI clear-screen so the summary
+/// redraws in place.
+pub fn run(
+    addr: &str,
+    interval: Duration,
+    iterations: u64,
+    clear: bool,
+    out: &mut dyn Write,
+) -> io::Result<()> {
+    let mut prev: Option<(Scrape, std::time::Instant)> = None;
+    let mut n = 0u64;
+    loop {
+        let body = http::get(addr, "/metrics", Duration::from_secs(5))?;
+        let now = std::time::Instant::now();
+        let cur = parse_exposition(&body);
+        let frame = render_summary(
+            addr,
+            &cur,
+            prev.as_ref().map(|(s, t)| (s, now.duration_since(*t))),
+        );
+        if clear {
+            write!(out, "\x1b[2J\x1b[H")?;
+        }
+        out.write_all(frame.as_bytes())?;
+        out.flush()?;
+        prev = Some((cur, now));
+        n += 1;
+        if iterations != 0 && n >= iterations {
+            return Ok(());
+        }
+        std::thread::sleep(interval);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+# HELP usep_serve_accepted_total Requests admitted.
+# TYPE usep_serve_accepted_total counter
+usep_serve_accepted_total 90
+usep_serve_requests_total 100
+usep_serve_completed_total{status=\"complete\"} 80
+usep_serve_completed_total{status=\"truncated\"} 6
+usep_serve_failed_total{reason=\"panic\"} 4
+usep_serve_shed_total{reason=\"queue_full\"} 7
+usep_serve_shed_total{reason=\"memory_pressure\"} 3
+usep_serve_degraded_total{executed=\"DeDPO\"} 60
+usep_serve_degraded_total{executed=\"RatioGreedy\"} 20
+usep_serve_inflight 2
+usep_serve_queue_depth 5
+usep_uptime_seconds 10
+usep_serve_solve_ms_bucket{le=\"1\"} 10
+usep_serve_solve_ms_bucket{le=\"2\"} 50
+usep_serve_solve_ms_bucket{le=\"4\"} 80
+usep_serve_solve_ms_bucket{le=\"+Inf\"} 86
+usep_serve_solve_ms_sum 200.5
+usep_serve_solve_ms_count 86
+";
+
+    #[test]
+    fn parses_series_families_and_labels() {
+        let s = parse_exposition(SAMPLE);
+        assert_eq!(s.value("usep_serve_accepted_total"), Some(90.0));
+        assert_eq!(s.family_sum("usep_serve_shed_total"), 10.0);
+        assert_eq!(s.family_sum("usep_serve_completed_total"), 86.0);
+        // family_sum must not swallow longer names sharing a prefix
+        assert_eq!(s.family_sum("usep_serve_solve_ms_sum"), 200.5);
+        let mix = s.by_label("usep_serve_degraded_total", "executed");
+        assert_eq!(mix.len(), 2);
+        assert!(mix.contains(&("DeDPO".to_string(), 60.0)));
+    }
+
+    #[test]
+    fn quantiles_come_from_the_cumulative_ladder() {
+        let s = parse_exposition(SAMPLE);
+        // rank(0.5) = 43 → first cum ≥ 43 is le=2
+        assert_eq!(s.quantile("usep_serve_solve_ms", 0.50), Some(2.0));
+        assert_eq!(s.quantile("usep_serve_solve_ms", 0.90), Some(4.0));
+        // the tail beyond the last finite bucket reports +Inf
+        assert_eq!(s.quantile("usep_serve_solve_ms", 0.999), Some(f64::INFINITY));
+        assert_eq!(s.quantile("usep_missing", 0.5), None);
+    }
+
+    #[test]
+    fn renders_a_complete_frame() {
+        let s = parse_exposition(SAMPLE);
+        let frame = render_summary("127.0.0.1:9100", &s, None);
+        assert!(frame.contains("uptime 10s"), "{frame}");
+        assert!(frame.contains("qps 8.6"), "completed/uptime on first frame: {frame}");
+        assert!(frame.contains("shed 10 (+10, 10.0%)"), "{frame}");
+        assert!(frame.contains("p50 2"), "{frame}");
+        assert!(frame.contains("DeDPO 75%"), "{frame}");
+        assert!(frame.contains("RatioGreedy 25%"), "{frame}");
+    }
+
+    #[test]
+    fn rates_use_deltas_between_scrapes() {
+        let prev = parse_exposition(SAMPLE);
+        let cur_text = SAMPLE
+            .replace("usep_serve_completed_total{status=\"complete\"} 80", "usep_serve_completed_total{status=\"complete\"} 100")
+            .replace("usep_serve_shed_total{reason=\"queue_full\"} 7", "usep_serve_shed_total{reason=\"queue_full\"} 9");
+        let cur = parse_exposition(&cur_text);
+        let frame = render_summary("x", &cur, Some((&prev, Duration::from_secs(2))));
+        assert!(frame.contains("qps 10.0"), "20 completions / 2s: {frame}");
+        assert!(frame.contains("(+2,"), "shed delta: {frame}");
+    }
+}

@@ -51,6 +51,7 @@ use std::any::Any;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use usep_guard::Guard;
+use usep_trace::{Counter, Probe};
 
 /// Process-global thread-count override; 0 means "not set".
 static GLOBAL_THREADS: AtomicUsize = AtomicUsize::new(0);
@@ -273,6 +274,58 @@ where
     out
 }
 
+/// [`par_map_init`] wrapped in an observable section: the whole
+/// fork-join runs inside a span named `section` on `probe`, one
+/// [`Counter::ParSection`] tick is counted, and each worker records its
+/// busy time into the `par.worker_ms` histogram when it drains.
+///
+/// Request-scoped observability falls out of the probe argument: when
+/// the serve layer passes a `RequestProbe`, the section's span events
+/// carry that request's id, so a slow parallel scan is attributable to
+/// the request that ran it. Determinism is preserved — the span and
+/// section counter are caller-side (thread-count-independent), and the
+/// per-worker histogram feeds summaries only, never counter snapshots.
+#[allow(clippy::too_many_arguments)]
+pub fn par_map_section<T, R, S, I, F, D>(
+    threads: usize,
+    section: &'static str,
+    probe: &dyn Probe,
+    items: &[T],
+    guard: &Guard,
+    init: I,
+    f: F,
+    drain: D,
+) -> Vec<Option<R>>
+where
+    T: Sync,
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize, &T) -> R + Sync,
+    D: Fn(S) + Sync,
+{
+    struct Timed<S> {
+        inner: S,
+        started: std::time::Instant,
+    }
+    probe.span_enter(section);
+    probe.count(Counter::ParSection, 1);
+    let out = par_map_init(
+        threads,
+        items,
+        guard,
+        || Timed { inner: init(), started: std::time::Instant::now() },
+        |t, i, item| f(&mut t.inner, i, item),
+        |t| {
+            if probe.enabled() {
+                probe.record("par.worker_ms", t.started.elapsed().as_secs_f64() * 1e3);
+            }
+            drain(t.inner);
+        },
+    );
+    probe.span_exit(section);
+    out
+}
+
 /// [`par_map`] that panics on guard-trip holes: for call sites with an
 /// inactive (or absent) guard where truncation is impossible, this
 /// unwraps the `Option` layer.
@@ -463,6 +516,35 @@ mod tests {
         let inited = inits.load(Ordering::Relaxed);
         let drained = drains.load(Ordering::Relaxed);
         assert_eq!(drained, inited - 1, "exactly the panicking worker skips drain");
+    }
+
+    #[test]
+    fn par_map_section_spans_count_and_time_workers() {
+        use usep_trace::{RequestCtx, RequestProbe, TraceSink};
+        let sink = TraceSink::new();
+        let scoped = RequestProbe::new(&sink, RequestCtx::new("req-7"));
+        let items: Vec<u64> = (0..300).collect();
+        for threads in [1, 4] {
+            let out = par_map_section(
+                threads,
+                "par.scan",
+                &scoped,
+                &items,
+                Guard::none(),
+                || 0u64,
+                |acc, _, x| {
+                    *acc += 1;
+                    x * 2
+                },
+                |_| {},
+            );
+            assert_eq!(out.iter().flatten().count(), items.len(), "threads={threads}");
+        }
+        assert_eq!(sink.counter(Counter::ParSection), 2, "one tick per section, not per worker");
+        let span = sink.span_totals().iter().find(|t| t.name == "par.scan").cloned().unwrap();
+        assert_eq!(span.count, 2);
+        // 1-thread run records 1 worker, 4-thread run records 4
+        assert_eq!(sink.histogram_summary("par.worker_ms").unwrap().count, 5);
     }
 
     #[test]

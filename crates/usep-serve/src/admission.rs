@@ -65,6 +65,16 @@ impl Admission {
     pub fn reserved_bytes(&self) -> usize {
         self.ledger.in_use()
     }
+
+    /// Total queue slots (admitted requests allowed at once).
+    pub fn queue_capacity(&self) -> usize {
+        self.max_queue
+    }
+
+    /// Total reservable estimate bytes.
+    pub fn ledger_capacity(&self) -> usize {
+        self.ledger.capacity()
+    }
 }
 
 /// One admitted request's hold on the queue slot and byte reservation.

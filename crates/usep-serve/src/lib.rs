@@ -31,6 +31,12 @@
 //!   restarted server (`usep serve --resume <journal>`) re-enqueues
 //!   accepted-but-incomplete requests and answers duplicate ids from
 //!   the journaled completion cache without re-solving.
+//! * **Observability plane** ([`obs`]) — a Prometheus-text `/metrics`
+//!   listener on its own port (`--metrics-addr`), request-scoped
+//!   tracing (every span under a solve carries the request id and
+//!   retry attempt), per-phase latency breakdowns on every reply, and
+//!   a fixed-size flight recorder dumped via the `dump` verb, on
+//!   contained panics, and at shutdown.
 
 #![forbid(unsafe_code)]
 
@@ -38,6 +44,7 @@ pub mod admission;
 pub mod backoff;
 pub mod client;
 pub mod journal;
+pub mod obs;
 pub mod protocol;
 pub mod server;
 
@@ -45,5 +52,10 @@ pub use admission::{Admission, ShedReason, Ticket};
 pub use backoff::RetryPolicy;
 pub use client::send_request;
 pub use journal::{Journal, JournalRecord, JournalState};
-pub use protocol::{estimate_instance_bytes, SolveRequest, SolveResponse, Status};
-pub use server::{solve_with_retry, Server, ServerHandle, ServeConfig, SolveLimits};
+pub use obs::ServeMetrics;
+pub use protocol::{
+    estimate_instance_bytes, ControlRequest, PhaseTimings, SolveRequest, SolveResponse, Status,
+};
+pub use server::{
+    solve_with_retry, solve_with_retry_observed, Server, ServerHandle, ServeConfig, SolveLimits,
+};

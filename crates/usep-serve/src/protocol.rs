@@ -80,6 +80,38 @@ impl Status {
     }
 }
 
+/// Per-phase wall-clock breakdown of one request's life inside the
+/// server, reported on every reply that went through the queue.
+///
+/// The phases partition the server-side latency a client observes:
+/// `admission_ms` (parse, screen, admit, journal), `queue_wait_ms`
+/// (admitted → picked up by a worker), `solve_ms` (all solver tiers
+/// together) and `backoff_ms` (sleeps between retry tiers).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct PhaseTimings {
+    /// Parse + screening + admission + journal fsync, before enqueue.
+    #[serde(default)]
+    pub admission_ms: f64,
+    /// Time spent in the bounded queue waiting for a worker.
+    #[serde(default)]
+    pub queue_wait_ms: f64,
+    /// Wall-clock inside the solver tiers (sum over retries).
+    #[serde(default)]
+    pub solve_ms: f64,
+    /// Wall-clock spent sleeping in retry backoff.
+    #[serde(default)]
+    pub backoff_ms: f64,
+}
+
+/// A control-plane request multiplexed on the solve socket: any line
+/// with a `verb` field is interpreted as a control verb instead of a
+/// [`SolveRequest`] (solve requests never carry `verb`).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ControlRequest {
+    /// `"dump"` dumps the flight recorder as one JSON line.
+    pub verb: String,
+}
+
 /// The reply to one [`SolveRequest`].
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct SolveResponse {
@@ -102,6 +134,10 @@ pub struct SolveResponse {
     /// The planning, for `Complete` and `Truncated` outcomes.
     #[serde(default)]
     pub planning: Option<Planning>,
+    /// Server-side per-phase latency breakdown (absent on replies that
+    /// never entered the queue: rejected, overloaded, replayed).
+    #[serde(default)]
+    pub timings: Option<PhaseTimings>,
 }
 
 impl SolveResponse {
@@ -115,6 +151,7 @@ impl SolveResponse {
             executed: None,
             retries: 0,
             planning: None,
+            timings: None,
         }
     }
 }
@@ -206,6 +243,39 @@ mod tests {
             Status::Overloaded { queue_depth: 0, reserved_bytes: 0 }.describe(),
             "overloaded"
         );
+    }
+
+    #[test]
+    fn timings_roundtrip_and_stay_optional_on_the_wire() {
+        let mut resp = SolveResponse::bare("t", Status::Complete);
+        resp.timings = Some(PhaseTimings {
+            admission_ms: 0.5,
+            queue_wait_ms: 1.25,
+            solve_ms: 10.0,
+            backoff_ms: 0.0,
+        });
+        let json = serde_json::to_string(&resp).unwrap();
+        let back: SolveResponse = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.timings.unwrap().queue_wait_ms, 1.25);
+
+        // old-format responses without the field still parse
+        let legacy = r#"{"id":"t","status":"Complete"}"#;
+        let back: SolveResponse = serde_json::from_str(legacy).unwrap();
+        assert!(back.timings.is_none());
+    }
+
+    #[test]
+    fn control_lines_are_distinguishable_from_solve_requests() {
+        let ctl: ControlRequest = serde_json::from_str(r#"{"verb":"dump"}"#).unwrap();
+        assert_eq!(ctl.verb, "dump");
+        // a control line is not a valid solve request…
+        assert!(serde_json::from_str::<SolveRequest>(r#"{"verb":"dump"}"#).is_err());
+        // …and a solve request line is not a control line
+        let solve = format!(
+            r#"{{"id":"r","instance":{}}}"#,
+            serde_json::to_string(&tiny_instance()).unwrap()
+        );
+        assert!(serde_json::from_str::<ControlRequest>(&solve).is_err());
     }
 
     #[test]

@@ -19,7 +19,10 @@
 use crate::admission::{Admission, ShedReason, Ticket};
 use crate::backoff::{seed_from_id, RetryPolicy};
 use crate::journal::{Journal, JournalRecord, JournalState};
-use crate::protocol::{estimate_instance_bytes, SolveRequest, SolveResponse, Status};
+use crate::obs::ServeMetrics;
+use crate::protocol::{
+    estimate_instance_bytes, ControlRequest, PhaseTimings, SolveRequest, SolveResponse, Status,
+};
 use std::io::{BufRead, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -30,7 +33,8 @@ use std::time::{Duration, Instant};
 use usep_algos::{solve_guarded, Algorithm, GuardedSolver};
 use usep_core::Planning;
 use usep_guard::{Guard, SolveBudget, SolveOutcome, TruncationReason};
-use usep_trace::{Counter, Probe, TraceSink};
+use usep_obs::http;
+use usep_trace::{json, Counter, Probe, RequestCtx, RequestProbe, TraceSink};
 
 /// Server configuration. The defaults are sized for tests and small
 /// deployments; production callers should size `queue_capacity` and
@@ -76,6 +80,15 @@ pub struct ServeConfig {
     /// Fault injection: sleep this long inside each solve, to widen
     /// the kill window for crash/recovery tests.
     pub chaos_delay_ms: u64,
+    /// Bind address for the metrics/health HTTP listener (`/metrics`,
+    /// `/healthz`, `/buildinfo`, `/flightrec`); `None` disables it.
+    /// Use port 0 to let the OS pick ([`ServerHandle::metrics_addr`]
+    /// reports the bound address).
+    pub metrics_addr: Option<String>,
+    /// Ring-buffer slots in the flight recorder (last-N annotated
+    /// events, dumped via the `dump` verb, on contained panics, and at
+    /// shutdown).
+    pub flight_recorder_capacity: usize,
 }
 
 impl Default for ServeConfig {
@@ -96,6 +109,8 @@ impl Default for ServeConfig {
             chaos_trip: None,
             chaos_panic_every: None,
             chaos_delay_ms: 0,
+            metrics_addr: None,
+            flight_recorder_capacity: 256,
         }
     }
 }
@@ -107,6 +122,10 @@ struct Job {
     ticket: Option<Ticket>,
     /// Where the response goes; `None` for resumed jobs (journal only).
     reply: Option<crossbeam::channel::Sender<SolveResponse>>,
+    /// When the job entered the queue (queue-wait phase starts here).
+    enqueued_at: Instant,
+    /// Wall-clock spent in parse/screen/admit/journal before enqueue.
+    admission_ms: f64,
 }
 
 struct Inner {
@@ -114,7 +133,8 @@ struct Inner {
     admission: Arc<Admission>,
     journal: Option<Journal>,
     completed: Mutex<std::collections::BTreeMap<String, SolveResponse>>,
-    sink: TraceSink,
+    sink: Arc<TraceSink>,
+    obs: Arc<ServeMetrics>,
     shutdown: AtomicBool,
     addr: SocketAddr,
     solves_started: AtomicU64,
@@ -127,6 +147,8 @@ pub struct ServerHandle {
     inner: Arc<Inner>,
     accept_thread: Option<std::thread::JoinHandle<()>>,
     worker_threads: Vec<std::thread::JoinHandle<()>>,
+    http: Mutex<Option<http::HttpHandle>>,
+    metrics_addr: Option<SocketAddr>,
 }
 
 impl ServerHandle {
@@ -150,13 +172,25 @@ impl ServerHandle {
         &self.inner.sink
     }
 
+    /// The metrics plane: registry, flight recorder and hot-path cells.
+    pub fn metrics(&self) -> &ServeMetrics {
+        &self.inner.obs
+    }
+
+    /// The bound metrics listener address, when one was configured.
+    pub fn metrics_addr(&self) -> Option<SocketAddr> {
+        self.metrics_addr
+    }
+
     /// Requests a graceful stop: no new connections, queue drained.
     pub fn shutdown(&self) {
         self.inner.initiate_shutdown();
     }
 
     /// Blocks until every thread has exited (after [`Self::shutdown`]
-    /// or a `max_requests` stop).
+    /// or a `max_requests` stop), then stops the metrics listener and
+    /// dumps the flight recorder to stderr — the service's black box
+    /// survives into the logs on every stop path.
     pub fn wait(mut self) {
         if let Some(t) = self.accept_thread.take() {
             let _ = t.join();
@@ -164,6 +198,12 @@ impl ServerHandle {
         for t in self.worker_threads.drain(..) {
             let _ = t.join();
         }
+        if let Some(mut h) = self.http.lock().unwrap_or_else(|p| p.into_inner()).take() {
+            h.shutdown();
+        }
+        let obs = &self.inner.obs;
+        obs.recorder.record("shutdown", None, "server drained");
+        eprintln!("usep-serve: flight recorder at shutdown: {}", obs.recorder.dump_json());
     }
 }
 
@@ -204,11 +244,31 @@ impl Server {
         let listener = TcpListener::bind(&cfg.addr)?;
         let addr = listener.local_addr()?;
 
+        let admission = Arc::new(Admission::new(cfg.queue_capacity, cfg.max_reserved_bytes));
+        let sink = Arc::new(TraceSink::new());
+        let obs = Arc::new(ServeMetrics::new(
+            Arc::clone(&sink),
+            Arc::clone(&admission),
+            cfg.flight_recorder_capacity,
+        ));
+
+        // The metrics plane listens on its own socket so scrapes never
+        // compete with solve traffic for the accept loop.
+        let (http_handle, metrics_addr) = match &cfg.metrics_addr {
+            Some(maddr) => {
+                let handle = http::serve(maddr, metrics_routes(&obs, &cfg, addr))?;
+                let bound = handle.addr();
+                (Some(handle), Some(bound))
+            }
+            None => (None, None),
+        };
+
         let inner = Arc::new(Inner {
-            admission: Arc::new(Admission::new(cfg.queue_capacity, cfg.max_reserved_bytes)),
+            admission,
             journal,
             completed: Mutex::new(resumed_state.completed.into_iter().collect()),
-            sink: TraceSink::new(),
+            sink,
+            obs,
             shutdown: AtomicBool::new(false),
             addr,
             solves_started: AtomicU64::new(0),
@@ -225,7 +285,14 @@ impl Server {
         // any traffic, preserving the dead server's acceptance order.
         for request in resumed_state.pending {
             inner.sink.count(Counter::ServeResume, 1);
-            let _ = job_tx.send(Job { request, ticket: None, reply: None });
+            inner.obs.recorder.record("resume", Some(&request.id), "re-enqueued from journal");
+            let _ = job_tx.send(Job {
+                request,
+                ticket: None,
+                reply: None,
+                enqueued_at: Instant::now(),
+                admission_ms: 0.0,
+            });
         }
 
         let worker_threads: Vec<_> = (0..inner.cfg.workers.max(1))
@@ -246,8 +313,40 @@ impl Server {
             accept_loop(&accept_inner, &listener, job_tx);
         });
 
-        Ok(ServerHandle { inner, accept_thread: Some(accept_thread), worker_threads })
+        Ok(ServerHandle {
+            inner,
+            accept_thread: Some(accept_thread),
+            worker_threads,
+            http: Mutex::new(http_handle),
+            metrics_addr,
+        })
     }
+}
+
+/// The metrics listener's path router: exposition, liveness, build
+/// identity, and the flight-recorder dump.
+fn metrics_routes(obs: &Arc<ServeMetrics>, cfg: &ServeConfig, solve_addr: SocketAddr) -> http::Handler {
+    let registry = Arc::clone(&obs.registry);
+    let recorder = Arc::clone(&obs.recorder);
+    let buildinfo = json::Value::Map(vec![
+        ("service".to_string(), json::Value::Str("usep-serve".to_string())),
+        ("version".to_string(), json::Value::Str(env!("CARGO_PKG_VERSION").to_string())),
+        ("solve_addr".to_string(), json::Value::Str(solve_addr.to_string())),
+        ("workers".to_string(), json::Value::U64(cfg.workers.max(1) as u64)),
+        ("queue_capacity".to_string(), json::Value::U64(cfg.queue_capacity as u64)),
+        (
+            "default_algorithm".to_string(),
+            json::Value::Str(cfg.default_algorithm.name().to_string()),
+        ),
+    ])
+    .render();
+    Box::new(move |path| match path {
+        "/metrics" => Some(http::Response::text(registry.render())),
+        "/healthz" => Some(http::Response::text("ok\n")),
+        "/buildinfo" => Some(http::Response::json(buildinfo.clone())),
+        "/flightrec" => Some(http::Response::json(recorder.dump_json())),
+        _ => None,
+    })
 }
 
 fn accept_loop(inner: &Arc<Inner>, listener: &TcpListener, job_tx: crossbeam::channel::Sender<Job>) {
@@ -358,9 +457,40 @@ fn handle_connection(
         if line.trim().is_empty() {
             continue;
         }
+        let admission_started = Instant::now();
+        let obs = &inner.obs;
+
+        // Control plane: any line carrying a `verb` is a control
+        // request, not a solve (solve requests never have the field).
+        if let Ok(ctl) = serde_json::from_str::<ControlRequest>(&line) {
+            let reply = match ctl.verb.as_str() {
+                "dump" => {
+                    obs.recorder.record("dump", None, "flight recorder dumped on request");
+                    obs.recorder.dump_json()
+                }
+                other => serde_json::to_string(&SolveResponse::bare(
+                    "",
+                    Status::Rejected { error: format!("unknown verb '{other}'") },
+                ))
+                .unwrap_or_default(),
+            };
+            if writeln!(stream, "{reply}").and_then(|()| stream.flush()).is_err() {
+                break;
+            }
+            continue;
+        }
+
+        obs.requests.fetch_add(1, Ordering::Relaxed);
         let request = match screen_request(&line) {
             Ok(r) => r,
             Err(rejection) => {
+                obs.rejected.fetch_add(1, Ordering::Relaxed);
+                let id = if rejection.id.is_empty() { None } else { Some(rejection.id.as_str()) };
+                let detail = match &rejection.status {
+                    Status::Rejected { error } => error.clone(),
+                    s => s.describe(),
+                };
+                obs.recorder.record("reject", id, detail);
                 if write_response(&mut stream, &rejection).is_err() {
                     break;
                 }
@@ -378,6 +508,7 @@ fn handle_connection(
             .cloned();
         if let Some(response) = cached {
             inner.sink.count(Counter::ServeReplay, 1);
+            obs.recorder.record("replay", Some(&request.id), "answered from completion cache");
             if write_response(&mut stream, &response).is_err() {
                 break;
             }
@@ -388,10 +519,20 @@ fn handle_connection(
         let estimate = estimate_instance_bytes(&request.instance);
         let ticket = match inner.admission.try_admit(estimate) {
             Ok(t) => t,
-            Err(ShedReason::QueueFull | ShedReason::MemoryPressure) => {
+            Err(reason) => {
                 inner.sink.count(Counter::ServeShed, 1);
+                let cell = match reason {
+                    ShedReason::QueueFull => &obs.shed_queue_full,
+                    ShedReason::MemoryPressure => &obs.shed_memory,
+                };
+                cell.fetch_add(1, Ordering::Relaxed);
                 let (queue_depth, reserved_bytes) =
                     (inner.admission.depth(), inner.admission.reserved_bytes());
+                obs.recorder.record(
+                    "shed",
+                    Some(&request.id),
+                    format!("{reason:?}: depth={queue_depth} reserved={reserved_bytes}"),
+                );
                 let response = SolveResponse::bare(
                     request.id.clone(),
                     Status::Overloaded { queue_depth, reserved_bytes },
@@ -417,10 +558,21 @@ fn handle_connection(
         }
         inner.sink.count(Counter::ServeAccept, 1);
         inner.sink.record("serve.queue_depth", inner.admission.depth() as f64);
+        obs.recorder.record(
+            "admit",
+            Some(&request.id),
+            format!("estimate={estimate}B depth={}", inner.admission.depth()),
+        );
 
         let (reply_tx, reply_rx) = crossbeam::channel::unbounded::<SolveResponse>();
         if job_tx
-            .send(Job { request, ticket: Some(ticket), reply: Some(reply_tx) })
+            .send(Job {
+                request,
+                ticket: Some(ticket),
+                reply: Some(reply_tx),
+                enqueued_at: Instant::now(),
+                admission_ms: admission_started.elapsed().as_secs_f64() * 1e3,
+            })
             .is_err()
         {
             break; // workers gone: server is shutting down
@@ -438,9 +590,47 @@ fn handle_connection(
 
 /// Runs one job start to finish: fence, retry chain, journal, reply.
 fn process_job(inner: &Arc<Inner>, job: Job) {
+    let obs = &inner.obs;
+    let queue_wait_ms = job.enqueued_at.elapsed().as_secs_f64() * 1e3;
+    inner.sink.record("serve.queue_wait_ms", queue_wait_ms);
+    obs.inflight.fetch_add(1, Ordering::Relaxed);
+
     let started = Instant::now();
-    let response = solve_request(inner, &job.request);
+    let mut response = solve_request(inner, &job.request);
     inner.sink.record("serve.solve_ms", started.elapsed().as_secs_f64() * 1e3);
+
+    // Patch the pre-worker phases into the breakdown the solve filled.
+    let timings = response.timings.get_or_insert_with(PhaseTimings::default);
+    timings.queue_wait_ms = queue_wait_ms;
+    timings.admission_ms = job.admission_ms;
+
+    match &response.status {
+        Status::Complete => {
+            obs.completed_complete.fetch_add(1, Ordering::Relaxed);
+        }
+        Status::Truncated { .. } => {
+            obs.completed_truncated.fetch_add(1, Ordering::Relaxed);
+        }
+        // Failed cells tick inside the retry chain, where the reason
+        // (panic vs infeasible) is known; nothing to do here.
+        _ => {}
+    }
+    if let Some(executed) = &response.executed {
+        let requested = job
+            .request
+            .algorithm
+            .as_deref()
+            .and_then(Algorithm::parse)
+            .unwrap_or(inner.cfg.default_algorithm);
+        if executed != requested.name() {
+            obs.count_degraded(executed);
+        }
+    }
+    obs.recorder.record(
+        "done",
+        Some(&response.id),
+        format!("{} omega={:.3} retries={}", response.status.describe(), response.omega, response.retries),
+    );
 
     if let Err(e) =
         inner.journal_append(&JournalRecord::Completed { response: response.clone() })
@@ -457,6 +647,7 @@ fn process_job(inner: &Arc<Inner>, job: Job) {
         let _ = reply.send(response);
     }
     drop(job.ticket); // release queue slot + ledger bytes
+    obs.inflight.fetch_sub(1, Ordering::Relaxed);
 
     let done = inner.completions.fetch_add(1, Ordering::SeqCst) + 1;
     if inner.cfg.max_requests.is_some_and(|max| done >= max) {
@@ -488,7 +679,7 @@ fn solve_request(inner: &Inner, request: &SolveRequest) -> SolveResponse {
         chaos_panic_now: cfg.chaos_panic_every.is_some_and(|n| n > 0 && seq.is_multiple_of(n)),
         chaos_delay_ms: cfg.chaos_delay_ms,
     };
-    solve_with_retry(request, &limits, &inner.sink)
+    solve_with_retry_observed(request, &limits, &*inner.sink, Some(&inner.obs))
 }
 
 /// Server-side limits and fault-injection switches for one solve,
@@ -546,6 +737,19 @@ pub fn solve_with_retry(
     limits: &SolveLimits,
     probe: &dyn Probe,
 ) -> SolveResponse {
+    solve_with_retry_observed(request, limits, probe, None)
+}
+
+/// [`solve_with_retry`] with the serve observability plane attached:
+/// failure cells tick, tier transitions land in the flight recorder,
+/// and every span the solvers open under this call is stamped with the
+/// request id and the retry attempt via a [`RequestProbe`].
+pub fn solve_with_retry_observed(
+    request: &SolveRequest,
+    limits: &SolveLimits,
+    probe: &dyn Probe,
+    obs: Option<&ServeMetrics>,
+) -> SolveResponse {
     let algorithm = request
         .algorithm
         .as_deref()
@@ -565,8 +769,15 @@ pub fn solve_with_retry(
     };
     let seed = seed_from_id(&request.id);
     let start = Instant::now();
+    let ctx = {
+        let mut c = RequestCtx::new(&request.id);
+        c.deadline = Some(start + total);
+        c
+    };
 
     let mut retries: u64 = 0;
+    let mut solve_ms = 0.0;
+    let mut backoff_ms = 0.0;
     // best constraint-valid planning across tiers, by Ω
     let mut best: Option<(Planning, Algorithm, f64)> = None;
     let mut last_reason = TruncationReason::Deadline;
@@ -595,23 +806,44 @@ pub fn solve_with_retry(
 
         // The fence: a panic anywhere in the solver stack (including
         // usep-par workers, which forward their payload here) becomes
-        // a typed response instead of a dead server.
+        // a typed response instead of a dead server. Every span the
+        // tier opens carries the request id and this attempt number.
+        let scoped = RequestProbe::new(probe, ctx.with_attempt(k as u32));
+        let tier_started = Instant::now();
         let attempt = catch_unwind(AssertUnwindSafe(|| {
             if limits.chaos_panic_now {
                 panic!("chaos: injected panic");
             }
-            solve_guarded(tier, &request.instance, &guard, probe)
+            solve_guarded(tier, &request.instance, &guard, &scoped)
         }));
+        solve_ms += tier_started.elapsed().as_secs_f64() * 1e3;
 
         let solved = match attempt {
             Ok(s) => s,
             Err(payload) => {
                 probe.count(Counter::ServePanic, 1);
+                let panic_msg = describe_panic(payload);
+                if let Some(obs) = obs {
+                    obs.failed_panic.fetch_add(1, Ordering::Relaxed);
+                    obs.recorder.record(
+                        "panic",
+                        Some(&request.id),
+                        format!("tier {} {}: {panic_msg}", k, tier.name()),
+                    );
+                    // the black box survives into the logs at the
+                    // moment of the crash, not just at shutdown
+                    eprintln!(
+                        "usep-serve: contained panic in '{}': {}",
+                        request.id,
+                        obs.recorder.dump_json()
+                    );
+                }
                 return SolveResponse {
                     retries,
+                    timings: Some(PhaseTimings { solve_ms, backoff_ms, ..PhaseTimings::default() }),
                     ..SolveResponse::bare(
                         request.id.clone(),
-                        Status::Failed { panic: describe_panic(payload) },
+                        Status::Failed { panic: panic_msg },
                     )
                 };
             }
@@ -621,8 +853,17 @@ pub fn solve_with_retry(
         // client error; quarantine it like a panic.
         if let Err(e) = solved.planning.validate(&request.instance) {
             probe.count(Counter::ServePanic, 1);
+            if let Some(obs) = obs {
+                obs.failed_infeasible.fetch_add(1, Ordering::Relaxed);
+                obs.recorder.record(
+                    "infeasible",
+                    Some(&request.id),
+                    format!("tier {} {}: {e}", k, tier.name()),
+                );
+            }
             return SolveResponse {
                 retries,
+                timings: Some(PhaseTimings { solve_ms, backoff_ms, ..PhaseTimings::default() }),
                 ..SolveResponse::bare(
                     request.id.clone(),
                     Status::Failed { panic: format!("solver produced infeasible planning: {e}") },
@@ -646,6 +887,7 @@ pub fn solve_with_retry(
                     executed: Some(executed.name().to_string()),
                     retries,
                     planning: Some(planning),
+                    timings: Some(PhaseTimings { solve_ms, backoff_ms, ..PhaseTimings::default() }),
                 };
             }
             SolveOutcome::Truncated { reason: TruncationReason::MemoryCeiling } if !is_last => {
@@ -655,9 +897,30 @@ pub fn solve_with_retry(
                 last_reason = TruncationReason::MemoryCeiling;
                 let delay = limits.retry.delay(retries as u32, seed);
                 let left = total.saturating_sub(start.elapsed());
+                if let Some(obs) = obs {
+                    obs.recorder.record(
+                        "retry",
+                        Some(&request.id),
+                        format!(
+                            "memory_ceiling at {}; backoff {:?} then tier {}",
+                            tier.name(),
+                            delay.min(left),
+                            chain[k + 1].name()
+                        ),
+                    );
+                }
+                let slept = Instant::now();
                 std::thread::sleep(delay.min(left));
+                backoff_ms += slept.elapsed().as_secs_f64() * 1e3;
             }
             SolveOutcome::Truncated { reason } => {
+                if let Some(obs) = obs {
+                    obs.recorder.record(
+                        "guard_trip",
+                        Some(&request.id),
+                        format!("{} at tier {} {}", reason.name(), k, tier.name()),
+                    );
+                }
                 last_reason = reason;
                 break;
             }
@@ -676,5 +939,6 @@ pub fn solve_with_retry(
         executed: Some(executed.name().to_string()),
         retries,
         planning: Some(planning),
+        timings: Some(PhaseTimings { solve_ms, backoff_ms, ..PhaseTimings::default() }),
     }
 }

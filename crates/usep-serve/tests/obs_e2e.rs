@@ -1,0 +1,217 @@
+//! End-to-end observability-plane tests: the `/metrics` listener, the
+//! ledger between metrics and the journal, request-scoped ids on every
+//! artifact, per-phase timings, and the flight-recorder `dump` verb.
+
+use std::io::{BufRead, BufReader, Write};
+use std::time::Duration;
+use usep_core::Instance;
+use usep_gen::{generate, SyntheticConfig};
+use usep_obs::http;
+use usep_obs::top::parse_exposition;
+use usep_serve::{send_request, ServeConfig, Server, SolveRequest, Status};
+use usep_trace::Counter;
+
+fn instance(seed: u64) -> Instance {
+    generate(&SyntheticConfig::tiny().with_events(6).with_users(24).with_capacity_mean(4), seed)
+}
+
+fn request(id: &str, seed: u64) -> SolveRequest {
+    SolveRequest {
+        id: id.to_string(),
+        instance: instance(seed),
+        algorithm: None,
+        timeout_ms: None,
+        mem_budget_mb: None,
+    }
+}
+
+const CLIENT_TIMEOUT: Duration = Duration::from_secs(60);
+const SCRAPE_TIMEOUT: Duration = Duration::from_secs(10);
+
+fn tempdir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("usep_obs_{tag}_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn metrics_journal_and_flight_recorder_tell_one_story() {
+    let dir = tempdir("story");
+    let journal_path = dir.join("journal.jsonl");
+    let _ = std::fs::remove_file(&journal_path);
+
+    let cfg = ServeConfig {
+        metrics_addr: Some("127.0.0.1:0".to_string()),
+        journal: Some(journal_path.clone()),
+        ..ServeConfig::default()
+    };
+    let server = Server::start(cfg).unwrap();
+    let addr = server.addr();
+    let maddr = server.metrics_addr().expect("metrics listener configured").to_string();
+
+    // -- traffic: solves, a duplicate, and a rejected line -----------
+    let ids = ["obs-1", "obs-2", "obs-3", "obs-4"];
+    for (i, id) in ids.iter().enumerate() {
+        let resp = send_request(addr, &request(id, 40 + i as u64), CLIENT_TIMEOUT).unwrap();
+        assert_eq!(resp.status, Status::Complete, "{resp:?}");
+        assert_eq!(resp.id, *id, "response echoes the request id");
+        let t = resp.timings.expect("queued responses carry phase timings");
+        assert!(t.solve_ms > 0.0, "solve phase was timed: {t:?}");
+        assert!(t.queue_wait_ms >= 0.0 && t.admission_ms >= 0.0);
+    }
+    // duplicate → replay from cache
+    let again = send_request(addr, &request("obs-1", 40), CLIENT_TIMEOUT).unwrap();
+    assert_eq!(again.status, Status::Complete);
+
+    // one garbage line → rejected
+    let mut stream = std::net::TcpStream::connect(addr).unwrap();
+    stream.set_read_timeout(Some(CLIENT_TIMEOUT)).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut line = String::new();
+    writeln!(stream, "not json at all").unwrap();
+    reader.read_line(&mut line).unwrap();
+    assert!(line.contains("Rejected"), "{line}");
+
+    // -- scrape ------------------------------------------------------
+    let text = http::get(&maddr, "/metrics", SCRAPE_TIMEOUT).unwrap();
+
+    // exposition hygiene: HELP/TYPE lines and the _total discipline
+    assert!(text.contains("# HELP usep_serve_requests_total"));
+    assert!(text.contains("# TYPE usep_serve_requests_total counter"));
+    assert!(text.contains("# TYPE usep_serve_solve_ms histogram"));
+
+    // every workspace trace counter is a labelled series (satellite:
+    // serve_* counters registered in the metrics registry)
+    for c in Counter::ALL {
+        let needle = format!("usep_trace_events_total{{counter=\"{}\"}}", c.name());
+        assert!(text.contains(&needle), "missing {needle}");
+    }
+
+    let scrape = parse_exposition(&text);
+    let accepted = scrape.value("usep_serve_accepted_total").unwrap();
+    let completed = scrape.family_sum("usep_serve_completed_total");
+    let failed = scrape.family_sum("usep_serve_failed_total");
+    let shed = scrape.family_sum("usep_serve_shed_total");
+    let inflight = scrape.value("usep_serve_inflight").unwrap();
+    let requests = scrape.value("usep_serve_requests_total").unwrap();
+    let rejected = scrape.value("usep_serve_rejected_total").unwrap();
+    let replayed = scrape.value("usep_serve_replayed_total").unwrap();
+
+    // the ledger reconciles: everything admitted is accounted for
+    assert_eq!(accepted, ids.len() as f64);
+    assert_eq!(inflight, 0.0, "traffic drained before the scrape");
+    assert_eq!(accepted, completed + failed + inflight);
+    assert_eq!(requests, accepted + rejected + shed + replayed);
+    assert_eq!(rejected, 1.0);
+    assert_eq!(replayed, 1.0);
+
+    // the solve histogram saw exactly the accepted jobs
+    assert_eq!(scrape.value("usep_serve_solve_ms_count"), Some(ids.len() as f64));
+
+    // -- sibling routes ----------------------------------------------
+    assert_eq!(http::get(&maddr, "/healthz", SCRAPE_TIMEOUT).unwrap(), "ok\n");
+    let build = http::get(&maddr, "/buildinfo", SCRAPE_TIMEOUT).unwrap();
+    assert!(build.contains("\"service\":\"usep-serve\""), "{build}");
+
+    // -- the dump verb on the solve socket ---------------------------
+    line.clear();
+    writeln!(stream, "{}", r#"{"verb":"dump"}"#).unwrap();
+    reader.read_line(&mut line).unwrap();
+    assert!(line.contains("\"type\":\"flight_recorder\""), "{line}");
+    for id in ids {
+        assert!(line.contains(id), "flight dump is missing request {id}: {line}");
+    }
+    // the same dump is served over HTTP
+    let dump = http::get(&maddr, "/flightrec", SCRAPE_TIMEOUT).unwrap();
+    assert!(dump.contains("obs-1"));
+
+    server.shutdown();
+    server.wait();
+
+    // -- journal ↔ flight-recorder cross-check -----------------------
+    // Every journal record names a request id that the flight recorder
+    // also saw (admit + done events for each accepted id).
+    let journal = std::fs::read_to_string(&journal_path).unwrap();
+    assert!(!journal.trim().is_empty());
+    for id in ids {
+        assert!(journal.contains(id), "journal is missing {id}");
+        assert!(line.contains(id), "flight dump is missing journaled id {id}");
+    }
+
+    // after shutdown the metrics listener is gone
+    assert!(http::get(&maddr, "/healthz", Duration::from_millis(500)).is_err());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn reconciliation_holds_under_chaos_panics() {
+    let cfg = ServeConfig {
+        metrics_addr: Some("127.0.0.1:0".to_string()),
+        chaos_panic_every: Some(3), // every 3rd solve dies at the fence
+        ..ServeConfig::default()
+    };
+    let server = Server::start(cfg).unwrap();
+    let addr = server.addr();
+    let maddr = server.metrics_addr().unwrap().to_string();
+
+    let mut failures = 0;
+    for i in 0..9 {
+        let resp =
+            send_request(addr, &request(&format!("chaos-{i}"), 100 + i), CLIENT_TIMEOUT).unwrap();
+        match resp.status {
+            Status::Complete => {}
+            Status::Failed { .. } => failures += 1,
+            other => panic!("unexpected status {other:?}"),
+        }
+    }
+    assert!(failures > 0, "chaos injected no failures");
+
+    let scrape = parse_exposition(&http::get(&maddr, "/metrics", SCRAPE_TIMEOUT).unwrap());
+    let accepted = scrape.value("usep_serve_accepted_total").unwrap();
+    let completed = scrape.family_sum("usep_serve_completed_total");
+    let failed = scrape.family_sum("usep_serve_failed_total");
+    let inflight = scrape.value("usep_serve_inflight").unwrap();
+    assert_eq!(accepted, 9.0);
+    assert_eq!(failed, f64::from(failures));
+    assert_eq!(accepted, completed + failed + inflight);
+    let by_reason = scrape.by_label("usep_serve_failed_total", "reason");
+    let of = |r: &str| by_reason.iter().find(|(k, _)| k == r).map(|&(_, v)| v);
+    assert_eq!(of("panic"), Some(f64::from(failures)), "{by_reason:?}");
+    assert_eq!(of("infeasible"), Some(0.0), "only the panic reason fired");
+
+    // the flight recorder kept the panic events, scoped to their ids
+    let dump = http::get(&maddr, "/flightrec", SCRAPE_TIMEOUT).unwrap();
+    assert!(dump.contains("\"kind\":\"panic\""), "{dump}");
+    assert!(dump.contains("chaos-2"), "first chaos victim recorded: {dump}");
+
+    server.shutdown();
+    server.wait();
+}
+
+#[test]
+fn counters_are_monotone_across_scrapes() {
+    let cfg =
+        ServeConfig { metrics_addr: Some("127.0.0.1:0".to_string()), ..ServeConfig::default() };
+    let server = Server::start(cfg).unwrap();
+    let addr = server.addr();
+    let maddr = server.metrics_addr().unwrap().to_string();
+
+    send_request(addr, &request("mono-1", 5), CLIENT_TIMEOUT).unwrap();
+    let first = parse_exposition(&http::get(&maddr, "/metrics", SCRAPE_TIMEOUT).unwrap());
+    send_request(addr, &request("mono-2", 6), CLIENT_TIMEOUT).unwrap();
+    let second = parse_exposition(&http::get(&maddr, "/metrics", SCRAPE_TIMEOUT).unwrap());
+
+    for name in [
+        "usep_serve_requests_total",
+        "usep_serve_accepted_total",
+        "usep_serve_solve_ms_count",
+        "usep_flightrec_events_total",
+    ] {
+        let (a, b) = (first.value(name).unwrap(), second.value(name).unwrap());
+        assert!(b >= a, "{name} went backwards: {a} → {b}");
+        assert!(b > 0.0, "{name} never moved");
+    }
+
+    server.shutdown();
+    server.wait();
+}

@@ -91,6 +91,71 @@ impl Histogram {
         self.count
     }
 
+    /// Exact sum of all observations.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Number of log₂ buckets every histogram carries.
+    pub const NUM_BUCKETS: usize = BUCKETS;
+
+    /// Inclusive upper bound of bucket `i`: bucket 0 covers `[0, 1)`,
+    /// bucket `i > 0` covers `[2^(i-1), 2^i)`.
+    pub fn bucket_upper_bound(bucket: usize) -> f64 {
+        if bucket == 0 {
+            1.0
+        } else {
+            (1u128 << bucket.min(BUCKETS - 1)) as f64
+        }
+    }
+
+    /// Per-bucket counts; empty slice when nothing was recorded.
+    pub fn bucket_counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Cumulative `(upper_bound, count_le)` pairs for Prometheus-style
+    /// exposition: one entry per bucket up to and including the last
+    /// non-empty bucket (callers append the implicit `+Inf` bucket with
+    /// [`Histogram::count`]). Empty when nothing was recorded.
+    pub fn cumulative_buckets(&self) -> Vec<(f64, u64)> {
+        let last = match self.counts.iter().rposition(|&n| n > 0) {
+            Some(i) => i,
+            None => return Vec::new(),
+        };
+        let mut out = Vec::with_capacity(last + 1);
+        let mut seen = 0u64;
+        for (b, &n) in self.counts.iter().enumerate().take(last + 1) {
+            seen += n;
+            out.push((Self::bucket_upper_bound(b), seen));
+        }
+        out
+    }
+
+    /// Folds `other` into `self`: bucket-wise count addition plus exact
+    /// combination of count/sum/min/max. Used to aggregate per-shard
+    /// histograms before cumulative-bucket exposition.
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.count == 0 {
+            return;
+        }
+        if self.counts.is_empty() {
+            self.counts = vec![0; BUCKETS];
+        }
+        for (mine, theirs) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *mine += theirs;
+        }
+        if self.count == 0 {
+            self.min = other.min;
+            self.max = other.max;
+        } else {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+    }
+
     /// Estimates the `q`-quantile (`0 ≤ q ≤ 1`) by scanning cumulative
     /// bucket counts; `None` when empty.
     pub fn quantile(&self, q: f64) -> Option<f64> {
@@ -203,6 +268,68 @@ mod tests {
         assert!(s.p50 >= 250.0 && s.p50 <= 1000.0, "p50 {}", s.p50);
         assert!(s.p95 >= 475.0 && s.p95 <= 1000.0, "p95 {}", s.p95);
         assert!((s.mean - 500.5).abs() < 1e-9, "mean is exact: {}", s.mean);
+    }
+
+    #[test]
+    fn max_bucket_overflow_saturates_without_losing_counts() {
+        let mut h = Histogram::new();
+        h.record(u64::MAX as f64);
+        h.record(f64::INFINITY); // clamped to 0.0 by record()
+        h.record(1e300);
+        let s = h.summary().unwrap();
+        assert_eq!(s.count, 3);
+        // the top bucket holds both huge samples; quantiles stay finite
+        assert_eq!(h.bucket_counts()[BUCKETS - 1], 2);
+        assert!(s.p99.is_finite());
+        assert!(s.p99 <= s.max);
+        let cum = h.cumulative_buckets();
+        assert_eq!(cum.len(), BUCKETS, "top bucket occupied → full ladder");
+        assert_eq!(cum.last().unwrap().1, 3, "cumulative tail counts everything");
+    }
+
+    #[test]
+    fn cumulative_buckets_are_monotone_and_stop_at_last_occupied() {
+        let mut h = Histogram::new();
+        assert!(h.cumulative_buckets().is_empty());
+        for v in [0.5, 3.0, 3.0, 100.0] {
+            h.record(v);
+        }
+        let cum = h.cumulative_buckets();
+        // 100 lands in [64, 128) = bucket 7, so the ladder has 8 rungs
+        assert_eq!(cum.len(), 8);
+        assert_eq!(cum[0], (1.0, 1));
+        assert_eq!(cum[2], (4.0, 3), "le=4 covers 0.5 and both 3.0s");
+        assert_eq!(*cum.last().unwrap(), (128.0, 4));
+        for w in cum.windows(2) {
+            assert!(w[0].0 < w[1].0 && w[0].1 <= w[1].1, "monotone: {w:?}");
+        }
+    }
+
+    #[test]
+    fn merge_combines_counts_extremes_and_buckets() {
+        let mut a = Histogram::new();
+        for v in [1.0, 2.0, 4.0] {
+            a.record(v);
+        }
+        let mut b = Histogram::new();
+        for v in [0.25, 512.0] {
+            b.record(v);
+        }
+        a.merge(&b);
+        let s = a.summary().unwrap();
+        assert_eq!(s.count, 5);
+        assert_eq!(s.min, 0.25);
+        assert_eq!(s.max, 512.0);
+        assert!((s.mean - (1.0 + 2.0 + 4.0 + 0.25 + 512.0) / 5.0).abs() < 1e-9);
+        assert_eq!(a.cumulative_buckets().last().unwrap().1, 5);
+
+        // merging an empty histogram is a no-op in both directions
+        let before = a.clone();
+        a.merge(&Histogram::new());
+        assert_eq!(a.summary(), before.summary());
+        let mut empty = Histogram::new();
+        empty.merge(&before);
+        assert_eq!(empty.summary(), before.summary());
     }
 
     #[test]

@@ -29,7 +29,7 @@ use std::sync::Mutex;
 use std::time::Instant;
 
 mod hist;
-mod json;
+pub mod json;
 
 pub use hist::{Histogram, HistogramSummary};
 
@@ -93,11 +93,15 @@ pub enum Counter {
     OracleViolation,
     /// One shrink attempt executed by the oracle's failure minimizer.
     OracleMinimizeStep,
+    /// One fork-join parallel section executed by `usep-par`. Counted
+    /// once per section (not per worker or chunk), so snapshots stay
+    /// identical across thread counts.
+    ParSection,
 }
 
 impl Counter {
     /// Every counter, in registry order.
-    pub const ALL: [Counter; 24] = [
+    pub const ALL: [Counter; 25] = [
         Counter::HeapPush,
         Counter::HeapPop,
         Counter::HeapPopStale,
@@ -122,6 +126,7 @@ impl Counter {
         Counter::OracleCheck,
         Counter::OracleViolation,
         Counter::OracleMinimizeStep,
+        Counter::ParSection,
     ];
 
     /// The stable snake_case identifier used in traces and tables.
@@ -151,6 +156,7 @@ impl Counter {
             Counter::OracleCheck => "oracle_check",
             Counter::OracleViolation => "oracle_violation",
             Counter::OracleMinimizeStep => "oracle_minimize_step",
+            Counter::ParSection => "par_section",
         }
     }
 }
@@ -191,6 +197,109 @@ pub trait Probe: Sync {
     /// Records one observation into the named log-scale histogram.
     fn record(&self, histogram: &'static str, value: f64) {
         let _ = (histogram, value);
+    }
+
+    /// Opens a span annotated with a request context. Defaults to the
+    /// unscoped [`Probe::span_enter`], so sinks that don't understand
+    /// request ids still aggregate the span normally.
+    fn span_enter_scoped(&self, name: &'static str, ctx: Option<&RequestCtx>) {
+        let _ = ctx;
+        self.span_enter(name);
+    }
+
+    /// Closes a span opened by [`Probe::span_enter_scoped`].
+    fn span_exit_scoped(&self, name: &'static str, ctx: Option<&RequestCtx>) {
+        let _ = ctx;
+        self.span_exit(name);
+    }
+}
+
+/// Request-scoped tracing context, propagated from serve admission
+/// through the degradation chain into parallel sections.
+///
+/// The context is deliberately tiny and cheap to clone: the id is a
+/// shared `Arc<str>`, the deadline an absolute instant (so nested
+/// layers need no budget arithmetic), and `attempt` counts degradation
+/// tiers (0 = the originally requested algorithm).
+#[derive(Clone, Debug)]
+pub struct RequestCtx {
+    /// Client-chosen request id, unique per admission.
+    pub request_id: std::sync::Arc<str>,
+    /// Absolute deadline for the whole request, if one exists.
+    pub deadline: Option<Instant>,
+    /// Zero-based attempt index along the degradation chain.
+    pub attempt: u32,
+}
+
+impl RequestCtx {
+    /// A context with the given id, no deadline, attempt 0.
+    pub fn new(request_id: &str) -> RequestCtx {
+        RequestCtx { request_id: std::sync::Arc::from(request_id), deadline: None, attempt: 0 }
+    }
+
+    /// The same request one tier further down the degradation chain.
+    pub fn with_attempt(&self, attempt: u32) -> RequestCtx {
+        RequestCtx { request_id: self.request_id.clone(), deadline: self.deadline, attempt }
+    }
+
+    /// Time left until the deadline; `None` when unbounded.
+    pub fn remaining(&self) -> Option<std::time::Duration> {
+        self.deadline.map(|d| d.saturating_duration_since(Instant::now()))
+    }
+}
+
+/// A [`Probe`] adapter that stamps every span from an inner solve with
+/// one request's context.
+///
+/// Solver code takes `&dyn Probe` and knows nothing about requests;
+/// the serve layer wraps its shared [`TraceSink`] in a `RequestProbe`
+/// per admission (and per degradation tier), so every JSONL span event
+/// produced under it carries the request id without any solver-side
+/// plumbing.
+pub struct RequestProbe<'a> {
+    parent: &'a dyn Probe,
+    ctx: RequestCtx,
+}
+
+impl<'a> RequestProbe<'a> {
+    /// Wraps `parent` so spans carry `ctx`.
+    pub fn new(parent: &'a dyn Probe, ctx: RequestCtx) -> RequestProbe<'a> {
+        RequestProbe { parent, ctx }
+    }
+
+    /// The wrapped context.
+    pub fn ctx(&self) -> &RequestCtx {
+        &self.ctx
+    }
+}
+
+impl Probe for RequestProbe<'_> {
+    fn enabled(&self) -> bool {
+        self.parent.enabled()
+    }
+
+    fn count(&self, counter: Counter, delta: u64) {
+        self.parent.count(counter, delta);
+    }
+
+    fn span_enter(&self, name: &'static str) {
+        self.parent.span_enter_scoped(name, Some(&self.ctx));
+    }
+
+    fn span_exit(&self, name: &'static str) {
+        self.parent.span_exit_scoped(name, Some(&self.ctx));
+    }
+
+    fn span_enter_scoped(&self, name: &'static str, ctx: Option<&RequestCtx>) {
+        self.parent.span_enter_scoped(name, ctx.or(Some(&self.ctx)));
+    }
+
+    fn span_exit_scoped(&self, name: &'static str, ctx: Option<&RequestCtx>) {
+        self.parent.span_exit_scoped(name, ctx.or(Some(&self.ctx)));
+    }
+
+    fn record(&self, histogram: &'static str, value: f64) {
+        self.parent.record(histogram, value);
     }
 }
 
@@ -284,6 +393,7 @@ pub struct TraceSink {
     counters: [AtomicU64; Counter::ALL.len()],
     seq: AtomicU64,
     epoch: Instant,
+    finished: std::sync::atomic::AtomicBool,
     state: Mutex<SinkState>,
 }
 
@@ -300,6 +410,7 @@ impl TraceSink {
             counters: std::array::from_fn(|_| AtomicU64::new(0)),
             seq: AtomicU64::new(0),
             epoch: Instant::now(),
+            finished: std::sync::atomic::AtomicBool::new(false),
             state: Mutex::new(SinkState {
                 open: Vec::new(),
                 totals: Vec::new(),
@@ -347,6 +458,12 @@ impl TraceSink {
         self.lock().histograms.get(name).and_then(Histogram::summary)
     }
 
+    /// Snapshot clone of a named histogram, for bucket-level exposition
+    /// (the metrics registry re-exports these as cumulative buckets).
+    pub fn histogram(&self, name: &str) -> Option<Histogram> {
+        self.lock().histograms.get(name).cloned()
+    }
+
     /// Names of all recorded histograms, sorted.
     pub fn histogram_names(&self) -> Vec<String> {
         let mut names: Vec<String> =
@@ -368,9 +485,17 @@ impl TraceSink {
     }
 
     /// Writes the final summary record (counters, span totals, histogram
-    /// summaries) and flushes the writer. Idempotent aggregates; call
-    /// once, after the traced work completes.
+    /// summaries) and flushes the writer. The summary is written at most
+    /// once — later calls (and the drop-path safety net) only flush, so
+    /// a trace never carries two summary records.
     pub fn finish(&self) -> io::Result<()> {
+        if self.finished.swap(true, Ordering::SeqCst) {
+            let mut state = self.lock();
+            if let Some(w) = state.writer.as_mut() {
+                w.flush()?;
+            }
+            return Ok(());
+        }
         let counters = self.counters();
         let mut state = self.lock();
 
@@ -421,25 +546,15 @@ impl TraceSink {
         }
         Ok(())
     }
-}
 
-impl Probe for TraceSink {
-    fn enabled(&self) -> bool {
-        true
-    }
-
-    fn count(&self, counter: Counter, delta: u64) {
-        self.counters[counter as usize].fetch_add(delta, Ordering::Relaxed);
-    }
-
-    fn span_enter(&self, name: &'static str) {
+    fn enter_impl(&self, name: &'static str, ctx: Option<&RequestCtx>) {
         let seq = self.next_seq();
         let now = Instant::now();
         let mut state = self.lock();
         state.open.push((name, now));
         let depth = state.open.len();
         if state.writer.is_some() {
-            let record = json::Value::Map(vec![
+            let mut fields = vec![
                 ("type".to_string(), json::Value::Str("span_enter".to_string())),
                 ("seq".to_string(), json::Value::U64(seq)),
                 ("name".to_string(), json::Value::Str(name.to_string())),
@@ -448,12 +563,19 @@ impl Probe for TraceSink {
                     "t_ns".to_string(),
                     json::Value::U64(now.duration_since(self.epoch).as_nanos() as u64),
                 ),
-            ]);
-            Self::emit(&mut state, &record.render());
+            ];
+            if let Some(ctx) = ctx {
+                fields.push((
+                    "request_id".to_string(),
+                    json::Value::Str(ctx.request_id.to_string()),
+                ));
+                fields.push(("attempt".to_string(), json::Value::U64(u64::from(ctx.attempt))));
+            }
+            Self::emit(&mut state, &json::Value::Map(fields).render());
         }
     }
 
-    fn span_exit(&self, name: &'static str) {
+    fn exit_impl(&self, name: &'static str, ctx: Option<&RequestCtx>) {
         let seq = self.next_seq();
         let now = Instant::now();
         let mut state = self.lock();
@@ -472,7 +594,7 @@ impl Probe for TraceSink {
             None => state.totals.push(SpanTotal { name, count: 1, total_ns: dur_ns }),
         }
         if state.writer.is_some() {
-            let record = json::Value::Map(vec![
+            let mut fields = vec![
                 ("type".to_string(), json::Value::Str("span_exit".to_string())),
                 ("seq".to_string(), json::Value::U64(seq)),
                 ("name".to_string(), json::Value::Str(name.to_string())),
@@ -481,9 +603,54 @@ impl Probe for TraceSink {
                     "t_ns".to_string(),
                     json::Value::U64(now.duration_since(self.epoch).as_nanos() as u64),
                 ),
-            ]);
-            Self::emit(&mut state, &record.render());
+            ];
+            if let Some(ctx) = ctx {
+                fields.push((
+                    "request_id".to_string(),
+                    json::Value::Str(ctx.request_id.to_string()),
+                ));
+                fields.push(("attempt".to_string(), json::Value::U64(u64::from(ctx.attempt))));
+            }
+            Self::emit(&mut state, &json::Value::Map(fields).render());
         }
+    }
+}
+
+impl Drop for TraceSink {
+    /// Drop-path safety net: a sink dropped without an explicit
+    /// [`TraceSink::finish`] — early return, panic unwind — still gets
+    /// its summary record and flush, so readers never see a trace that
+    /// ends mid-stream on a buffered half-written tail.
+    fn drop(&mut self) {
+        if !self.finished.load(Ordering::SeqCst) {
+            let _ = self.finish();
+        }
+    }
+}
+
+impl Probe for TraceSink {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn count(&self, counter: Counter, delta: u64) {
+        self.counters[counter as usize].fetch_add(delta, Ordering::Relaxed);
+    }
+
+    fn span_enter(&self, name: &'static str) {
+        self.enter_impl(name, None);
+    }
+
+    fn span_exit(&self, name: &'static str) {
+        self.exit_impl(name, None);
+    }
+
+    fn span_enter_scoped(&self, name: &'static str, ctx: Option<&RequestCtx>) {
+        self.enter_impl(name, ctx);
+    }
+
+    fn span_exit_scoped(&self, name: &'static str, ctx: Option<&RequestCtx>) {
+        self.exit_impl(name, ctx);
     }
 
     fn record(&self, histogram: &'static str, value: f64) {
@@ -612,6 +779,96 @@ mod tests {
         local.count(Counter::HeapPush, 1);
         local.flush_into(&sink);
         assert_eq!(sink.counter(Counter::HeapPush), 3);
+    }
+
+    struct SharedBuf(std::sync::Arc<Mutex<Vec<u8>>>);
+    impl Write for SharedBuf {
+        fn write(&mut self, b: &[u8]) -> io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(b);
+            Ok(b.len())
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn dropping_an_unfinished_sink_still_writes_the_summary() {
+        let buf = std::sync::Arc::new(Mutex::new(Vec::<u8>::new()));
+        {
+            let sink = TraceSink::with_writer(Box::new(SharedBuf(buf.clone())));
+            sink.count(Counter::HeapPush, 3);
+            // no finish(): the drop path must cover it
+        }
+        let text = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
+        assert!(text.contains("\"summary\""), "drop must flush the summary: {text:?}");
+        assert!(text.contains("\"heap_push\":3"));
+    }
+
+    #[test]
+    fn finish_writes_the_summary_exactly_once() {
+        let buf = std::sync::Arc::new(Mutex::new(Vec::<u8>::new()));
+        let sink = TraceSink::with_writer(Box::new(SharedBuf(buf.clone())));
+        sink.finish().unwrap();
+        sink.finish().unwrap();
+        drop(sink);
+        let text = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
+        assert_eq!(text.matches("\"summary\"").count(), 1, "{text:?}");
+    }
+
+    #[test]
+    fn drop_flush_survives_a_panic_unwind() {
+        let buf = std::sync::Arc::new(Mutex::new(Vec::<u8>::new()));
+        let buf2 = buf.clone();
+        let _ = std::panic::catch_unwind(move || {
+            let sink = TraceSink::with_writer(Box::new(SharedBuf(buf2)));
+            sink.count(Counter::ServePanic, 1);
+            panic!("boom");
+        });
+        let text = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
+        assert!(text.contains("\"summary\""), "unwind must flush the summary: {text:?}");
+        assert!(text.contains("\"serve_panic\":1"));
+    }
+
+    #[test]
+    fn request_probe_stamps_spans_with_the_request_id() {
+        let buf = std::sync::Arc::new(Mutex::new(Vec::<u8>::new()));
+        let sink = TraceSink::with_writer(Box::new(SharedBuf(buf.clone())));
+        let ctx = RequestCtx::new("req-42").with_attempt(2);
+        let scoped = RequestProbe::new(&sink, ctx);
+        with_span(&scoped, "solve", || {
+            scoped.count(Counter::DpCellVisit, 5);
+        });
+        assert_eq!(sink.counter(Counter::DpCellVisit), 5, "counts pass through");
+        assert_eq!(sink.span_totals()[0].name, "solve", "spans aggregate in the parent");
+        sink.finish().unwrap();
+        let text = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
+        for line in text.lines().filter(|l| l.contains("\"span_")) {
+            assert!(line.contains("\"request_id\":\"req-42\""), "{line}");
+            assert!(line.contains("\"attempt\":2"), "{line}");
+        }
+    }
+
+    #[test]
+    fn unscoped_spans_carry_no_request_id() {
+        let buf = std::sync::Arc::new(Mutex::new(Vec::<u8>::new()));
+        let sink = TraceSink::with_writer(Box::new(SharedBuf(buf.clone())));
+        with_span(&sink, "solve", || {});
+        sink.finish().unwrap();
+        let text = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
+        assert!(!text.contains("request_id"));
+    }
+
+    #[test]
+    fn request_ctx_remaining_tracks_the_deadline() {
+        let mut ctx = RequestCtx::new("r");
+        assert!(ctx.remaining().is_none());
+        ctx.deadline = Some(Instant::now() + std::time::Duration::from_secs(60));
+        let left = ctx.remaining().unwrap();
+        assert!(left <= std::time::Duration::from_secs(60));
+        assert!(left >= std::time::Duration::from_secs(59));
+        ctx.deadline = Some(Instant::now() - std::time::Duration::from_secs(1));
+        assert_eq!(ctx.remaining().unwrap(), std::time::Duration::ZERO);
     }
 
     #[test]
