@@ -31,6 +31,7 @@ fn request(id: String, seed: u64) -> SolveRequest {
         algorithm: None,
         timeout_ms: None,
         mem_budget_mb: None,
+        city: None,
     }
 }
 

@@ -47,9 +47,26 @@ SUBCOMMANDS:
               --metrics-addr HOST:PORT serves Prometheus-text /metrics,
               /healthz, /buildinfo and /flightrec on a second port, and
               --flightrec N sizes the flight-recorder ring)
+    serve fleet
+              run the geo-sharded serve fleet: a router front-end
+              (same JSON-lines protocol) over N supervised `serve`
+              shard children, each with its own --shard-id-stamped
+              journal under --journal-dir; city-labeled requests go to
+              their city's shard (--cities \"vancouver=shard-0,...\",
+              default round-robin over the three usep-gen cities),
+              unlabeled ones by rendezvous hash; dead shards are failed
+              over with backoff and restarted with --resume from their
+              own journal; duplicate ids answer from the router's
+              first-completion-wins cache (--addr HOST:PORT,
+              --shards N, --metrics-addr HOST:PORT for fleet /metrics,
+              --forward-timeout-ms N, --sweeps N, plus shard
+              passthrough knobs --workers/--queue/--max-timeout-ms/
+              --chaos-*)
     request   submit one instance to a running server (--addr HOST:PORT
               --instance FILE --id KEY; prints the response JSON; exits
-              0 on complete, 3 on truncated, 1 otherwise)
+              0 on complete, 3 on truncated, 1 otherwise; --city NAME
+              labels the request for fleet routing, --fleet true
+              defaults the address to the fleet router's port)
     top       live service summary from a /metrics endpoint
               (--addr HOST:PORT of --metrics-addr; --interval-ms N,
               --iterations N [0 = forever], --clear true; shows qps,
@@ -75,6 +92,11 @@ pub fn dispatch(argv: &[String]) -> Result<u8, String> {
         println!("{HELP}");
         return Ok(0);
     };
+    // `serve fleet` is the one two-token subcommand; peel the word off
+    // before the flag parser sees it
+    if cmd == "serve" && rest.first().is_some_and(|a| a == "fleet") {
+        return cmd_serve_fleet(&Flags::parse(&rest[1..])?).map(|()| 0);
+    }
     let flags = Flags::parse(rest)?;
     match cmd.as_str() {
         "gen" => cmd_gen(&flags).map(|()| 0),
@@ -529,6 +551,7 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
         chaos_delay_ms: flags.get_or("chaos-delay-ms", 0u64)?,
         metrics_addr: flags.get("metrics-addr"),
         flight_recorder_capacity: flags.get_or("flightrec", 256usize)?,
+        shard_id: flags.get("shard-id"),
         ..usep_serve::ServeConfig::default()
     };
     flags.reject_unknown()?;
@@ -548,11 +571,94 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
     Ok(())
 }
 
+/// `usep serve fleet`: runs the geo-sharded fleet — router front-end,
+/// N supervised `usep serve` shard children with per-shard journals,
+/// health probes and a fleet `/metrics` listener — until killed.
+fn cmd_serve_fleet(flags: &Flags) -> Result<(), String> {
+    let shard_count = flags.get_or("shards", 3usize)?;
+    let cities = match flags.get("cities") {
+        None => Vec::new(),
+        Some(spec) => parse_city_map(&spec)?,
+    };
+    // knobs forwarded verbatim to every shard's own `serve` invocation
+    let mut shard_args = Vec::new();
+    for passthrough in [
+        "workers",
+        "queue",
+        "max-bytes",
+        "max-timeout-ms",
+        "max-mem-budget-mb",
+        "algorithm",
+        "chaos-trip",
+        "chaos-panic-every",
+        "chaos-delay-ms",
+    ] {
+        if let Some(v) = flags.get(passthrough) {
+            shard_args.extend([format!("--{passthrough}"), v]);
+        }
+    }
+    let program = std::env::current_exe()
+        .map_err(|e| format!("cannot locate the usep binary for shard spawns: {e}"))?
+        .to_string_lossy()
+        .into_owned();
+    let cfg = usep_fleet::FleetConfig {
+        addr: flags.get("addr").unwrap_or_else(|| "127.0.0.1:7979".into()),
+        metrics_addr: flags.get("metrics-addr"),
+        program,
+        shard_count,
+        journal_dir: std::path::PathBuf::from(
+            flags.get("journal-dir").unwrap_or_else(|| "fleet-journals".into()),
+        ),
+        cities,
+        shard_args,
+        shard_metrics: flags.get_or("shard-metrics", true)?,
+        resume: flags.get_or("resume", false)?,
+        probe_interval: Duration::from_millis(flags.get_or("probe-interval-ms", 500u64)?),
+        probe_timeout: Duration::from_millis(flags.get_or("probe-timeout-ms", 500u64)?),
+        forward_timeout: Duration::from_millis(flags.get_or("forward-timeout-ms", 120_000u64)?),
+        sweeps: flags.get_or("sweeps", 2u32)?,
+        ..usep_fleet::FleetConfig::default()
+    };
+    flags.reject_unknown()?;
+    let fleet = usep_fleet::Fleet::start(cfg).map_err(|e| format!("start fleet: {e}"))?;
+    // same banner contract as `serve`, so scripts using port 0 work
+    println!("listening {}", fleet.addr());
+    if let Some(maddr) = fleet.metrics_addr() {
+        println!("metrics {maddr}");
+    }
+    for shard in fleet.shards() {
+        println!("shard {} {}", shard.name, shard.addr());
+    }
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    // the fleet runs until the process is killed; the supervisor keeps
+    // shards alive, the router keeps routing
+    loop {
+        std::thread::sleep(Duration::from_secs(3600));
+    }
+}
+
+/// Parses `--cities "vancouver=shard-0,auckland=shard-1"`.
+fn parse_city_map(spec: &str) -> Result<Vec<(String, String)>, String> {
+    spec.split(',')
+        .filter(|p| !p.trim().is_empty())
+        .map(|pair| {
+            pair.split_once('=')
+                .map(|(c, s)| (c.trim().to_string(), s.trim().to_string()))
+                .ok_or_else(|| format!("bad --cities entry '{pair}' (want city=shard-name)"))
+        })
+        .collect()
+}
+
 /// `usep request`: one solve against a running server. Exit code
 /// mirrors `solve`: 0 complete, [`EXIT_TRUNCATED`] truncated, error
 /// (1) for failed / overloaded / rejected outcomes.
 fn cmd_request(flags: &Flags) -> Result<u8, String> {
-    let addr = flags.get("addr").unwrap_or_else(|| "127.0.0.1:7878".into());
+    // --fleet retargets the default address at the fleet router's
+    // default port; an explicit --addr always wins
+    let fleet = flags.get_or("fleet", false)?;
+    let default_addr = if fleet { "127.0.0.1:7979" } else { "127.0.0.1:7878" };
+    let addr = flags.get("addr").unwrap_or_else(|| default_addr.into());
     let id = flags.require("id")?;
     let instance = load_instance(flags)?;
     let request = usep_serve::SolveRequest {
@@ -563,6 +669,7 @@ fn cmd_request(flags: &Flags) -> Result<u8, String> {
             .map_err(|e| format!("bad --timeout-ms: {e}"))?,
         mem_budget_mb: flags.get("mem-budget-mb").map(|s| s.parse()).transpose()
             .map_err(|e| format!("bad --mem-budget-mb: {e}"))?,
+        city: flags.get("city"),
     };
     let client_timeout = Duration::from_millis(flags.get_or("client-timeout-ms", 120_000u64)?);
     flags.reject_unknown()?;

@@ -1,0 +1,178 @@
+//! Fleet-level chaos e2e against the real binary: SIGKILL a shard
+//! mid-solve under ≥ 50 concurrent mixed-city requests and prove the
+//! fleet contract —
+//!
+//! * zero lost requests: every client gets a terminal typed response;
+//! * zero duplicate completions: one answer per id, and replaying an id
+//!   returns the identical cached answer without a second solve;
+//! * the supervisor restarts the dead shard with `--resume` from its
+//!   own shard-stamped journal and the journal drains;
+//! * every returned planning passes independent `usep-oracle`
+//!   validation against its instance.
+
+#![cfg(unix)]
+
+use std::collections::HashSet;
+use std::sync::atomic::Ordering::Relaxed;
+use std::time::{Duration, Instant};
+use usep_fleet::{Fleet, FleetConfig};
+use usep_serve::{send_request, JournalState, SolveRequest, Status};
+use usep_trace::Counter;
+
+const REQUESTS: usize = 60;
+const CITIES: [Option<&str>; 4] = [Some("vancouver"), Some("auckland"), Some("singapore"), None];
+
+fn request(i: usize) -> SolveRequest {
+    SolveRequest {
+        id: format!("chaos-{i:02}"),
+        instance: usep_gen::generate(
+            &usep_gen::SyntheticConfig::tiny().with_events(5).with_users(12),
+            1000 + i as u64,
+        ),
+        algorithm: None,
+        timeout_ms: Some(10_000),
+        mem_budget_mb: None,
+        city: CITIES[i % CITIES.len()].map(String::from),
+    }
+}
+
+fn wait_for(mut cond: impl FnMut() -> bool, what: &str) {
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while !cond() {
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(100));
+    }
+}
+
+#[test]
+fn sigkill_one_shard_under_concurrent_load_loses_and_duplicates_nothing() {
+    let journal_dir =
+        std::env::temp_dir().join(format!("usep-fleet-chaos-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&journal_dir);
+
+    let mut fleet = Fleet::start(FleetConfig {
+        addr: "127.0.0.1:0".to_string(),
+        metrics_addr: Some("127.0.0.1:0".to_string()),
+        program: env!("CARGO_BIN_EXE_usep").to_string(),
+        shard_count: 3,
+        journal_dir: journal_dir.clone(),
+        // every solve stalls 150 ms, so the kill is guaranteed to land
+        // while requests are inflight on the victim
+        shard_args: vec!["--chaos-delay-ms".into(), "150".into(), "--workers".into(), "2".into()],
+        probe_interval: Duration::from_millis(200),
+        forward_timeout: Duration::from_secs(60),
+        sweeps: 2,
+        ..FleetConfig::default()
+    })
+    .expect("start fleet");
+    let addr = fleet.addr();
+
+    // vancouver's owner under the default round-robin city map
+    let victim = "shard-0";
+    let victim_pid = fleet
+        .pids()
+        .into_iter()
+        .find(|(name, _)| name == victim)
+        .map(|(_, pid)| pid)
+        .expect("victim pid");
+
+    // fire all clients concurrently
+    let clients: Vec<_> = (0..REQUESTS)
+        .map(|i| {
+            std::thread::spawn(move || {
+                let req = request(i);
+                let resp = send_request(addr, &req, Duration::from_secs(120));
+                (req, resp)
+            })
+        })
+        .collect();
+
+    // let the queues fill, then SIGKILL the victim mid-solve
+    std::thread::sleep(Duration::from_millis(300));
+    let killed = std::process::Command::new("kill")
+        .args(["-9", &victim_pid.to_string()])
+        .status()
+        .expect("run kill");
+    assert!(killed.success(), "kill -9 {victim_pid} failed");
+
+    // ── zero lost requests, all plannings oracle-valid ──────────────
+    let mut ids = HashSet::new();
+    let mut responses = Vec::new();
+    for client in clients {
+        let (req, resp) = client.join().expect("client thread panicked");
+        let resp = resp.unwrap_or_else(|e| panic!("request {} lost: {e}", req.id));
+        assert_eq!(resp.status, Status::Complete, "request {}: {:?}", req.id, resp.status);
+        assert_eq!(resp.id, req.id);
+        assert!(ids.insert(resp.id.clone()), "duplicate response id {}", resp.id);
+        let planning = resp.planning.as_ref().unwrap_or_else(|| panic!("{} no planning", resp.id));
+        let report =
+            usep_oracle::check_planning_with_omega(&req.instance, planning, resp.omega, &usep_trace::NOOP);
+        assert!(report.is_valid(), "request {} failed the oracle: {:?}", req.id, report.violations);
+        responses.push((req, resp));
+    }
+    assert_eq!(ids.len(), REQUESTS, "every request answered exactly once");
+
+    // the kill landed mid-run: the router must have moved inflight
+    // requests away from the victim
+    assert!(
+        fleet.sink().counter(Counter::FleetFailover) >= 1,
+        "no failover counted — the kill landed too late to matter"
+    );
+    assert_eq!(fleet.sink().counter(Counter::FleetShed), 0, "nothing may be shed");
+
+    // ── supervised restart-and-resume from the victim's own journal ─
+    let victim_state = fleet.shards().iter().find(|s| s.name == victim).unwrap().clone();
+    wait_for(|| victim_state.restarts.load(Relaxed) >= 1, "supervisor restart of the victim");
+    assert!(fleet.sink().counter(Counter::FleetRestart) >= 1);
+
+    // the journal is stamped with the victim's shard id and replays for
+    // it (and only it)
+    let wal = journal_dir.join(format!("{victim}.wal.jsonl"));
+    let state = JournalState::replay_expecting(&wal, victim).expect("replay victim journal");
+    assert_eq!(state.shard_id.as_deref(), Some(victim));
+    assert!(
+        JournalState::replay_expecting(&wal, "shard-1").is_err(),
+        "a sibling must not be able to resume the victim's journal"
+    );
+
+    // the resumed shard re-solves its orphaned accepts until the
+    // journal owes nothing
+    wait_for(
+        || JournalState::replay(&wal).map(|s| s.pending.is_empty()).unwrap_or(false),
+        "resumed shard to drain its journal",
+    );
+
+    // ── exactly-once across failover: replays return the cached answer
+    for (req, original) in responses.iter().take(8) {
+        let replay = send_request(addr, req, Duration::from_secs(60)).unwrap();
+        assert_eq!(
+            serde_json::to_string(&replay).unwrap(),
+            serde_json::to_string(original).unwrap(),
+            "replay of {} diverged from the first completion",
+            req.id
+        );
+    }
+    assert!(fleet.sink().counter(Counter::FleetReplay) >= 8);
+
+    // ── router-side reconciliation: every parsed request is accounted
+    // for in exactly one bucket, and the fleet /metrics agrees ────────
+    let requests_total = REQUESTS as u64 + 8;
+    let completed: u64 = fleet.shards().iter().map(|s| s.completed.load(Relaxed)).sum();
+    let inflight: u64 = fleet.shards().iter().map(|s| s.inflight.load(Relaxed)).sum();
+    assert_eq!(inflight, 0);
+    assert_eq!(requests_total, 8 + completed, "replayed + completed must cover all requests");
+    let scrape = usep_obs::http::get(
+        &fleet.metrics_addr().unwrap().to_string(),
+        "/metrics",
+        Duration::from_secs(5),
+    )
+    .expect("scrape fleet /metrics");
+    let parsed = usep_obs::top::parse_exposition(&scrape);
+    assert_eq!(parsed.value("usep_fleet_requests_total"), Some(requests_total as f64));
+    assert_eq!(parsed.value("usep_fleet_replayed_total"), Some(8.0));
+    assert_eq!(parsed.value("usep_fleet_shed_total"), Some(0.0));
+    assert_eq!(parsed.value("usep_fleet_rejected_total"), Some(0.0));
+
+    fleet.shutdown();
+    let _ = std::fs::remove_dir_all(&journal_dir);
+}

@@ -44,6 +44,7 @@ fn victim_request() -> SolveRequest {
         algorithm: None,
         timeout_ms: Some(30_000),
         mem_budget_mb: None,
+        city: None,
     }
 }
 

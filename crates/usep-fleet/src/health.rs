@@ -1,0 +1,251 @@
+//! Shard health: connection probes, `/healthz` checks, and the shared
+//! per-shard state the router, supervisor and metrics plane all read.
+//!
+//! A shard is `Healthy` until a probe fails, `Suspect` after one
+//! failure, and `Down` after two consecutive failures (one flaky
+//! connect — a full accept backlog during a load spike — must not
+//! trigger a restart). The router additionally marks a shard `Down`
+//! synchronously when a forwarded request hits a connection error, so
+//! failover never waits for the next probe tick. Any successful probe
+//! or forward marks the shard `Healthy` again.
+
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+use usep_obs::top::parse_exposition;
+
+/// Probe verdict / router-observed liveness for one shard.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Health {
+    /// Last probe (or forward) succeeded.
+    Healthy,
+    /// One probe failed; one more makes it `Down`.
+    Suspect,
+    /// Probes keep failing or a forward hit a connection error; the
+    /// router skips it and the supervisor restarts it.
+    Down,
+}
+
+impl Health {
+    fn from_u8(v: u8) -> Health {
+        match v {
+            0 => Health::Healthy,
+            1 => Health::Suspect,
+            _ => Health::Down,
+        }
+    }
+
+    fn as_u8(self) -> u8 {
+        match self {
+            Health::Healthy => 0,
+            Health::Suspect => 1,
+            Health::Down => 2,
+        }
+    }
+}
+
+/// Shared mutable state for one shard. The router reads it on every
+/// request, the health monitor and supervisor write it; everything is
+/// atomics or short-lived locks.
+#[derive(Debug)]
+pub struct ShardState {
+    /// Stable shard name (also the journal stamp).
+    pub name: String,
+    /// Solve-socket address; the supervisor rewrites it after a
+    /// restart (port 0 binds move).
+    addr: Mutex<String>,
+    /// Metrics listener address, when the shard exposes one.
+    metrics_addr: Mutex<Option<String>>,
+    health: AtomicU32,
+    consecutive_failures: AtomicU32,
+    /// Last queue depth scraped from the shard's `/metrics`.
+    pub queue_depth: AtomicU64,
+    /// Requests the router currently has outstanding against this shard.
+    pub inflight: AtomicU64,
+    /// Requests whose *first* forward went to this shard.
+    pub routed: AtomicU64,
+    /// Requests routed here (first choice or failover) that completed.
+    pub completed: AtomicU64,
+    /// Failovers *away* from this shard.
+    pub failovers: AtomicU64,
+    /// Supervisor restarts of this shard.
+    pub restarts: AtomicU64,
+}
+
+impl ShardState {
+    /// A fresh, healthy shard at `addr`.
+    pub fn new(name: impl Into<String>, addr: impl Into<String>) -> ShardState {
+        ShardState {
+            name: name.into(),
+            addr: Mutex::new(addr.into()),
+            metrics_addr: Mutex::new(None),
+            health: AtomicU32::new(0),
+            consecutive_failures: AtomicU32::new(0),
+            queue_depth: AtomicU64::new(0),
+            inflight: AtomicU64::new(0),
+            routed: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            failovers: AtomicU64::new(0),
+            restarts: AtomicU64::new(0),
+        }
+    }
+
+    /// Current solve-socket address.
+    pub fn addr(&self) -> String {
+        self.addr.lock().unwrap_or_else(|p| p.into_inner()).clone()
+    }
+
+    /// Points the shard at a new solve address (after a restart).
+    pub fn set_addr(&self, addr: impl Into<String>) {
+        *self.addr.lock().unwrap_or_else(|p| p.into_inner()) = addr.into();
+    }
+
+    /// Current metrics address, if the shard exposes one.
+    pub fn metrics_addr(&self) -> Option<String> {
+        self.metrics_addr.lock().unwrap_or_else(|p| p.into_inner()).clone()
+    }
+
+    /// Records the shard's metrics listener address.
+    pub fn set_metrics_addr(&self, addr: Option<String>) {
+        *self.metrics_addr.lock().unwrap_or_else(|p| p.into_inner()) = addr;
+    }
+
+    /// Current health verdict.
+    pub fn health(&self) -> Health {
+        Health::from_u8(self.health.load(Ordering::SeqCst) as u8)
+    }
+
+    /// A probe or forward succeeded: back to `Healthy`.
+    pub fn mark_alive(&self) {
+        self.consecutive_failures.store(0, Ordering::SeqCst);
+        self.health.store(Health::Healthy.as_u8().into(), Ordering::SeqCst);
+    }
+
+    /// A probe failed: `Suspect` on the first, `Down` from the second.
+    pub fn mark_probe_failed(&self) {
+        let fails = self.consecutive_failures.fetch_add(1, Ordering::SeqCst) + 1;
+        let next = if fails >= 2 { Health::Down } else { Health::Suspect };
+        self.health.store(next.as_u8().into(), Ordering::SeqCst);
+    }
+
+    /// A forwarded request hit a connection error: straight to `Down`
+    /// (the router has direct evidence, no second opinion needed).
+    pub fn mark_down(&self) {
+        self.consecutive_failures.fetch_add(1, Ordering::SeqCst);
+        self.health.store(Health::Down.as_u8().into(), Ordering::SeqCst);
+    }
+}
+
+/// One probe round against one shard: TCP connect to the solve socket,
+/// then `/healthz` + a `/metrics` queue-depth sample when the shard
+/// has a metrics listener. Updates the shard's health state.
+pub fn probe(shard: &ShardState, timeout: Duration) {
+    let addr = shard.addr();
+    let Ok(sock) = addr.parse::<SocketAddr>() else {
+        shard.mark_probe_failed();
+        return;
+    };
+    match TcpStream::connect_timeout(&sock, timeout) {
+        Ok(stream) => drop(stream),
+        Err(_) => {
+            shard.mark_probe_failed();
+            return;
+        }
+    }
+    if let Some(maddr) = shard.metrics_addr() {
+        if usep_obs::http::get(&maddr, "/healthz", timeout).is_err() {
+            shard.mark_probe_failed();
+            return;
+        }
+        if let Ok(body) = usep_obs::http::get(&maddr, "/metrics", timeout) {
+            if let Some(depth) = parse_exposition(&body).value("usep_serve_queue_depth") {
+                shard.queue_depth.store(depth.max(0.0) as u64, Ordering::Relaxed);
+            }
+        }
+    }
+    shard.mark_alive();
+}
+
+/// Background monitor probing every shard each `interval`.
+pub struct HealthMonitor {
+    stop: Arc<AtomicBool>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl HealthMonitor {
+    /// Spawns the probe loop over `shards`.
+    pub fn spawn(
+        shards: Vec<Arc<ShardState>>,
+        interval: Duration,
+        probe_timeout: Duration,
+    ) -> HealthMonitor {
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_loop = Arc::clone(&stop);
+        let thread = std::thread::Builder::new()
+            .name("usep-fleet-health".to_string())
+            .spawn(move || {
+                while !stop_loop.load(Ordering::SeqCst) {
+                    for shard in &shards {
+                        probe(shard, probe_timeout);
+                    }
+                    // short sleep slices so shutdown is prompt
+                    let mut left = interval;
+                    while !left.is_zero() && !stop_loop.load(Ordering::SeqCst) {
+                        let step = left.min(Duration::from_millis(50));
+                        std::thread::sleep(step);
+                        left = left.saturating_sub(step);
+                    }
+                }
+            })
+            .expect("spawn health monitor");
+        HealthMonitor { stop, thread: Some(thread) }
+    }
+
+    /// Stops and joins the probe loop.
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for HealthMonitor {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn health_degrades_on_consecutive_failures_and_recovers() {
+        let s = ShardState::new("s0", "127.0.0.1:1"); // nothing listens on port 1
+        assert_eq!(s.health(), Health::Healthy);
+        probe(&s, Duration::from_millis(100));
+        assert_eq!(s.health(), Health::Suspect, "one failure is only suspicion");
+        probe(&s, Duration::from_millis(100));
+        assert_eq!(s.health(), Health::Down, "two consecutive failures");
+        s.mark_alive();
+        assert_eq!(s.health(), Health::Healthy);
+    }
+
+    #[test]
+    fn probe_succeeds_against_a_real_listener() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let s = ShardState::new("s0", listener.local_addr().unwrap().to_string());
+        s.mark_probe_failed();
+        probe(&s, Duration::from_millis(500));
+        assert_eq!(s.health(), Health::Healthy, "connect probe should clear suspicion");
+    }
+
+    #[test]
+    fn router_evidence_marks_down_immediately() {
+        let s = ShardState::new("s0", "127.0.0.1:1");
+        s.mark_down();
+        assert_eq!(s.health(), Health::Down);
+    }
+}

@@ -1,0 +1,157 @@
+//! The fleet's own observability plane: a `usep-obs` registry over the
+//! router's counters and every shard's shared state, served on the
+//! router's `--metrics-addr`.
+//!
+//! The reconciliation identity a scrape can check (the fleet-smoke CI
+//! job does):
+//!
+//! ```text
+//! usep_fleet_requests_total =
+//!     usep_fleet_replayed_total
+//!   + usep_fleet_rejected_total
+//!   + usep_fleet_shed_total
+//!   + Σ_shard usep_fleet_completed_total{shard=...}
+//!   + (requests still inflight at scrape time)
+//! ```
+//!
+//! Rejections answered directly by a shard (bad instance, unknown
+//! algorithm) count into that shard's `completed` — from the router's
+//! seat a typed rejection is a completed conversation, not a loss.
+
+use crate::health::{Health, ShardState};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use usep_obs::MetricsRegistry;
+use usep_trace::{Counter, TraceSink};
+
+/// Router-level cells plus the registry that exposes them.
+pub struct FleetMetrics {
+    /// The registry behind `/metrics`.
+    pub registry: Arc<MetricsRegistry>,
+    /// Request lines parsed as solve requests.
+    pub requests: Arc<AtomicU64>,
+    /// Duplicate ids answered from the router's completion cache.
+    pub replayed: Arc<AtomicU64>,
+    /// Unparseable request lines refused by the router itself.
+    pub rejected: Arc<AtomicU64>,
+    /// Requests refused because every shard was exhausted.
+    pub shed: Arc<AtomicU64>,
+}
+
+impl FleetMetrics {
+    /// Builds the registry over `shards` and the fleet trace counters
+    /// in `sink`.
+    pub fn new(shards: &[Arc<ShardState>], sink: Arc<TraceSink>) -> FleetMetrics {
+        let registry = Arc::new(MetricsRegistry::new());
+        let started = std::time::Instant::now();
+        registry.gauge_fn(
+            "usep_uptime_seconds",
+            "Seconds since the fleet router started.",
+            vec![],
+            move || started.elapsed().as_secs_f64(),
+        );
+        registry.gauge_fn(
+            "usep_fleet_shards",
+            "Shards in the partition table.",
+            vec![],
+            {
+                let n = shards.len();
+                move || n as f64
+            },
+        );
+
+        let requests = registry.counter_cell(
+            "usep_fleet_requests_total",
+            "Request lines read at the router (parseable or not).",
+            vec![],
+        );
+        let replayed = registry.counter_cell(
+            "usep_fleet_replayed_total",
+            "Duplicate ids answered from the router's completion cache.",
+            vec![],
+        );
+        let rejected = registry.counter_cell(
+            "usep_fleet_rejected_total",
+            "Request lines the router refused before forwarding (parse errors).",
+            vec![],
+        );
+        let shed = registry.counter_cell(
+            "usep_fleet_shed_total",
+            "Requests refused because every shard in the preference order was exhausted.",
+            vec![],
+        );
+
+        for shard in shards {
+            let label = |s: &Arc<ShardState>| vec![("shard", s.name.clone())];
+            let s = Arc::clone(shard);
+            registry.counter_fn(
+                "usep_fleet_routed_total",
+                "Requests whose first forward went to this shard.",
+                label(shard),
+                move || s.routed.load(Ordering::Relaxed),
+            );
+            let s = Arc::clone(shard);
+            registry.counter_fn(
+                "usep_fleet_completed_total",
+                "Requests this shard answered terminally (any typed status).",
+                label(shard),
+                move || s.completed.load(Ordering::Relaxed),
+            );
+            let s = Arc::clone(shard);
+            registry.counter_fn(
+                "usep_fleet_failovers_total",
+                "Requests moved away from this shard after a failure or shed.",
+                label(shard),
+                move || s.failovers.load(Ordering::Relaxed),
+            );
+            let s = Arc::clone(shard);
+            registry.counter_fn(
+                "usep_fleet_restarts_total",
+                "Supervised restart-and-resume cycles of this shard.",
+                label(shard),
+                move || s.restarts.load(Ordering::Relaxed),
+            );
+            let s = Arc::clone(shard);
+            registry.gauge_fn(
+                "usep_fleet_inflight",
+                "Requests the router holds open against this shard right now.",
+                label(shard),
+                move || s.inflight.load(Ordering::Relaxed) as f64,
+            );
+            let s = Arc::clone(shard);
+            registry.gauge_fn(
+                "usep_fleet_shard_healthy",
+                "1 when the shard's last probe or forward succeeded, else 0.",
+                label(shard),
+                move || f64::from(s.health() == Health::Healthy),
+            );
+            let s = Arc::clone(shard);
+            registry.gauge_fn(
+                "usep_fleet_shard_queue_depth",
+                "Queue depth last scraped from the shard's own /metrics.",
+                label(shard),
+                move || s.queue_depth.load(Ordering::Relaxed) as f64,
+            );
+        }
+
+        // the fleet slice of the trace-counter registry, one series per
+        // fleet counter, mirroring how usep-serve exposes its slice
+        for c in [
+            Counter::FleetRoute,
+            Counter::FleetFailover,
+            Counter::FleetRestart,
+            Counter::FleetShed,
+            Counter::FleetReplay,
+        ] {
+            let sink = Arc::clone(&sink);
+            registry.counter_fn(
+                "usep_trace_events_total",
+                "usep-trace counter totals observed by the fleet router.",
+                vec![("counter", c.name().to_string())],
+                move || sink.counter(c),
+            );
+        }
+
+        FleetMetrics { registry, requests, replayed, rejected, shed }
+    }
+}

@@ -1,0 +1,234 @@
+//! Request → shard assignment: city partition first, rendezvous hash
+//! for everything else.
+//!
+//! Travel budgets make USEP naturally partitionable by city — a
+//! Vancouver attendee is never assigned to a Singapore event — so the
+//! primary partition is an explicit `city → shard` map. Requests with
+//! no city label (or a city nobody claimed) fall back to **rendezvous
+//! (highest-random-weight) hashing** on the request id: each shard gets
+//! a deterministic per-key weight `h(key, shard)`, and the preference
+//! order is shards by descending weight. Rendezvous hashing gives the
+//! property the failover story needs for free: removing one of N
+//! shards reassigns *only* the keys whose top choice was that shard
+//! (~K/N of them), because every other key's maximum-weight shard is
+//! untouched — there is no ring to rebalance and no K/2 cascade.
+//!
+//! Everything here is a pure function of the configuration and the
+//! key, so a restarted router computes identical assignments — the
+//! determinism the per-shard journals rely on.
+
+use std::collections::BTreeMap;
+
+/// SplitMix64 — the same deterministic mixer the rest of the workspace
+/// uses for seeds and jitter.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// FNV-1a over a string — stable across platforms, runs, and restarts
+/// (`DefaultHasher` is documented to be none of those).
+fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The rendezvous weight of `shard` for `key`: mix the two hashes so
+/// each (key, shard) pair draws an independent-looking value.
+fn weight(key: &str, shard: &str) -> u64 {
+    splitmix64(fnv1a(key) ^ fnv1a(shard).rotate_left(32))
+}
+
+/// The fleet's partition table: shard names plus the explicit
+/// city → shard assignments.
+#[derive(Clone, Debug)]
+pub struct PartitionTable {
+    shards: Vec<String>,
+    /// Lowercased city name → index into `shards`.
+    cities: BTreeMap<String, usize>,
+}
+
+impl PartitionTable {
+    /// Builds a table over `shards` (names must be unique and
+    /// non-empty). `cities` maps city names to owning shard names;
+    /// unknown shard names are an error.
+    pub fn new(
+        shards: Vec<String>,
+        cities: &[(String, String)],
+    ) -> Result<PartitionTable, String> {
+        if shards.is_empty() {
+            return Err("partition table needs at least one shard".into());
+        }
+        let mut seen = std::collections::BTreeSet::new();
+        for s in &shards {
+            if s.is_empty() {
+                return Err("shard names must be non-empty".into());
+            }
+            if !seen.insert(s.clone()) {
+                return Err(format!("duplicate shard name '{s}'"));
+            }
+        }
+        let mut map = BTreeMap::new();
+        for (city, shard) in cities {
+            let idx = shards
+                .iter()
+                .position(|s| s == shard)
+                .ok_or_else(|| format!("city '{city}' assigned to unknown shard '{shard}'"))?;
+            map.insert(city.to_lowercase(), idx);
+        }
+        Ok(PartitionTable { shards, cities: map })
+    }
+
+    /// Shard names, in index order.
+    pub fn shards(&self) -> &[String] {
+        &self.shards
+    }
+
+    /// Number of shards.
+    pub fn len(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Whether the table is empty (it never is — `new` rejects that —
+    /// but clippy insists `len` has a partner).
+    pub fn is_empty(&self) -> bool {
+        self.shards.is_empty()
+    }
+
+    /// The shard index a city is explicitly assigned to, if any.
+    pub fn city_owner(&self, city: &str) -> Option<usize> {
+        self.cities.get(&city.to_lowercase()).copied()
+    }
+
+    /// The primary shard for a request: its city's owner when the city
+    /// is mapped, otherwise the rendezvous winner for the key.
+    pub fn assign(&self, city: Option<&str>, key: &str) -> usize {
+        self.preference(city, key)[0]
+    }
+
+    /// The full failover order for a request: every shard exactly once,
+    /// starting with the primary. City-owned requests start at their
+    /// city's shard and continue in rendezvous order over the rest;
+    /// unlabeled requests are pure rendezvous order. Deterministic for
+    /// a given table — a restarted router produces the same order.
+    pub fn preference(&self, city: Option<&str>, key: &str) -> Vec<usize> {
+        let mut order: Vec<usize> = (0..self.shards.len()).collect();
+        // sort by descending weight; ties (only possible with colliding
+        // hashes) break on index so the order is still total
+        order.sort_by_key(|&i| (std::cmp::Reverse(weight(key, &self.shards[i])), i));
+        if let Some(owner) = city.and_then(|c| self.city_owner(c)) {
+            order.retain(|&i| i != owner);
+            order.insert(0, owner);
+        }
+        order
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table(n: usize) -> PartitionTable {
+        let shards = (0..n).map(|i| format!("shard-{i}")).collect();
+        PartitionTable::new(shards, &[]).unwrap()
+    }
+
+    #[test]
+    fn construction_rejects_bad_tables() {
+        assert!(PartitionTable::new(vec![], &[]).is_err());
+        assert!(PartitionTable::new(vec!["a".into(), "a".into()], &[]).is_err());
+        assert!(PartitionTable::new(vec!["".into()], &[]).is_err());
+        assert!(PartitionTable::new(
+            vec!["a".into()],
+            &[("vancouver".into(), "ghost".into())]
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn city_assignment_is_explicit_and_case_insensitive() {
+        let t = PartitionTable::new(
+            vec!["s0".into(), "s1".into(), "s2".into()],
+            &[("Vancouver".into(), "s1".into()), ("auckland".into(), "s2".into())],
+        )
+        .unwrap();
+        for key in ["r1", "r2", "anything"] {
+            assert_eq!(t.assign(Some("vancouver"), key), 1);
+            assert_eq!(t.assign(Some("VANCOUVER"), key), 1);
+            assert_eq!(t.assign(Some("Auckland"), key), 2);
+        }
+        // unknown city falls back to the hash, whatever that picks
+        let idx = t.assign(Some("atlantis"), "r1");
+        assert_eq!(idx, t.assign(None, "r1"));
+    }
+
+    #[test]
+    fn preference_is_a_permutation_starting_at_the_primary() {
+        let t = PartitionTable::new(
+            vec!["s0".into(), "s1".into(), "s2".into(), "s3".into()],
+            &[("singapore".into(), "s3".into())],
+        )
+        .unwrap();
+        for key in ["a", "b", "c", "d", "e"] {
+            for city in [None, Some("singapore"), Some("unknown")] {
+                let pref = t.preference(city, key);
+                let mut sorted = pref.clone();
+                sorted.sort_unstable();
+                assert_eq!(sorted, vec![0, 1, 2, 3], "not a permutation: {pref:?}");
+                assert_eq!(pref[0], t.assign(city, key));
+            }
+            assert_eq!(t.preference(Some("singapore"), key)[0], 3);
+        }
+    }
+
+    #[test]
+    fn hash_assignment_spreads_keys() {
+        let t = table(4);
+        let mut counts = [0usize; 4];
+        for i in 0..1000 {
+            counts[t.assign(None, &format!("req-{i}"))] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            assert!(
+                (150..400).contains(&c),
+                "shard {i} got {c}/1000 keys — distribution badly skewed: {counts:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn removing_a_shard_only_moves_its_own_keys() {
+        // the rendezvous property, checked directly: keys whose primary
+        // was NOT the removed shard keep their assignment
+        let full = table(5);
+        let reduced = PartitionTable::new(
+            (0..5).filter(|&i| i != 2).map(|i| format!("shard-{i}")).collect(),
+            &[],
+        )
+        .unwrap();
+        let mut moved = 0;
+        for i in 0..1000 {
+            let key = format!("req-{i}");
+            let before = full.assign(None, &key);
+            let after = &reduced.shards()[reduced.assign(None, &key)];
+            if before == 2 {
+                moved += 1; // had to move somewhere
+            } else {
+                assert_eq!(
+                    &full.shards()[before],
+                    after,
+                    "key {key} moved although its shard survived"
+                );
+            }
+        }
+        // ~1/5 of the keys lived on the removed shard
+        assert!((100..350).contains(&moved), "moved {moved}/1000");
+    }
+}

@@ -1,0 +1,97 @@
+//! Property tests for the router's partition function — the two
+//! guarantees the fleet's failover and journal story lean on:
+//!
+//! 1. **Stability under shard-set changes**: removing one of N shards
+//!    reassigns *only* the keys whose primary was the removed shard
+//!    (~K/N of them); every other key keeps its shard, so a shrink
+//!    never stampedes the surviving journals.
+//! 2. **Determinism across router restarts**: assignment is a pure
+//!    function of the table — a freshly built router (same shards, any
+//!    city-map insertion order) routes every key and every city
+//!    identically.
+
+use proptest::prelude::*;
+use usep_fleet::PartitionTable;
+
+fn shard_names(n: usize) -> Vec<String> {
+    (0..n).map(|i| format!("shard-{i}")).collect()
+}
+
+proptest! {
+    /// Removing one shard moves only that shard's own keys; the rest
+    /// keep their assignment (by *name* — indexes shift on removal).
+    #[test]
+    fn removing_one_shard_strands_no_other_key(
+        n in 2usize..8,
+        removed in 0usize..8,
+        raw_keys in prop::collection::vec(any::<u64>(), 1..60),
+    ) {
+        let removed = removed % n;
+        let full = PartitionTable::new(shard_names(n), &[]).unwrap();
+        let survivors: Vec<String> = shard_names(n)
+            .into_iter()
+            .filter(|s| s != &format!("shard-{removed}"))
+            .collect();
+        let reduced = PartitionTable::new(survivors, &[]).unwrap();
+        let keys: Vec<String> = raw_keys.iter().map(|v| format!("req-{v:x}")).collect();
+        for key in &keys {
+            let before = &full.shards()[full.assign(None, key)];
+            let after = &reduced.shards()[reduced.assign(None, key)];
+            if before != &format!("shard-{removed}") {
+                prop_assert_eq!(before, after);
+            }
+        }
+    }
+
+    /// A restarted router — a freshly constructed table over the same
+    /// shards, with the city map fed in any order — computes identical
+    /// primaries and identical full failover orders.
+    #[test]
+    fn assignment_is_deterministic_across_restarts(
+        n in 1usize..8,
+        raw_keys in prop::collection::vec(any::<u64>(), 1..40),
+        city_count in 0usize..4,
+        reverse_city_order in any::<bool>(),
+    ) {
+        let names = shard_names(n);
+        let mut cities: Vec<(String, String)> = (0..city_count)
+            .map(|c| (format!("city-{c}"), names[c % n].clone()))
+            .collect();
+        let first = PartitionTable::new(names.clone(), &cities).unwrap();
+        if reverse_city_order {
+            cities.reverse();
+        }
+        let restarted = PartitionTable::new(names, &cities).unwrap();
+        let keys: Vec<String> = raw_keys.iter().map(|v| format!("req-{v:x}")).collect();
+        for key in &keys {
+            for city in [None, Some("city-0"), Some("city-1"), Some("unmapped")] {
+                let city = city.filter(|c| *c != "city-0" || city_count > 0);
+                prop_assert_eq!(
+                    first.preference(city, key),
+                    restarted.preference(city, key)
+                );
+            }
+        }
+    }
+
+    /// A mapped city always lands on its owner, for every key.
+    #[test]
+    fn city_owner_always_wins(
+        n in 1usize..8,
+        owner in 0usize..8,
+        raw_keys in prop::collection::vec(any::<u64>(), 1..40),
+    ) {
+        let owner = owner % n;
+        let names = shard_names(n);
+        let table = PartitionTable::new(
+            names.clone(),
+            &[("vancouver".to_string(), names[owner].clone())],
+        )
+        .unwrap();
+        let keys: Vec<String> = raw_keys.iter().map(|v| format!("req-{v:x}")).collect();
+        for key in &keys {
+            prop_assert_eq!(table.assign(Some("vancouver"), key), owner);
+            prop_assert_eq!(table.assign(Some("VANCOUVER"), key), owner);
+        }
+    }
+}

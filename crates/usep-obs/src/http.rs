@@ -11,7 +11,19 @@ use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+/// Hard ceiling on one connection's total lifetime. A scrape is one
+/// tiny request and one bounded response; per-read timeouts alone are
+/// not enough, because a slow-loris client dripping one byte per
+/// timeout window resets them forever and holds its thread (and, for a
+/// fleet health-checking many shards, the scraper's attention) hostage.
+const CONN_DEADLINE: Duration = Duration::from_secs(5);
+/// Cap on the request line and on each header line; scrape requests
+/// are a few dozen bytes, so anything larger is hostile or broken.
+const MAX_LINE_BYTES: usize = 8 * 1024;
+/// Cap on the number of header lines drained before the blank line.
+const MAX_HEADER_LINES: usize = 100;
 
 /// One routed response.
 pub struct Response {
@@ -97,17 +109,56 @@ pub fn serve(addr: &str, handler: Handler) -> io::Result<HttpHandle> {
     Ok(HttpHandle { addr, stop, accept_thread: Some(accept_thread) })
 }
 
+/// One `read_line` bounded by the connection deadline: before every
+/// read the socket's read timeout is shrunk to the time remaining, so
+/// a client dripping bytes cannot extend its life past the deadline.
+/// Also enforces the per-line size cap.
+fn read_line_deadline(
+    reader: &mut BufReader<TcpStream>,
+    buf: &mut String,
+    deadline: Instant,
+) -> io::Result<usize> {
+    let start_len = buf.len();
+    loop {
+        let left = deadline.saturating_duration_since(Instant::now());
+        if left.is_zero() {
+            return Err(io::Error::new(
+                io::ErrorKind::TimedOut,
+                "connection deadline exceeded",
+            ));
+        }
+        reader.get_ref().set_read_timeout(Some(left))?;
+        match reader.read_line(buf) {
+            // full line (or EOF) read; count includes any partial bytes
+            // accumulated across timed-out attempts
+            Ok(_) => return Ok(buf.len() - start_len),
+            Err(e)
+                if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) =>
+            {
+                // partial bytes stay in `buf`; loop with less time left
+            }
+            Err(e) => return Err(e),
+        }
+        if buf.len() - start_len > MAX_LINE_BYTES {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "request line too long"));
+        }
+    }
+}
+
 fn handle_connection(stream: TcpStream, handler: &Handler) -> io::Result<()> {
-    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
-    stream.set_write_timeout(Some(Duration::from_secs(5)))?;
+    let deadline = Instant::now() + CONN_DEADLINE;
+    stream.set_write_timeout(Some(CONN_DEADLINE))?;
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut request_line = String::new();
-    reader.read_line(&mut request_line)?;
+    read_line_deadline(&mut reader, &mut request_line, deadline)?;
+    if request_line.len() > MAX_LINE_BYTES {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "request line too long"));
+    }
     // drain headers up to the blank line; bodies are not supported
     let mut header = String::new();
-    loop {
+    for _ in 0..MAX_HEADER_LINES {
         header.clear();
-        let n = reader.read_line(&mut header)?;
+        let n = read_line_deadline(&mut reader, &mut header, deadline)?;
         if n == 0 || header.trim_end().is_empty() {
             break;
         }
@@ -223,5 +274,53 @@ mod tests {
         server.shutdown();
         let err = get(&addr, "/healthz", Duration::from_millis(500));
         assert!(err.is_err(), "listener must be closed after shutdown");
+    }
+
+    /// Regression: a client that connects and then stalls — sending
+    /// nothing, or dripping a partial request line byte by byte — must
+    /// neither block other scrapes nor hold its connection open past
+    /// the deadline.
+    #[test]
+    fn stalled_scraper_cannot_wedge_the_listener() {
+        let server = test_server();
+        let addr = server.addr.to_string();
+        let t = Duration::from_secs(5);
+
+        // one client connects and hangs without sending a byte…
+        let mut hanger = TcpStream::connect(server.addr).unwrap();
+        // …another starts a request line it never finishes
+        let mut dripper = TcpStream::connect(server.addr).unwrap();
+        dripper.write_all(b"GET /metr").unwrap();
+        dripper.flush().unwrap();
+
+        // scrapes keep working while both are stalled
+        for _ in 0..3 {
+            assert_eq!(get(&addr, "/metrics", t).unwrap(), "usep_up 1\n");
+        }
+
+        // and the server hangs up on the stalled clients at the
+        // deadline: their reads see EOF (or a reset) instead of
+        // blocking forever
+        let wait = CONN_DEADLINE + Duration::from_secs(3);
+        let mut buf = [0u8; 64];
+        for (name, stream) in [("hanging", &mut hanger), ("dripping", &mut dripper)] {
+            stream.set_read_timeout(Some(wait)).unwrap();
+            match stream.read(&mut buf) {
+                Ok(0) => {} // clean FIN at the deadline
+                Ok(n) => panic!("{name} client got {n} bytes instead of a hangup"),
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    panic!("{name} client still open {wait:?} after connecting")
+                }
+                Err(_) => {} // reset also counts as a hangup
+            }
+        }
+
+        // the listener is still healthy afterwards
+        assert_eq!(get(&addr, "/healthz", t).unwrap(), "ok\n");
     }
 }

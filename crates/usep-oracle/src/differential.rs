@@ -88,6 +88,7 @@ pub fn verify_instance(inst: &Instance, probe: &dyn Probe) -> Vec<Finding> {
         algorithm: None,
         timeout_ms: None,
         mem_budget_mb: None,
+        city: None,
     };
     let response = solve_with_retry(&request, &SolveLimits::default(), probe);
     match &response.planning {

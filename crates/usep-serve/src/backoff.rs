@@ -40,13 +40,21 @@ impl RetryPolicy {
     /// The jittered delay before retry number `attempt` (1-based; 0
     /// returns zero). `seed` individualizes the jitter per request —
     /// the server hashes the request id into it.
+    ///
+    /// The exponential factor is computed with a checked shift and the
+    /// base×factor product with saturating u128 arithmetic, so no
+    /// `attempt` — including ≥ 32, where a naive `1 << (attempt-1)`
+    /// overflows — can wrap the delay below the cap. Fleet supervisors
+    /// feed unbounded restart counts in here, not just the 3-tier
+    /// degradation chain.
     pub fn delay(&self, attempt: u32, seed: u64) -> Duration {
         if attempt == 0 {
             return Duration::ZERO;
         }
-        let exp = attempt.min(20) - 1;
-        let uncapped = self.base.saturating_mul(1u32 << exp.min(20));
-        let full = uncapped.min(self.cap);
+        let factor = 1u128.checked_shl(attempt - 1).unwrap_or(u128::MAX);
+        let uncapped_ns = self.base.as_nanos().saturating_mul(factor);
+        let full_ns = uncapped_ns.min(self.cap.as_nanos());
+        let full = Duration::from_nanos(u64::try_from(full_ns).unwrap_or(u64::MAX));
         let half = full / 2;
         let jitter_span = (full - half).as_nanos() as u64;
         if jitter_span == 0 {

@@ -27,6 +27,15 @@ use std::sync::Mutex;
 /// One journal line.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub enum JournalRecord {
+    /// Identity stamp written as the first record of a shard-labeled
+    /// journal. A fleet shard refuses to resume from a journal stamped
+    /// with a different shard id — per-shard journals must never be
+    /// silently merged across shards, because each shard's completed
+    /// cache is only authoritative for the ids the router sent *it*.
+    ShardMeta {
+        /// Owning shard's stable name (e.g. `shard-0`).
+        shard_id: String,
+    },
     /// Request admitted; solve owed.
     Accepted {
         /// The full request, so resume needs no other source.
@@ -53,6 +62,21 @@ impl Journal {
         Ok(Journal { file: Mutex::new(file) })
     }
 
+    /// Opens `path` for appending as `shard_id`'s journal, stamping a
+    /// [`JournalRecord::ShardMeta`] first record when the file is new
+    /// (or empty). Existing non-empty journals are left as-is — the
+    /// caller is expected to have vetted ownership via
+    /// [`JournalState::replay_expecting`] before appending.
+    pub fn open_labeled(path: &Path, shard_id: &str) -> io::Result<Journal> {
+        let file = std::fs::OpenOptions::new().create(true).append(true).open(path)?;
+        let journal = Journal { file: Mutex::new(file) };
+        let empty = std::fs::metadata(path).map(|m| m.len() == 0).unwrap_or(true);
+        if empty {
+            journal.append(&JournalRecord::ShardMeta { shard_id: shard_id.to_string() })?;
+        }
+        Ok(journal)
+    }
+
     /// Appends one record and fsyncs.
     pub fn append(&self, record: &JournalRecord) -> io::Result<()> {
         let line = serde_json::to_string(record)
@@ -76,6 +100,9 @@ pub struct JournalState {
     /// Whether a torn (unparseable) final line was skipped — the
     /// fingerprint of a crash mid-append.
     pub torn_tail: bool,
+    /// Shard id from the journal's [`JournalRecord::ShardMeta`] stamp,
+    /// when present. The first stamp wins, like every other record.
+    pub shard_id: Option<String>,
 }
 
 impl JournalState {
@@ -110,6 +137,11 @@ impl JournalState {
                 }
             };
             match record {
+                JournalRecord::ShardMeta { shard_id } => {
+                    if state.shard_id.is_none() {
+                        state.shard_id = Some(shard_id);
+                    }
+                }
                 JournalRecord::Accepted { request } => {
                     if !accepted.contains_key(&request.id) {
                         accepted.insert(request.id.clone(), state.pending.len());
@@ -122,6 +154,30 @@ impl JournalState {
             }
         }
         state.pending.retain(|r| !state.completed.contains_key(&r.id));
+        Ok(state)
+    }
+
+    /// Replays the journal at `path` and verifies it belongs to
+    /// `expected` shard. A journal stamped with a *different* shard id
+    /// is rejected loudly — resuming shard B from shard A's journal
+    /// would merge two shards' completed caches and silently serve
+    /// another shard's answers. Unstamped journals (pre-fleet servers)
+    /// replay fine: the stamp is only checked when both sides name a
+    /// shard.
+    pub fn replay_expecting(path: &Path, expected: &str) -> io::Result<JournalState> {
+        let state = JournalState::replay(path)?;
+        if let Some(found) = &state.shard_id {
+            if found != expected {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!(
+                        "journal {} belongs to shard '{found}', refusing to resume it as \
+                         shard '{expected}' — per-shard journals must not be merged",
+                        path.display()
+                    ),
+                ));
+            }
+        }
         Ok(state)
     }
 }
@@ -143,6 +199,7 @@ mod tests {
             algorithm: None,
             timeout_ms: None,
             mem_budget_mb: None,
+            city: None,
         }
     }
 
@@ -277,6 +334,7 @@ mod tests {
 
         let state = JournalState::replay(&path).unwrap();
         assert_eq!(state.completed["a"].status, Status::Complete, "first record must win");
+        assert!(state.shard_id.is_none(), "unstamped journal has no shard id");
         assert!(
             matches!(state.completed["b"].status, Status::Truncated { .. }),
             "acceptless completion is still an answer"
@@ -287,6 +345,61 @@ mod tests {
         let again = JournalState::replay(&path).unwrap();
         assert_eq!(again.completed["a"].status, Status::Complete);
         assert_eq!(again.pending.len(), 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Regression (fleet): shard A's journal replayed as shard B must
+    /// be rejected loudly, never silently merged. The same file replays
+    /// fine as shard A, or on an unsharded server that does not pass an
+    /// expectation at all.
+    #[test]
+    fn cross_shard_journal_replay_is_rejected_loudly() {
+        let dir = tempdir("xshard");
+        let path = dir.join("shard-a.wal.jsonl");
+        let journal = Journal::open_labeled(&path, "shard-a").unwrap();
+        journal.append(&JournalRecord::Accepted { request: request("r1") }).unwrap();
+        journal
+            .append(&JournalRecord::Completed {
+                response: SolveResponse::bare("r1", Status::Complete),
+            })
+            .unwrap();
+        drop(journal);
+
+        // right shard: replays cleanly and sees its own stamp
+        let own = JournalState::replay_expecting(&path, "shard-a").unwrap();
+        assert_eq!(own.shard_id.as_deref(), Some("shard-a"));
+        assert_eq!(own.completed.len(), 1);
+
+        // wrong shard: loud typed error naming both shards
+        let err = JournalState::replay_expecting(&path, "shard-b").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        let msg = err.to_string();
+        assert!(msg.contains("shard-a") && msg.contains("shard-b"), "{msg}");
+
+        // unsharded replay (no expectation) still works — the stamp is
+        // data, not a barrier, for pre-fleet tooling reading the file
+        let plain = JournalState::replay(&path).unwrap();
+        assert_eq!(plain.completed.len(), 1);
+
+        // reopening with the same label must not double-stamp
+        let journal = Journal::open_labeled(&path, "shard-a").unwrap();
+        journal.append(&JournalRecord::Accepted { request: request("r2") }).unwrap();
+        drop(journal);
+        let stamps = std::fs::read_to_string(&path)
+            .unwrap()
+            .lines()
+            .filter(|l| l.contains("ShardMeta"))
+            .count();
+        assert_eq!(stamps, 1, "reopen must not re-stamp a labeled journal");
+
+        // an unstamped (legacy) journal replays under any expectation
+        let legacy = dir.join("legacy.wal.jsonl");
+        let journal = Journal::open(&legacy).unwrap();
+        journal.append(&JournalRecord::Accepted { request: request("r3") }).unwrap();
+        drop(journal);
+        let state = JournalState::replay_expecting(&legacy, "shard-b").unwrap();
+        assert_eq!(state.pending.len(), 1);
+        assert!(state.shard_id.is_none());
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

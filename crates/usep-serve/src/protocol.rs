@@ -32,6 +32,12 @@ pub struct SolveRequest {
     /// Requested per-solve memory ceiling, capped server-side.
     #[serde(default)]
     pub mem_budget_mb: Option<u64>,
+    /// Routing label for the fleet router: the city whose shard should
+    /// own this request (case-insensitive). A bare `usep serve` shard
+    /// ignores it; unlabeled requests fall back to consistent hashing
+    /// on the id.
+    #[serde(default)]
+    pub city: Option<String>,
 }
 
 /// How a request ended. Every request gets exactly one of these.
@@ -138,6 +144,12 @@ pub struct SolveResponse {
     /// never entered the queue: rejected, overloaded, replayed).
     #[serde(default)]
     pub timings: Option<PhaseTimings>,
+    /// Name of the shard whose solve produced this response, stamped by
+    /// a `--shard-id` worker (and preserved by the fleet router so a
+    /// client can see where its request landed after failover). Absent
+    /// on unsharded servers and router-synthesized replies.
+    #[serde(default)]
+    pub shard: Option<String>,
 }
 
 impl SolveResponse {
@@ -152,6 +164,7 @@ impl SolveResponse {
             retries: 0,
             planning: None,
             timings: None,
+            shard: None,
         }
     }
 }
@@ -194,12 +207,14 @@ mod tests {
             algorithm: Some("dedpo".into()),
             timeout_ms: Some(500),
             mem_budget_mb: Some(64),
+            city: Some("vancouver".into()),
         };
         let json = serde_json::to_string(&full).unwrap();
         let back: SolveRequest = serde_json::from_str(&json).unwrap();
         assert_eq!(back.id, "r1");
         assert_eq!(back.algorithm.as_deref(), Some("dedpo"));
         assert_eq!(back.timeout_ms, Some(500));
+        assert_eq!(back.city.as_deref(), Some("vancouver"));
         assert_eq!(back.instance, full.instance);
 
         // optional fields may be omitted entirely on the wire
@@ -212,6 +227,7 @@ mod tests {
         assert!(back.algorithm.is_none());
         assert!(back.timeout_ms.is_none());
         assert!(back.mem_budget_mb.is_none());
+        assert!(back.city.is_none());
     }
 
     #[test]
@@ -262,6 +278,16 @@ mod tests {
         let legacy = r#"{"id":"t","status":"Complete"}"#;
         let back: SolveResponse = serde_json::from_str(legacy).unwrap();
         assert!(back.timings.is_none());
+        assert!(back.shard.is_none());
+    }
+
+    #[test]
+    fn shard_stamp_roundtrips() {
+        let mut resp = SolveResponse::bare("s", Status::Complete);
+        resp.shard = Some("shard-vancouver".into());
+        let json = serde_json::to_string(&resp).unwrap();
+        let back: SolveResponse = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.shard.as_deref(), Some("shard-vancouver"));
     }
 
     #[test]

@@ -89,6 +89,11 @@ pub struct ServeConfig {
     /// events, dumped via the `dump` verb, on contained panics, and at
     /// shutdown).
     pub flight_recorder_capacity: usize,
+    /// Stable shard name when this server runs as a fleet worker. The
+    /// journal is stamped with it (and resume refuses a journal stamped
+    /// with a *different* shard), and every response carries it so the
+    /// router and clients can see which shard solved what.
+    pub shard_id: Option<String>,
 }
 
 impl Default for ServeConfig {
@@ -111,6 +116,7 @@ impl Default for ServeConfig {
             chaos_delay_ms: 0,
             metrics_addr: None,
             flight_recorder_capacity: 256,
+            shard_id: None,
         }
     }
 }
@@ -231,7 +237,10 @@ impl Server {
     /// accept threads, and returns the running server's handle.
     pub fn start(cfg: ServeConfig) -> std::io::Result<ServerHandle> {
         let resumed_state = match (&cfg.journal, cfg.resume) {
-            (Some(path), true) => JournalState::replay(path)?,
+            (Some(path), true) => match &cfg.shard_id {
+                Some(shard) => JournalState::replay_expecting(path, shard)?,
+                None => JournalState::replay(path)?,
+            },
             (None, true) => {
                 return Err(std::io::Error::new(
                     std::io::ErrorKind::InvalidInput,
@@ -240,7 +249,14 @@ impl Server {
             }
             _ => JournalState::default(),
         };
-        let journal = cfg.journal.as_deref().map(Journal::open).transpose()?;
+        let journal = cfg
+            .journal
+            .as_deref()
+            .map(|path| match &cfg.shard_id {
+                Some(shard) => Journal::open_labeled(path, shard),
+                None => Journal::open(path),
+            })
+            .transpose()?;
         let listener = TcpListener::bind(&cfg.addr)?;
         let addr = listener.local_addr()?;
 
@@ -337,6 +353,10 @@ fn metrics_routes(obs: &Arc<ServeMetrics>, cfg: &ServeConfig, solve_addr: Socket
         (
             "default_algorithm".to_string(),
             json::Value::Str(cfg.default_algorithm.name().to_string()),
+        ),
+        (
+            "shard".to_string(),
+            json::Value::Str(cfg.shard_id.clone().unwrap_or_default()),
         ),
     ])
     .render();
@@ -598,6 +618,13 @@ fn process_job(inner: &Arc<Inner>, job: Job) {
     let started = Instant::now();
     let mut response = solve_request(inner, &job.request);
     inner.sink.record("serve.solve_ms", started.elapsed().as_secs_f64() * 1e3);
+
+    // Fleet workers stamp their identity on everything they solve, so
+    // the journal's completion records and the router's replies both
+    // say which shard produced the answer.
+    if response.shard.is_none() {
+        response.shard = inner.cfg.shard_id.clone();
+    }
 
     // Patch the pre-worker phases into the breakdown the solve filled.
     let timings = response.timings.get_or_insert_with(PhaseTimings::default);
@@ -888,6 +915,7 @@ pub fn solve_with_retry_observed(
                     retries,
                     planning: Some(planning),
                     timings: Some(PhaseTimings { solve_ms, backoff_ms, ..PhaseTimings::default() }),
+                    shard: None,
                 };
             }
             SolveOutcome::Truncated { reason: TruncationReason::MemoryCeiling } if !is_last => {
@@ -940,5 +968,6 @@ pub fn solve_with_retry_observed(
         retries,
         planning: Some(planning),
         timings: Some(PhaseTimings { solve_ms, backoff_ms, ..PhaseTimings::default() }),
+        shard: None,
     }
 }

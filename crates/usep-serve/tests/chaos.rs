@@ -60,6 +60,7 @@ fn hundred_requests_under_chaos_all_get_typed_responses() {
                         algorithm: None,
                         timeout_ms: Some(10_000),
                         mem_budget_mb: None,
+                        city: None,
                     };
                     // every request must get exactly one typed response
                     let resp = send_request(addr, &req, Duration::from_secs(60))
@@ -129,6 +130,7 @@ fn hundred_requests_under_chaos_all_get_typed_responses() {
             algorithm: None,
             timeout_ms: Some(10_000),
             mem_budget_mb: None,
+            city: None,
         };
         let resp = send_request(addr, &req, Duration::from_secs(60)).unwrap();
         // chaos is still armed, so the response is Truncated or Failed —

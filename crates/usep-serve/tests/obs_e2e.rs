@@ -22,6 +22,7 @@ fn request(id: &str, seed: u64) -> SolveRequest {
         algorithm: None,
         timeout_ms: None,
         mem_budget_mb: None,
+        city: None,
     }
 }
 

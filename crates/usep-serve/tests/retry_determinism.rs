@@ -34,6 +34,7 @@ fn request(seed: u64) -> SolveRequest {
         algorithm: None,
         timeout_ms: None,
         mem_budget_mb: None,
+        city: None,
     }
 }
 

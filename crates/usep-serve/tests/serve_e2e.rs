@@ -21,6 +21,7 @@ fn request(id: &str, seed: u64) -> SolveRequest {
         algorithm: None,
         timeout_ms: None,
         mem_budget_mb: None,
+        city: None,
     }
 }
 
@@ -126,6 +127,7 @@ fn memory_ledger_sheds_oversized_requests_without_stickiness() {
         algorithm: None,
         timeout_ms: None,
         mem_budget_mb: None,
+        city: None,
     };
     let resp = send_request(addr, &tiny, CLIENT_TIMEOUT).unwrap();
     assert_eq!(resp.status, Status::Complete, "{resp:?}");

@@ -97,11 +97,25 @@ pub enum Counter {
     /// once per section (not per worker or chunk), so snapshots stay
     /// identical across thread counts.
     ParSection,
+    /// Request routed to a shard by the fleet router (first attempt).
+    FleetRoute,
+    /// Request moved to a fallback shard after its assigned shard
+    /// failed (connection error, timeout, or an Overloaded shed).
+    FleetFailover,
+    /// Dead shard process restarted (with `--resume`) by the fleet
+    /// supervisor.
+    FleetRestart,
+    /// Request refused by the router because no shard could take it
+    /// (every preference exhausted or failover budget spent).
+    FleetShed,
+    /// Duplicate request id answered from the router's fleet-level
+    /// completion cache without touching a shard.
+    FleetReplay,
 }
 
 impl Counter {
     /// Every counter, in registry order.
-    pub const ALL: [Counter; 25] = [
+    pub const ALL: [Counter; 30] = [
         Counter::HeapPush,
         Counter::HeapPop,
         Counter::HeapPopStale,
@@ -127,6 +141,11 @@ impl Counter {
         Counter::OracleViolation,
         Counter::OracleMinimizeStep,
         Counter::ParSection,
+        Counter::FleetRoute,
+        Counter::FleetFailover,
+        Counter::FleetRestart,
+        Counter::FleetShed,
+        Counter::FleetReplay,
     ];
 
     /// The stable snake_case identifier used in traces and tables.
@@ -157,6 +176,11 @@ impl Counter {
             Counter::OracleViolation => "oracle_violation",
             Counter::OracleMinimizeStep => "oracle_minimize_step",
             Counter::ParSection => "par_section",
+            Counter::FleetRoute => "fleet_route",
+            Counter::FleetFailover => "fleet_failover",
+            Counter::FleetRestart => "fleet_restart",
+            Counter::FleetShed => "fleet_shed",
+            Counter::FleetReplay => "fleet_replay",
         }
     }
 }
