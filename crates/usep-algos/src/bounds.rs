@@ -17,7 +17,7 @@
 //! `Ω(A*)` from above; [`best_upper_bound`] takes their minimum.
 
 use crate::dedp::{optimal_user_schedule_with, DpScheduler};
-use usep_core::{EventId, Instance, UserId};
+use usep_core::{CoreView, EventId, Instance, UserId};
 use usep_guard::Guard;
 use usep_par::{current_threads, par_map_section};
 use usep_trace::{Probe, NOOP};
@@ -39,6 +39,21 @@ pub fn capacity_relaxed_bound(inst: &Instance) -> f64 {
 /// runs as an observable `par.capacity_relaxed_bound` section, so a
 /// request-scoped probe attributes the DP scan to its request.
 pub fn capacity_relaxed_bound_with(inst: &Instance, probe: &dyn Probe) -> f64 {
+    // view choice is made once per bound computation, on the calling
+    // thread; workers borrow the shared read-only view
+    if usep_core::object_path_forced() {
+        capacity_relaxed_bound_on(inst, inst, probe)
+    } else {
+        let flat = inst.freeze();
+        capacity_relaxed_bound_on(inst, &*flat, probe)
+    }
+}
+
+fn capacity_relaxed_bound_on<V: CoreView + Sync>(
+    inst: &Instance,
+    view: &V,
+    probe: &dyn Probe,
+) -> f64 {
     let users: Vec<UserId> = inst.user_ids().collect();
     par_map_section(
         current_threads(),
@@ -47,7 +62,7 @@ pub fn capacity_relaxed_bound_with(inst: &Instance, probe: &dyn Probe) -> f64 {
         &users,
         Guard::none(),
         DpScheduler::new,
-        |ws, _, &u| optimal_user_utility_with(ws, inst, u),
+        |ws, _, &u| optimal_user_utility_with(ws, view, u),
         |_| (),
     )
     .into_iter()
@@ -60,8 +75,8 @@ pub fn optimal_user_utility(inst: &Instance, u: UserId) -> f64 {
     optimal_user_utility_with(&mut DpScheduler::new(), inst, u)
 }
 
-fn optimal_user_utility_with(ws: &mut DpScheduler<'_>, inst: &Instance, u: UserId) -> f64 {
-    let mu_row = inst.mu_row(u);
+fn optimal_user_utility_with<V: CoreView>(ws: &mut DpScheduler<'_>, view: &V, u: UserId) -> f64 {
+    let mu_row = view.mu_row(u);
     let cands: Vec<(EventId, f64)> = mu_row
         .iter()
         .enumerate()
@@ -74,7 +89,7 @@ fn optimal_user_utility_with(ws: &mut DpScheduler<'_>, inst: &Instance, u: UserI
             }
         })
         .collect();
-    optimal_user_schedule_with(ws, inst, u, &cands).1
+    optimal_user_schedule_with(ws, view, u, &cands).1
 }
 
 /// Upper bound from dropping budgets and time conflicts: each event

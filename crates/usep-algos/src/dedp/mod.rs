@@ -33,7 +33,7 @@ pub use dedpo::DeDPO;
 pub(crate) use dedpo::decomposed_with_select;
 pub(crate) use dp_single::DpScheduler;
 
-use usep_core::{Cost, EventId, Instance, Planning, Schedule, UserId};
+use usep_core::{CoreView, Cost, EventId, Instance, Planning, Schedule, UserId};
 
 /// A candidate pseudo-event offered to the single-user subproblem:
 /// event `v`, the global index of the chosen pseudo-event slot, and the
@@ -49,9 +49,11 @@ pub(crate) struct Candidate {
 /// end-time order, return the indices of the chosen ones (in time order).
 ///
 /// Implemented by the DP of Alg. 2 ([`DpScheduler`]) and the greedy of
-/// Alg. 5 (`GreedyScheduler` in [`crate::degreedy`]).
+/// Alg. 5 (`GreedyScheduler` in [`crate::degreedy`]). Generic over the
+/// instance view so the decomposed drivers run the same code against the
+/// object path and the flat SoA path.
 pub(crate) trait SingleScheduler {
-    fn schedule(&mut self, inst: &Instance, u: UserId, cands: &[Candidate]) -> Vec<usize>;
+    fn schedule<V: CoreView>(&mut self, view: &V, u: UserId, cands: &[Candidate]) -> Vec<usize>;
 }
 
 /// Unit-capacity pseudo-event layout: event `i` owns the global slot
@@ -116,8 +118,8 @@ impl PseudoLayout {
 /// Lemma 1 filter: an event whose lone round trip exceeds the budget can
 /// never appear in a valid schedule (triangle inequality).
 #[inline]
-pub(crate) fn passes_lemma1(inst: &Instance, u: UserId, v: EventId) -> bool {
-    inst.round_trip(u, v) <= inst.user(u).budget
+pub(crate) fn passes_lemma1<V: CoreView>(view: &V, u: UserId, v: EventId) -> bool {
+    view.round_trip(u, v) <= view.budget(u)
 }
 
 /// The Lemma-1 filter as a precomputed row: one `round_trip` evaluation
@@ -136,10 +138,10 @@ impl Lemma1Row {
     }
 
     /// Recomputes the row for user `u`.
-    pub fn fill(&mut self, inst: &Instance, u: UserId) {
-        self.budget = inst.user(u).budget;
+    pub fn fill<V: CoreView>(&mut self, view: &V, u: UserId) {
+        self.budget = view.budget(u);
         for (vi, slot) in self.rt.iter_mut().enumerate() {
-            *slot = inst.round_trip(u, EventId(vi as u32));
+            *slot = view.round_trip(u, EventId(vi as u32));
         }
     }
 
@@ -171,29 +173,29 @@ pub fn optimal_user_schedule(
 /// [`optimal_user_schedule`] against a caller-owned workspace, so a
 /// loop over many users (the capacity-relaxed bound's hot path) reuses
 /// one DP table instead of reallocating it per user.
-pub(crate) fn optimal_user_schedule_with(
+pub(crate) fn optimal_user_schedule_with<V: CoreView>(
     ws: &mut DpScheduler<'_>,
-    inst: &Instance,
+    view: &V,
     u: UserId,
     candidates: &[(EventId, f64)],
 ) -> (Vec<EventId>, f64) {
     let mut idx: Vec<usize> = (0..candidates.len()).collect();
     idx.sort_by_key(|&i| {
-        let t = inst.event(candidates[i].0).time;
-        (t.end(), t.start(), candidates[i].0)
+        let v = candidates[i].0;
+        (view.event_end(v), view.event_start(v), v)
     });
     let cands: Vec<Candidate> = idx
         .into_iter()
         .filter_map(|i| {
             let (v, mu) = candidates[i];
-            if mu > 0.0 && passes_lemma1(inst, u, v) {
+            if mu > 0.0 && passes_lemma1(view, u, v) {
                 Some(Candidate { v, slot: 0, mu })
             } else {
                 None
             }
         })
         .collect();
-    let chosen = ws.schedule(inst, u, &cands);
+    let chosen = ws.schedule(view, u, &cands);
     let score = chosen.iter().map(|&c| cands[c].mu).sum();
     (chosen.into_iter().map(|c| cands[c].v).collect(), score)
 }

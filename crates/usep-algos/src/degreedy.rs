@@ -22,7 +22,7 @@ use crate::dedp::{decomposed_with_select, Candidate, SingleScheduler};
 use crate::{finish_guarded, GuardedSolve, Solver};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
-use usep_core::{Cost, Instance, Planning, Schedule, UserId};
+use usep_core::{CoreView, Cost, Instance, Planning, Schedule, UserId};
 use usep_guard::Guard;
 use usep_trace::{Counter, Probe};
 
@@ -59,8 +59,14 @@ impl Solver for DeGreedy {
     }
 
     fn solve_guarded(&self, inst: &Instance, guard: &Guard, probe: &dyn Probe) -> GuardedSolve {
+        // view choice is made once per solve, on the calling thread
         let mut scheduler = GreedyScheduler { probe, guard };
-        let mut planning = decomposed_with_select(inst, &mut scheduler, guard, probe);
+        let mut planning = if usep_core::object_path_forced() {
+            decomposed_with_select(inst, inst, &mut scheduler, guard, probe)
+        } else {
+            let flat = inst.freeze();
+            decomposed_with_select(inst, &*flat, &mut scheduler, guard, probe)
+        };
         if self.augment && !guard.is_tripped() {
             augment_with_ratio_greedy_guarded(inst, &mut planning, guard, probe);
         }
@@ -76,8 +82,8 @@ pub(crate) struct GreedyScheduler<'p> {
 }
 
 impl SingleScheduler for GreedyScheduler<'_> {
-    fn schedule(&mut self, inst: &Instance, u: UserId, cands: &[Candidate]) -> Vec<usize> {
-        greedy_single_guarded(inst, u, cands, self.guard, self.probe)
+    fn schedule<V: CoreView>(&mut self, view: &V, u: UserId, cands: &[Candidate]) -> Vec<usize> {
+        greedy_single_guarded(view, u, cands, self.guard, self.probe)
     }
 }
 
@@ -117,19 +123,19 @@ impl PartialOrd for GapCand {
 /// order (decomposed utilities positive, Lemma 1 pre-applied). Returns
 /// chosen candidate indices in time order.
 #[cfg_attr(not(test), allow(dead_code))]
-pub(crate) fn greedy_single(
-    inst: &Instance,
+pub(crate) fn greedy_single<V: CoreView>(
+    view: &V,
     u: UserId,
     cands: &[Candidate],
     probe: &dyn Probe,
 ) -> Vec<usize> {
-    greedy_single_guarded(inst, u, cands, Guard::none(), probe)
+    greedy_single_guarded(view, u, cands, Guard::none(), probe)
 }
 
 /// [`greedy_single`] polling `guard` once per heap pop; the chosen
 /// prefix at any stop is a feasible schedule.
-pub(crate) fn greedy_single_guarded(
-    inst: &Instance,
+pub(crate) fn greedy_single_guarded<V: CoreView>(
+    view: &V,
     u: UserId,
     cands: &[Candidate],
     guard: &Guard,
@@ -139,7 +145,7 @@ pub(crate) fn greedy_single_guarded(
     if m == 0 {
         return Vec::new();
     }
-    let budget = inst.user(u).budget;
+    let budget = view.budget(u);
     let mut sched = Schedule::new();
     let mut chosen: Vec<usize> = Vec::new(); // ascending candidate indices
     let mut total = Cost::ZERO;
@@ -151,10 +157,10 @@ pub(crate) fn greedy_single_guarded(
         let mut best: Option<GapCand> = None;
         let hi = hi.min(m - 1);
         for (off, c) in cands[lo..=hi].iter().enumerate() {
-            let Some(pos) = sched.insertion_point(inst, c.v) else {
+            let Some(pos) = sched.insertion_point(view, c.v) else {
                 continue;
             };
-            let inc = sched.inc_cost_at(inst, u, c.v, pos);
+            let inc = sched.inc_cost_at(view, u, c.v, pos);
             if inc.is_infinite() || total.add(inc) > budget {
                 if !inc.is_infinite() {
                     probe.count(Counter::BudgetReject, 1);
@@ -182,11 +188,11 @@ pub(crate) fn greedy_single_guarded(
         // re-validate against the *current* budget: an insertion into a
         // different region may have consumed it (inc is still exact — the
         // entry's own region cannot have changed while it sat in H)
-        let Some(pos) = sched.insertion_point(inst, cands[c.idx].v) else {
+        let Some(pos) = sched.insertion_point(view, cands[c.idx].v) else {
             debug_assert!(false, "region invariant violated: position vanished");
             continue;
         };
-        let inc = sched.inc_cost_at(inst, u, cands[c.idx].v, pos);
+        let inc = sched.inc_cost_at(view, u, cands[c.idx].v, pos);
         debug_assert_eq!(inc, c.inc, "inc went stale inside an untouched region");
         if inc.is_infinite() || total.add(inc) > budget {
             probe.count(Counter::HeapPopStale, 1);
@@ -198,7 +204,7 @@ pub(crate) fn greedy_single_guarded(
             continue;
         }
         sched
-            .try_insert(inst, u, cands[c.idx].v)
+            .try_insert(view, u, cands[c.idx].v)
             .expect("validated insertion");
         total = total.add(inc);
         let at = chosen.partition_point(|&x| x < c.idx);

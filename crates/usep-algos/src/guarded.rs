@@ -107,10 +107,18 @@ impl GuardedSolver {
                 break;
             };
 
-            // DeDP's footprint is dominated by the μ^r matrix and known
+            // DeDP's footprint is dominated by the μ^r matrix plus the
+            // one-shot SoA lowering every solve shares, and is known
             // exactly up front — skip the attempt when it cannot fit.
+            // The lowering term does not depend on which view executes,
+            // so object-path and flat-path runs skip identically.
             if algo == Algorithm::DeDP && !is_last {
-                let bytes = PseudoLayout::new(inst).mu_matrix_bytes(inst.num_users());
+                let bytes = PseudoLayout::new(inst)
+                    .mu_matrix_bytes(inst.num_users())
+                    .saturating_add(usep_core::FlatInstance::estimate_bytes(
+                        inst.num_events(),
+                        inst.num_users(),
+                    ));
                 if remaining.memory_ceiling().is_some_and(|ceiling| bytes > ceiling) {
                     probe.count(Counter::GuardFallback, 1);
                     probe.record("guarded_solve.skipped_matrix_bytes", bytes as f64);

@@ -23,7 +23,7 @@
 use crate::{finish_guarded, GuardedSolve, Solver};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
-use usep_core::{Cost, EventId, Instance, Planning, UserId};
+use usep_core::{CoreView, Cost, EventId, Instance, Planning, UserId};
 use usep_guard::Guard;
 use usep_par::{current_threads, par_map_section};
 use usep_trace::{with_span, Counter, LocalCounters, Probe};
@@ -118,32 +118,82 @@ fn ratio_of(mu: f64, inc: Cost) -> f64 {
     }
 }
 
+/// Per-user occupancy bitsets over events: `⌈|V|/64⌉` words per user,
+/// bit `v` set iff `v ∈ S_u`. On the flat view a whole feasibility
+/// probe collapses to `conflict_word & occupied_word != 0` against
+/// these rows; the object view ignores them and re-scans intervals.
+struct Occupancy {
+    words: usize,
+    bits: Vec<u64>,
+}
+
+impl Occupancy {
+    fn from_planning(nv: usize, planning: &Planning) -> Occupancy {
+        let words = nv.div_ceil(64);
+        let mut bits = vec![0u64; planning.schedules().len() * words];
+        for (u, s) in planning.schedules().iter().enumerate() {
+            for &v in s.events() {
+                bits[u * words + v.index() / 64] |= 1u64 << (v.index() % 64);
+            }
+        }
+        Occupancy { words, bits }
+    }
+
+    #[inline]
+    fn row(&self, u: UserId) -> &[u64] {
+        &self.bits[u.index() * self.words..(u.index() + 1) * self.words]
+    }
+
+    #[inline]
+    fn set(&mut self, u: UserId, v: EventId) {
+        self.bits[u.index() * self.words + v.index() / 64] |= 1u64 << (v.index() % 64);
+    }
+}
+
+/// Remaining capacity of `v` through the view (identical to
+/// `Planning::remaining_capacity`, which takes the full instance).
+#[inline]
+fn remaining_capacity<V: CoreView>(view: &V, planning: &Planning, v: EventId) -> u32 {
+    view.capacity(v).saturating_sub(planning.load(v))
+}
+
 /// Validity of the pair per Alg. 1: capacity left, `μ > 0`, not yet in
 /// `S_u`, time-feasible insertion, reachable legs, and budget. Returns
 /// the incremental cost when valid. A pure read of the planning, so
 /// parallel scans may call it concurrently; rejects accumulate in the
 /// caller's local counter block.
-fn pair_inc(
-    inst: &Instance,
+///
+/// On the flat view the duplicate/time-conflict test is the bitmask
+/// word-AND against `occ`'s row for `u`; the insertion *position* is
+/// then recovered with the plain ordinal prefix scan. The object view
+/// reports no mask and takes the legacy interval scan, so both paths
+/// accept exactly the same pairs.
+fn pair_inc<V: CoreView>(
+    view: &V,
     planning: &Planning,
+    occ: &Occupancy,
     v: EventId,
     u: UserId,
     lc: &mut LocalCounters,
 ) -> Option<Cost> {
-    if planning.remaining_capacity(inst, v) == 0 {
+    if remaining_capacity(view, planning, v) == 0 {
         lc.count(Counter::CapacityReject, 1);
         return None;
     }
-    if inst.mu(v, u) <= 0.0 {
+    if view.mu(v, u) <= 0.0 {
         return None;
     }
     let s = planning.schedule(u);
-    let pos = s.insertion_point(inst, v)?;
-    let inc = s.inc_cost_at(inst, u, v, pos);
+    let pos = match view.occupied_conflicts(occ.row(u), v) {
+        Some(true) => return None,
+        Some(false) => view.insertion_pos_unchecked(s.events(), v),
+        None => view.insertion_point(s.events(), v)?,
+    };
+    let inc = view.inc_cost_at(s.events(), u, v, pos);
     if inc.is_infinite() {
         return None;
     }
-    if s.total_cost(inst, u).add(inc) > inst.user(u).budget {
+    if view.total_cost(s.events(), u).add(inc) > view.budget(u) {
         lc.count(Counter::BudgetReject, 1);
         return None;
     }
@@ -152,19 +202,21 @@ fn pair_inc(
 
 /// The scan half of an event refresh (lines 3–5 / 12–14): the best user
 /// for `v` by ratio, tie-broken by `inc_cost` then id. Pure.
-fn scan_event(
-    inst: &Instance,
+fn scan_event<V: CoreView>(
+    view: &V,
     planning: &Planning,
+    occ: &Occupancy,
     v: EventId,
     lc: &mut LocalCounters,
 ) -> Option<(UserId, f64, Cost)> {
-    if planning.remaining_capacity(inst, v) == 0 {
+    if remaining_capacity(view, planning, v) == 0 {
         return None;
     }
     let mut best: Option<(UserId, f64, Cost)> = None;
-    for u in inst.user_ids() {
-        let Some(inc) = pair_inc(inst, planning, v, u, lc) else { continue };
-        let r = ratio_of(inst.mu(v, u), inc);
+    for ui in 0..view.num_users() as u32 {
+        let u = UserId(ui);
+        let Some(inc) = pair_inc(view, planning, occ, v, u, lc) else { continue };
+        let r = ratio_of(view.mu(v, u), inc);
         let better = match best {
             None => true,
             Some((bu, br, binc)) => {
@@ -180,17 +232,18 @@ fn scan_event(
 
 /// The scan half of a user refresh (lines 6–8 / 19–20): the best event
 /// for `u` among `events`. Pure.
-fn scan_user(
-    inst: &Instance,
+fn scan_user<V: CoreView>(
+    view: &V,
     planning: &Planning,
+    occ: &Occupancy,
     events: &[EventId],
     u: UserId,
     lc: &mut LocalCounters,
 ) -> Option<(EventId, f64, Cost)> {
     let mut best: Option<(EventId, f64, Cost)> = None;
     for &v in events {
-        let Some(inc) = pair_inc(inst, planning, v, u, lc) else { continue };
-        let r = ratio_of(inst.mu(v, u), inc);
+        let Some(inc) = pair_inc(view, planning, occ, v, u, lc) else { continue };
+        let r = ratio_of(view.mu(v, u), inc);
         let better = match best {
             None => true,
             Some((bv, br, binc)) => {
@@ -204,9 +257,14 @@ fn scan_user(
     best
 }
 
-struct Engine<'a> {
+struct Engine<'a, V: CoreView + Sync> {
     inst: &'a Instance,
+    /// The hot-path accessor surface: the frozen `FlatInstance`
+    /// normally, the instance itself under `with_object_path`.
+    view: &'a V,
     planning: &'a mut Planning,
+    /// Per-user occupancy bitsets, kept in lockstep with `planning`.
+    occ: Occupancy,
     /// The events this run may assign (all events for plain RatioGreedy;
     /// the non-full ones for the `+RG` pass).
     events: &'a [EventId],
@@ -226,9 +284,10 @@ struct Engine<'a> {
     probe: &'a dyn Probe,
 }
 
-impl<'a> Engine<'a> {
+impl<'a, V: CoreView + Sync> Engine<'a, V> {
     fn new(
         inst: &'a Instance,
+        view: &'a V,
         planning: &'a mut Planning,
         events: &'a [EventId],
         guard: &'a Guard,
@@ -238,9 +297,12 @@ impl<'a> Engine<'a> {
         for (i, &v) in events.iter().enumerate() {
             event_pos[v.index()] = i as u32;
         }
+        let occ = Occupancy::from_planning(inst.num_events(), planning);
         Engine {
             inst,
+            view,
             planning,
+            occ,
             events,
             heap: BinaryHeap::new(),
             event_gen: vec![0; events.len()],
@@ -289,7 +351,7 @@ impl<'a> Engine<'a> {
             return; // event excluded from this run
         }
         let mut lc = LocalCounters::new();
-        let best = scan_event(self.inst, self.planning, v, &mut lc);
+        let best = scan_event(self.view, self.planning, &self.occ, v, &mut lc);
         lc.flush_into(self.probe);
         self.commit_event(pos as usize, v, best);
     }
@@ -298,7 +360,7 @@ impl<'a> Engine<'a> {
     /// pushes it.
     fn refresh_user(&mut self, u: UserId) {
         let mut lc = LocalCounters::new();
-        let best = scan_user(self.inst, self.planning, self.events, u, &mut lc);
+        let best = scan_user(self.view, self.planning, &self.occ, self.events, u, &mut lc);
         lc.flush_into(self.probe);
         self.commit_user(u, best);
     }
@@ -310,7 +372,8 @@ impl<'a> Engine<'a> {
     fn seed(&mut self) {
         let users: Vec<UserId> = self.inst.user_ids().collect();
         if self.threads > 1 && self.events.len().max(users.len()) >= MIN_PAR_ITEMS {
-            let (inst, probe) = (self.inst, self.probe);
+            let (view, probe) = (self.view, self.probe);
+            let occ = &self.occ;
             let planning: &Planning = self.planning;
             let event_scans = par_map_section(
                 self.threads,
@@ -319,7 +382,7 @@ impl<'a> Engine<'a> {
                 self.events,
                 self.guard,
                 LocalCounters::new,
-                |lc, _, &v| scan_event(inst, planning, v, lc),
+                |lc, _, &v| scan_event(view, planning, occ, v, lc),
                 |mut lc| lc.flush_into(probe),
             );
             for (pos, scan) in event_scans.into_iter().enumerate() {
@@ -329,6 +392,7 @@ impl<'a> Engine<'a> {
                 self.commit_event(pos, self.events[pos], best);
             }
             let events = self.events;
+            let occ = &self.occ;
             let planning: &Planning = self.planning;
             let user_scans = par_map_section(
                 self.threads,
@@ -337,7 +401,7 @@ impl<'a> Engine<'a> {
                 &users,
                 self.guard,
                 LocalCounters::new,
-                |lc, _, &u| scan_user(inst, planning, events, u, lc),
+                |lc, _, &u| scan_user(view, planning, occ, events, u, lc),
                 |mut lc| lc.flush_into(probe),
             );
             for (i, scan) in user_scans.into_iter().enumerate() {
@@ -401,12 +465,13 @@ impl<'a> Engine<'a> {
                 Side::User => self.user_best[c.u.index()] = None,
             }
             let mut lc = LocalCounters::new();
-            let revalidated = pair_inc(self.inst, self.planning, c.v, c.u, &mut lc);
+            let revalidated = pair_inc(self.view, self.planning, &self.occ, c.v, c.u, &mut lc);
             lc.flush_into(self.probe);
             let added = if let Some(inc) = revalidated {
                 self.planning
                     .assign(self.inst, c.u, c.v)
                     .expect("pair validated as assignable");
+                self.occ.set(c.u, c.v);
                 if self.probe.enabled() {
                     self.probe.record("ratio_greedy.accepted_inc", inc.as_f64());
                 }
@@ -433,7 +498,8 @@ impl<'a> Engine<'a> {
                     })
                     .collect();
                 if self.threads > 1 && incident.len() >= MIN_PAR_ITEMS {
-                    let (inst, probe) = (self.inst, self.probe);
+                    let (view, probe) = (self.view, self.probe);
+                    let occ = &self.occ;
                     let planning: &Planning = self.planning;
                     let scans = par_map_section(
                         self.threads,
@@ -442,7 +508,7 @@ impl<'a> Engine<'a> {
                         &incident,
                         self.guard,
                         LocalCounters::new,
-                        |lc, _, &(_, v)| scan_event(inst, planning, v, lc),
+                        |lc, _, &(_, v)| scan_event(view, planning, occ, v, lc),
                         |mut lc| lc.flush_into(probe),
                     );
                     for (k, scan) in scans.into_iter().enumerate() {
@@ -482,7 +548,15 @@ pub(crate) fn run_ratio_greedy(
     if events.is_empty() || inst.num_users() == 0 {
         return;
     }
-    Engine::new(inst, planning, events, guard, probe).run();
+    // the view decision is made once, here, on the calling thread; the
+    // chosen view flows into the parallel scan closures, so workers
+    // never consult the thread-local
+    if usep_core::object_path_forced() {
+        Engine::new(inst, inst, planning, events, guard, probe).run();
+    } else {
+        let flat = inst.freeze();
+        Engine::new(inst, &*flat, planning, events, guard, probe).run();
+    }
 }
 
 #[cfg(test)]

@@ -27,7 +27,7 @@ fn bench_instance(seed: u64) -> Instance {
 fn request(id: String, seed: u64) -> SolveRequest {
     SolveRequest {
         id,
-        instance: bench_instance(seed),
+        instance: std::sync::Arc::new(bench_instance(seed)),
         algorithm: None,
         timeout_ms: None,
         mem_budget_mb: None,

@@ -663,7 +663,7 @@ fn cmd_request(flags: &Flags) -> Result<u8, String> {
     let instance = load_instance(flags)?;
     let request = usep_serve::SolveRequest {
         id,
-        instance,
+        instance: std::sync::Arc::new(instance),
         algorithm: flags.get("algorithm"),
         timeout_ms: flags.get("timeout-ms").map(|s| s.parse()).transpose()
             .map_err(|e| format!("bad --timeout-ms: {e}"))?,

@@ -25,10 +25,10 @@ const CITIES: [Option<&str>; 4] = [Some("vancouver"), Some("auckland"), Some("si
 fn request(i: usize) -> SolveRequest {
     SolveRequest {
         id: format!("chaos-{i:02}"),
-        instance: usep_gen::generate(
+        instance: std::sync::Arc::new(usep_gen::generate(
             &usep_gen::SyntheticConfig::tiny().with_events(5).with_users(12),
             1000 + i as u64,
-        ),
+        )),
         algorithm: None,
         timeout_ms: Some(10_000),
         mem_budget_mb: None,

@@ -37,10 +37,10 @@ fn spawn_server(wal: &std::path::Path, extra: &[&str]) -> (Child, String) {
 fn victim_request() -> SolveRequest {
     SolveRequest {
         id: "victim".to_string(),
-        instance: generate(
+        instance: std::sync::Arc::new(generate(
             &SyntheticConfig::tiny().with_events(6).with_users(24).with_capacity_mean(4),
             77,
-        ),
+        )),
         algorithm: None,
         timeout_ms: Some(30_000),
         mem_budget_mb: None,

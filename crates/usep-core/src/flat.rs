@@ -1,0 +1,430 @@
+//! [`FlatInstance`] — the cache-friendly structure-of-arrays lowering
+//! of an [`Instance`], produced once per instance by
+//! [`Instance::freeze`] and borrowed read-only by every solver hot
+//! path.
+//!
+//! # Layout
+//!
+//! All arrays are dense, contiguous, and indexed by the raw `u32` ids:
+//!
+//! * `mu` — `|U| × |V|` row-major by user (`mu[u * nv + v]`), a verbatim
+//!   copy of the object matrix so μ sums stay bit-identical.
+//! * `to` / `from` / `rt` — `|U| × |V|` user↔event leg costs with the
+//!   Remark-2 fee folded exactly as the object accessors fold it
+//!   (`cost_to_event` carries the fee, `cost_from_event` does not,
+//!   `round_trip` is their saturating sum).
+//! * `vv` — the `|V| × |V|` directed event-event matrix, copied from
+//!   the instance's precomputed `event_costs`.
+//! * `start` / `end` — event interval endpoints, for the positional
+//!   prefix scan that stays ordinal even on the flat path.
+//!
+//! # Conflict bitmask
+//!
+//! `conflict` holds `|V|` rows of `⌈|V|/64⌉` little-endian words; bit
+//! `j` of row `i` (word `j / 64`, bit `j % 64`) is set iff `i == j`
+//! (duplicate) or the intervals of `i` and `j` overlap
+//! (`start_i < end_j && start_j < end_i`). This is a pure **time**
+//! predicate — deliberately not cost-based: non-adjacent mutually
+//! unreachable pairs are legal in feasible schedules (only consecutive
+//! legs are costed), so folding reachability into the mask would
+//! over-reject and break byte-identity with the object path.
+//!
+//! `Schedule::insertion_point` returns `None` exactly when the probed
+//! event is a duplicate of — or time-overlaps — some scheduled event
+//! (transitivity of `precedes` over a time-ordered schedule makes the
+//! prefix argument airtight), so a row-AND against an occupancy bitset,
+//! or per-event bit probes when no bitset is maintained, reproduces the
+//! accept/reject decision of the interval scan bit for bit.
+
+use crate::cost::Cost;
+use crate::ids::{EventId, UserId};
+use crate::instance::Instance;
+use crate::view::CoreView;
+use std::cell::Cell;
+
+thread_local! {
+    static FORCE_OBJECT_PATH: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Runs `f` with the flat hot path disabled on this thread: solvers
+/// entered inside `f` take the legacy object-accessor path instead of
+/// [`Instance::freeze`].
+///
+/// The switch is consulted **once** per solve, at solver entry, on the
+/// calling thread; the chosen view then flows into any parallel worker
+/// closures, so fan-out sections need no thread-local propagation.
+/// This exists for the differential suites that pin the SoA path
+/// byte-identical to the pre-refactor behaviour; production code never
+/// calls it.
+pub fn with_object_path<R>(f: impl FnOnce() -> R) -> R {
+    FORCE_OBJECT_PATH.with(|c| {
+        let prev = c.replace(true);
+        let r = f();
+        c.set(prev);
+        r
+    })
+}
+
+/// Whether [`with_object_path`] is active on this thread.
+#[inline]
+pub fn object_path_forced() -> bool {
+    FORCE_OBJECT_PATH.with(Cell::get)
+}
+
+/// The flat SoA view of one instance. See the module docs for layout.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FlatInstance {
+    nv: usize,
+    nu: usize,
+    /// Words per conflict/occupancy row: `⌈nv / 64⌉`.
+    words: usize,
+    /// `|U| × |V|` row-major utilities (verbatim copy).
+    mu: Vec<f32>,
+    /// `|U| × |V|` inbound leg costs (fee folded in).
+    to: Vec<Cost>,
+    /// `|U| × |V|` outbound leg costs (no fee).
+    from: Vec<Cost>,
+    /// `|U| × |V|` round trips (`to + from`, saturating).
+    rt: Vec<Cost>,
+    /// `|V| × |V|` directed event-event costs.
+    vv: Vec<Cost>,
+    /// Event interval starts, indexed by event.
+    start: Vec<i64>,
+    /// Event interval ends, indexed by event.
+    end: Vec<i64>,
+    /// Event capacities.
+    capacity: Vec<u32>,
+    /// User budgets.
+    budget: Vec<Cost>,
+    /// `|V| × words` time-conflict bitmask rows (diagonal set).
+    conflict: Vec<u64>,
+}
+
+impl FlatInstance {
+    /// Lowers `inst` into the flat layout. Called once per instance by
+    /// [`Instance::freeze`]; every value is read through the object
+    /// accessors so the copy is bit-identical by construction.
+    pub fn build(inst: &Instance) -> FlatInstance {
+        let nv = inst.num_events();
+        let nu = inst.num_users();
+        let words = nv.div_ceil(64);
+
+        let mut mu = Vec::with_capacity(nu * nv);
+        for u in inst.user_ids() {
+            mu.extend_from_slice(inst.mu_row(u));
+        }
+
+        let mut to = Vec::with_capacity(nu * nv);
+        let mut from = Vec::with_capacity(nu * nv);
+        let mut rt = Vec::with_capacity(nu * nv);
+        for u in inst.user_ids() {
+            for v in inst.event_ids() {
+                let t = inst.cost_to_event(u, v);
+                let f = inst.cost_from_event(v, u);
+                to.push(t);
+                from.push(f);
+                rt.push(t.add(f));
+            }
+        }
+
+        let mut vv = Vec::with_capacity(nv * nv);
+        for i in inst.event_ids() {
+            for j in inst.event_ids() {
+                vv.push(inst.cost_vv(i, j));
+            }
+        }
+
+        let start: Vec<i64> = inst.events().iter().map(|e| e.time.start()).collect();
+        let end: Vec<i64> = inst.events().iter().map(|e| e.time.end()).collect();
+        let capacity: Vec<u32> = inst.events().iter().map(|e| e.capacity).collect();
+        let budget: Vec<Cost> = inst.users().iter().map(|u| u.budget).collect();
+
+        let mut conflict = vec![0u64; nv * words];
+        for i in 0..nv {
+            let row = &mut conflict[i * words..(i + 1) * words];
+            for j in 0..nv {
+                let conflicts = i == j || (start[i] < end[j] && start[j] < end[i]);
+                if conflicts {
+                    row[j / 64] |= 1u64 << (j % 64);
+                }
+            }
+        }
+
+        FlatInstance { nv, nu, words, mu, to, from, rt, vv, start, end, capacity, budget, conflict }
+    }
+
+    /// Words per conflict/occupancy row (`⌈|V| / 64⌉`).
+    #[inline]
+    pub fn words(&self) -> usize {
+        self.words
+    }
+
+    /// The time-conflict row of event `v` (bit `j` set iff `j`
+    /// conflicts with `v`, diagonal included).
+    #[inline]
+    pub fn conflict_row(&self, v: EventId) -> &[u64] {
+        &self.conflict[v.index() * self.words..(v.index() + 1) * self.words]
+    }
+
+    /// Whether any event in the `occupied` bitset conflicts with `v`:
+    /// the `conflict_word & occupied_word != 0` probe.
+    #[inline]
+    pub fn conflicts_with_occupied(&self, occupied: &[u64], v: EventId) -> bool {
+        debug_assert_eq!(occupied.len(), self.words);
+        self.conflict_row(v).iter().zip(occupied).any(|(&c, &o)| c & o != 0)
+    }
+
+    /// The round-trip costs of user `u` over all events (indexed by
+    /// `EventId`) — the Lemma-1 prefilter row as one contiguous slice.
+    #[inline]
+    pub fn round_trip_row(&self, u: UserId) -> &[Cost] {
+        &self.rt[u.index() * self.nv..(u.index() + 1) * self.nv]
+    }
+
+    /// Heap footprint of this view in bytes (arrays only).
+    pub fn bytes(&self) -> usize {
+        Self::estimate_bytes(self.nv, self.nu)
+    }
+
+    /// Heap footprint a freeze of an `nv × nu` instance would take,
+    /// without building it. Used by `usep-guard`'s pre-solve memory
+    /// estimates.
+    pub fn estimate_bytes(nv: usize, nu: usize) -> usize {
+        let words = nv.div_ceil(64);
+        let uv = nu * nv * std::mem::size_of::<Cost>();
+        nu * nv * std::mem::size_of::<f32>()  // mu
+            + 3 * uv                          // to + from + rt
+            + nv * nv * std::mem::size_of::<Cost>() // vv
+            + 2 * nv * std::mem::size_of::<i64>()   // start + end
+            + nv * std::mem::size_of::<u32>()       // capacity
+            + nu * std::mem::size_of::<Cost>()      // budget
+            + nv * words * std::mem::size_of::<u64>() // conflict
+    }
+}
+
+impl CoreView for FlatInstance {
+    #[inline]
+    fn num_events(&self) -> usize {
+        self.nv
+    }
+    #[inline]
+    fn num_users(&self) -> usize {
+        self.nu
+    }
+    #[inline]
+    fn mu(&self, v: EventId, u: UserId) -> f64 {
+        f64::from(self.mu[u.index() * self.nv + v.index()])
+    }
+    #[inline]
+    fn mu_row(&self, u: UserId) -> &[f32] {
+        &self.mu[u.index() * self.nv..(u.index() + 1) * self.nv]
+    }
+    #[inline]
+    fn cost_to_event(&self, u: UserId, v: EventId) -> Cost {
+        self.to[u.index() * self.nv + v.index()]
+    }
+    #[inline]
+    fn cost_from_event(&self, v: EventId, u: UserId) -> Cost {
+        self.from[u.index() * self.nv + v.index()]
+    }
+    #[inline]
+    fn cost_vv(&self, i: EventId, j: EventId) -> Cost {
+        self.vv[i.index() * self.nv + j.index()]
+    }
+    #[inline]
+    fn round_trip(&self, u: UserId, v: EventId) -> Cost {
+        self.rt[u.index() * self.nv + v.index()]
+    }
+    #[inline]
+    fn budget(&self, u: UserId) -> Cost {
+        self.budget[u.index()]
+    }
+    #[inline]
+    fn capacity(&self, v: EventId) -> u32 {
+        self.capacity[v.index()]
+    }
+    #[inline]
+    fn event_start(&self, v: EventId) -> i64 {
+        self.start[v.index()]
+    }
+    #[inline]
+    fn event_end(&self, v: EventId) -> i64 {
+        self.end[v.index()]
+    }
+
+    #[inline]
+    fn occupied_conflicts(&self, occupied: &[u64], v: EventId) -> Option<bool> {
+        Some(self.conflicts_with_occupied(occupied, v))
+    }
+
+    /// Bitmask insertion point: per-event bit probes replace the
+    /// interval comparisons; a clear row section implies both "no
+    /// duplicate" (diagonal bit) and "no overlap", after which the
+    /// position is the ordinal prefix scan.
+    fn insertion_point(&self, events: &[EventId], v: EventId) -> Option<usize> {
+        let row = self.conflict_row(v);
+        for &e in events {
+            if row[e.index() / 64] & (1u64 << (e.index() % 64)) != 0 {
+                return None;
+            }
+        }
+        Some(self.insertion_pos_unchecked(events, v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geo::Point;
+    use crate::instance::InstanceBuilder;
+    use crate::schedule::Schedule;
+    use crate::time::TimeInterval;
+
+    fn iv(a: i64, b: i64) -> TimeInterval {
+        TimeInterval::new(a, b).unwrap()
+    }
+
+    fn fixture() -> Instance {
+        let mut b = InstanceBuilder::new();
+        b.event(2, Point::new(0, 0), iv(0, 10));
+        b.event(1, Point::new(10, 0), iv(10, 20)); // touches v0's endpoint
+        b.event(3, Point::new(5, 5), iv(5, 15)); // overlaps both
+        b.event(1, Point::new(20, 0), iv(25, 40));
+        let u0 = b.user(Point::new(1, 1), Cost::new(80));
+        let u1 = b.user(Point::new(8, 2), Cost::new(35));
+        for v in 0..4 {
+            b.utility(EventId(v), u0, 0.1 + 0.2 * f64::from(v));
+            b.utility(EventId(v), u1, 0.9 - 0.2 * f64::from(v));
+        }
+        b.fee(EventId(1), 3);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn freeze_is_cached_and_shared() {
+        let inst = fixture();
+        let a = inst.freeze();
+        let b = inst.freeze();
+        assert!(std::sync::Arc::ptr_eq(&a, &b), "freeze must cache its Arc");
+    }
+
+    #[test]
+    fn flat_accessors_match_object_accessors() {
+        let inst = fixture();
+        let flat = inst.freeze();
+        assert_eq!(CoreView::num_events(&*flat), inst.num_events());
+        assert_eq!(CoreView::num_users(&*flat), inst.num_users());
+        for u in inst.user_ids() {
+            assert_eq!(CoreView::budget(&*flat, u), inst.user(u).budget);
+            assert_eq!(CoreView::mu_row(&*flat, u), inst.mu_row(u));
+            for v in inst.event_ids() {
+                assert_eq!(CoreView::mu(&*flat, v, u).to_bits(), inst.mu(v, u).to_bits());
+                assert_eq!(CoreView::cost_to_event(&*flat, u, v), inst.cost_to_event(u, v));
+                assert_eq!(CoreView::cost_from_event(&*flat, v, u), inst.cost_from_event(v, u));
+                assert_eq!(CoreView::round_trip(&*flat, u, v), inst.round_trip(u, v));
+            }
+        }
+        for i in inst.event_ids() {
+            assert_eq!(CoreView::capacity(&*flat, i), inst.event(i).capacity);
+            assert_eq!(CoreView::event_start(&*flat, i), inst.event(i).time.start());
+            assert_eq!(CoreView::event_end(&*flat, i), inst.event(i).time.end());
+            for j in inst.event_ids() {
+                assert_eq!(CoreView::cost_vv(&*flat, i, j), inst.cost_vv(i, j));
+            }
+        }
+    }
+
+    #[test]
+    fn conflict_mask_is_time_overlap_plus_diagonal() {
+        let inst = fixture();
+        let flat = inst.freeze();
+        for i in inst.event_ids() {
+            let row = flat.conflict_row(i);
+            for j in inst.event_ids() {
+                let bit = row[j.index() / 64] & (1 << (j.index() % 64)) != 0;
+                let expect =
+                    i == j || inst.event(i).time.overlaps(inst.event(j).time);
+                assert_eq!(bit, expect, "conflict[{i}][{j}]");
+            }
+        }
+        // touching endpoints (v0 ends exactly when v1 starts) are NOT a
+        // conflict — precedes uses `end <= start`
+        assert_eq!(
+            flat.conflict_row(EventId(0))[0] & (1 << 1),
+            0,
+            "touching endpoints must not conflict"
+        );
+    }
+
+    #[test]
+    fn flat_schedule_ops_match_legacy() {
+        let inst = fixture();
+        let flat = inst.freeze();
+        // every subset of events reachable by legal insertion, every probe
+        for u in inst.user_ids() {
+            let mut s = Schedule::new();
+            for v in inst.event_ids() {
+                let _ = s.try_insert(&inst, u, v);
+                for probe in inst.event_ids() {
+                    assert_eq!(
+                        CoreView::insertion_point(&*flat, s.events(), probe),
+                        s.insertion_point(&inst, probe),
+                        "insertion_point({probe}) after {:?}",
+                        s.events()
+                    );
+                    assert_eq!(
+                        CoreView::inc_cost(&*flat, s.events(), u, probe),
+                        s.inc_cost(&inst, u, probe)
+                    );
+                    assert_eq!(
+                        CoreView::can_insert(&*flat, s.events(), u, probe),
+                        s.can_insert(&inst, u, probe)
+                    );
+                }
+                assert_eq!(CoreView::total_cost(&*flat, s.events(), u), s.total_cost(&inst, u));
+                assert_eq!(
+                    CoreView::utility(&*flat, s.events(), u).to_bits(),
+                    s.utility(&inst, u).to_bits()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn occupied_word_probe_matches_per_event_probes() {
+        let inst = fixture();
+        let flat = inst.freeze();
+        let words = flat.words();
+        // all 2^4 occupancy bitsets of the 4 events
+        for mask in 0u64..16 {
+            let mut occupied = vec![0u64; words];
+            occupied[0] = mask;
+            let events: Vec<EventId> =
+                (0..4u32).filter(|b| mask & (1 << b) != 0).map(EventId).collect();
+            for v in inst.event_ids() {
+                let by_word = flat.conflicts_with_occupied(&occupied, v);
+                let by_probe = CoreView::insertion_point(&*flat, &events, v).is_none();
+                assert_eq!(by_word, by_probe, "mask {mask:04b} probe {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn object_path_switch_scopes_to_closure() {
+        assert!(!object_path_forced());
+        let inner = with_object_path(|| {
+            assert!(object_path_forced());
+            with_object_path(object_path_forced)
+        });
+        assert!(inner);
+        assert!(!object_path_forced());
+    }
+
+    #[test]
+    fn estimate_bytes_matches_actual_layout() {
+        let inst = fixture();
+        let flat = inst.freeze();
+        assert_eq!(flat.bytes(), FlatInstance::estimate_bytes(4, 2));
+        assert!(flat.bytes() > 0);
+    }
+}

@@ -49,7 +49,7 @@ pub enum TravelCost {
 /// infinities for spatio-temporally incompatible pairs) and the
 /// [`TemporalIndex`]. Instances are immutable afterwards, so the
 /// precomputed structures can never go stale.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Serialize, Deserialize)]
 #[serde(from = "InstanceData", into = "InstanceData")]
 pub struct Instance {
     events: Vec<Event>,
@@ -63,6 +63,22 @@ pub struct Instance {
     /// event folded in, infinite when incompatible.
     event_costs: Vec<Cost>,
     temporal: TemporalIndex,
+    /// Lazily-built SoA lowering ([`Instance::freeze`]); shared by
+    /// every solve of this instance, dropped on serialization.
+    flat: std::sync::OnceLock<std::sync::Arc<crate::flat::FlatInstance>>,
+}
+
+// The flat cache is a derived artifact, not identity: a frozen and a
+// never-frozen copy of the same data must compare equal (serde
+// round-trips rebuild instances without the cache).
+impl PartialEq for Instance {
+    fn eq(&self, other: &Instance) -> bool {
+        self.events == other.events
+            && self.users == other.users
+            && self.mu == other.mu
+            && self.travel == other.travel
+            && self.fees == other.fees
+    }
 }
 
 /// Serialized form of an [`Instance`] (precomputed structures are rebuilt
@@ -101,7 +117,28 @@ impl Instance {
     ) -> Instance {
         let event_costs = compute_event_costs(&events, &travel, &fees);
         let temporal = TemporalIndex::build(&events);
-        Instance { events, users, mu, travel, fees, event_costs, temporal }
+        Instance {
+            events,
+            users,
+            mu,
+            travel,
+            fees,
+            event_costs,
+            temporal,
+            flat: std::sync::OnceLock::new(),
+        }
+    }
+
+    /// The one-shot SoA lowering of this instance (see
+    /// [`FlatInstance`](crate::FlatInstance)): built on first call,
+    /// cached, and shared — repeat calls, clones of the returned `Arc`,
+    /// worker threads and serve-retry attempts all borrow the same
+    /// arrays. The instance is immutable after construction, so the
+    /// lowering can never go stale.
+    pub fn freeze(&self) -> std::sync::Arc<crate::flat::FlatInstance> {
+        self.flat
+            .get_or_init(|| std::sync::Arc::new(crate::flat::FlatInstance::build(self)))
+            .clone()
     }
 
     /// Number of events `|V|`.

@@ -48,6 +48,7 @@ pub mod cost;
 pub mod error;
 pub mod event;
 pub mod fairness;
+pub mod flat;
 pub mod geo;
 pub mod ids;
 pub mod instance;
@@ -57,12 +58,14 @@ pub mod stats;
 pub mod temporal;
 pub mod time;
 pub mod user;
+pub mod view;
 
 pub use codec::CodecError;
 pub use cost::Cost;
 pub use error::{BuildError, ConstraintViolation, PlanningError, ValidateError};
 pub use event::Event;
 pub use fairness::FairnessStats;
+pub use flat::{object_path_forced, with_object_path, FlatInstance};
 pub use geo::Point;
 pub use ids::{EventId, UserId};
 pub use instance::{Instance, InstanceBuilder, TravelCost};
@@ -72,3 +75,4 @@ pub use stats::PlanningStats;
 pub use temporal::TemporalIndex;
 pub use time::TimeInterval;
 pub use user::User;
+pub use view::{normalize_utility, CoreView};

@@ -102,13 +102,13 @@ impl Planning {
 
     /// The total utility score `Ω(A) = Σ_u Σ_{v ∈ S_u} μ(v, u)` (Eq. 1).
     pub fn omega(&self, inst: &Instance) -> f64 {
-        // `+ 0.0` normalizes the `-0.0` an empty `Sum` produces
-        self.schedules
-            .iter()
-            .enumerate()
-            .map(|(u, s)| s.utility(inst, UserId(u as u32)))
-            .sum::<f64>()
-            + 0.0
+        crate::view::normalize_utility(
+            self.schedules
+                .iter()
+                .enumerate()
+                .map(|(u, s)| s.utility(inst, UserId(u as u32)))
+                .sum::<f64>(),
+        )
     }
 
     /// Total number of arranged event-user pairs.

@@ -3,6 +3,7 @@
 use crate::cost::Cost;
 use crate::ids::{EventId, UserId};
 use crate::instance::Instance;
+use crate::view::CoreView;
 use serde::{Deserialize, Serialize};
 use std::error::Error;
 use std::fmt;
@@ -111,20 +112,11 @@ impl Schedule {
     /// Because the schedule is time-ordered and non-overlapping, the
     /// events that precede `v` form a prefix; `v` fits iff every remaining
     /// event succeeds it, which only the first needs to be checked for.
-    pub fn insertion_point(&self, inst: &Instance, v: EventId) -> Option<usize> {
-        if self.contains(v) {
-            return None;
-        }
-        let tv = inst.event(v).time;
-        let pos = self
-            .events
-            .iter()
-            .take_while(|&&m| inst.event(m).time.precedes(tv))
-            .count();
-        if pos < self.events.len() && !tv.precedes(inst.event(self.events[pos]).time) {
-            return None;
-        }
-        Some(pos)
+    /// (One shared implementation lives on [`CoreView`]; solver hot
+    /// paths call it on a [`FlatInstance`](crate::FlatInstance), which
+    /// replaces the interval scan with conflict-bitmask probes.)
+    pub fn insertion_point<V: CoreView + ?Sized>(&self, inst: &V, v: EventId) -> Option<usize> {
+        CoreView::insertion_point(inst, &self.events, v)
     }
 
     /// The incremental travel cost `inc_cost(v, u)` of Eq. (3): the extra
@@ -134,7 +126,7 @@ impl Schedule {
     ///
     /// Under the triangle inequality (validated at instance build) the
     /// increment is non-negative.
-    pub fn inc_cost(&self, inst: &Instance, u: UserId, v: EventId) -> Cost {
+    pub fn inc_cost<V: CoreView + ?Sized>(&self, inst: &V, u: UserId, v: EventId) -> Cost {
         let Some(pos) = self.insertion_point(inst, v) else {
             return Cost::INFINITE;
         };
@@ -142,66 +134,28 @@ impl Schedule {
     }
 
     /// Eq. (3) with a precomputed insertion point (see
-    /// [`Schedule::insertion_point`]).
-    pub fn inc_cost_at(&self, inst: &Instance, u: UserId, v: EventId, pos: usize) -> Cost {
-        let n = self.events.len();
-        if n == 0 {
-            // S_u = ∅: travel there and back
-            return inst.round_trip(u, v);
-        }
-        if pos == 0 {
-            // v becomes the first event: u → v → old-first, minus u → old-first
-            let first = self.events[0];
-            let new_legs = inst.cost_to_event(u, v).add(inst.cost_vv(v, first));
-            if new_legs.is_infinite() {
-                return Cost::INFINITE;
-            }
-            return new_legs.sub(inst.cost_to_event(u, first));
-        }
-        if pos == n {
-            // v becomes the last event: old-last → v → u, minus old-last → u
-            let last = self.events[n - 1];
-            let new_legs = inst.cost_vv(last, v).add(inst.cost_from_event(v, u));
-            if new_legs.is_infinite() {
-                return Cost::INFINITE;
-            }
-            return new_legs.sub(inst.cost_from_event(last, u));
-        }
-        // v slots between neighbors prev and next
-        let prev = self.events[pos - 1];
-        let next = self.events[pos];
-        let new_legs = inst.cost_vv(prev, v).add(inst.cost_vv(v, next));
-        if new_legs.is_infinite() {
-            return Cost::INFINITE;
-        }
-        new_legs.sub(inst.cost_vv(prev, next))
+    /// [`Schedule::insertion_point`]); the shared slice implementation
+    /// is [`CoreView::inc_cost_at`].
+    pub fn inc_cost_at<V: CoreView + ?Sized>(&self, inst: &V, u: UserId, v: EventId, pos: usize) -> Cost {
+        CoreView::inc_cost_at(inst, &self.events, u, v, pos)
     }
 
     /// Total round-trip travel cost of the schedule for user `u`:
     /// `cost(u, v_1) + Σ cost(v_{i-1}, v_i) + cost(v_k, u)`; zero when
     /// empty, infinite when any leg is unreachable.
-    pub fn total_cost(&self, inst: &Instance, u: UserId) -> Cost {
-        let Some((&first, rest)) = self.events.split_first() else {
-            return Cost::ZERO;
-        };
-        let mut total = inst.cost_to_event(u, first);
-        let mut prev = first;
-        for &v in rest {
-            total = total.add(inst.cost_vv(prev, v));
-            prev = v;
-        }
-        total.add(inst.cost_from_event(prev, u))
+    pub fn total_cost<V: CoreView + ?Sized>(&self, inst: &V, u: UserId) -> Cost {
+        CoreView::total_cost(inst, &self.events, u)
     }
 
-    /// Total utility `Ω(S_u) = Σ_{v ∈ S_u} μ(v, u)`.
-    pub fn utility(&self, inst: &Instance, u: UserId) -> f64 {
-        // `+ 0.0` normalizes the `-0.0` an empty `Sum` produces
-        self.events.iter().map(|&v| inst.mu(v, u)).sum::<f64>() + 0.0
+    /// Total utility `Ω(S_u) = Σ_{v ∈ S_u} μ(v, u)`, `-0.0`-normalized
+    /// through [`normalize_utility`](crate::normalize_utility).
+    pub fn utility<V: CoreView + ?Sized>(&self, inst: &V, u: UserId) -> f64 {
+        CoreView::utility(inst, &self.events, u)
     }
 
     /// Attempts to insert `v`, enforcing time feasibility, leg
     /// reachability and the budget of `u`. Returns the insertion position.
-    pub fn try_insert(&mut self, inst: &Instance, u: UserId, v: EventId) -> Result<usize, InsertError> {
+    pub fn try_insert<V: CoreView + ?Sized>(&mut self, inst: &V, u: UserId, v: EventId) -> Result<usize, InsertError> {
         if self.contains(v) {
             return Err(InsertError::Duplicate);
         }
@@ -213,7 +167,7 @@ impl Schedule {
             return Err(InsertError::Unreachable);
         }
         let new_total = self.total_cost(inst, u).add(inc);
-        if new_total > inst.user(u).budget {
+        if new_total > inst.budget(u) {
             return Err(InsertError::OverBudget);
         }
         self.events.insert(pos, v);
@@ -224,15 +178,8 @@ impl Schedule {
     /// schedule-level constraints (time, reachability, budget). Does not
     /// check capacity or utility — those live on
     /// [`Planning`](crate::Planning).
-    pub fn can_insert(&self, inst: &Instance, u: UserId, v: EventId) -> bool {
-        let Some(pos) = self.insertion_point(inst, v) else {
-            return false;
-        };
-        let inc = self.inc_cost_at(inst, u, v, pos);
-        if inc.is_infinite() {
-            return false;
-        }
-        self.total_cost(inst, u).add(inc) <= inst.user(u).budget
+    pub fn can_insert<V: CoreView + ?Sized>(&self, inst: &V, u: UserId, v: EventId) -> bool {
+        CoreView::can_insert(inst, &self.events, u, v)
     }
 
     /// Removes `v` if present, returning whether it was.

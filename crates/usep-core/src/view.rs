@@ -1,0 +1,293 @@
+//! [`CoreView`] — the read-only accessor surface the solver hot paths
+//! run against.
+//!
+//! Every schedule-level operation the algorithms perform per candidate
+//! pair — the insertion-point scan, Eq. (3)'s incremental cost, the
+//! total-cost chain, the utility sum — is written **once** here, as a
+//! provided method over a raw `&[EventId]` slice, in terms of a small
+//! set of primitive accessors. Two types implement the primitives:
+//!
+//! * [`Instance`](crate::Instance) — the object path: per-call travel
+//!   cost derivation (`Point::cost_to` under grid travel) and interval
+//!   comparisons. This is the pre-refactor behaviour, kept alive as the
+//!   differential reference.
+//! * [`FlatInstance`](crate::FlatInstance) — the structure-of-arrays
+//!   path produced by [`Instance::freeze`](crate::Instance::freeze):
+//!   contiguous cost/μ arrays plus a per-event time-conflict bitmask,
+//!   which overrides [`CoreView::insertion_point`] with word probes.
+//!
+//! Both implementations are **bit-identical** in every output: the flat
+//! path reads precomputed copies of exactly the values the object path
+//! derives, and the bitmask encodes exactly the predicate the interval
+//! scan evaluates (see `flat.rs`). The `usep-oracle` differential suite
+//! and the `prop_flat_feasibility` proptests gate this equivalence.
+
+use crate::cost::Cost;
+use crate::ids::{EventId, UserId};
+
+/// Normalizes IEEE-754 `-0.0` to `+0.0`.
+///
+/// An empty `Iterator::sum::<f64>()` over a rev-folded accumulator can
+/// produce `-0.0`; every utility aggregate (Ω, per-schedule utility,
+/// marginal gains) passes through this single helper so serialized
+/// objectives never leak a sign bit that depends on summation shape.
+#[inline]
+pub fn normalize_utility(x: f64) -> f64 {
+    x + 0.0
+}
+
+/// Read-only view of an instance, sufficient for every hot-path
+/// schedule operation.
+///
+/// The provided methods mirror `Schedule`'s operations but take the
+/// event slice explicitly, so both `Schedule` (which delegates here)
+/// and slice-juggling solver internals share one implementation.
+pub trait CoreView {
+    /// Number of events `|V|`.
+    fn num_events(&self) -> usize;
+    /// Number of users `|U|`.
+    fn num_users(&self) -> usize;
+    /// Utility `μ(v, u) ∈ [0, 1]`.
+    fn mu(&self, v: EventId, u: UserId) -> f64;
+    /// The utilities of user `u` over all events, indexed by `EventId`.
+    fn mu_row(&self, u: UserId) -> &[f32];
+    /// Cost of traveling *to* event `v` from home (fee folded in).
+    fn cost_to_event(&self, u: UserId, v: EventId) -> Cost;
+    /// Cost of traveling home *from* event `v` (no fee).
+    fn cost_from_event(&self, v: EventId, u: UserId) -> Cost;
+    /// Directed event-to-event cost (target fee folded in), infinite
+    /// when the pair is spatio-temporally incompatible.
+    fn cost_vv(&self, i: EventId, j: EventId) -> Cost;
+    /// Round-trip cost of attending only `v`.
+    fn round_trip(&self, u: UserId, v: EventId) -> Cost;
+    /// Travel budget of user `u`.
+    fn budget(&self, u: UserId) -> Cost;
+    /// Capacity of event `v`.
+    fn capacity(&self, v: EventId) -> u32;
+    /// Start time of event `v`.
+    fn event_start(&self, v: EventId) -> i64;
+    /// End time of event `v`.
+    fn event_end(&self, v: EventId) -> i64;
+
+    /// Whether event `i` ends no later than event `j` starts
+    /// (`TimeInterval::precedes` over the flat arrays).
+    #[inline]
+    fn event_precedes(&self, i: EventId, j: EventId) -> bool {
+        self.event_end(i) <= self.event_start(j)
+    }
+
+    /// Whether `occupied` (a `⌈|V|/64⌉`-word bitset of scheduled
+    /// events) contains an event that conflicts with `v` — duplicate
+    /// or time overlap.
+    ///
+    /// Returns `None` when this view has no conflict bitmask (the
+    /// object path); callers then fall back to
+    /// [`CoreView::insertion_point`]. [`FlatInstance`](crate::FlatInstance)
+    /// overrides this with the `conflict_word & occupied_word` probe.
+    #[inline]
+    fn occupied_conflicts(&self, occupied: &[u64], v: EventId) -> Option<bool> {
+        let _ = (occupied, v);
+        None
+    }
+
+    /// The position at which `v` would be inserted into the
+    /// time-ordered `events`, or `None` when `v` is a duplicate or
+    /// time-conflicts with a scheduled event.
+    ///
+    /// Mirrors `Schedule::insertion_point` exactly: because the
+    /// schedule is time-ordered and non-overlapping, the events
+    /// preceding `v` form a prefix, and `v` fits iff the first
+    /// remaining event succeeds it.
+    fn insertion_point(&self, events: &[EventId], v: EventId) -> Option<usize> {
+        if events.contains(&v) {
+            return None;
+        }
+        let (sv, ev) = (self.event_start(v), self.event_end(v));
+        let pos = events.iter().take_while(|&&m| self.event_end(m) <= sv).count();
+        if pos < events.len() && ev > self.event_start(events[pos]) {
+            return None;
+        }
+        Some(pos)
+    }
+
+    /// The insertion position of `v` assuming it is already known to be
+    /// conflict-free (e.g. after a bitmask probe said so): the length
+    /// of the prefix of events preceding `v`.
+    #[inline]
+    fn insertion_pos_unchecked(&self, events: &[EventId], v: EventId) -> usize {
+        let sv = self.event_start(v);
+        events.iter().take_while(|&&m| self.event_end(m) <= sv).count()
+    }
+
+    /// Eq. (3) with a precomputed insertion point: the extra travel
+    /// incurred if `v` were inserted into `events` at `pos` for user
+    /// `u`. Mirrors `Schedule::inc_cost_at` exactly.
+    fn inc_cost_at(&self, events: &[EventId], u: UserId, v: EventId, pos: usize) -> Cost {
+        let n = events.len();
+        if n == 0 {
+            return self.round_trip(u, v);
+        }
+        if pos == 0 {
+            let first = events[0];
+            let new_legs = self.cost_to_event(u, v).add(self.cost_vv(v, first));
+            if new_legs.is_infinite() {
+                return Cost::INFINITE;
+            }
+            return new_legs.sub(self.cost_to_event(u, first));
+        }
+        if pos == n {
+            let last = events[n - 1];
+            let new_legs = self.cost_vv(last, v).add(self.cost_from_event(v, u));
+            if new_legs.is_infinite() {
+                return Cost::INFINITE;
+            }
+            return new_legs.sub(self.cost_from_event(last, u));
+        }
+        let prev = events[pos - 1];
+        let next = events[pos];
+        let new_legs = self.cost_vv(prev, v).add(self.cost_vv(v, next));
+        if new_legs.is_infinite() {
+            return Cost::INFINITE;
+        }
+        new_legs.sub(self.cost_vv(prev, next))
+    }
+
+    /// Eq. (3) without a precomputed position: infinite when `v` cannot
+    /// be inserted at all.
+    fn inc_cost(&self, events: &[EventId], u: UserId, v: EventId) -> Cost {
+        let Some(pos) = self.insertion_point(events, v) else {
+            return Cost::INFINITE;
+        };
+        self.inc_cost_at(events, u, v, pos)
+    }
+
+    /// Total round-trip travel cost of the schedule `events` for `u`.
+    fn total_cost(&self, events: &[EventId], u: UserId) -> Cost {
+        let Some((&first, rest)) = events.split_first() else {
+            return Cost::ZERO;
+        };
+        let mut total = self.cost_to_event(u, first);
+        let mut prev = first;
+        for &v in rest {
+            total = total.add(self.cost_vv(prev, v));
+            prev = v;
+        }
+        total.add(self.cost_from_event(prev, u))
+    }
+
+    /// Total utility `Σ_{v ∈ events} μ(v, u)`, `-0.0`-normalized.
+    fn utility(&self, events: &[EventId], u: UserId) -> f64 {
+        normalize_utility(events.iter().map(|&v| self.mu(v, u)).sum::<f64>())
+    }
+
+    /// Whether `v` could be inserted into `events` for `u` without
+    /// violating schedule-level constraints (time, reachability,
+    /// budget). Mirrors `Schedule::can_insert`.
+    fn can_insert(&self, events: &[EventId], u: UserId, v: EventId) -> bool {
+        let Some(pos) = self.insertion_point(events, v) else {
+            return false;
+        };
+        let inc = self.inc_cost_at(events, u, v, pos);
+        if inc.is_infinite() {
+            return false;
+        }
+        self.total_cost(events, u).add(inc) <= self.budget(u)
+    }
+}
+
+impl CoreView for crate::instance::Instance {
+    #[inline]
+    fn num_events(&self) -> usize {
+        crate::instance::Instance::num_events(self)
+    }
+    #[inline]
+    fn num_users(&self) -> usize {
+        crate::instance::Instance::num_users(self)
+    }
+    #[inline]
+    fn mu(&self, v: EventId, u: UserId) -> f64 {
+        crate::instance::Instance::mu(self, v, u)
+    }
+    #[inline]
+    fn mu_row(&self, u: UserId) -> &[f32] {
+        crate::instance::Instance::mu_row(self, u)
+    }
+    #[inline]
+    fn cost_to_event(&self, u: UserId, v: EventId) -> Cost {
+        crate::instance::Instance::cost_to_event(self, u, v)
+    }
+    #[inline]
+    fn cost_from_event(&self, v: EventId, u: UserId) -> Cost {
+        crate::instance::Instance::cost_from_event(self, v, u)
+    }
+    #[inline]
+    fn cost_vv(&self, i: EventId, j: EventId) -> Cost {
+        crate::instance::Instance::cost_vv(self, i, j)
+    }
+    #[inline]
+    fn round_trip(&self, u: UserId, v: EventId) -> Cost {
+        crate::instance::Instance::round_trip(self, u, v)
+    }
+    #[inline]
+    fn budget(&self, u: UserId) -> Cost {
+        self.user(u).budget
+    }
+    #[inline]
+    fn capacity(&self, v: EventId) -> u32 {
+        self.event(v).capacity
+    }
+    #[inline]
+    fn event_start(&self, v: EventId) -> i64 {
+        self.event(v).time.start()
+    }
+    #[inline]
+    fn event_end(&self, v: EventId) -> i64 {
+        self.event(v).time.end()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geo::Point;
+    use crate::instance::InstanceBuilder;
+    use crate::schedule::Schedule;
+    use crate::time::TimeInterval;
+
+    #[test]
+    fn normalize_utility_pins_negative_zero() {
+        let z = normalize_utility(-0.0);
+        assert_eq!(z, 0.0);
+        assert!(z.is_sign_positive(), "-0.0 must normalize to +0.0");
+        // non-zero values pass through untouched
+        assert_eq!(normalize_utility(1.25), 1.25);
+        assert_eq!(normalize_utility(-1.25), -1.25);
+    }
+
+    #[test]
+    fn instance_view_matches_schedule_ops() {
+        let mut b = InstanceBuilder::new();
+        b.event(1, Point::new(0, 0), TimeInterval::new(0, 10).unwrap());
+        b.event(1, Point::new(10, 0), TimeInterval::new(10, 20).unwrap());
+        b.event(1, Point::new(20, 0), TimeInterval::new(20, 30).unwrap());
+        let u = b.user(Point::new(5, 0), crate::cost::Cost::new(100));
+        for v in 0..3 {
+            b.utility(EventId(v), u, 0.5);
+        }
+        let inst = b.build().unwrap();
+        let mut s = Schedule::new();
+        s.try_insert(&inst, u, EventId(0)).unwrap();
+        s.try_insert(&inst, u, EventId(2)).unwrap();
+        for v in 0..3u32 {
+            let v = EventId(v);
+            assert_eq!(
+                CoreView::insertion_point(&inst, s.events(), v),
+                s.insertion_point(&inst, v)
+            );
+            assert_eq!(CoreView::inc_cost(&inst, s.events(), u, v), s.inc_cost(&inst, u, v));
+            assert_eq!(CoreView::can_insert(&inst, s.events(), u, v), s.can_insert(&inst, u, v));
+        }
+        assert_eq!(CoreView::total_cost(&inst, s.events(), u), s.total_cost(&inst, u));
+        assert_eq!(CoreView::utility(&inst, s.events(), u), s.utility(&inst, u));
+    }
+}

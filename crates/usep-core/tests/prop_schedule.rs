@@ -3,7 +3,8 @@
 
 use proptest::prelude::*;
 use usep_core::{
-    Cost, EventId, Instance, InstanceBuilder, Planning, Point, Schedule, TimeInterval, UserId,
+    Cost, CoreView, EventId, Instance, InstanceBuilder, Planning, Point, Schedule, TimeInterval,
+    UserId,
 };
 
 /// Strategy: a random grid instance with `nv` events and `nu` users.
@@ -24,6 +25,39 @@ fn arb_instance(max_v: usize, max_u: usize) -> impl Strategy<Value = Instance> {
                 b.user(Point::new(x, y), Cost::new(budget));
             }
             // deterministic pseudo-random utilities from the seed
+            let mut s = mu_seed | 1;
+            for v in 0..events.len() as u32 {
+                for u in 0..users.len() as u32 {
+                    s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    let m = ((s >> 33) % 11) as f64 / 10.0;
+                    b.utility(EventId(v), UserId(u), m);
+                }
+            }
+            b.build().unwrap()
+        })
+}
+
+/// Strategy: like [`arb_instance`], but with event times on a coarse
+/// 5-unit grid so exactly-touching endpoints (`end == next start`) and
+/// exactly-coinciding intervals are routine rather than coincidental —
+/// the edge cases the conflict bitmask must get right.
+fn arb_coarse_time_instance(max_v: usize, max_u: usize) -> impl Strategy<Value = Instance> {
+    let ev = (0i64..8, 1i64..4, 0i32..20, 0i32..20, 1u32..4);
+    let us = (0i32..20, 0i32..20, 0u32..80);
+    (
+        prop::collection::vec(ev, 1..=max_v),
+        prop::collection::vec(us, 1..=max_u),
+        any::<u64>(),
+    )
+        .prop_map(|(events, users, mu_seed)| {
+            let mut b = InstanceBuilder::new();
+            for &(slot, dur, x, y, cap) in &events {
+                let start = slot * 5;
+                b.event(cap, Point::new(x, y), TimeInterval::new(start, start + dur * 5).unwrap());
+            }
+            for &(x, y, budget) in &users {
+                b.user(Point::new(x, y), Cost::new(budget));
+            }
             let mut s = mu_seed | 1;
             for v in 0..events.len() as u32 {
                 for u in 0..users.len() as u32 {
@@ -203,6 +237,41 @@ proptest! {
                     }
                 }
             }
+        }
+    }
+
+    /// The flat view's bitmask feasibility must agree with the legacy
+    /// interval logic on every query — `insertion_point`, the raw
+    /// word-AND occupancy probe, and full `try_insert` drives (same
+    /// position or the same error kind) — on random instances where
+    /// exactly-touching endpoints are common and the op stream retries
+    /// already-scheduled events (duplicate case, the diagonal bit).
+    #[test]
+    fn bitmask_feasibility_matches_interval_logic(
+        inst in arb_coarse_time_instance(10, 2),
+        ops in prop::collection::vec(any::<u32>(), 1..40),
+    ) {
+        let flat = inst.freeze();
+        let u = UserId(0);
+        let mut legacy = Schedule::new();
+        let mut soa = Schedule::new();
+        for op in ops {
+            // mod keeps re-picking the same events, so duplicate
+            // insertion attempts against a populated schedule occur
+            let v = EventId(op % inst.num_events() as u32);
+            let events: Vec<EventId> = legacy.events().to_vec();
+            let obj_pos = CoreView::insertion_point(&inst, &events, v);
+            let flat_pos = CoreView::insertion_point(&*flat, &events, v);
+            prop_assert_eq!(obj_pos, flat_pos);
+            let mut occupied = vec![0u64; flat.words()];
+            for &e in &events {
+                occupied[e.index() / 64] |= 1 << (e.index() % 64);
+            }
+            prop_assert_eq!(flat.conflicts_with_occupied(&occupied, v), obj_pos.is_none());
+            let via_object = legacy.try_insert(&inst, u, v);
+            let via_flat = soa.try_insert(&*flat, u, v);
+            prop_assert_eq!(via_object, via_flat);
+            prop_assert_eq!(legacy.events(), soa.events());
         }
     }
 

@@ -12,10 +12,10 @@ use usep_trace::{Counter, TraceSink};
 fn request(id: &str, city: Option<&str>, seed: u64) -> SolveRequest {
     SolveRequest {
         id: id.to_string(),
-        instance: usep_gen::generate(
+        instance: std::sync::Arc::new(usep_gen::generate(
             &usep_gen::SyntheticConfig::tiny().with_events(5).with_users(12),
             seed,
-        ),
+        )),
         algorithm: None,
         timeout_ms: Some(10_000),
         mem_budget_mb: None,

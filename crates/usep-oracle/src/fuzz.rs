@@ -100,6 +100,11 @@ pub fn run_fuzz(cfg: &FuzzConfig, probe: &dyn Probe) -> FuzzReport {
     for i in 0..cfg.count {
         let instance_seed = mix(cfg.seed ^ i);
         let inst = generate(&stream_config(i), instance_seed);
+        // Freeze up front: every audited path, every corruption forge
+        // and every metamorphic re-solve below runs against an instance
+        // whose flat SoA lowering already exists, so the fuzz stream
+        // exercises the frozen-view code paths end to end.
+        inst.freeze();
         let mut findings = verify_instance(&inst, probe);
         if cfg.metamorphic_every > 0 && i % cfg.metamorphic_every == 0 {
             findings.extend(run_metamorphic(&inst, instance_seed, probe));

@@ -195,7 +195,7 @@ mod tests {
         b.utility(EventId(0), UserId(0), 0.9);
         SolveRequest {
             id: id.to_string(),
-            instance: b.build().unwrap(),
+            instance: std::sync::Arc::new(b.build().unwrap()),
             algorithm: None,
             timeout_ms: None,
             mem_budget_mb: None,

@@ -7,6 +7,7 @@
 //! carry any number of request/response pairs sequentially.
 
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 use usep_core::{Instance, Planning};
 
 /// A solve request, instance inline.
@@ -19,8 +20,11 @@ use usep_core::{Instance, Planning};
 pub struct SolveRequest {
     /// Client-chosen idempotence key.
     pub id: String,
-    /// The instance to plan.
-    pub instance: Instance,
+    /// The instance to plan, shared by reference: cloning a request for
+    /// a retry tier or a journal replay copies a pointer, not the
+    /// matrices, and the one-shot [`Instance::freeze`] lowering is
+    /// shared with it.
+    pub instance: Arc<Instance>,
     /// Algorithm name (same names as `usep solve --algorithm`);
     /// the server default applies when absent.
     #[serde(default)]
@@ -203,7 +207,7 @@ mod tests {
     fn request_roundtrips_with_and_without_optional_fields() {
         let full = SolveRequest {
             id: "r1".into(),
-            instance: tiny_instance(),
+            instance: Arc::new(tiny_instance()),
             algorithm: Some("dedpo".into()),
             timeout_ms: Some(500),
             mem_budget_mb: Some(64),

@@ -56,7 +56,7 @@ fn hundred_requests_under_chaos_all_get_typed_responses() {
                     }
                     let req = SolveRequest {
                         id: format!("chaos-{i}"),
-                        instance: instance(1000 + i as u64),
+                        instance: std::sync::Arc::new(instance(1000 + i as u64)),
                         algorithm: None,
                         timeout_ms: Some(10_000),
                         mem_budget_mb: None,
@@ -126,7 +126,7 @@ fn hundred_requests_under_chaos_all_get_typed_responses() {
     for k in 0..8 {
         let req = SolveRequest {
             id: format!("aftermath-{k}"),
-            instance: instance(9000 + k),
+            instance: std::sync::Arc::new(instance(9000 + k)),
             algorithm: None,
             timeout_ms: Some(10_000),
             mem_budget_mb: None,

@@ -18,7 +18,7 @@ fn instance(seed: u64) -> Instance {
 fn request(id: &str, seed: u64) -> SolveRequest {
     SolveRequest {
         id: id.to_string(),
-        instance: instance(seed),
+        instance: std::sync::Arc::new(instance(seed)),
         algorithm: None,
         timeout_ms: None,
         mem_budget_mb: None,

@@ -30,7 +30,7 @@ fn request(seed: u64) -> SolveRequest {
     );
     SolveRequest {
         id: format!("det-{seed}"),
-        instance: inst,
+        instance: std::sync::Arc::new(inst),
         algorithm: None,
         timeout_ms: None,
         mem_budget_mb: None,

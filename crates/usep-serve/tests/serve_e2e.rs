@@ -17,7 +17,7 @@ fn instance(seed: u64) -> Instance {
 fn request(id: &str, seed: u64) -> SolveRequest {
     SolveRequest {
         id: id.to_string(),
-        instance: instance(seed),
+        instance: std::sync::Arc::new(instance(seed)),
         algorithm: None,
         timeout_ms: None,
         mem_budget_mb: None,
@@ -120,10 +120,10 @@ fn memory_ledger_sheds_oversized_requests_without_stickiness() {
     // a tiny instance still fits afterwards: refusals are per-request
     let tiny = SolveRequest {
         id: "small".to_string(),
-        instance: generate(
+        instance: std::sync::Arc::new(generate(
             &SyntheticConfig::tiny().with_events(2).with_users(3).with_capacity_mean(2),
             12,
-        ),
+        )),
         algorithm: None,
         timeout_ms: None,
         mem_budget_mb: None,
