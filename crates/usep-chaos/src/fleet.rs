@@ -1,0 +1,237 @@
+//! Whole-fleet failure simulation: a real geo-sharded fleet (router +
+//! shard child processes + supervisor), seeded mixed-city traffic, a
+//! `SIGKILL` to a live shard mid-run, and the same referee discipline
+//! as the single-server scenarios — every answer oracle-checked, every
+//! id answered after the dust settles, and the fleet metrics identity
+//! intact. This is the scenario runner the CI `fleet-smoke` job drives
+//! through `usep chaos --fleet`.
+
+use crate::plan::mix;
+use serde::Serialize;
+use std::path::Path;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use usep_core::Instance;
+use usep_fleet::{Fleet, FleetConfig};
+use usep_gen::{generate, SyntheticConfig};
+use usep_obs::http;
+use usep_obs::top::parse_exposition;
+use usep_serve::{send_request, SolveRequest, Status};
+use usep_trace::Probe;
+
+const CITIES: [&str; 3] = ["vancouver", "auckland", "singapore"];
+const CLIENT_TIMEOUT: Duration = Duration::from_secs(60);
+const SCRAPE_TIMEOUT: Duration = Duration::from_secs(5);
+const QUIESCE_TIMEOUT: Duration = Duration::from_secs(90);
+
+/// One whole-fleet scenario.
+#[derive(Clone, Debug, Serialize)]
+pub struct FleetScenarioSpec {
+    /// Seed for traffic and instances.
+    pub seed: u64,
+    /// Distinct solve requests, spread round-robin over the cities.
+    pub requests: u64,
+    /// Shard worker processes.
+    pub shards: usize,
+    /// `SIGKILL` shard-0's worker a third of the way through traffic;
+    /// the supervisor must restart it with `--resume` and no accepted
+    /// id may be lost.
+    pub kill: bool,
+}
+
+/// What the fleet scenario produced.
+#[derive(Clone, Debug, Serialize)]
+pub struct FleetScenarioOutcome {
+    /// The spec that ran.
+    pub spec: FleetScenarioSpec,
+    /// Invariant breaches; empty means the fleet survived the scenario.
+    pub violations: Vec<String>,
+    /// Traffic-phase responses received.
+    pub answered: u64,
+    /// Shard restarts the supervisor performed.
+    pub restarts: u64,
+}
+
+fn size_class(i: u64) -> SyntheticConfig {
+    match i % 3 {
+        0 => SyntheticConfig::tiny().with_events(4).with_users(3).with_capacity_mean(2),
+        1 => SyntheticConfig::tiny().with_events(6).with_users(4).with_capacity_mean(2),
+        _ => SyntheticConfig::tiny().with_events(8).with_users(6).with_capacity_mean(3),
+    }
+}
+
+fn fleet_request(seed: u64, i: u64, inst: &Arc<Instance>) -> SolveRequest {
+    SolveRequest {
+        id: format!("fs{seed:x}-r{i}"),
+        instance: Arc::clone(inst),
+        algorithm: None,
+        timeout_ms: Some(20_000),
+        mem_budget_mb: None,
+        city: Some(CITIES[(i % 3) as usize].to_string()),
+    }
+}
+
+/// Sends with bounded retries: mid-kill a request may catch the router
+/// between failover sweeps and come back `Overloaded`, or the
+/// connection may die with the shard — both retryable. A typed terminal
+/// answer ends the attempts.
+fn send_with_retries(
+    addr: std::net::SocketAddr,
+    req: &SolveRequest,
+    attempts: u32,
+) -> Option<usep_serve::SolveResponse> {
+    for attempt in 0..attempts {
+        match send_request(addr, req, CLIENT_TIMEOUT) {
+            Ok(resp) if matches!(resp.status, Status::Overloaded { .. }) => {
+                std::thread::sleep(Duration::from_millis(100 << attempt.min(4)));
+            }
+            Ok(resp) => return Some(resp),
+            Err(_) => std::thread::sleep(Duration::from_millis(100 << attempt.min(4))),
+        }
+    }
+    None
+}
+
+/// Runs the whole-fleet scenario: start a real fleet from `program`
+/// (the `usep` binary), drive seeded traffic, optionally murder a
+/// shard mid-run, then audit. Errors only when the fleet cannot start
+/// at all; everything after that becomes violations.
+pub fn run_fleet_scenario(
+    program: &str,
+    spec: &FleetScenarioSpec,
+    probe: &dyn Probe,
+) -> std::io::Result<FleetScenarioOutcome> {
+    let journal_dir = std::env::temp_dir().join(format!(
+        "usep_chaos_fleet_{}_{:x}",
+        std::process::id(),
+        spec.seed
+    ));
+    let _ = std::fs::remove_dir_all(&journal_dir);
+    let result = run_in_dir(program, spec, probe, &journal_dir);
+    let _ = std::fs::remove_dir_all(&journal_dir);
+    result
+}
+
+fn run_in_dir(
+    program: &str,
+    spec: &FleetScenarioSpec,
+    probe: &dyn Probe,
+    journal_dir: &Path,
+) -> std::io::Result<FleetScenarioOutcome> {
+    let mut fleet = Fleet::start(FleetConfig {
+        addr: "127.0.0.1:0".to_string(),
+        metrics_addr: Some("127.0.0.1:0".to_string()),
+        program: program.to_string(),
+        shard_count: spec.shards.max(1),
+        journal_dir: journal_dir.to_path_buf(),
+        probe_interval: Duration::from_millis(200),
+        probe_timeout: Duration::from_millis(400),
+        ..FleetConfig::default()
+    })?;
+    let addr = fleet.addr();
+    let maddr = fleet
+        .metrics_addr()
+        .expect("fleet scenario always runs a metrics listener")
+        .to_string();
+
+    let mut violations: Vec<String> = Vec::new();
+    let mut answered = 0u64;
+    let kill_at = spec.requests / 3;
+
+    // -- traffic, with one murder in the middle ----------------------
+    let mut instances: Vec<(String, Arc<Instance>)> = Vec::new();
+    for i in 0..spec.requests {
+        if spec.kill && i == kill_at && !fleet.kill_shard("shard-0") {
+            violations.push("kill_shard(shard-0) found no managed shard".to_string());
+        }
+        let inst = Arc::new(generate(&size_class(i), mix(spec.seed ^ i ^ 0xF1EE)));
+        let req = fleet_request(spec.seed, i, &inst);
+        instances.push((req.id.clone(), Arc::clone(&inst)));
+        if send_with_retries(addr, &req, 6).is_some() {
+            answered += 1;
+        }
+    }
+
+    // -- audit: after the dust settles, EVERY id must answer ---------
+    for (i, (id, inst)) in instances.iter().enumerate() {
+        let req = SolveRequest {
+            id: id.clone(),
+            instance: Arc::clone(inst),
+            algorithm: None,
+            timeout_ms: Some(20_000),
+            mem_budget_mb: None,
+            city: Some(CITIES[i % 3].to_string()),
+        };
+        match send_with_retries(addr, &req, 8) {
+            None => violations.push(format!("id '{id}' never got an answer from the fleet")),
+            Some(resp) => {
+                if resp.id != *id {
+                    violations.push(format!("fleet answered '{id}' with id '{}'", resp.id));
+                }
+                match &resp.status {
+                    Status::Complete | Status::Truncated { .. } => {
+                        if let Some(planning) = &resp.planning {
+                            let report = usep_oracle::check_planning_with_omega(
+                                inst, planning, resp.omega, probe,
+                            );
+                            if !report.is_valid() {
+                                violations.push(format!(
+                                    "oracle rejected fleet planning for '{id}': {report:?}"
+                                ));
+                            }
+                        }
+                    }
+                    other => violations.push(format!(
+                        "id '{id}' settled on a non-terminal status: {other:?}"
+                    )),
+                }
+            }
+        }
+    }
+
+    // -- fleet metrics identity --------------------------------------
+    let deadline = Instant::now() + QUIESCE_TIMEOUT;
+    let mut restarts = 0u64;
+    let mut identity_ok = false;
+    let mut last_detail = String::new();
+    while Instant::now() < deadline {
+        let Ok(text) = http::get(&maddr, "/metrics", SCRAPE_TIMEOUT) else {
+            std::thread::sleep(Duration::from_millis(50));
+            continue;
+        };
+        let s = parse_exposition(&text);
+        let requests = s.value("usep_fleet_requests_total").unwrap_or(f64::NAN);
+        let replayed = s.value("usep_fleet_replayed_total").unwrap_or(f64::NAN);
+        let rejected = s.value("usep_fleet_rejected_total").unwrap_or(f64::NAN);
+        let shed = s.value("usep_fleet_shed_total").unwrap_or(f64::NAN);
+        let completed = s.family_sum("usep_fleet_completed_total");
+        let inflight = s.family_sum("usep_fleet_inflight");
+        restarts = s.family_sum("usep_fleet_restarts_total") as u64;
+        last_detail = format!(
+            "requests {requests} = replayed {replayed} + rejected {rejected} + shed {shed} \
+             + completed {completed} + inflight {inflight}"
+        );
+        // when a shard was killed, also wait for its supervised
+        // restart to land: the router fails traffic over to the
+        // surviving shards, so the request identity can balance while
+        // the respawn is still reading the new child's banner
+        if inflight == 0.0
+            && requests == replayed + rejected + shed + completed
+            && (!spec.kill || restarts >= 1)
+        {
+            identity_ok = true;
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    if !identity_ok {
+        violations.push(format!("fleet request identity never balanced: {last_detail}"));
+    }
+    if spec.kill && restarts == 0 {
+        violations.push("shard-0 was SIGKILLed but the supervisor recorded no restart".to_string());
+    }
+
+    fleet.shutdown();
+    probe.count(usep_trace::Counter::ChaosScenario, 1);
+    Ok(FleetScenarioOutcome { spec: spec.clone(), violations, answered, restarts })
+}

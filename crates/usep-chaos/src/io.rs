@@ -1,0 +1,350 @@
+//! `FaultyIo` — an in-memory disk model implementing
+//! [`usep_serve::JournalIo`] with seeded fault injection.
+//!
+//! The model keeps two byte buffers: **volatile** (written but not yet
+//! fsynced — the page cache) and **durable** (survives a power cut).
+//! `append` lands in volatile; an honest `sync` moves volatile into
+//! durable; a *lying* sync acks without moving anything — the loss only
+//! becomes visible after [`FaultyIo::power_cycle`], exactly like real
+//! hardware. `read` sees both buffers (the live filesystem view), so a
+//! running server never notices a lying fsync; only its restarted
+//! successor does.
+//!
+//! Faults are drawn per operation from a [`FaultPlan`], so every run is
+//! a pure function of the seed. Injection counts are tracked for the
+//! `chaos_fault_injected` trace counter.
+
+use crate::plan::{DiskFault, DiskFaultConfig, FaultPlan};
+use std::io;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use usep_serve::JournalIo;
+
+#[derive(Debug, Default)]
+struct Disk {
+    durable: Vec<u8>,
+    volatile: Vec<u8>,
+    powered_off: bool,
+}
+
+/// The seeded hostile disk. Clone the `Arc` you wrap it in — the model
+/// itself is shared state.
+#[derive(Debug)]
+pub struct FaultyIo {
+    plan: FaultPlan,
+    disk: Mutex<Disk>,
+    injected: AtomicU64,
+    torn: AtomicU64,
+    enospc: AtomicU64,
+    rotted: AtomicU64,
+    lying_syncs: AtomicU64,
+}
+
+impl FaultyIo {
+    /// A hostile disk drawing faults from `seed` at the rates in `cfg`.
+    pub fn new(seed: u64, cfg: DiskFaultConfig) -> FaultyIo {
+        FaultyIo {
+            plan: FaultPlan::new(seed, cfg),
+            disk: Mutex::new(Disk::default()),
+            injected: AtomicU64::new(0),
+            torn: AtomicU64::new(0),
+            enospc: AtomicU64::new(0),
+            rotted: AtomicU64::new(0),
+            lying_syncs: AtomicU64::new(0),
+        }
+    }
+
+    /// A disk that behaves until told otherwise (clean plan).
+    pub fn clean() -> FaultyIo {
+        FaultyIo::new(0, DiskFaultConfig::clean())
+    }
+
+    /// A disk whose every post-warmup append fails with ENOSPC — the
+    /// satellite regression fixture for journal-append shedding.
+    pub fn always_enospc(warmup_ops: u64) -> FaultyIo {
+        FaultyIo::new(
+            0,
+            DiskFaultConfig { enospc_per_mille: 1000, warmup_ops, ..DiskFaultConfig::clean() },
+        )
+    }
+
+    /// Total faults injected so far (for `chaos_fault_injected`).
+    pub fn injected(&self) -> u64 {
+        self.injected.load(Ordering::SeqCst)
+    }
+
+    /// Lying-fsync count — acks whose bytes will vanish at the next
+    /// power cut.
+    pub fn lying_syncs(&self) -> u64 {
+        self.lying_syncs.load(Ordering::SeqCst)
+    }
+
+    /// Bit-rot injections (silent single-bit flips).
+    pub fn rotted(&self) -> u64 {
+        self.rotted.load(Ordering::SeqCst)
+    }
+
+    /// Cuts power: every subsequent operation fails until
+    /// [`Self::power_cycle`]. (The running server experiences a dead
+    /// disk; its threads stay alive to be drained.)
+    pub fn power_off(&self) {
+        self.disk.lock().unwrap_or_else(|p| p.into_inner()).powered_off = true;
+    }
+
+    /// Restores power *across a crash*: the volatile buffer — every
+    /// byte appended but never honestly fsynced, including everything a
+    /// lying sync acked — is gone. This is the moment dropped syncs
+    /// stop being hypothetical.
+    pub fn power_cycle(&self) {
+        let mut disk = self.disk.lock().unwrap_or_else(|p| p.into_inner());
+        disk.volatile.clear();
+        disk.powered_off = false;
+    }
+
+    /// The durable bytes alone — what a post-crash replay would see.
+    pub fn durable_snapshot(&self) -> Vec<u8> {
+        self.disk.lock().unwrap_or_else(|p| p.into_inner()).durable.clone()
+    }
+
+    fn count(&self, cell: &AtomicU64) {
+        self.injected.fetch_add(1, Ordering::SeqCst);
+        cell.fetch_add(1, Ordering::SeqCst);
+    }
+
+    fn dead_disk() -> io::Error {
+        io::Error::other("injected power failure: disk is gone")
+    }
+}
+
+impl JournalIo for FaultyIo {
+    fn append(&self, bytes: &[u8]) -> io::Result<()> {
+        let fault = self.plan.next_append();
+        if fault == DiskFault::Latency {
+            self.injected.fetch_add(1, Ordering::SeqCst);
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        let mut disk = self.disk.lock().unwrap_or_else(|p| p.into_inner());
+        if disk.powered_off {
+            return Err(FaultyIo::dead_disk());
+        }
+        match fault {
+            DiskFault::Enospc => {
+                self.count(&self.enospc);
+                Err(io::Error::other("ENOSPC: injected disk-full"))
+            }
+            DiskFault::TornWrite => {
+                // a plan-chosen strict prefix lands, then the write dies
+                self.count(&self.torn);
+                let keep = (self.plan.param(0xA) as usize) % bytes.len().max(1);
+                disk.volatile.extend_from_slice(&bytes[..keep]);
+                Err(io::Error::new(io::ErrorKind::WriteZero, "torn write: injected"))
+            }
+            DiskFault::BitRot => {
+                // everything lands, one bit flipped, and the call LIES
+                // by succeeding — only a CRC can catch this
+                self.count(&self.rotted);
+                let mut rotted = bytes.to_vec();
+                if !rotted.is_empty() {
+                    let bit = (self.plan.param(0xB) as usize) % (rotted.len() * 8);
+                    rotted[bit / 8] ^= 1 << (bit % 8);
+                }
+                disk.volatile.extend_from_slice(&rotted);
+                Ok(())
+            }
+            _ => {
+                disk.volatile.extend_from_slice(bytes);
+                Ok(())
+            }
+        }
+    }
+
+    fn sync(&self) -> io::Result<()> {
+        let fault = self.plan.next_sync();
+        let mut disk = self.disk.lock().unwrap_or_else(|p| p.into_inner());
+        if disk.powered_off {
+            return Err(FaultyIo::dead_disk());
+        }
+        match fault {
+            DiskFault::DroppedSync => {
+                // Ok, but nothing becomes durable: the lying fsync
+                self.count(&self.lying_syncs);
+                Ok(())
+            }
+            DiskFault::FailedSync => {
+                self.injected.fetch_add(1, Ordering::SeqCst);
+                Err(io::Error::other("fsync failed: injected"))
+            }
+            _ => {
+                let pending = std::mem::take(&mut disk.volatile);
+                disk.durable.extend_from_slice(&pending);
+                Ok(())
+            }
+        }
+    }
+
+    fn read(&self) -> io::Result<Vec<u8>> {
+        let disk = self.disk.lock().unwrap_or_else(|p| p.into_inner());
+        if disk.powered_off {
+            return Err(FaultyIo::dead_disk());
+        }
+        // the live filesystem view: durable plus not-yet-synced pages
+        let mut all = disk.durable.clone();
+        all.extend_from_slice(&disk.volatile);
+        Ok(all)
+    }
+
+    fn replace(&self, bytes: &[u8]) -> io::Result<()> {
+        // Compaction writes a tmp file, fsyncs it, renames. In the
+        // model the ENOSPC rate can fail the staging write (old
+        // contents fully intact — the atomic-rename contract's "crash
+        // before rename" arm); otherwise the swap is atomic and
+        // durable.
+        let fault = self.plan.next_append();
+        let mut disk = self.disk.lock().unwrap_or_else(|p| p.into_inner());
+        if disk.powered_off {
+            return Err(FaultyIo::dead_disk());
+        }
+        if fault == DiskFault::Enospc {
+            self.count(&self.enospc);
+            return Err(io::Error::other("ENOSPC: injected disk-full staging compaction"));
+        }
+        if fault == DiskFault::TornWrite {
+            // crash before the rename: the tmp file is garbage, the old
+            // journal is untouched — the atomic-rename contract's other arm
+            self.count(&self.torn);
+            return Err(io::Error::new(
+                io::ErrorKind::WriteZero,
+                "injected crash while staging compaction",
+            ));
+        }
+        disk.durable = bytes.to_vec();
+        disk.volatile.clear();
+        Ok(())
+    }
+
+    fn len(&self) -> io::Result<u64> {
+        let disk = self.disk.lock().unwrap_or_else(|p| p.into_inner());
+        if disk.powered_off {
+            return Err(FaultyIo::dead_disk());
+        }
+        Ok((disk.durable.len() + disk.volatile.len()) as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn honest_path_round_trips() {
+        let io = FaultyIo::clean();
+        io.append(b"one\n").unwrap();
+        assert_eq!(io.read().unwrap(), b"one\n", "unsynced bytes are visible live");
+        io.sync().unwrap();
+        io.append(b"two\n").unwrap();
+        assert_eq!(io.read().unwrap(), b"one\ntwo\n");
+        assert_eq!(io.len().unwrap(), 8);
+        assert_eq!(io.injected(), 0);
+    }
+
+    #[test]
+    fn power_cycle_loses_exactly_the_unsynced_suffix() {
+        let io = FaultyIo::clean();
+        io.append(b"synced\n").unwrap();
+        io.sync().unwrap();
+        io.append(b"lost\n").unwrap();
+        io.power_off();
+        assert!(io.append(b"x").is_err(), "dead disk takes nothing");
+        assert!(io.read().is_err());
+        io.power_cycle();
+        assert_eq!(io.read().unwrap(), b"synced\n");
+    }
+
+    #[test]
+    fn lying_sync_loss_materializes_only_at_the_power_cut() {
+        let io = FaultyIo::new(
+            3,
+            DiskFaultConfig { dropped_sync_per_mille: 1000, ..DiskFaultConfig::clean() },
+        );
+        io.append(b"acked\n").unwrap();
+        io.sync().unwrap(); // lies
+        assert_eq!(io.lying_syncs(), 1);
+        assert_eq!(io.read().unwrap(), b"acked\n", "the live view hides the lie");
+        io.power_off();
+        io.power_cycle();
+        assert_eq!(io.read().unwrap(), b"", "the crash reveals it");
+    }
+
+    #[test]
+    fn enospc_appends_land_nothing() {
+        let io = FaultyIo::always_enospc(0);
+        let err = io.append(b"doomed\n").unwrap_err();
+        assert!(err.to_string().contains("ENOSPC"), "{err}");
+        assert_eq!(io.read().unwrap(), b"");
+        assert_eq!(io.injected(), 1);
+    }
+
+    #[test]
+    fn torn_write_lands_a_strict_prefix_and_errors() {
+        let io = FaultyIo::new(
+            5,
+            DiskFaultConfig { torn_write_per_mille: 1000, ..DiskFaultConfig::clean() },
+        );
+        let err = io.append(b"0123456789").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::WriteZero);
+        let left = io.read().unwrap();
+        assert!(left.len() < 10, "a torn write must not land everything");
+        assert!(b"0123456789".starts_with(&left[..]), "what lands is a prefix");
+    }
+
+    #[test]
+    fn bit_rot_flips_exactly_one_bit_and_lies_about_it() {
+        let io = FaultyIo::new(
+            9,
+            DiskFaultConfig { bit_rot_per_mille: 1000, ..DiskFaultConfig::clean() },
+        );
+        let original = b"a perfectly innocent journal line\n";
+        io.append(original).unwrap(); // Ok — the lie
+        let stored = io.read().unwrap();
+        assert_eq!(stored.len(), original.len());
+        let differing: u32 =
+            stored.iter().zip(original.iter()).map(|(a, b)| (a ^ b).count_ones()).sum();
+        assert_eq!(differing, 1, "exactly one flipped bit");
+        assert_eq!(io.rotted(), 1);
+    }
+
+    #[test]
+    fn replace_is_atomic_and_clears_volatile() {
+        let io = FaultyIo::clean();
+        io.append(b"old\n").unwrap();
+        io.sync().unwrap();
+        io.append(b"unsynced\n").unwrap();
+        io.replace(b"compacted\n").unwrap();
+        assert_eq!(io.read().unwrap(), b"compacted\n");
+        io.power_off();
+        io.power_cycle();
+        assert_eq!(io.read().unwrap(), b"compacted\n", "replace is durable");
+    }
+
+    #[test]
+    fn same_seed_same_faults() {
+        let cfg = DiskFaultConfig {
+            torn_write_per_mille: 200,
+            enospc_per_mille: 200,
+            bit_rot_per_mille: 200,
+            ..DiskFaultConfig::clean()
+        };
+        let run = |seed: u64| {
+            let io = FaultyIo::new(seed, cfg);
+            let mut log = Vec::new();
+            for i in 0..32 {
+                let line = format!("record-{i}\n");
+                log.push(io.append(line.as_bytes()).is_ok());
+                log.push(io.sync().is_ok());
+            }
+            (log, io.read().unwrap())
+        };
+        assert_eq!(run(77), run(77), "identical seed, identical history and bytes");
+        assert_ne!(run(77).0, run(78).0, "different seed, different fault pattern");
+    }
+}

@@ -1,0 +1,36 @@
+//! usep-chaos: deterministic fault injection for the USEP serve stack.
+//!
+//! Everything here is a pure function of a seed. The crate composes
+//! three fault planes and one referee:
+//!
+//! - **Disk** — [`FaultyIo`] implements `usep_serve::JournalIo` over an
+//!   in-memory volatile/durable disk model, injecting torn writes,
+//!   ENOSPC, silent bit rot, lying fsyncs and latency from a
+//!   [`FaultPlan`]. A power cycle erases everything never honestly
+//!   fsynced.
+//! - **Network** — [`ChaosProxy`] fronts any TCP listener and gives
+//!   each connection a seeded fate: delay, drop, half-open, duplicate
+//!   delivery.
+//! - **Process** — scenarios crash server incarnations (power-cut +
+//!   restart with `--resume`) and, in fleet mode, `SIGKILL` live shard
+//!   workers mid-traffic.
+//! - **Referee** — every scenario's answers are checked against the
+//!   `usep-oracle` constraint oracle and the `usep-obs` reconciliation
+//!   identities; a violation prints a replayable seed and a greedily
+//!   minimized scenario spec.
+//!
+//! The entry points are [`scenario::run_scenario`] for one seeded
+//! scenario, [`scenario::run_campaign`] for `usep chaos --scenarios N`,
+//! and [`fleet::run_fleet_scenario`] for the whole-fleet simulation.
+
+pub mod fleet;
+pub mod io;
+pub mod plan;
+pub mod proxy;
+pub mod scenario;
+
+pub use fleet::{run_fleet_scenario, FleetScenarioOutcome, FleetScenarioSpec};
+pub use io::FaultyIo;
+pub use plan::{mix, ConnFault, DiskFault, DiskFaultConfig, FaultPlan, NetFaultConfig};
+pub use proxy::ChaosProxy;
+pub use scenario::{run_campaign, run_scenario, CampaignOutcome, ScenarioOutcome, ScenarioSpec};

@@ -1,0 +1,343 @@
+//! `ChaosProxy` — an in-process TCP fault proxy.
+//!
+//! Sits between a client (the fleet router, a health prober, a test)
+//! and one upstream listener, and gives each accepted connection a
+//! seeded fate: pass it through, delay it past a prober's patience,
+//! drop it cold, hold it half-open (bytes in, silence out), or
+//! duplicate the first request line. Connection fates come from
+//! [`NetFaultConfig::decide`] so a run replays from its seed, or from
+//! an explicit script when a test wants full control of the order.
+
+use crate::plan::{ConnFault, NetFaultConfig};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+enum FaultSource {
+    Seeded { seed: u64, cfg: NetFaultConfig },
+    Scripted(Vec<ConnFault>),
+}
+
+impl FaultSource {
+    fn decide(&self, n: u64) -> ConnFault {
+        match self {
+            FaultSource::Seeded { seed, cfg } => cfg.decide(*seed, n),
+            FaultSource::Scripted(script) => {
+                if script.is_empty() {
+                    ConnFault::Passthrough
+                } else {
+                    script[(n as usize) % script.len()]
+                }
+            }
+        }
+    }
+}
+
+/// A running fault proxy. Dropping it stops the accept loop.
+pub struct ChaosProxy {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accepted: Arc<AtomicU64>,
+    faulted: Arc<AtomicU64>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl ChaosProxy {
+    /// Starts a proxy in front of `upstream` whose per-connection fates
+    /// are drawn from `(seed, cfg)`.
+    pub fn start(upstream: SocketAddr, seed: u64, cfg: NetFaultConfig) -> std::io::Result<ChaosProxy> {
+        ChaosProxy::spawn(upstream, FaultSource::Seeded { seed, cfg })
+    }
+
+    /// Starts a proxy whose connection fates cycle through an explicit
+    /// script — deterministic tests pin the exact order of failures.
+    pub fn scripted(upstream: SocketAddr, script: Vec<ConnFault>) -> std::io::Result<ChaosProxy> {
+        ChaosProxy::spawn(upstream, FaultSource::Scripted(script))
+    }
+
+    fn spawn(upstream: SocketAddr, source: FaultSource) -> std::io::Result<ChaosProxy> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let accepted = Arc::new(AtomicU64::new(0));
+        let faulted = Arc::new(AtomicU64::new(0));
+        let thread = {
+            let stop = Arc::clone(&stop);
+            let accepted = Arc::clone(&accepted);
+            let faulted = Arc::clone(&faulted);
+            std::thread::Builder::new().name("chaos-proxy".into()).spawn(move || {
+                // short accept timeout so shutdown is prompt
+                listener.set_nonblocking(false).ok();
+                let mut n = 0u64;
+                loop {
+                    if stop.load(Ordering::SeqCst) {
+                        return;
+                    }
+                    listener
+                        .set_nonblocking(true)
+                        .expect("chaos proxy: toggling nonblocking accept");
+                    let conn = listener.accept();
+                    listener.set_nonblocking(false).ok();
+                    let (client, _) = match conn {
+                        Ok(pair) => pair,
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(Duration::from_millis(5));
+                            continue;
+                        }
+                        Err(_) => return,
+                    };
+                    let fault = source.decide(n);
+                    n += 1;
+                    accepted.fetch_add(1, Ordering::SeqCst);
+                    if fault != ConnFault::Passthrough {
+                        faulted.fetch_add(1, Ordering::SeqCst);
+                    }
+                    std::thread::Builder::new()
+                        .name(format!("chaos-conn-{n}"))
+                        .spawn(move || handle_conn(client, upstream, fault))
+                        .expect("chaos proxy: spawning connection thread");
+                }
+            })?
+        };
+        Ok(ChaosProxy { addr, stop, accepted, faulted, thread: Some(thread) })
+    }
+
+    /// The proxy's listen address — point clients here.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Connections accepted so far.
+    pub fn accepted(&self) -> u64 {
+        self.accepted.load(Ordering::SeqCst)
+    }
+
+    /// Connections given a non-passthrough fate.
+    pub fn faulted(&self) -> u64 {
+        self.faulted.load(Ordering::SeqCst)
+    }
+
+    /// Stops accepting; in-flight connection threads drain on their own.
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // unblock a blocking accept by dialing ourselves
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_millis(100));
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for ChaosProxy {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn handle_conn(client: TcpStream, upstream: SocketAddr, fault: ConnFault) {
+    match fault {
+        ConnFault::Drop => {
+            let _ = client.shutdown(Shutdown::Both);
+        }
+        ConnFault::HalfOpen(hold_ms) => {
+            // swallow the client's bytes, answer nothing, hang up late —
+            // the peer that forces timeouts rather than clean errors
+            client.set_read_timeout(Some(Duration::from_millis(hold_ms.max(1)))).ok();
+            let mut sink = [0u8; 4096];
+            let mut c = client;
+            let deadline = std::time::Instant::now() + Duration::from_millis(hold_ms);
+            while std::time::Instant::now() < deadline {
+                match c.read(&mut sink) {
+                    // even after the client stops talking, the socket
+                    // stays hostage until the hold expires
+                    Ok(0) | Err(_) => std::thread::sleep(Duration::from_millis(10)),
+                    Ok(_) => {}
+                }
+            }
+            let _ = c.shutdown(Shutdown::Both);
+        }
+        ConnFault::Delay(ms) => {
+            std::thread::sleep(Duration::from_millis(ms));
+            pipe_both_ways(client, upstream, false);
+        }
+        ConnFault::Duplicate => pipe_both_ways(client, upstream, true),
+        ConnFault::Passthrough => pipe_both_ways(client, upstream, false),
+    }
+}
+
+/// Connects upstream and pipes bytes in both directions until either
+/// side closes. With `duplicate_first_line`, the client's first
+/// newline-terminated line is written upstream twice — duplicate
+/// delivery without the client's knowledge.
+fn pipe_both_ways(client: TcpStream, upstream: SocketAddr, duplicate_first_line: bool) {
+    let up = match TcpStream::connect_timeout(&upstream, Duration::from_secs(5)) {
+        Ok(s) => s,
+        Err(_) => {
+            let _ = client.shutdown(Shutdown::Both);
+            return;
+        }
+    };
+    let client_r = match client.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    let up_r = match up.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    // upstream → client on this thread's sibling; client → upstream here
+    let down = std::thread::Builder::new()
+        .name("chaos-pipe-down".into())
+        .spawn(move || copy_until_eof(up_r, client))
+        .ok();
+    copy_client_to_upstream(client_r, up, duplicate_first_line);
+    if let Some(t) = down {
+        let _ = t.join();
+    }
+}
+
+fn copy_until_eof(mut from: TcpStream, mut to: TcpStream) {
+    let mut buf = [0u8; 8192];
+    loop {
+        match from.read(&mut buf) {
+            Ok(0) | Err(_) => break,
+            Ok(k) => {
+                if to.write_all(&buf[..k]).is_err() {
+                    break;
+                }
+            }
+        }
+    }
+    let _ = to.shutdown(Shutdown::Write);
+}
+
+fn copy_client_to_upstream(from: TcpStream, mut to: TcpStream, duplicate_first_line: bool) {
+    let mut reader = BufReader::new(from);
+    if duplicate_first_line {
+        let mut line = String::new();
+        if reader.read_line(&mut line).is_ok()
+            && !line.is_empty()
+            && (to.write_all(line.as_bytes()).is_err() || to.write_all(line.as_bytes()).is_err())
+        {
+            return;
+        }
+    }
+    let mut buf = [0u8; 8192];
+    loop {
+        match reader.read(&mut buf) {
+            Ok(0) | Err(_) => break,
+            Ok(k) => {
+                if to.write_all(&buf[..k]).is_err() {
+                    break;
+                }
+            }
+        }
+    }
+    let _ = to.shutdown(Shutdown::Write);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{BufRead, BufReader, Write};
+
+    /// A tiny line-echo upstream for proxy tests.
+    fn echo_upstream() -> (SocketAddr, JoinHandle<()>) {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind echo upstream");
+        let addr = listener.local_addr().expect("echo addr");
+        let t = std::thread::spawn(move || {
+            for conn in listener.incoming() {
+                let Ok(stream) = conn else { return };
+                std::thread::spawn(move || {
+                    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+                    let mut out = stream;
+                    let mut line = String::new();
+                    while reader.read_line(&mut line).map(|k| k > 0).unwrap_or(false) {
+                        if line.trim() == "quit" {
+                            return; // kills the accept loop's owner thread only
+                        }
+                        if out.write_all(format!("echo:{line}").as_bytes()).is_err() {
+                            return;
+                        }
+                        line.clear();
+                    }
+                });
+            }
+        });
+        (addr, t)
+    }
+
+    fn roundtrip(addr: SocketAddr, msg: &str) -> std::io::Result<Vec<String>> {
+        let mut s = TcpStream::connect_timeout(&addr, Duration::from_secs(2))?;
+        s.set_read_timeout(Some(Duration::from_millis(800)))?;
+        s.write_all(msg.as_bytes())?;
+        s.shutdown(Shutdown::Write)?;
+        let mut lines = Vec::new();
+        let mut reader = BufReader::new(s);
+        let mut line = String::new();
+        while reader.read_line(&mut line).map(|k| k > 0).unwrap_or(false) {
+            lines.push(line.trim().to_string());
+            line.clear();
+        }
+        Ok(lines)
+    }
+
+    #[test]
+    fn passthrough_echoes_and_drop_returns_nothing() {
+        let (up, _t) = echo_upstream();
+        let mut proxy =
+            ChaosProxy::scripted(up, vec![ConnFault::Passthrough, ConnFault::Drop]).expect("proxy");
+        let ok = roundtrip(proxy.addr(), "hello\n").expect("passthrough conn");
+        assert_eq!(ok, vec!["echo:hello"]);
+        let dropped = roundtrip(proxy.addr(), "hello\n").unwrap_or_default();
+        assert!(dropped.is_empty(), "dropped connection must answer nothing: {dropped:?}");
+        assert_eq!(proxy.accepted(), 2);
+        assert_eq!(proxy.faulted(), 1);
+        proxy.shutdown();
+    }
+
+    #[test]
+    fn duplicate_forwards_the_first_line_twice() {
+        let (up, _t) = echo_upstream();
+        let mut proxy = ChaosProxy::scripted(up, vec![ConnFault::Duplicate]).expect("proxy");
+        let lines = roundtrip(proxy.addr(), "dup\n").expect("duplicate conn");
+        assert_eq!(lines, vec!["echo:dup", "echo:dup"], "upstream must see the line twice");
+        proxy.shutdown();
+    }
+
+    #[test]
+    fn half_open_swallows_bytes_and_never_answers() {
+        let (up, _t) = echo_upstream();
+        let mut proxy = ChaosProxy::scripted(up, vec![ConnFault::HalfOpen(80)]).expect("proxy");
+        let start = std::time::Instant::now();
+        let lines = roundtrip(proxy.addr(), "anyone?\n").unwrap_or_default();
+        assert!(lines.is_empty(), "half-open peer must stay silent: {lines:?}");
+        assert!(start.elapsed() >= Duration::from_millis(40), "and must hold the socket a while");
+        proxy.shutdown();
+    }
+
+    #[test]
+    fn seeded_fates_replay_identically() {
+        let cfg = NetFaultConfig {
+            drop_per_mille: 500,
+            ..NetFaultConfig::clean()
+        };
+        let fates = |seed: u64| -> Vec<bool> {
+            let (up, _t) = echo_upstream();
+            let mut proxy = ChaosProxy::start(up, seed, cfg).expect("proxy");
+            let got: Vec<bool> = (0..12)
+                .map(|i| {
+                    !roundtrip(proxy.addr(), &format!("m{i}\n")).unwrap_or_default().is_empty()
+                })
+                .collect();
+            proxy.shutdown();
+            got
+        };
+        let a = fates(11);
+        assert_eq!(a, fates(11), "same seed, same per-connection outcomes");
+        assert!(a.iter().any(|ok| *ok) && a.iter().any(|ok| !ok), "rate 500 should mix outcomes");
+    }
+}

@@ -1,0 +1,594 @@
+//! The seeded scenario runner behind `usep chaos`.
+//!
+//! One scenario boots a real `usep-serve` server on a [`FaultyIo`]
+//! disk, optionally fronts it with a [`ChaosProxy`], drives seeded
+//! mixed-city traffic through it, optionally power-cuts the incarnation
+//! mid-life and resumes a second one from the surviving journal — and
+//! then **audits the wreckage**: every answer is re-requested twice and
+//! checked against the `usep-oracle` constraint oracle, the
+//! exactly-once cache is checked for split-brain answers, and the
+//! serve metrics must still satisfy the reconciliation identities.
+//!
+//! Every fault is a pure function of the scenario seed, so a violation
+//! is replayable from the printed seed alone; the campaign then greedily
+//! minimizes the failing spec (fewer fault planes, fewer requests)
+//! before emitting the repro report.
+
+use crate::io::FaultyIo;
+use crate::plan::{mix, DiskFaultConfig, NetFaultConfig};
+use crate::proxy::ChaosProxy;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use usep_core::Instance;
+use usep_gen::{generate, SyntheticConfig};
+use usep_obs::http;
+use usep_obs::top::parse_exposition;
+use usep_serve::{send_request, JournalIo, ServeConfig, Server, SolveRequest, SolveResponse, Status};
+use usep_trace::{Counter, Probe};
+
+/// The cities seeded traffic cycles through (the fleet's default map).
+const CITIES: [&str; 3] = ["vancouver", "auckland", "singapore"];
+
+const CLIENT_TIMEOUT: Duration = Duration::from_secs(30);
+const SCRAPE_TIMEOUT: Duration = Duration::from_secs(5);
+const QUIESCE_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// One fully-described chaos scenario. Serializable, so a repro report
+/// carries the exact spec that failed — but [`ScenarioSpec::from_seed`]
+/// derives every field from the seed, so the seed alone suffices.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ScenarioSpec {
+    /// Master seed: fault plans, traffic, instances all derive from it.
+    pub seed: u64,
+    /// Distinct solve requests in the traffic phase.
+    pub requests: u64,
+    /// Extra duplicate sends interleaved into the traffic phase.
+    pub duplicates: u64,
+    /// Solver threads in the server under test.
+    pub workers: usize,
+    /// Disk-fault plane; `None` runs on an honest (but still
+    /// crash-able) in-memory disk.
+    pub disk: Option<DiskFaultConfig>,
+    /// Network-fault plane; `None` sends traffic straight at the server.
+    pub proxy: Option<NetFaultConfig>,
+    /// Power-cut the first incarnation after traffic and resume a
+    /// second one from whatever the disk durably kept.
+    pub crash: bool,
+    /// Panic inside the solve fence on every Nth solve.
+    pub chaos_panic_every: Option<u64>,
+}
+
+impl ScenarioSpec {
+    /// Derives a scenario from its seed — the mapping `usep chaos` uses
+    /// for scenario `i` of a campaign. Every knob is an independent
+    /// SplitMix64 draw, so nearby seeds give unrelated scenarios.
+    pub fn from_seed(seed: u64) -> ScenarioSpec {
+        let draw = |salt: u64| mix(seed ^ salt.wrapping_mul(0x9e37_79b9));
+        let disk = if draw(1) % 2 == 0 {
+            Some(DiskFaultConfig {
+                torn_write_per_mille: 20 + draw(2) % 40,
+                enospc_per_mille: 20 + draw(3) % 40,
+                bit_rot_per_mille: 20 + draw(4) % 40,
+                latency_per_mille: draw(5) % 60,
+                dropped_sync_per_mille: 20 + draw(6) % 50,
+                failed_sync_per_mille: draw(7) % 40,
+                // the header stamp and boot happen before hostility
+                warmup_ops: 3,
+            })
+        } else {
+            None
+        };
+        let proxy = if draw(8) % 2 == 0 {
+            Some(NetFaultConfig {
+                delay_per_mille: 60 + draw(9) % 80,
+                delay_ms: 10 + draw(10) % 40,
+                drop_per_mille: 60 + draw(11) % 80,
+                half_open_per_mille: 40 + draw(12) % 60,
+                half_open_hold_ms: 20 + draw(13) % 60,
+                duplicate_per_mille: 60 + draw(14) % 80,
+            })
+        } else {
+            None
+        };
+        ScenarioSpec {
+            seed,
+            requests: 5 + draw(15) % 8,
+            duplicates: draw(16) % 4,
+            workers: 1 + (draw(17) % 3) as usize,
+            disk,
+            proxy,
+            crash: draw(18) % 3 == 0,
+            chaos_panic_every: if draw(19) % 4 == 0 { Some(2 + draw(20) % 3) } else { None },
+        }
+    }
+}
+
+/// What one scenario run produced.
+#[derive(Clone, Debug, Serialize)]
+pub struct ScenarioOutcome {
+    /// The spec that ran.
+    pub spec: ScenarioSpec,
+    /// Invariant breaches, empty on a clean run. Any entry means the
+    /// seed reproduces a real bug (or a broken invariant).
+    pub violations: Vec<String>,
+    /// Traffic-phase responses actually received.
+    pub answered: u64,
+    /// Traffic-phase sends lost to the network plane (tolerated when a
+    /// proxy is configured).
+    pub send_errors: u64,
+    /// Disk faults the plan injected.
+    pub disk_faults: u64,
+    /// Connections the proxy gave a hostile fate.
+    pub net_faults: u64,
+    /// Corrupt journal records quarantined on resume.
+    pub quarantined: u64,
+    /// Requests the second incarnation re-enqueued from the journal.
+    pub resumed: u64,
+}
+
+/// The instance stream: the oracle fuzz driver's size classes, one per
+/// request index, so scenarios sweep tiny through mid-size instances.
+fn size_class(i: u64) -> SyntheticConfig {
+    match i % 4 {
+        0 => SyntheticConfig::tiny().with_events(4).with_users(3).with_capacity_mean(2),
+        1 => SyntheticConfig::tiny().with_events(6).with_users(4).with_capacity_mean(2),
+        2 => SyntheticConfig::tiny().with_events(8).with_users(6).with_capacity_mean(3),
+        _ => SyntheticConfig::tiny().with_events(12).with_users(20).with_capacity_mean(4),
+    }
+}
+
+fn request_for(spec: &ScenarioSpec, i: u64, inst: &Arc<Instance>) -> SolveRequest {
+    SolveRequest {
+        id: format!("s{:x}-r{i}", spec.seed),
+        instance: Arc::clone(inst),
+        algorithm: None,
+        timeout_ms: Some(10_000),
+        mem_budget_mb: None,
+        city: Some(CITIES[(i % 3) as usize].to_string()),
+    }
+}
+
+fn serve_config(spec: &ScenarioSpec, io: &Arc<FaultyIo>, resume: bool) -> ServeConfig {
+    ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: spec.workers.max(1),
+        journal_io: Some(Arc::clone(io) as Arc<dyn JournalIo>),
+        resume,
+        chaos_panic_every: spec.chaos_panic_every,
+        metrics_addr: Some("127.0.0.1:0".to_string()),
+        shard_id: Some("chaos-0".to_string()),
+        ..ServeConfig::default()
+    }
+}
+
+/// Two answers for the same id must be the same answer.
+fn same_answer(a: &SolveResponse, b: &SolveResponse) -> bool {
+    a.status.describe() == b.status.describe()
+        && a.omega.to_bits() == b.omega.to_bits()
+        && a.assignments == b.assignments
+}
+
+/// Waits until the server has nothing in flight and has processed at
+/// least its resumed backlog. Returns the final exposition text, or the
+/// timeout violation.
+fn await_quiesce(maddr: &str, resumed: u64) -> Result<String, String> {
+    let deadline = Instant::now() + QUIESCE_TIMEOUT;
+    let mut last = String::new();
+    while Instant::now() < deadline {
+        if let Ok(text) = http::get(maddr, "/metrics", SCRAPE_TIMEOUT) {
+            let s = parse_exposition(&text);
+            let inflight = s.value("usep_serve_inflight").unwrap_or(f64::NAN);
+            let processed = s.family_sum("usep_serve_completed_total")
+                + s.family_sum("usep_serve_failed_total");
+            if inflight == 0.0 && processed >= resumed as f64 {
+                return Ok(text);
+            }
+            last = text;
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    Err(format!("server never quiesced within {QUIESCE_TIMEOUT:?}; last scrape:\n{last}"))
+}
+
+/// Runs one scenario start to finish and audits it. Infallible by
+/// design: anything unexpected becomes a violation string, because in a
+/// chaos campaign an un-runnable scenario *is* a finding.
+pub fn run_scenario(spec: &ScenarioSpec, probe: &dyn Probe) -> ScenarioOutcome {
+    probe.count(Counter::ChaosScenario, 1);
+    let mut violations: Vec<String> = Vec::new();
+    let mut answered = 0u64;
+    let mut send_errors = 0u64;
+
+    // every scenario runs on the fault-injectable disk, even a "clean"
+    // one — the crash plane needs the volatile/durable split
+    let disk_cfg = spec
+        .disk
+        .map(|mut d| {
+            d.warmup_ops = d.warmup_ops.max(3);
+            d
+        })
+        .unwrap_or_else(DiskFaultConfig::clean);
+    let faulty = Arc::new(FaultyIo::new(mix(spec.seed ^ 0xD15C), disk_cfg));
+
+    let server = match Server::start(serve_config(spec, &faulty, false)) {
+        Ok(s) => s,
+        Err(e) => {
+            return ScenarioOutcome {
+                spec: spec.clone(),
+                violations: vec![format!("first incarnation failed to start: {e}")],
+                answered: 0,
+                send_errors: 0,
+                disk_faults: faulty.injected(),
+                net_faults: 0,
+                quarantined: 0,
+                resumed: 0,
+            }
+        }
+    };
+
+    let mut proxy = match spec.proxy {
+        Some(net) => match ChaosProxy::start(server.addr(), mix(spec.seed ^ 0x9E7), net) {
+            Ok(p) => Some(p),
+            Err(e) => {
+                violations.push(format!("chaos proxy failed to start: {e}"));
+                None
+            }
+        },
+        None => None,
+    };
+    let target = proxy.as_ref().map(ChaosProxy::addr).unwrap_or_else(|| server.addr());
+
+    // -- traffic phase, through whatever the network plane allows ----
+    let mut instances: BTreeMap<String, Arc<Instance>> = BTreeMap::new();
+    let mut ids: Vec<String> = Vec::new();
+    for i in 0..spec.requests {
+        let inst = Arc::new(generate(&size_class(i), mix(spec.seed ^ i ^ 0xA5A5)));
+        let req = request_for(spec, i, &inst);
+        instances.insert(req.id.clone(), inst);
+        ids.push(req.id.clone());
+        match send_request(target, &req, CLIENT_TIMEOUT) {
+            Ok(resp) => {
+                answered += 1;
+                if resp.id != req.id {
+                    violations.push(format!(
+                        "response id '{}' does not echo request id '{}'",
+                        resp.id, req.id
+                    ));
+                }
+            }
+            Err(e) => {
+                send_errors += 1;
+                if spec.proxy.is_none() {
+                    // only the network plane may eat a connection; a
+                    // hostile DISK must shed with a typed response
+                    violations.push(format!("send failed without a proxy in the path: {e}"));
+                }
+            }
+        }
+        // interleave duplicate deliveries mid-traffic
+        if i < spec.duplicates {
+            let dup = request_for(spec, i, &instances[&ids[i as usize]]);
+            if send_request(target, &dup, CLIENT_TIMEOUT).is_ok() {
+                answered += 1;
+            } else {
+                send_errors += 1;
+            }
+        }
+    }
+
+    let net_faults = proxy.as_ref().map(ChaosProxy::faulted).unwrap_or(0);
+    if let Some(p) = proxy.as_mut() {
+        p.shutdown();
+    }
+    drop(proxy);
+
+    // -- process plane: power-cut and resume -------------------------
+    let server = if spec.crash {
+        faulty.power_off();
+        server.shutdown();
+        server.wait();
+        // the crash erases everything never honestly fsynced — lying
+        // fsyncs stop being hypothetical here
+        faulty.power_cycle();
+        match Server::start(serve_config(spec, &faulty, true)) {
+            Ok(s) => s,
+            Err(e) => {
+                violations.push(format!(
+                    "second incarnation failed to resume from the surviving journal: {e}"
+                ));
+                probe.count(Counter::ChaosFault, faulty.injected() + net_faults);
+                return ScenarioOutcome {
+                    spec: spec.clone(),
+                    violations,
+                    answered,
+                    send_errors,
+                    disk_faults: faulty.injected(),
+                    net_faults,
+                    quarantined: 0,
+                    resumed: 0,
+                };
+            }
+        }
+    } else {
+        server
+    };
+    let resumed = server.resumed();
+    let quarantined = server.counter(Counter::JournalQuarantine);
+    let maddr = server.metrics_addr().expect("scenario servers always run metrics").to_string();
+
+    // let the resumed backlog drain before auditing
+    if let Err(v) = await_quiesce(&maddr, resumed) {
+        violations.push(v);
+    }
+
+    // -- audit phase: every id re-requested twice, straight at the
+    // server, and both answers cross-examined --------------------------
+    for id in &ids {
+        let inst = &instances[id];
+        let req = SolveRequest {
+            id: id.clone(),
+            instance: Arc::clone(inst),
+            algorithm: None,
+            timeout_ms: Some(10_000),
+            mem_budget_mb: None,
+            city: None,
+        };
+        let first = send_request(server.addr(), &req, CLIENT_TIMEOUT);
+        let second = send_request(server.addr(), &req, CLIENT_TIMEOUT);
+        let (first, second) = match (first, second) {
+            (Ok(a), Ok(b)) => (a, b),
+            (a, b) => {
+                violations.push(format!(
+                    "audit re-send of '{id}' failed without a proxy in the path: {:?} / {:?}",
+                    a.err(),
+                    b.err()
+                ));
+                continue;
+            }
+        };
+        for resp in [&first, &second] {
+            if resp.id != *id {
+                violations.push(format!("audit response for '{id}' carries id '{}'", resp.id));
+            }
+        }
+        // a journal-unavailable shed is not cached (nothing completed),
+        // so the second send may legitimately differ from it
+        let first_was_shed = matches!(
+            (&first.status, &first.planning),
+            (Status::Failed { .. }, None) | (Status::Overloaded { .. }, _)
+        );
+        if !first_was_shed && !same_answer(&first, &second) {
+            violations.push(format!(
+                "split-brain answers for '{id}': {} ω={} a={} vs {} ω={} a={}",
+                first.status.describe(),
+                first.omega,
+                first.assignments,
+                second.status.describe(),
+                second.omega,
+                second.assignments,
+            ));
+        }
+        // the constraint oracle referees every planning that came back
+        for resp in [&first, &second] {
+            if let Some(planning) = &resp.planning {
+                let report =
+                    usep_oracle::check_planning_with_omega(inst, planning, resp.omega, probe);
+                if !report.is_valid() {
+                    violations.push(format!(
+                        "oracle rejected planning for '{id}' ({}): {report:?}",
+                        resp.status.describe()
+                    ));
+                }
+            }
+        }
+    }
+
+    // -- reconciliation: the metrics ledger must still balance -------
+    match await_quiesce(&maddr, resumed) {
+        Err(v) => violations.push(v),
+        Ok(text) => {
+            let s = parse_exposition(&text);
+            let val = |name: &str| s.value(name).unwrap_or(f64::NAN);
+            let requests = val("usep_serve_requests_total");
+            let accepted = val("usep_serve_accepted_total");
+            let rejected = val("usep_serve_rejected_total");
+            let replayed = val("usep_serve_replayed_total");
+            let shed = s.family_sum("usep_serve_shed_total");
+            let completed = s.family_sum("usep_serve_completed_total");
+            let inflight = val("usep_serve_inflight");
+            let by_reason = s.by_label("usep_serve_failed_total", "reason");
+            let failed_of = |r: &str| {
+                by_reason.iter().find(|(k, _)| k == r).map(|&(_, v)| v).unwrap_or(0.0)
+            };
+            let failed_solve = failed_of("panic") + failed_of("infeasible");
+            let failed_journal = failed_of("journal");
+
+            if inflight != 0.0 {
+                violations.push(format!("inflight gauge stuck at {inflight} after quiesce"));
+            }
+            // accepted (+ journal-resumed) work is fully accounted for
+            let processed = completed + failed_solve;
+            if accepted + resumed as f64 != processed + inflight {
+                violations.push(format!(
+                    "acceptance ledger broke: accepted {accepted} + resumed {resumed} != \
+                     completed {completed} + failed {failed_solve} + inflight {inflight}"
+                ));
+            }
+            // every request line is typed exactly once; the only slack
+            // allowed is accept-path journal sheds, and only when the
+            // disk plane was actually hostile
+            let slack = requests - (accepted + rejected + replayed + shed);
+            if slack < 0.0 || slack > failed_journal {
+                violations.push(format!(
+                    "request ledger broke: requests {requests} vs accepted {accepted} + \
+                     rejected {rejected} + replayed {replayed} + shed {shed} \
+                     (slack {slack}, journal failures {failed_journal})"
+                ));
+            }
+            if spec.disk.is_none() && slack != 0.0 {
+                violations.push(format!(
+                    "request ledger has slack {slack} with an honest disk"
+                ));
+            }
+        }
+    }
+
+    server.shutdown();
+    server.wait();
+    probe.count(Counter::ChaosFault, faulty.injected() + net_faults);
+
+    ScenarioOutcome {
+        spec: spec.clone(),
+        violations,
+        answered,
+        send_errors,
+        disk_faults: faulty.injected(),
+        net_faults,
+        quarantined,
+        resumed,
+    }
+}
+
+/// A replayable description of a campaign failure: the seed, the spec
+/// it derived, and the greedily minimized spec that still violates.
+#[derive(Clone, Debug, Serialize)]
+pub struct ReproReport {
+    /// The campaign's master seed.
+    pub master_seed: u64,
+    /// Which scenario of the campaign failed (0-based).
+    pub scenario_index: u64,
+    /// The failing scenario's own seed (`mix(master ^ index)`).
+    pub scenario_seed: u64,
+    /// The spec as derived from the seed.
+    pub spec: ScenarioSpec,
+    /// The smallest spec the minimizer could still make fail.
+    pub minimized: ScenarioSpec,
+    /// The minimized run's violations.
+    pub violations: Vec<String>,
+}
+
+/// What a whole campaign produced.
+#[derive(Clone, Debug, Serialize)]
+pub struct CampaignOutcome {
+    /// The master seed the campaign ran under.
+    pub master_seed: u64,
+    /// Scenarios completed (including the failing one, if any).
+    pub scenarios_run: u64,
+    /// Faults injected across all planes and scenarios.
+    pub total_faults: u64,
+    /// Traffic-phase responses received across all scenarios.
+    pub total_answered: u64,
+    /// The first failure, minimized — `None` means a clean campaign.
+    pub repro: Option<ReproReport>,
+}
+
+/// Greedy spec minimization: try dropping whole fault planes, then
+/// shrinking the traffic, keeping each change only if the scenario
+/// still violates. The result is the smallest repro the greedy walk
+/// finds — the same discipline as `usep_oracle::minimize`, lifted from
+/// instances to scenarios.
+fn minimize_spec(
+    spec: &ScenarioSpec,
+    violations: Vec<String>,
+    probe: &dyn Probe,
+) -> (ScenarioSpec, Vec<String>) {
+    let mut cur = spec.clone();
+    let mut cur_violations = violations;
+    let mut trials = 0;
+    let mut try_candidate = |cand: ScenarioSpec,
+                             cur: &mut ScenarioSpec,
+                             cur_violations: &mut Vec<String>|
+     -> bool {
+        trials += 1;
+        if trials > 16 {
+            return false;
+        }
+        let outcome = run_scenario(&cand, probe);
+        if outcome.violations.is_empty() {
+            return false;
+        }
+        *cur = cand;
+        *cur_violations = outcome.violations;
+        true
+    };
+
+    if cur.proxy.is_some() {
+        try_candidate(ScenarioSpec { proxy: None, ..cur.clone() }, &mut cur, &mut cur_violations);
+    }
+    if cur.disk.is_some() {
+        try_candidate(ScenarioSpec { disk: None, ..cur.clone() }, &mut cur, &mut cur_violations);
+    }
+    if cur.crash {
+        try_candidate(ScenarioSpec { crash: false, ..cur.clone() }, &mut cur, &mut cur_violations);
+    }
+    if cur.chaos_panic_every.is_some() {
+        try_candidate(
+            ScenarioSpec { chaos_panic_every: None, ..cur.clone() },
+            &mut cur,
+            &mut cur_violations,
+        );
+    }
+    if cur.duplicates > 0 {
+        try_candidate(ScenarioSpec { duplicates: 0, ..cur.clone() }, &mut cur, &mut cur_violations);
+    }
+    while cur.requests > 1 {
+        let cand = ScenarioSpec { requests: cur.requests / 2, ..cur.clone() };
+        if !try_candidate(cand, &mut cur, &mut cur_violations) {
+            break;
+        }
+    }
+    (cur, cur_violations)
+}
+
+/// Runs `scenarios` seeded scenarios; stops at the first violation,
+/// minimizes it, and reports. Scenario `i` runs under seed
+/// `mix(master_seed ^ i)` — replay any single one with
+/// `usep chaos --scenario-seed <scenario_seed>` … or just rerun the
+/// campaign, it is deterministic.
+pub fn run_campaign(master_seed: u64, scenarios: u64, probe: &dyn Probe) -> CampaignOutcome {
+    let mut total_faults = 0u64;
+    let mut total_answered = 0u64;
+    for i in 0..scenarios {
+        let scenario_seed = mix(master_seed ^ i);
+        let spec = ScenarioSpec::from_seed(scenario_seed);
+        let outcome = run_scenario(&spec, probe);
+        total_faults += outcome.disk_faults + outcome.net_faults;
+        total_answered += outcome.answered;
+        if !outcome.violations.is_empty() {
+            eprintln!(
+                "usep-chaos: scenario {i} (seed {scenario_seed:#x}) VIOLATED: {:?}",
+                outcome.violations
+            );
+            let (minimized, violations) = minimize_spec(&spec, outcome.violations, probe);
+            return CampaignOutcome {
+                master_seed,
+                scenarios_run: i + 1,
+                total_faults,
+                total_answered,
+                repro: Some(ReproReport {
+                    master_seed,
+                    scenario_index: i,
+                    scenario_seed,
+                    spec,
+                    minimized,
+                    violations,
+                }),
+            };
+        }
+        if (i + 1) % 25 == 0 {
+            eprintln!(
+                "usep-chaos: {}/{scenarios} scenarios clean, {total_faults} faults injected",
+                i + 1
+            );
+        }
+    }
+    CampaignOutcome {
+        master_seed,
+        scenarios_run: scenarios,
+        total_faults,
+        total_answered,
+        repro: None,
+    }
+}

@@ -1,0 +1,207 @@
+//! End-to-end chaos tests: the ENOSPC shed path (a failed journal
+//! append must cost one request, not the connection), deterministic
+//! proxy-driven health hysteresis, and seed-replayable scenarios.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+use usep_chaos::{run_campaign, run_scenario, ChaosProxy, ConnFault, DiskFaultConfig, FaultyIo, ScenarioSpec};
+use usep_fleet::{probe, Health, ShardState};
+use usep_gen::{generate, SyntheticConfig};
+use usep_obs::http;
+use usep_obs::top::parse_exposition;
+use usep_serve::{JournalIo, ServeConfig, Server, SolveRequest, SolveResponse, Status};
+use usep_trace::{Counter, NoopProbe};
+
+fn request(id: &str, seed: u64) -> SolveRequest {
+    SolveRequest {
+        id: id.to_string(),
+        instance: Arc::new(generate(
+            &SyntheticConfig::tiny().with_events(4).with_users(3).with_capacity_mean(2),
+            seed,
+        )),
+        algorithm: None,
+        timeout_ms: Some(10_000),
+        mem_budget_mb: None,
+        city: None,
+    }
+}
+
+/// Satellite: a dead disk sheds the *request*, never the connection.
+/// One TCP session sends many requests into an always-ENOSPC journal;
+/// every one must come back as a typed `Failed` line on that same
+/// session, the failure must be counted, and no admission slot may
+/// leak (more requests than the queue holds all get the typed shed,
+/// not `Overloaded`).
+#[test]
+fn enospc_journal_failure_sheds_the_request_not_the_connection() {
+    // warmup 2 lets the generation header land; everything after fails
+    let faulty = Arc::new(FaultyIo::always_enospc(2));
+    let server = Server::start(ServeConfig {
+        journal_io: Some(Arc::clone(&faulty) as Arc<dyn JournalIo>),
+        metrics_addr: Some("127.0.0.1:0".to_string()),
+        queue_capacity: 8,
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    let maddr = server.metrics_addr().unwrap().to_string();
+
+    let mut stream = TcpStream::connect(server.addr()).unwrap();
+    stream.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+
+    // 3× the queue capacity: if the failed appends leaked their
+    // admission tickets, the later requests would shed as Overloaded
+    let n = 24;
+    for i in 0..n {
+        let line = serde_json::to_string(&request(&format!("enospc-{i}"), i)).unwrap();
+        writeln!(stream, "{line}").unwrap();
+        let mut resp_line = String::new();
+        reader.read_line(&mut resp_line).expect("the connection must survive the dead disk");
+        let resp: SolveResponse = serde_json::from_str(&resp_line).unwrap();
+        assert_eq!(resp.id, format!("enospc-{i}"));
+        match resp.status {
+            Status::Failed { ref panic } => {
+                assert!(panic.contains("journal unavailable"), "typed shed reason: {panic}")
+            }
+            other => panic!("request {i}: expected a journal-unavailable Failed, got {other:?}"),
+        }
+    }
+
+    assert_eq!(server.counter(Counter::ServeJournalFail), n, "every shed was counted");
+    let scrape = parse_exposition(&http::get(&maddr, "/metrics", Duration::from_secs(5)).unwrap());
+    let by_reason = scrape.by_label("usep_serve_failed_total", "reason");
+    let journal_fails =
+        by_reason.iter().find(|(k, _)| k == "journal").map(|&(_, v)| v).unwrap_or(0.0);
+    assert_eq!(journal_fails, n as f64);
+    assert_eq!(scrape.value("usep_serve_accepted_total"), Some(0.0), "nothing was accepted");
+    assert_eq!(scrape.value("usep_serve_inflight"), Some(0.0));
+    // nothing was ever queued, so nothing solved
+    assert_eq!(scrape.family_sum("usep_serve_completed_total"), 0.0);
+
+    server.shutdown();
+    server.wait();
+}
+
+/// Satellite: hysteresis under deterministic network faults. A
+/// scripted proxy in front of the shard's health endpoint delays every
+/// third-ish probe past its timeout; without the two-consecutive-
+/// successes rule the shard would flap Suspect→Healthy→Suspect on the
+/// lone good probes in between.
+#[test]
+fn delayed_probes_cannot_flap_health_through_a_scripted_proxy() {
+    // the solve socket always connects — only the health endpoint is
+    // behind the hostile network
+    let solve_listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let upstream = http::serve(
+        "127.0.0.1:0",
+        Box::new(|path| match path {
+            "/healthz" => Some(http::Response::text("ok\n")),
+            "/metrics" => Some(http::Response::text("usep_serve_queue_depth 0\n")),
+            _ => None,
+        }),
+    )
+    .unwrap();
+
+    // per-connection fates, in accept order. A failed /healthz tick
+    // consumes ONE proxy connection (the probe bails before /metrics);
+    // a successful tick consumes TWO (/healthz then /metrics):
+    //   tick 1: [Delay]           → probe fails   → Suspect
+    //   tick 2: [Pass, Pass]      → one success   → must stay Suspect
+    //   tick 3: [Delay]           → probe fails   → Suspect
+    //   tick 4: [Pass, Pass]      → one success   → must stay Suspect
+    //   tick 5: [Pass, Pass]      → second in a row → Healthy
+    let delay = ConnFault::Delay(600);
+    let pass = ConnFault::Passthrough;
+    let mut proxy = ChaosProxy::scripted(
+        upstream.addr(),
+        vec![delay, pass, pass, delay, pass, pass, pass, pass],
+    )
+    .unwrap();
+
+    let shard = ShardState::new("s0", solve_listener.local_addr().unwrap().to_string());
+    shard.set_metrics_addr(Some(proxy.addr().to_string()));
+    let timeout = Duration::from_millis(150);
+
+    assert_eq!(shard.health(), Health::Healthy);
+    probe(&shard, timeout);
+    assert_eq!(shard.health(), Health::Suspect, "tick 1: delayed probe is a failure");
+    probe(&shard, timeout);
+    assert_eq!(shard.health(), Health::Suspect, "tick 2: a lone good probe must not flap");
+    probe(&shard, timeout);
+    assert_eq!(shard.health(), Health::Suspect, "tick 3: failure again (streak was reset)");
+    probe(&shard, timeout);
+    assert_eq!(shard.health(), Health::Suspect, "tick 4: first success of a new streak");
+    probe(&shard, timeout);
+    assert_eq!(shard.health(), Health::Healthy, "tick 5: sustained success recovers");
+
+    assert_eq!(proxy.accepted(), 8, "the script consumed exactly the planned connections");
+    proxy.shutdown();
+    drop(upstream);
+}
+
+/// The flagship property: a scenario is a pure function of its seed.
+/// Disk faults, a power-cut crash, a resume, duplicate traffic — run
+/// it twice and every observable matches, and nothing violates.
+#[test]
+fn scenarios_replay_identically_from_their_seed() {
+    let spec = ScenarioSpec {
+        seed: 0xC0FFEE,
+        requests: 6,
+        duplicates: 2,
+        workers: 2,
+        disk: Some(DiskFaultConfig {
+            torn_write_per_mille: 60,
+            enospc_per_mille: 60,
+            bit_rot_per_mille: 60,
+            latency_per_mille: 0,
+            dropped_sync_per_mille: 80,
+            failed_sync_per_mille: 40,
+            warmup_ops: 3,
+        }),
+        proxy: None, // the network plane is timing-dependent; keep the replay strict
+        crash: true,
+        chaos_panic_every: Some(3),
+    };
+    let a = run_scenario(&spec, &NoopProbe);
+    let b = run_scenario(&spec, &NoopProbe);
+    assert_eq!(a.violations, Vec::<String>::new(), "first run must be clean");
+    assert_eq!(b.violations, Vec::<String>::new(), "second run must be clean");
+    assert_eq!(a.answered, b.answered);
+    assert_eq!(a.send_errors, b.send_errors);
+    assert_eq!(a.disk_faults, b.disk_faults);
+    assert_eq!(a.quarantined, b.quarantined);
+    assert_eq!(a.resumed, b.resumed);
+    assert!(a.disk_faults > 0, "a hostile plan at these rates must actually fire");
+}
+
+/// Specs derive deterministically from seeds, and a short seed sweep
+/// exercises every fault plane.
+#[test]
+fn spec_derivation_is_deterministic_and_covers_the_planes() {
+    let a = serde_json::to_string(&ScenarioSpec::from_seed(5)).unwrap();
+    let b = serde_json::to_string(&ScenarioSpec::from_seed(5)).unwrap();
+    assert_eq!(a, b);
+    let specs: Vec<ScenarioSpec> = (0..32).map(ScenarioSpec::from_seed).collect();
+    assert!(specs.iter().any(|s| s.disk.is_some()), "some scenario runs a hostile disk");
+    assert!(specs.iter().any(|s| s.proxy.is_some()), "some scenario runs a hostile network");
+    assert!(specs.iter().any(|s| s.crash), "some scenario power-cuts the server");
+    assert!(specs.iter().any(|s| s.chaos_panic_every.is_some()), "some scenario panics solves");
+    assert!(specs.iter().any(|s| s.disk.is_none() && s.proxy.is_none()), "and some are calm");
+}
+
+/// A miniature `usep chaos` campaign: seeded scenarios composing all
+/// three fault planes, each refereed by the oracle and the metrics
+/// identities — and zero violations to show for it.
+#[test]
+fn a_seeded_campaign_of_composed_scenarios_stays_clean() {
+    let outcome = run_campaign(42, 4, &NoopProbe);
+    assert_eq!(outcome.scenarios_run, 4);
+    assert!(
+        outcome.repro.is_none(),
+        "campaign found a violation: {:?}",
+        outcome.repro.map(|r| (r.scenario_seed, r.violations))
+    );
+    assert!(outcome.total_answered > 0, "traffic actually flowed");
+}

@@ -67,6 +67,19 @@ SUBCOMMANDS:
               0 on complete, 3 on truncated, 1 otherwise; --city NAME
               labels the request for fleet routing, --fleet true
               defaults the address to the fleet router's port)
+    chaos     run the deterministic fault-injection campaign: N seeded
+              scenarios composing disk faults (torn writes, lying
+              fsyncs, bit rot, ENOSPC), a hostile network proxy,
+              power-cut crashes and injected panics over a live server,
+              each refereed by the verification oracle and the metrics
+              reconciliation identities (--scenarios N --seed S;
+              --repro-out FILE writes a minimized JSON repro of the
+              first violation; exits 0 only when every scenario is
+              clean). --scenario-seed S replays exactly one scenario
+              from the seed a failing campaign printed. --fleet true
+              instead runs a whole-fleet scenario — router, shard
+              children, a mid-run SIGKILL — with --requests N
+              --shards K --kill true|false
     top       live service summary from a /metrics endpoint
               (--addr HOST:PORT of --metrics-addr; --interval-ms N,
               --iterations N [0 = forever], --clear true; shows qps,
@@ -105,6 +118,7 @@ pub fn dispatch(argv: &[String]) -> Result<u8, String> {
         "stats" => cmd_stats(&flags).map(|()| 0),
         "validate" => cmd_validate(&flags).map(|()| 0),
         "verify" => cmd_verify(&flags).map(|()| 0),
+        "chaos" => cmd_chaos(&flags).map(|()| 0),
         "bound" => cmd_bound(&flags).map(|()| 0),
         "convert" => cmd_convert(&flags).map(|()| 0),
         "plan-user" => cmd_plan_user(&flags).map(|()| 0),
@@ -474,6 +488,112 @@ fn cmd_verify(flags: &Flags) -> Result<(), String> {
     Err(format!("{label}: {} violation(s) found after {checks} oracle checks", findings.len()))
 }
 
+/// `usep chaos`: the deterministic fault-injection campaign. Seeded
+/// scenarios compose disk, network and process faults over a live
+/// server (or, with `--fleet true`, a real sharded fleet), every
+/// answer is oracle-checked and every metrics identity audited; the
+/// first violation is minimized and printed as a replayable repro.
+/// CI is just `usep chaos --scenarios 200 --seed 42`.
+fn cmd_chaos(flags: &Flags) -> Result<(), String> {
+    if flags.get_or("fleet", false)? {
+        return cmd_chaos_fleet(flags);
+    }
+    let seed = flags.get_or("seed", 42u64)?;
+    let scenarios = flags.get_or("scenarios", 200u64)?;
+    let scenario_seed = flags.get("scenario-seed").map(|s| s.parse::<u64>()).transpose()
+        .map_err(|e| format!("bad --scenario-seed: {e}"))?;
+    let repro_out = flags.get("repro-out");
+    flags.reject_unknown()?;
+    let sink = TraceSink::new();
+
+    // replay mode: one scenario, from the exact seed a failing
+    // campaign printed — no campaign arithmetic in between
+    if let Some(s) = scenario_seed {
+        let spec = usep_chaos::ScenarioSpec::from_seed(s);
+        eprintln!(
+            "replaying scenario seed {s:#x}: {}",
+            serde_json::to_string(&spec).map_err(|e| e.to_string())?
+        );
+        let outcome = usep_chaos::run_scenario(&spec, &sink);
+        println!("{}", serde_json::to_string(&outcome).map_err(|e| e.to_string())?);
+        return if outcome.violations.is_empty() {
+            eprintln!(
+                "scenario clean: {} answers refereed, {} disk + {} net faults injected",
+                outcome.answered, outcome.disk_faults, outcome.net_faults
+            );
+            Ok(())
+        } else {
+            Err(format!("scenario seed {s:#x}: {} violation(s)", outcome.violations.len()))
+        };
+    }
+
+    let outcome = usep_chaos::run_campaign(seed, scenarios, &sink);
+    let checks = sink.counter(Counter::OracleCheck);
+    match outcome.repro {
+        None => {
+            println!(
+                "chaos --seed {seed}: {} scenarios clean — {} faults injected, \
+                 {} answers, {checks} oracle checks",
+                outcome.scenarios_run, outcome.total_faults, outcome.total_answered
+            );
+            Ok(())
+        }
+        Some(repro) => {
+            let json = serde_json::to_string_pretty(&repro).map_err(|e| e.to_string())?;
+            println!("{json}");
+            if let Some(out) = repro_out {
+                std::fs::write(&out, &json).map_err(|e| format!("write {out}: {e}"))?;
+                eprintln!("wrote minimized repro {out}");
+            }
+            Err(format!(
+                "scenario #{} violated {} invariant(s); replay with: \
+                 usep chaos --scenario-seed {}",
+                repro.scenario_index,
+                repro.violations.len(),
+                repro.scenario_seed
+            ))
+        }
+    }
+}
+
+/// `usep chaos --fleet true`: one whole-fleet failure scenario — this
+/// binary respawned as router + shard children, seeded mixed-city
+/// traffic, a mid-run `SIGKILL`, and the fleet metrics identity as the
+/// referee. Replaces the old hand-rolled fleet-smoke kill script.
+fn cmd_chaos_fleet(flags: &Flags) -> Result<(), String> {
+    let spec = usep_chaos::FleetScenarioSpec {
+        seed: flags.get_or("seed", 42u64)?,
+        requests: flags.get_or("requests", 24u64)?,
+        shards: flags.get_or("shards", 3usize)?,
+        kill: flags.get_or("kill", true)?,
+    };
+    flags.reject_unknown()?;
+    let program = std::env::current_exe()
+        .map_err(|e| format!("cannot locate the usep binary for shard spawns: {e}"))?
+        .to_string_lossy()
+        .into_owned();
+    let sink = TraceSink::new();
+    let outcome = usep_chaos::run_fleet_scenario(&program, &spec, &sink)
+        .map_err(|e| format!("start fleet scenario: {e}"))?;
+    println!("{}", serde_json::to_string(&outcome).map_err(|e| e.to_string())?);
+    if outcome.violations.is_empty() {
+        eprintln!(
+            "fleet scenario clean: {} answers, {} shard restart(s), \
+             {} oracle checks",
+            outcome.answered,
+            outcome.restarts,
+            sink.counter(Counter::OracleCheck)
+        );
+        Ok(())
+    } else {
+        Err(format!(
+            "fleet scenario --seed {}: {} violation(s)",
+            spec.seed,
+            outcome.violations.len()
+        ))
+    }
+}
+
 fn cmd_bound(flags: &Flags) -> Result<(), String> {
     let inst = load_instance(flags)?;
     let plan_path = flags.get("plan");
@@ -715,7 +835,7 @@ fn cmd_dump(flags: &Flags) -> Result<(), String> {
     let mut stream =
         std::net::TcpStream::connect(&addr).map_err(|e| format!("connect {addr}: {e}"))?;
     stream.set_read_timeout(Some(timeout)).map_err(|e| e.to_string())?;
-    writeln!(stream, "{}", r#"{"verb":"dump"}"#).map_err(|e| format!("send to {addr}: {e}"))?;
+    writeln!(stream, "{{\"verb\":\"dump\"}}").map_err(|e| format!("send to {addr}: {e}"))?;
     stream.flush().map_err(|e| e.to_string())?;
     let mut line = String::new();
     BufReader::new(stream).read_line(&mut line).map_err(|e| format!("read from {addr}: {e}"))?;

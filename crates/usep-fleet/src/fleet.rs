@@ -133,6 +133,14 @@ impl FleetHandle {
         self.supervisor.as_ref().map(Supervisor::pids).unwrap_or_default()
     }
 
+    /// `SIGKILL`s the named shard's worker process (the scenario
+    /// runner's process fault). The supervisor restarts it with
+    /// `--resume` on its next poll. Returns whether the name matched a
+    /// managed shard.
+    pub fn kill_shard(&self, name: &str) -> bool {
+        self.supervisor.as_ref().is_some_and(|s| s.kill_shard(name))
+    }
+
     /// Stops the router, the watchers and every shard child.
     pub fn shutdown(&mut self) {
         if let Some(mut r) = self.router.take() {
@@ -218,7 +226,7 @@ impl Fleet {
             addr: cfg.addr.clone(),
             table,
             shards: shards.clone(),
-            retry: cfg.retry.clone(),
+            retry: cfg.retry,
             forward_timeout: cfg.forward_timeout,
             sweeps: cfg.sweeps,
             sink: Arc::clone(&sink),
@@ -236,7 +244,7 @@ impl Fleet {
 
         let monitor =
             HealthMonitor::spawn(shards.clone(), cfg.probe_interval, cfg.probe_timeout);
-        let supervisor = Supervisor::start(children, cfg.retry.clone(), Arc::clone(&sink));
+        let supervisor = Supervisor::start(children, cfg.retry, Arc::clone(&sink));
 
         Ok(FleetHandle {
             addr,

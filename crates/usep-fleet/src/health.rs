@@ -6,8 +6,15 @@
 //! connect — a full accept backlog during a load spike — must not
 //! trigger a restart). The router additionally marks a shard `Down`
 //! synchronously when a forwarded request hits a connection error, so
-//! failover never waits for the next probe tick. Any successful probe
-//! or forward marks the shard `Healthy` again.
+//! failover never waits for the next probe tick.
+//!
+//! Recovery is asymmetric (hysteresis): *probe* evidence promotes a
+//! non-`Healthy` shard back to `Healthy` only after **two** consecutive
+//! successful probes, so one delayed probe under network faults cannot
+//! flap a shard Healthy→Suspect→Healthy across consecutive ticks.
+//! *Direct* evidence — a forwarded request completing, or the
+//! supervisor handing over a freshly restarted child — still restores
+//! `Healthy` instantly via [`ShardState::mark_alive`].
 
 use std::net::{SocketAddr, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
@@ -59,6 +66,9 @@ pub struct ShardState {
     metrics_addr: Mutex<Option<String>>,
     health: AtomicU32,
     consecutive_failures: AtomicU32,
+    /// Successful probes since the last failure; probe-driven recovery
+    /// needs two of them (hysteresis against probe flap).
+    consecutive_successes: AtomicU32,
     /// Last queue depth scraped from the shard's `/metrics`.
     pub queue_depth: AtomicU64,
     /// Requests the router currently has outstanding against this shard.
@@ -82,6 +92,7 @@ impl ShardState {
             metrics_addr: Mutex::new(None),
             health: AtomicU32::new(0),
             consecutive_failures: AtomicU32::new(0),
+            consecutive_successes: AtomicU32::new(0),
             queue_depth: AtomicU64::new(0),
             inflight: AtomicU64::new(0),
             routed: AtomicU64::new(0),
@@ -116,14 +127,30 @@ impl ShardState {
         Health::from_u8(self.health.load(Ordering::SeqCst) as u8)
     }
 
-    /// A probe or forward succeeded: back to `Healthy`.
+    /// Direct evidence of life (a forward completed, the supervisor
+    /// just handed over a restarted child): back to `Healthy` at once.
     pub fn mark_alive(&self) {
         self.consecutive_failures.store(0, Ordering::SeqCst);
+        self.consecutive_successes.store(2, Ordering::SeqCst);
         self.health.store(Health::Healthy.as_u8().into(), Ordering::SeqCst);
+    }
+
+    /// A probe succeeded. Weaker evidence than [`Self::mark_alive`]:
+    /// a non-`Healthy` shard is promoted back to `Healthy` only on the
+    /// *second* consecutive success, so a single probe that merely got
+    /// lucky between injected delays cannot flap the state machine
+    /// Suspect→Healthy→Suspect tick after tick.
+    pub fn mark_probe_ok(&self) {
+        self.consecutive_failures.store(0, Ordering::SeqCst);
+        let streak = self.consecutive_successes.fetch_add(1, Ordering::SeqCst) + 1;
+        if self.health() == Health::Healthy || streak >= 2 {
+            self.health.store(Health::Healthy.as_u8().into(), Ordering::SeqCst);
+        }
     }
 
     /// A probe failed: `Suspect` on the first, `Down` from the second.
     pub fn mark_probe_failed(&self) {
+        self.consecutive_successes.store(0, Ordering::SeqCst);
         let fails = self.consecutive_failures.fetch_add(1, Ordering::SeqCst) + 1;
         let next = if fails >= 2 { Health::Down } else { Health::Suspect };
         self.health.store(next.as_u8().into(), Ordering::SeqCst);
@@ -132,6 +159,7 @@ impl ShardState {
     /// A forwarded request hit a connection error: straight to `Down`
     /// (the router has direct evidence, no second opinion needed).
     pub fn mark_down(&self) {
+        self.consecutive_successes.store(0, Ordering::SeqCst);
         self.consecutive_failures.fetch_add(1, Ordering::SeqCst);
         self.health.store(Health::Down.as_u8().into(), Ordering::SeqCst);
     }
@@ -164,7 +192,7 @@ pub fn probe(shard: &ShardState, timeout: Duration) {
             }
         }
     }
-    shard.mark_alive();
+    shard.mark_probe_ok();
 }
 
 /// Background monitor probing every shard each `interval`.
@@ -239,7 +267,33 @@ mod tests {
         let s = ShardState::new("s0", listener.local_addr().unwrap().to_string());
         s.mark_probe_failed();
         probe(&s, Duration::from_millis(500));
-        assert_eq!(s.health(), Health::Healthy, "connect probe should clear suspicion");
+        assert_eq!(s.health(), Health::Suspect, "one good probe is not yet recovery");
+        probe(&s, Duration::from_millis(500));
+        assert_eq!(s.health(), Health::Healthy, "two consecutive good probes recover");
+    }
+
+    #[test]
+    fn single_good_probe_cannot_flap_a_suspect_shard_healthy() {
+        let s = ShardState::new("s0", "127.0.0.1:1");
+        // alternate fail/ok — the pattern one delayed probe under
+        // network faults produces tick after tick
+        s.mark_probe_failed();
+        assert_eq!(s.health(), Health::Suspect);
+        s.mark_probe_ok();
+        assert_eq!(s.health(), Health::Suspect, "no Healthy on a lone success");
+        s.mark_probe_failed();
+        assert_eq!(s.health(), Health::Suspect, "streak reset: still only one failure in a row");
+        s.mark_probe_ok();
+        s.mark_probe_ok();
+        assert_eq!(s.health(), Health::Healthy, "sustained success recovers");
+        // a healthy shard stays healthy on every further success
+        s.mark_probe_ok();
+        assert_eq!(s.health(), Health::Healthy);
+        // direct evidence still restores instantly
+        s.mark_down();
+        assert_eq!(s.health(), Health::Down);
+        s.mark_alive();
+        assert_eq!(s.health(), Health::Healthy);
     }
 
     #[test]

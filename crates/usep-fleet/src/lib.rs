@@ -50,7 +50,7 @@ pub mod router;
 pub mod supervisor;
 
 pub use fleet::{default_city_map, Fleet, FleetConfig, FleetHandle, DEFAULT_CITIES};
-pub use health::{Health, HealthMonitor, ShardState};
+pub use health::{probe, Health, HealthMonitor, ShardState};
 pub use metrics::FleetMetrics;
 pub use partition::PartitionTable;
 pub use router::{Router, RouterConfig, RouterHandle};

@@ -175,6 +175,23 @@ impl Supervisor {
         Supervisor { managed, stop, thread: Some(thread) }
     }
 
+    /// `SIGKILL`s the named shard's child process — the scenario
+    /// runner's process-fault injector. The watch loop notices the exit
+    /// on its next poll and restarts the shard with `--resume`, exactly
+    /// as it would for an organic crash. Returns whether the shard name
+    /// was known (the kill itself is fire-and-forget: a child that
+    /// already exited is fine).
+    pub fn kill_shard(&self, name: &str) -> bool {
+        match self.managed.iter().find(|m| m.shard.name == name) {
+            Some(m) => {
+                let mut child = m.child.lock().unwrap_or_else(|p| p.into_inner());
+                let _ = child.kill(); // SIGKILL on unix: no goodbye fsync
+                true
+            }
+            None => false,
+        }
+    }
+
     /// Current child pids, by shard name — the chaos tests aim their
     /// `kill -9` with these.
     pub fn pids(&self) -> Vec<(String, u32)> {

@@ -219,7 +219,7 @@ pub fn get(addr: &str, path: &str, timeout: Duration) -> io::Result<String> {
         .and_then(|s| s.parse().ok())
         .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "missing status code"))?;
     if !(200..300).contains(&status) {
-        return Err(io::Error::new(io::ErrorKind::Other, format!("GET {path}: HTTP {status}")));
+        return Err(io::Error::other(format!("GET {path}: HTTP {status}")));
     }
     Ok(body.to_string())
 }

@@ -1,37 +1,70 @@
-//! Crash-safe write-ahead journal: append-only JSON lines, fsynced.
+//! Crash-safe write-ahead journal: framed, checksummed JSON lines,
+//! fsynced through a pluggable [`JournalIo`] backend.
 //!
-//! Two record kinds, both carrying their full payload so a restarted
-//! server needs nothing but the journal:
+//! Record kinds, each carrying its full payload so a restarted server
+//! needs nothing but the journal:
 //!
+//! * `Header{generation, shard_id}` — identity stamp written as the
+//!   first record of every new journal. The generation increments on
+//!   each compaction; the shard id guards against cross-shard resume.
 //! * `Accepted{request}` — written (and fsynced) *before* the request
 //!   enters the queue. If the process dies mid-solve, the restarted
 //!   server re-enqueues it.
 //! * `Completed{response}` — written (and fsynced) when the solve
 //!   finishes, whatever the outcome. A completed id is never re-solved:
 //!   a duplicate submission is answered from this record.
+//! * `ShardMeta{shard_id}` — the pre-frame identity stamp, kept so
+//!   journals written before the framed format replay unchanged.
 //!
-//! [`JournalState::replay`] is a pure function of the file bytes —
-//! replaying the same journal any number of times yields the same
-//! state, which is what makes resume idempotent. A torn final line
-//! (the crash happened mid-`write`) is tolerated and ignored; a
-//! malformed line anywhere *else* is an error, because it means the
-//! file was edited or corrupted rather than torn.
+//! **Frame format.** Each line is
+//! `{"len":N,"crc":"xxxxxxxx","rec":<record>}` where `N` is the byte
+//! length of the serialized record and the CRC32 (IEEE) covers those
+//! exact bytes. The frame is parsed positionally — never re-serialized
+//! — so the checksum verifies the bytes that were actually written.
+//! Bare (unframed) record lines are accepted as the legacy format.
+//!
+//! **Quarantine.** [`JournalState::replay`] is a pure function of the
+//! journal bytes. A torn *final* line (crash mid-append) sets
+//! [`JournalState::torn_tail`]; a corrupt line anywhere else — CRC
+//! mismatch, mangled frame, bit rot from a lying disk — is counted in
+//! [`JournalState::quarantined`] and skipped, so one rotted record
+//! costs one record, not the whole journal. Callers surface the count
+//! through the `journal_quarantined` trace counter.
+//!
+//! **Compaction.** [`Journal::compact`] snapshots the replayed state
+//! (one header with a bumped generation, one `Accepted` per pending
+//! request, one `Completed` per cached response) and atomically
+//! replaces the file via tmp-file + rename, so per-shard journals stop
+//! growing without bound across `--resume` cycles. Quarantined lines
+//! are dropped — they were already unrecoverable.
 
+use crate::io::{crc32, JournalIo, StdIo};
 use crate::protocol::{SolveRequest, SolveResponse};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
-use std::io::{self, BufRead, Write};
+use std::io;
 use std::path::Path;
-use std::sync::Mutex;
+use std::sync::Arc;
 
 /// One journal line.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub enum JournalRecord {
-    /// Identity stamp written as the first record of a shard-labeled
-    /// journal. A fleet shard refuses to resume from a journal stamped
-    /// with a different shard id — per-shard journals must never be
-    /// silently merged across shards, because each shard's completed
-    /// cache is only authoritative for the ids the router sent *it*.
+    /// Identity stamp written as the first record of every new journal
+    /// (and rewritten, with a bumped generation, by each compaction).
+    /// A fleet shard refuses to resume from a journal stamped with a
+    /// different shard id — per-shard journals must never be silently
+    /// merged across shards, because each shard's completed cache is
+    /// only authoritative for the ids the router sent *it*.
+    Header {
+        /// Compaction generation: 1 for a fresh journal, +1 per
+        /// [`Journal::compact`].
+        generation: u64,
+        /// Owning shard's stable name, when the journal belongs to a
+        /// fleet worker.
+        shard_id: Option<String>,
+    },
+    /// Legacy identity stamp from the pre-frame format; replays like a
+    /// [`JournalRecord::Header`] without a generation.
     ShardMeta {
         /// Owning shard's stable name (e.g. `shard-0`).
         shard_id: String,
@@ -48,42 +81,128 @@ pub enum JournalRecord {
     },
 }
 
-/// Append handle. One line per [`Journal::append`], fsynced before it
-/// returns — the caller may treat a returned `Ok` as durable.
+/// Every framed line starts with this; anything else is parsed as a
+/// legacy bare-record line.
+const FRAME_PREFIX: &str = "{\"len\":";
+
+/// Wraps one serialized record in the length+CRC frame (newline
+/// included — one frame is one line).
+fn frame_line(rec_json: &str) -> String {
+    format!(
+        "{{\"len\":{},\"crc\":\"{:08x}\",\"rec\":{}}}\n",
+        rec_json.len(),
+        crc32(rec_json.as_bytes()),
+        rec_json
+    )
+}
+
+/// Strict positional frame parser. Returns `None` for *any* deviation —
+/// wrong length, CRC mismatch, non-canonical hex, trailing bytes — so
+/// a corrupt frame can never be silently accepted. The CRC is checked
+/// against the exact payload bytes between `"rec":` and the closing
+/// brace; nothing is re-serialized.
+fn parse_frame(line: &str) -> Option<JournalRecord> {
+    let rest = line.strip_prefix(FRAME_PREFIX)?;
+    let comma = rest.find(',')?;
+    let digits = &rest[..comma];
+    if digits.is_empty() || !digits.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    let len: usize = digits.parse().ok()?;
+    let rest = rest[comma..].strip_prefix(",\"crc\":\"")?;
+    if rest.len() < 8 || !rest.as_bytes()[..8].iter().all(u8::is_ascii_hexdigit) {
+        return None;
+    }
+    // canonical lowercase only: a case-flipped hex digit must read as
+    // corruption, not as the same checksum spelled differently
+    if rest.as_bytes()[..8].iter().any(u8::is_ascii_uppercase) {
+        return None;
+    }
+    let crc = u32::from_str_radix(&rest[..8], 16).ok()?;
+    let payload = rest[8..].strip_prefix("\",\"rec\":")?.strip_suffix('}')?;
+    if payload.len() != len || crc32(payload.as_bytes()) != crc {
+        return None;
+    }
+    serde_json::from_str(payload).ok()
+}
+
+/// Append handle. One framed line per [`Journal::append`], fsynced
+/// before it returns — the caller may treat a returned `Ok` as durable
+/// (modulo a lying backend, which is the quarantine's job to survive).
 #[derive(Debug)]
 pub struct Journal {
-    file: Mutex<std::fs::File>,
+    io: Arc<dyn JournalIo>,
 }
 
 impl Journal {
-    /// Opens (creating if missing) `path` for appending.
+    /// Opens (creating if missing) `path` for appending, stamping a
+    /// [`JournalRecord::Header`] when the file is new or empty.
     pub fn open(path: &Path) -> io::Result<Journal> {
-        let file = std::fs::OpenOptions::new().create(true).append(true).open(path)?;
-        Ok(Journal { file: Mutex::new(file) })
+        Journal::from_io(Arc::new(StdIo::open(path)?), None)
     }
 
-    /// Opens `path` for appending as `shard_id`'s journal, stamping a
-    /// [`JournalRecord::ShardMeta`] first record when the file is new
-    /// (or empty). Existing non-empty journals are left as-is — the
-    /// caller is expected to have vetted ownership via
-    /// [`JournalState::replay_expecting`] before appending.
+    /// Opens `path` for appending as `shard_id`'s journal. Existing
+    /// non-empty journals are left as-is — the caller is expected to
+    /// have vetted ownership via [`JournalState::replay_expecting`]
+    /// before appending.
     pub fn open_labeled(path: &Path, shard_id: &str) -> io::Result<Journal> {
-        let file = std::fs::OpenOptions::new().create(true).append(true).open(path)?;
-        let journal = Journal { file: Mutex::new(file) };
-        let empty = std::fs::metadata(path).map(|m| m.len() == 0).unwrap_or(true);
-        if empty {
-            journal.append(&JournalRecord::ShardMeta { shard_id: shard_id.to_string() })?;
+        Journal::from_io(Arc::new(StdIo::open(path)?), Some(shard_id))
+    }
+
+    /// Wraps an arbitrary [`JournalIo`] backend (the production
+    /// [`StdIo`], or a fault-injecting stand-in), stamping a header
+    /// when the backing store is empty.
+    pub fn from_io(io: Arc<dyn JournalIo>, shard_id: Option<&str>) -> io::Result<Journal> {
+        let journal = Journal { io };
+        if journal.io.is_empty()? {
+            journal.append(&JournalRecord::Header {
+                generation: 1,
+                shard_id: shard_id.map(str::to_string),
+            })?;
         }
         Ok(journal)
     }
 
-    /// Appends one record and fsyncs.
+    /// Appends one framed record and fsyncs.
     pub fn append(&self, record: &JournalRecord) -> io::Result<()> {
-        let line = serde_json::to_string(record)
+        let rec = serde_json::to_string(record)
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
-        let mut file = self.file.lock().unwrap_or_else(|p| p.into_inner());
-        writeln!(file, "{line}")?;
-        file.sync_data()
+        self.io.append(frame_line(&rec).as_bytes())?;
+        self.io.sync()
+    }
+
+    /// Snapshots `state` over the journal: a header with the next
+    /// generation, one `Accepted` per pending request, one `Completed`
+    /// per cached response — atomically, via the backend's tmp-file +
+    /// rename `replace`. A crash at any point leaves either the old or
+    /// the new journal fully intact. Quarantined lines do not survive
+    /// compaction (they were unrecoverable), and the torn tail, if any,
+    /// is healed.
+    pub fn compact(&self, state: &JournalState) -> io::Result<()> {
+        let mut buf = String::new();
+        let mut push = |record: &JournalRecord| -> io::Result<()> {
+            let rec = serde_json::to_string(record)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+            buf.push_str(&frame_line(&rec));
+            Ok(())
+        };
+        push(&JournalRecord::Header {
+            generation: state.generation + 1,
+            shard_id: state.shard_id.clone(),
+        })?;
+        for request in &state.pending {
+            push(&JournalRecord::Accepted { request: request.clone() })?;
+        }
+        for response in state.completed.values() {
+            push(&JournalRecord::Completed { response: response.clone() })?;
+        }
+        self.io.replace(buf.as_bytes())
+    }
+
+    /// Current journal size in bytes (what compaction shrinks).
+    #[allow(clippy::len_without_is_empty)] // fallible, byte-size len: an is_empty would also be fallible and misleading
+    pub fn len(&self) -> io::Result<u64> {
+        self.io.len()
     }
 }
 
@@ -100,43 +219,63 @@ pub struct JournalState {
     /// Whether a torn (unparseable) final line was skipped — the
     /// fingerprint of a crash mid-append.
     pub torn_tail: bool,
-    /// Shard id from the journal's [`JournalRecord::ShardMeta`] stamp,
-    /// when present. The first stamp wins, like every other record.
+    /// Corrupt interior lines skipped during replay: CRC mismatches,
+    /// mangled frames, unparseable legacy lines. Each cost exactly one
+    /// record; callers surface the count as `journal_quarantined`.
+    pub quarantined: u64,
+    /// Shard id from the journal's header (or legacy `ShardMeta`)
+    /// stamp, when present. The first stamp wins, like every record.
     pub shard_id: Option<String>,
+    /// Compaction generation from the journal's header; 0 for legacy
+    /// journals written before headers existed.
+    pub generation: u64,
 }
 
 impl JournalState {
-    /// Replays the journal at `path`. Missing file replays to the
-    /// empty state (a fresh server with a journal configured but never
-    /// written).
-    pub fn replay(path: &Path) -> io::Result<JournalState> {
-        let file = match std::fs::File::open(path) {
-            Ok(f) => f,
-            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(JournalState::default()),
-            Err(e) => return Err(e),
-        };
+    /// Replays raw journal bytes. Infallible by design: corruption is
+    /// quarantined, a torn tail is flagged, invalid UTF-8 (bit rot can
+    /// produce it) corrupts only the lines it lands on.
+    pub fn replay_bytes(bytes: &[u8]) -> JournalState {
         let mut state = JournalState::default();
-        let mut accepted: BTreeMap<String, usize> = BTreeMap::new();
-        let lines: Vec<String> = io::BufReader::new(file).lines().collect::<Result<_, _>>()?;
-        let last = lines.len().saturating_sub(1);
+        let mut accepted: BTreeMap<String, ()> = BTreeMap::new();
+        let text = String::from_utf8_lossy(bytes);
+        let lines: Vec<&str> = text.split('\n').collect();
+        // a trailing newline yields one empty final fragment; real
+        // content in the final fragment means the newline never landed
+        let last_content = lines.iter().rposition(|l| !l.trim().is_empty()).unwrap_or(0);
+        let file_ends_in_newline = text.ends_with('\n');
         for (lineno, line) in lines.iter().enumerate() {
             if line.trim().is_empty() {
                 continue;
             }
-            let record: JournalRecord = match serde_json::from_str(line) {
-                Ok(r) => r,
-                Err(_) if lineno == last => {
+            let parsed = if line.starts_with(FRAME_PREFIX) {
+                parse_frame(line)
+            } else {
+                // legacy bare-record line from the pre-frame format
+                serde_json::from_str::<JournalRecord>(line).ok()
+            };
+            let Some(record) = parsed else {
+                if lineno == last_content && !file_ends_in_newline {
                     state.torn_tail = true;
-                    continue;
+                } else if lineno == last_content {
+                    // a whole final line that fails to parse is still
+                    // the torn-tail shape (crash between write and
+                    // sync can tear mid-line yet keep the newline)
+                    state.torn_tail = true;
+                } else {
+                    state.quarantined += 1;
                 }
-                Err(e) => {
-                    return Err(io::Error::new(
-                        io::ErrorKind::InvalidData,
-                        format!("journal line {}: {e}", lineno + 1),
-                    ));
-                }
+                continue;
             };
             match record {
+                JournalRecord::Header { generation, shard_id } => {
+                    if state.generation == 0 {
+                        state.generation = generation;
+                    }
+                    if state.shard_id.is_none() {
+                        state.shard_id = shard_id;
+                    }
+                }
                 JournalRecord::ShardMeta { shard_id } => {
                     if state.shard_id.is_none() {
                         state.shard_id = Some(shard_id);
@@ -144,7 +283,7 @@ impl JournalState {
                 }
                 JournalRecord::Accepted { request } => {
                     if !accepted.contains_key(&request.id) {
-                        accepted.insert(request.id.clone(), state.pending.len());
+                        accepted.insert(request.id.clone(), ());
                         state.pending.push(request);
                     }
                 }
@@ -154,7 +293,24 @@ impl JournalState {
             }
         }
         state.pending.retain(|r| !state.completed.contains_key(&r.id));
-        Ok(state)
+        state
+    }
+
+    /// Replays the journal at `path`. Missing file replays to the
+    /// empty state (a fresh server with a journal configured but never
+    /// written).
+    pub fn replay(path: &Path) -> io::Result<JournalState> {
+        let bytes = match std::fs::read(path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(JournalState::default()),
+            Err(e) => return Err(e),
+        };
+        Ok(JournalState::replay_bytes(&bytes))
+    }
+
+    /// Replays a journal through its [`JournalIo`] backend.
+    pub fn replay_io(io: &dyn JournalIo) -> io::Result<JournalState> {
+        Ok(JournalState::replay_bytes(&io.read()?))
     }
 
     /// Replays the journal at `path` and verifies it belongs to
@@ -165,20 +321,28 @@ impl JournalState {
     /// replay fine: the stamp is only checked when both sides name a
     /// shard.
     pub fn replay_expecting(path: &Path, expected: &str) -> io::Result<JournalState> {
-        let state = JournalState::replay(path)?;
-        if let Some(found) = &state.shard_id {
+        JournalState::replay(path)?.expect_shard(expected, &path.display().to_string())
+    }
+
+    /// [`Self::replay_io`] with the same cross-shard guard as
+    /// [`Self::replay_expecting`].
+    pub fn replay_io_expecting(io: &dyn JournalIo, expected: &str) -> io::Result<JournalState> {
+        JournalState::replay_io(io)?.expect_shard(expected, "journal")
+    }
+
+    fn expect_shard(self, expected: &str, label: &str) -> io::Result<JournalState> {
+        if let Some(found) = &self.shard_id {
             if found != expected {
                 return Err(io::Error::new(
                     io::ErrorKind::InvalidData,
                     format!(
-                        "journal {} belongs to shard '{found}', refusing to resume it as \
-                         shard '{expected}' — per-shard journals must not be merged",
-                        path.display()
+                        "journal {label} belongs to shard '{found}', refusing to resume it as \
+                         shard '{expected}' — per-shard journals must not be merged"
                     ),
                 ));
             }
         }
-        Ok(state)
+        Ok(self)
     }
 }
 
@@ -227,6 +391,8 @@ mod tests {
         assert_eq!(state.completed.len(), 1);
         assert_eq!(state.completed["a"].status, Status::Complete);
         assert!(!state.torn_tail);
+        assert_eq!(state.quarantined, 0);
+        assert_eq!(state.generation, 1, "fresh journal carries a generation-1 header");
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -235,30 +401,133 @@ mod tests {
         let state = JournalState::replay(Path::new("/nonexistent/usep/wal.jsonl")).unwrap();
         assert!(state.pending.is_empty());
         assert!(state.completed.is_empty());
+        assert_eq!(state.generation, 0);
     }
 
     #[test]
-    fn torn_final_line_is_tolerated_but_interior_corruption_is_not() {
+    fn torn_final_line_is_tolerated_and_interior_corruption_is_quarantined() {
         let dir = tempdir("torn");
         let path = dir.join("wal.jsonl");
         let journal = Journal::open(&path).unwrap();
         journal.append(&JournalRecord::Accepted { request: request("a") }).unwrap();
         drop(journal);
-        // simulate a crash mid-append: a half-written record at the tail
+        // simulate a crash mid-append: a half-written frame at the tail
         let mut raw = std::fs::read(&path).unwrap();
-        raw.extend_from_slice(b"{\"Accepted\":{\"requ");
+        raw.extend_from_slice(b"{\"len\":431,\"crc\":\"00ab");
         std::fs::write(&path, &raw).unwrap();
         let state = JournalState::replay(&path).unwrap();
         assert!(state.torn_tail);
+        assert_eq!(state.quarantined, 0, "a torn tail is not corruption");
         assert_eq!(state.pending.len(), 1);
 
-        // the same garbage *followed by* a valid line is corruption
+        // the same garbage *followed by* a valid line is interior
+        // corruption: quarantined (counted + skipped), never fatal
         let mut raw = std::fs::read(&path).unwrap();
         raw.extend_from_slice(b"\n");
         std::fs::write(&path, &raw).unwrap();
         let journal = Journal::open(&path).unwrap();
         journal.append(&JournalRecord::Accepted { request: request("b") }).unwrap();
-        assert!(JournalState::replay(&path).is_err());
+        let state = JournalState::replay(&path).unwrap();
+        assert!(!state.torn_tail);
+        assert_eq!(state.quarantined, 1);
+        assert_eq!(state.pending.len(), 2, "records around the rot must survive");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn single_flipped_byte_in_a_frame_is_quarantined() {
+        let dir = tempdir("rot");
+        let path = dir.join("wal.jsonl");
+        let journal = Journal::open(&path).unwrap();
+        journal.append(&JournalRecord::Accepted { request: request("a") }).unwrap();
+        journal.append(&JournalRecord::Accepted { request: request("b") }).unwrap();
+        drop(journal);
+        let mut raw = std::fs::read(&path).unwrap();
+        // flip one payload bit inside the *first* accept frame (an
+        // interior line), leaving the length intact
+        let needle = b"\"id\":\"a\"";
+        let pos = raw.windows(needle.len()).position(|w| w == needle).expect("id bytes")
+            + needle.len()
+            - 2;
+        raw[pos] ^= 0x04; // 'a' -> 'e' inside the first accept frame
+        std::fs::write(&path, &raw).unwrap();
+        let state = JournalState::replay(&path).unwrap();
+        assert_eq!(state.quarantined, 1);
+        assert_eq!(state.pending.len(), 1, "only the rotted record is lost");
+        assert_eq!(state.pending[0].id, "b");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn legacy_bare_record_lines_replay_alongside_frames() {
+        let dir = tempdir("legacy");
+        let path = dir.join("wal.jsonl");
+        // a pre-frame journal: bare records, ShardMeta stamp, no header
+        let legacy_meta = serde_json::to_string(&JournalRecord::ShardMeta {
+            shard_id: "shard-7".to_string(),
+        })
+        .unwrap();
+        let legacy_accept =
+            serde_json::to_string(&JournalRecord::Accepted { request: request("old") }).unwrap();
+        std::fs::write(&path, format!("{legacy_meta}\n{legacy_accept}\n")).unwrap();
+        // a post-upgrade server appends framed records to the same file
+        let journal = Journal::open(&path).unwrap();
+        journal.append(&JournalRecord::Accepted { request: request("new") }).unwrap();
+        let state = JournalState::replay(&path).unwrap();
+        assert_eq!(state.shard_id.as_deref(), Some("shard-7"));
+        assert_eq!(state.generation, 0, "legacy journals predate generations");
+        assert_eq!(state.pending.len(), 2);
+        assert_eq!(state.quarantined, 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn compaction_snapshots_state_bumps_generation_and_shrinks_the_file() {
+        let dir = tempdir("compact");
+        let path = dir.join("wal.jsonl");
+        let journal = Journal::open_labeled(&path, "shard-3").unwrap();
+        for i in 0..8 {
+            journal.append(&JournalRecord::Accepted { request: request(&format!("r{i}")) }).unwrap();
+        }
+        for i in 0..6 {
+            journal
+                .append(&JournalRecord::Completed {
+                    response: SolveResponse::bare(format!("r{i}"), Status::Complete),
+                })
+                .unwrap();
+        }
+        // plus some interior rot that compaction must not resurrect
+        let mut raw = std::fs::read(&path).unwrap();
+        let insert_at = raw.iter().position(|&b| b == b'\n').unwrap() + 1;
+        let mut rotted = raw[..insert_at].to_vec();
+        rotted.extend_from_slice(b"{\"len\":3,\"crc\":\"deadbeef\",\"rec\":{}}\n");
+        rotted.extend_from_slice(&raw[insert_at..]);
+        raw = rotted;
+        std::fs::write(&path, &raw).unwrap();
+
+        let before = JournalState::replay(&path).unwrap();
+        assert_eq!(before.quarantined, 1);
+        let grown = journal.len().unwrap();
+        journal.compact(&before).unwrap();
+        let after = JournalState::replay(&path).unwrap();
+
+        assert!(journal.len().unwrap() < grown, "compaction must shrink the journal");
+        assert_eq!(after.generation, before.generation + 1);
+        assert_eq!(after.quarantined, 0, "rot does not survive compaction");
+        assert_eq!(after.shard_id.as_deref(), Some("shard-3"));
+        assert_eq!(after.pending.len(), before.pending.len());
+        assert_eq!(
+            after.pending.iter().map(|r| r.id.clone()).collect::<Vec<_>>(),
+            before.pending.iter().map(|r| r.id.clone()).collect::<Vec<_>>(),
+            "pending order is the dead server's acceptance order"
+        );
+        assert_eq!(after.completed.len(), before.completed.len());
+        // compacting again is idempotent on the logical state
+        journal.compact(&after).unwrap();
+        let again = JournalState::replay(&path).unwrap();
+        assert_eq!(again.generation, after.generation + 1);
+        assert_eq!(again.completed.len(), after.completed.len());
+        assert_eq!(again.pending.len(), after.pending.len());
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -334,7 +603,7 @@ mod tests {
 
         let state = JournalState::replay(&path).unwrap();
         assert_eq!(state.completed["a"].status, Status::Complete, "first record must win");
-        assert!(state.shard_id.is_none(), "unstamped journal has no shard id");
+        assert!(state.shard_id.is_none(), "unlabeled journal has no shard id");
         assert!(
             matches!(state.completed["b"].status, Status::Truncated { .. }),
             "acceptless completion is still an answer"
@@ -388,11 +657,11 @@ mod tests {
         let stamps = std::fs::read_to_string(&path)
             .unwrap()
             .lines()
-            .filter(|l| l.contains("ShardMeta"))
+            .filter(|l| l.contains("Header"))
             .count();
         assert_eq!(stamps, 1, "reopen must not re-stamp a labeled journal");
 
-        // an unstamped (legacy) journal replays under any expectation
+        // an unlabeled journal replays under any expectation
         let legacy = dir.join("legacy.wal.jsonl");
         let journal = Journal::open(&legacy).unwrap();
         journal.append(&JournalRecord::Accepted { request: request("r3") }).unwrap();

@@ -27,10 +27,14 @@
 //!   exponential backoff with deterministic jitter, rather than
 //!   re-running the same solver into the same wall.
 //! * **Crash-safe journal** ([`journal`]) — an append-only JSON-lines
-//!   write-ahead journal, fsynced on accept and on completion. A
-//!   restarted server (`usep serve --resume <journal>`) re-enqueues
-//!   accepted-but-incomplete requests and answers duplicate ids from
-//!   the journaled completion cache without re-solving.
+//!   write-ahead journal, fsynced on accept and on completion, with
+//!   length+CRC32 framed records behind a pluggable [`JournalIo`]
+//!   backend. Replay quarantines corrupt records (counted, skipped,
+//!   never fatal), and a restarted server (`usep serve --resume
+//!   <journal>`) compacts the journal to a generation-stamped
+//!   snapshot, re-enqueues accepted-but-incomplete requests and
+//!   answers duplicate ids from the journaled completion cache
+//!   without re-solving.
 //! * **Observability plane** ([`obs`]) — a Prometheus-text `/metrics`
 //!   listener on its own port (`--metrics-addr`), request-scoped
 //!   tracing (every span under a solve carries the request id and
@@ -43,6 +47,7 @@
 pub mod admission;
 pub mod backoff;
 pub mod client;
+pub mod io;
 pub mod journal;
 pub mod obs;
 pub mod protocol;
@@ -51,6 +56,7 @@ pub mod server;
 pub use admission::{Admission, ShedReason, Ticket};
 pub use backoff::RetryPolicy;
 pub use client::send_request;
+pub use io::{compact_tmp_path, crc32, JournalIo, StdIo};
 pub use journal::{Journal, JournalRecord, JournalState};
 pub use obs::ServeMetrics;
 pub use protocol::{

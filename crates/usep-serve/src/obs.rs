@@ -30,7 +30,7 @@ use std::time::Instant;
 use crate::admission::Admission;
 use usep_algos::Algorithm;
 use usep_obs::{FlightRecorder, MetricsRegistry};
-use usep_trace::{Counter, Histogram, TraceSink};
+use usep_trace::{Counter, TraceSink};
 
 /// Every algorithm a response's `executed` field can name.
 const EXECUTABLE: [Algorithm; 8] = [
@@ -66,6 +66,9 @@ pub struct ServeMetrics {
     pub failed_panic: Arc<AtomicU64>,
     /// Solves that ended `Failed` on the infeasible-planning quarantine.
     pub failed_infeasible: Arc<AtomicU64>,
+    /// Requests shed with a typed `Failed` because the write-ahead
+    /// journal could not durably record them (ENOSPC, dead disk).
+    pub failed_journal: Arc<AtomicU64>,
     /// Requests answered by a tier below the one they asked for,
     /// labelled by the executing algorithm.
     degraded: Vec<(&'static str, Arc<AtomicU64>)>,
@@ -177,6 +180,11 @@ impl ServeMetrics {
             "Solves answered Failed, by reason.",
             vec![("reason", "infeasible".to_string())],
         );
+        let failed_journal = registry.counter_cell(
+            "usep_serve_failed_total",
+            "Solves answered Failed, by reason.",
+            vec![("reason", "journal".to_string())],
+        );
         let degraded: Vec<(&'static str, Arc<AtomicU64>)> = EXECUTABLE
             .iter()
             .map(|a| {
@@ -262,7 +270,7 @@ impl ServeMetrics {
         ] {
             let sink = Arc::clone(&sink);
             registry.histogram_fn(name, help, vec![], move || {
-                sink.histogram(key).unwrap_or_else(Histogram::new)
+                sink.histogram(key).unwrap_or_default()
             });
         }
 
@@ -277,6 +285,7 @@ impl ServeMetrics {
             completed_truncated,
             failed_panic,
             failed_infeasible,
+            failed_journal,
             degraded,
             inflight,
         }

@@ -18,6 +18,7 @@
 
 use crate::admission::{Admission, ShedReason, Ticket};
 use crate::backoff::{seed_from_id, RetryPolicy};
+use crate::io::{JournalIo, StdIo};
 use crate::journal::{Journal, JournalRecord, JournalState};
 use crate::obs::ServeMetrics;
 use crate::protocol::{
@@ -62,6 +63,12 @@ pub struct ServeConfig {
     pub default_algorithm: Algorithm,
     /// Write-ahead journal path; `None` disables durability.
     pub journal: Option<PathBuf>,
+    /// Journal storage backend override. When set, it wins over
+    /// `journal`: the write-ahead log goes through this [`JournalIo`]
+    /// instead of a file. This is how `usep-chaos` slots its seeded
+    /// `FaultyIo` (torn writes, lying fsyncs, bit rot, ENOSPC) under a
+    /// real server without the server knowing.
+    pub journal_io: Option<Arc<dyn JournalIo>>,
     /// Replay the journal before serving: re-enqueue accepted-but-
     /// incomplete requests, remember completed ids.
     pub resume: bool,
@@ -107,6 +114,7 @@ impl Default for ServeConfig {
             max_mem_budget_bytes: None,
             default_algorithm: Algorithm::DeDPO,
             journal: None,
+            journal_io: None,
             resume: false,
             retry: RetryPolicy::default(),
             conn_read_timeout: Duration::from_secs(30),
@@ -236,10 +244,18 @@ impl Server {
     /// Binds, replays the journal when resuming, spawns the worker and
     /// accept threads, and returns the running server's handle.
     pub fn start(cfg: ServeConfig) -> std::io::Result<ServerHandle> {
-        let resumed_state = match (&cfg.journal, cfg.resume) {
-            (Some(path), true) => match &cfg.shard_id {
-                Some(shard) => JournalState::replay_expecting(path, shard)?,
-                None => JournalState::replay(path)?,
+        // Resolve the journal backend: an explicit JournalIo override
+        // wins (fault injection, tests); otherwise a path becomes the
+        // production StdIo; otherwise durability is off.
+        let journal_io: Option<Arc<dyn JournalIo>> = match (&cfg.journal_io, &cfg.journal) {
+            (Some(io), _) => Some(Arc::clone(io)),
+            (None, Some(path)) => Some(Arc::new(StdIo::open(path)?)),
+            (None, None) => None,
+        };
+        let resumed_state = match (&journal_io, cfg.resume) {
+            (Some(io), true) => match &cfg.shard_id {
+                Some(shard) => JournalState::replay_io_expecting(io.as_ref(), shard)?,
+                None => JournalState::replay_io(io.as_ref())?,
             },
             (None, true) => {
                 return Err(std::io::Error::new(
@@ -249,13 +265,8 @@ impl Server {
             }
             _ => JournalState::default(),
         };
-        let journal = cfg
-            .journal
-            .as_deref()
-            .map(|path| match &cfg.shard_id {
-                Some(shard) => Journal::open_labeled(path, shard),
-                None => Journal::open(path),
-            })
+        let journal = journal_io
+            .map(|io| Journal::from_io(io, cfg.shard_id.as_deref()))
             .transpose()?;
         let listener = TcpListener::bind(&cfg.addr)?;
         let addr = listener.local_addr()?;
@@ -278,6 +289,46 @@ impl Server {
             }
             None => (None, None),
         };
+
+        // Surface what replay had to survive, then compact: the resumed
+        // state is re-snapshotted as one generation-stamped header plus
+        // the live records, atomically — so journals shrink instead of
+        // growing without bound across --resume cycles, and quarantined
+        // rot does not ride along forever.
+        if resumed_state.quarantined > 0 {
+            sink.count(Counter::JournalQuarantine, resumed_state.quarantined);
+            obs.recorder.record(
+                "quarantine",
+                None,
+                format!("{} corrupt journal record(s) skipped on replay", resumed_state.quarantined),
+            );
+            eprintln!(
+                "usep-serve: quarantined {} corrupt journal record(s) on replay",
+                resumed_state.quarantined
+            );
+        }
+        if cfg.resume {
+            if let Some(j) = &journal {
+                match j.compact(&resumed_state) {
+                    Ok(()) => {
+                        sink.count(Counter::JournalCompaction, 1);
+                        obs.recorder.record(
+                            "compact",
+                            None,
+                            format!(
+                                "journal compacted to generation {} ({} pending, {} completed)",
+                                resumed_state.generation + 1,
+                                resumed_state.pending.len(),
+                                resumed_state.completed.len()
+                            ),
+                        );
+                    }
+                    // Non-fatal: an append-only journal that cannot be
+                    // compacted is still a correct journal, just a big one.
+                    Err(e) => eprintln!("usep-serve: journal compaction failed: {e}"),
+                }
+            }
+        }
 
         let inner = Arc::new(Inner {
             admission,
@@ -570,14 +621,24 @@ fn handle_connection(
 
         // Write-ahead: the accept record is durable before the solve
         // can begin; a crash after this point re-enqueues on resume.
+        // A failed append (ENOSPC, dead disk) sheds THIS request with a
+        // typed Failed response — the connection stays up and the next
+        // request gets its own chance, because a full disk is the
+        // request's problem, not the TCP session's.
         if let Err(e) =
             inner.journal_append(&JournalRecord::Accepted { request: request.clone() })
         {
+            inner.sink.count(Counter::ServeJournalFail, 1);
+            obs.failed_journal.fetch_add(1, Ordering::Relaxed);
+            obs.recorder
+                .record("journal_fail", Some(&request.id), format!("accept append: {e}"));
             let response = SolveResponse::bare(
                 request.id.clone(),
-                Status::Rejected { error: format!("journal unavailable: {e}") },
+                Status::Failed { panic: format!("journal unavailable: {e}") },
             );
-            let _ = write_response(&mut stream, &response);
+            if write_response(&mut stream, &response).is_err() {
+                break;
+            }
             continue; // ticket drops, slot returns
         }
         inner.sink.count(Counter::ServeAccept, 1);
@@ -663,9 +724,17 @@ fn process_job(inner: &Arc<Inner>, job: Job) {
         format!("{} omega={:.3} retries={}", response.status.describe(), response.omega, response.retries),
     );
 
+    // A completion that fails to journal still answers the client (the
+    // work is done) — but it is counted: after a crash this id would
+    // re-solve, so the exactly-once cache now leans on the in-memory
+    // map alone.
     if let Err(e) =
         inner.journal_append(&JournalRecord::Completed { response: response.clone() })
     {
+        inner.sink.count(Counter::ServeJournalFail, 1);
+        obs.failed_journal.fetch_add(1, Ordering::Relaxed);
+        obs.recorder
+            .record("journal_fail", Some(&response.id), format!("completion append: {e}"));
         eprintln!("usep-serve: journal append failed for '{}': {e}", response.id);
     }
     inner
@@ -674,11 +743,15 @@ fn process_job(inner: &Arc<Inner>, job: Job) {
         .unwrap_or_else(|p| p.into_inner())
         .entry(response.id.clone())
         .or_insert_with(|| response.clone());
+    // Release the slot and leave the inflight gauge *before* the reply
+    // goes out: once a client holds its response, a scrape must satisfy
+    // accepted == completed + failed + inflight — replying first opened
+    // a window where the finished job still looked inflight.
+    drop(job.ticket); // release queue slot + ledger bytes
+    obs.inflight.fetch_sub(1, Ordering::Relaxed);
     if let Some(reply) = &job.reply {
         let _ = reply.send(response);
     }
-    drop(job.ticket); // release queue slot + ledger bytes
-    obs.inflight.fetch_sub(1, Ordering::Relaxed);
 
     let done = inner.completions.fetch_add(1, Ordering::SeqCst) + 1;
     if inner.cfg.max_requests.is_some_and(|max| done >= max) {

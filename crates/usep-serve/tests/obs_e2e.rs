@@ -116,7 +116,7 @@ fn metrics_journal_and_flight_recorder_tell_one_story() {
 
     // -- the dump verb on the solve socket ---------------------------
     line.clear();
-    writeln!(stream, "{}", r#"{"verb":"dump"}"#).unwrap();
+    writeln!(stream, "{{\"verb\":\"dump\"}}").unwrap();
     reader.read_line(&mut line).unwrap();
     assert!(line.contains("\"type\":\"flight_recorder\""), "{line}");
     for id in ids {

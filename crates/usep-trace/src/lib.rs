@@ -111,11 +111,24 @@ pub enum Counter {
     /// Duplicate request id answered from the router's fleet-level
     /// completion cache without touching a shard.
     FleetReplay,
+    /// Corrupt journal record detected by its CRC frame and skipped
+    /// (quarantined) during replay instead of aborting the resume.
+    JournalQuarantine,
+    /// Journal snapshot+compaction executed (atomic tmp-file rename of
+    /// the replayed state over the append-only history).
+    JournalCompaction,
+    /// Request shed with a typed `Failed` response because a journal
+    /// append (accept or completion record) returned an I/O error.
+    ServeJournalFail,
+    /// One disk or network fault injected by the `usep-chaos` plan.
+    ChaosFault,
+    /// One seeded chaos scenario executed end to end.
+    ChaosScenario,
 }
 
 impl Counter {
     /// Every counter, in registry order.
-    pub const ALL: [Counter; 30] = [
+    pub const ALL: [Counter; 35] = [
         Counter::HeapPush,
         Counter::HeapPop,
         Counter::HeapPopStale,
@@ -146,6 +159,11 @@ impl Counter {
         Counter::FleetRestart,
         Counter::FleetShed,
         Counter::FleetReplay,
+        Counter::JournalQuarantine,
+        Counter::JournalCompaction,
+        Counter::ServeJournalFail,
+        Counter::ChaosFault,
+        Counter::ChaosScenario,
     ];
 
     /// The stable snake_case identifier used in traces and tables.
@@ -181,6 +199,11 @@ impl Counter {
             Counter::FleetRestart => "fleet_restart",
             Counter::FleetShed => "fleet_shed",
             Counter::FleetReplay => "fleet_replay",
+            Counter::JournalQuarantine => "journal_quarantined",
+            Counter::JournalCompaction => "journal_compacted",
+            Counter::ServeJournalFail => "serve_journal_fail",
+            Counter::ChaosFault => "chaos_fault_injected",
+            Counter::ChaosScenario => "chaos_scenario",
         }
     }
 }
@@ -342,9 +365,17 @@ impl Probe for NoopProbe {}
 /// flushes once into the shared probe when the worker finishes (or
 /// stops on a guard trip), so the shared atomics see one contended
 /// write per worker per section instead of one per element.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct LocalCounters {
     deltas: [u64; Counter::ALL.len()],
+}
+
+// hand-written: the derive needs `[u64; N]: Default`, which the stdlib
+// only provides for N <= 32 and the counter registry outgrew that
+impl Default for LocalCounters {
+    fn default() -> LocalCounters {
+        LocalCounters { deltas: [0; Counter::ALL.len()] }
+    }
 }
 
 impl LocalCounters {
