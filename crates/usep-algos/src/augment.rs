@@ -51,6 +51,29 @@ pub fn augment_with_ratio_greedy_guarded(
     added
 }
 
+/// Runs the RatioGreedy augmentation engine restricted to an explicit
+/// event subset: only pairs `(v, u)` with `v ∈ events` are considered,
+/// existing schedules are respected, and assignments are only ever
+/// added. This is the bounded-repair primitive of `usep-delta` — after
+/// a mutation touches one event (or a handful), repairing against just
+/// those events keeps per-mutation work proportional to the touched
+/// set instead of the whole instance. Returns the number of
+/// assignments added.
+pub fn augment_events_with_ratio_greedy(
+    inst: &Instance,
+    planning: &mut Planning,
+    events: &[EventId],
+    probe: &dyn Probe,
+) -> usize {
+    let before = planning.num_assignments();
+    with_span(probe, "augment_rg", || {
+        run_ratio_greedy(inst, planning, events, Guard::none(), probe)
+    });
+    let added = planning.num_assignments() - before;
+    probe.count(Counter::AugmentSwap, added as u64);
+    added
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -34,7 +34,7 @@ pub mod local_search;
 pub mod maxmin;
 pub mod ratio_greedy;
 
-pub use augment::augment_with_ratio_greedy;
+pub use augment::{augment_events_with_ratio_greedy, augment_with_ratio_greedy};
 pub use baseline::{SingleEventGreedy, UtilityGreedy};
 pub use bounds::best_upper_bound;
 pub use dedp::{optimal_user_schedule, DeDP, DeDPO};

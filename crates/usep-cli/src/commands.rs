@@ -67,6 +67,19 @@ SUBCOMMANDS:
               0 on complete, 3 on truncated, 1 otherwise; --city NAME
               labels the request for fleet routing, --fleet true
               defaults the address to the fleet router's port)
+    delta     run the incremental-replanning harness: --fuzz N replays N
+              seeded mutation traces (event add/remove, capacity change,
+              user arrive/depart, μ updates) through the warm delta
+              engine, with the independent oracle validator re-checking
+              the planning after every single mutation and the
+              differential referee holding Ω within --drift-bound of a
+              cold solve (--seed S, --mutations M, --events E,
+              --users U size the traces; --min-repair-fraction X fails
+              the run if fewer than X of all mutations were absorbed by
+              bounded repair; --repro-out FILE writes a kind-preserving
+              minimized JSON repro of the first failing trace).
+              --trace-in FILE instead replays one saved trace — e.g. a
+              repro a failing campaign wrote — under the same referee
     chaos     run the deterministic fault-injection campaign: N seeded
               scenarios composing disk faults (torn writes, lying
               fsyncs, bit rot, ENOSPC), a hostile network proxy,
@@ -118,6 +131,7 @@ pub fn dispatch(argv: &[String]) -> Result<u8, String> {
         "stats" => cmd_stats(&flags).map(|()| 0),
         "validate" => cmd_validate(&flags).map(|()| 0),
         "verify" => cmd_verify(&flags).map(|()| 0),
+        "delta" => cmd_delta(&flags).map(|()| 0),
         "chaos" => cmd_chaos(&flags).map(|()| 0),
         "bound" => cmd_bound(&flags).map(|()| 0),
         "convert" => cmd_convert(&flags).map(|()| 0),
@@ -486,6 +500,108 @@ fn cmd_verify(flags: &Flags) -> Result<(), String> {
         }
     }
     Err(format!("{label}: {} violation(s) found after {checks} oracle checks", findings.len()))
+}
+
+/// `usep delta`: the incremental-replanning harness. `--fuzz N` runs N
+/// seeded mutation traces through the warm [`usep_delta::DeltaEngine`]
+/// with the oracle's independent constraint validator re-checking the
+/// planning after every mutation; `--trace-in FILE` replays one saved
+/// trace (typically a minimized repro from a failing campaign). CI is
+/// `usep delta --fuzz 300 --seed 42 --min-repair-fraction 0.9`.
+fn cmd_delta(flags: &Flags) -> Result<(), String> {
+    use usep_delta::{DeltaFuzzConfig, MutationTrace, RefereeConfig};
+
+    let trace_in = flags.get("trace-in");
+    let fuzz = flags
+        .get("fuzz")
+        .map(|s| s.parse::<usize>())
+        .transpose()
+        .map_err(|e| format!("bad --fuzz: {e}"))?;
+    let seed = flags.get_or("seed", 42u64)?;
+    let mutations = flags.get_or("mutations", 40usize)?;
+    let events = flags.get_or("events", 8usize)?;
+    let users = flags.get_or("users", 12usize)?;
+    let referee = RefereeConfig {
+        drift_bound: flags.get_or("drift-bound", RefereeConfig::default().drift_bound)?,
+        ..RefereeConfig::default()
+    };
+    let min_repair = flags
+        .get("min-repair-fraction")
+        .map(|s| s.parse::<f64>())
+        .transpose()
+        .map_err(|e| format!("bad --min-repair-fraction: {e}"))?;
+    let repro_out = flags.get("repro-out");
+    flags.reject_unknown()?;
+    let sink = TraceSink::new();
+
+    match (trace_in, fuzz) {
+        (Some(path), None) => {
+            let json =
+                std::fs::read_to_string(&path).map_err(|e| format!("read {path}: {e}"))?;
+            let trace: MutationTrace =
+                serde_json::from_str(&json).map_err(|e| format!("parse {path}: {e}"))?;
+            let report =
+                usep_delta::run_trace(&trace, &referee, &sink, &usep_oracle::oracle_step_check)
+                    .map_err(|f| {
+                        format!("{path}: step {} failed ({:?}): {}", f.step, f.kind, f.detail)
+                    })?;
+            println!(
+                "{path}: {} mutations clean — {} bounded repairs / {} full resolves, \
+                 final Ω {:.4} (cold {:.4}), worst Ω ratio {:.4}",
+                report.steps,
+                report.repairs,
+                report.fallbacks,
+                report.final_omega,
+                report.final_omega_cold,
+                report.min_omega_ratio
+            );
+            Ok(())
+        }
+        (None, Some(traces)) => {
+            let cfg = DeltaFuzzConfig { traces, seed, mutations, events, users, referee };
+            let report = usep_oracle::run_oracle_delta_fuzz(&cfg, &sink);
+            println!(
+                "delta fuzz --seed {seed}: {} traces, {} mutations — {:.1}% bounded repair \
+                 ({} repairs / {} full resolves), worst Ω ratio {:.4}",
+                report.traces,
+                report.steps,
+                100.0 * report.repair_fraction(),
+                report.repairs,
+                report.fallbacks,
+                report.min_omega_ratio
+            );
+            if !report.findings.is_empty() {
+                for f in &report.findings {
+                    println!(
+                        "trace seed {}: step {} failed ({:?}): {} — minimized to {} mutation(s)",
+                        f.seed,
+                        f.failure.step,
+                        f.failure.kind,
+                        f.failure.detail,
+                        f.minimized.mutations.len()
+                    );
+                }
+                if let Some(out) = repro_out {
+                    let json = serde_json::to_string(&report.findings[0].minimized)
+                        .map_err(|e| e.to_string())?;
+                    std::fs::write(&out, json).map_err(|e| format!("write {out}: {e}"))?;
+                    eprintln!("wrote minimized repro {out} (replay: usep delta --trace-in {out})");
+                }
+                return Err(format!("delta fuzz: {} failing trace(s)", report.findings.len()));
+            }
+            if let Some(floor) = min_repair {
+                if report.repair_fraction() < floor {
+                    return Err(format!(
+                        "delta fuzz: bounded-repair fraction {:.3} below the --min-repair-fraction \
+                         floor {floor} — the engine is falling back to full resolves too often",
+                        report.repair_fraction()
+                    ));
+                }
+            }
+            Ok(())
+        }
+        _ => Err("delta needs exactly one of --trace-in FILE or --fuzz N".into()),
+    }
 }
 
 /// `usep chaos`: the deterministic fault-injection campaign. Seeded

@@ -12,6 +12,10 @@
 //! usep validate --instance instance.json --plan plan.json
 //! usep verify [--instance instance.json | --fuzz 500] [--seed 42]
 //!             [--metamorphic-every 5] [--repro-out repro.json]
+//! usep delta [--fuzz 300 | --trace-in repro.json] [--seed 42]
+//!            [--mutations 40] [--events 8] [--users 12]
+//!            [--drift-bound 0.3] [--min-repair-fraction 0.9]
+//!            [--repro-out repro.json]
 //! usep bound --instance instance.json [--plan plan.json] [--threads N]
 //! usep serve --addr 127.0.0.1:7878 [--workers N] [--queue N]
 //!            [--journal wal.jsonl] [--resume true] [--max-requests N]

@@ -139,18 +139,185 @@ impl FlatInstance {
         let capacity: Vec<u32> = inst.events().iter().map(|e| e.capacity).collect();
         let budget: Vec<Cost> = inst.users().iter().map(|u| u.budget).collect();
 
-        let mut conflict = vec![0u64; nv * words];
-        for i in 0..nv {
-            let row = &mut conflict[i * words..(i + 1) * words];
-            for j in 0..nv {
-                let conflicts = i == j || (start[i] < end[j] && start[j] < end[i]);
-                if conflicts {
-                    row[j / 64] |= 1u64 << (j % 64);
+        let conflict = build_conflict(&start, &end, words);
+
+        FlatInstance { nv, nu, words, mu, to, from, rt, vv, start, end, capacity, budget, conflict }
+    }
+
+    /// A copy with one capacity cell amended — the capacity-change
+    /// patch path ([`Instance::patch_set_capacity`]); every other array
+    /// is a verbatim memcpy of the frozen original.
+    pub(crate) fn amend_capacity(&self, v: EventId, capacity: u32) -> FlatInstance {
+        let mut f = self.clone();
+        f.capacity[v.index()] = capacity;
+        f
+    }
+
+    /// A copy with one μ cell amended (`Instance::patch_set_mu`).
+    pub(crate) fn amend_mu(&self, v: EventId, u: UserId, mu: f32) -> FlatInstance {
+        let mut f = self.clone();
+        f.mu[u.index() * self.nv + v.index()] = mu;
+        f
+    }
+
+    /// A copy with one user row appended. `inst` must already hold the
+    /// new user at index `u`; existing rows are memcpy'd and only the
+    /// new user's `|V|` leg costs are derived.
+    pub(crate) fn amend_add_user(&self, inst: &Instance, u: UserId) -> FlatInstance {
+        let mut f = self.clone();
+        f.nu += 1;
+        f.mu.extend_from_slice(inst.mu_row(u));
+        for v in inst.event_ids() {
+            let t = inst.cost_to_event(u, v);
+            let b = inst.cost_from_event(v, u);
+            f.to.push(t);
+            f.from.push(b);
+            f.rt.push(t.add(b));
+        }
+        f.budget.push(inst.user(u).budget);
+        f
+    }
+
+    /// A copy with user `u`'s row swap-removed (the last row moves into
+    /// `u`'s slot, mirroring `Vec::swap_remove` on the object arrays).
+    pub(crate) fn amend_remove_user(&self, u: UserId) -> FlatInstance {
+        let mut f = self.clone();
+        let nv = self.nv;
+        let last = f.nu - 1;
+        swap_remove_row(&mut f.mu, u.index(), last, nv);
+        swap_remove_row(&mut f.to, u.index(), last, nv);
+        swap_remove_row(&mut f.from, u.index(), last, nv);
+        swap_remove_row(&mut f.rt, u.index(), last, nv);
+        f.budget.swap_remove(u.index());
+        f.nu -= 1;
+        f
+    }
+
+    /// A copy with one event column appended. `inst` must already hold
+    /// the new event at index `v` (the last index): per-user rows are
+    /// re-laid-out to the new stride with only the appended cell
+    /// derived, the `vv` matrix gains one computed row and column, and
+    /// the conflict bitmask is re-derived from the interval endpoints
+    /// (pure bit work — no cost recomputation anywhere).
+    pub(crate) fn amend_add_event(&self, inst: &Instance, v: EventId) -> FlatInstance {
+        let nv = self.nv + 1;
+        debug_assert_eq!(v.index(), self.nv);
+        let nu = self.nu;
+        let words = nv.div_ceil(64);
+
+        let mut mu = Vec::with_capacity(nu * nv);
+        let mut to = Vec::with_capacity(nu * nv);
+        let mut from = Vec::with_capacity(nu * nv);
+        let mut rt = Vec::with_capacity(nu * nv);
+        for ui in 0..nu {
+            let u = UserId(ui as u32);
+            let row = ui * self.nv;
+            mu.extend_from_slice(&self.mu[row..row + self.nv]);
+            mu.push(inst.mu_row(u)[v.index()]);
+            to.extend_from_slice(&self.to[row..row + self.nv]);
+            from.extend_from_slice(&self.from[row..row + self.nv]);
+            rt.extend_from_slice(&self.rt[row..row + self.nv]);
+            let t = inst.cost_to_event(u, v);
+            let b = inst.cost_from_event(v, u);
+            to.push(t);
+            from.push(b);
+            rt.push(t.add(b));
+        }
+
+        let mut vv = Vec::with_capacity(nv * nv);
+        for i in 0..self.nv {
+            vv.extend_from_slice(&self.vv[i * self.nv..(i + 1) * self.nv]);
+            vv.push(inst.cost_vv(EventId(i as u32), v));
+        }
+        for j in 0..nv {
+            vv.push(inst.cost_vv(v, EventId(j as u32)));
+        }
+
+        let mut start = self.start.clone();
+        let mut end = self.end.clone();
+        let mut capacity = self.capacity.clone();
+        start.push(inst.event(v).time.start());
+        end.push(inst.event(v).time.end());
+        capacity.push(inst.event(v).capacity);
+        let conflict = build_conflict(&start, &end, words);
+
+        FlatInstance {
+            nv,
+            nu,
+            words,
+            mu,
+            to,
+            from,
+            rt,
+            vv,
+            start,
+            end,
+            capacity,
+            budget: self.budget.clone(),
+            conflict,
+        }
+    }
+
+    /// A copy with event `v`'s column swap-removed (the last event's
+    /// column moves into `v`'s slot). Pure re-layout: no cost is
+    /// recomputed, the conflict mask is re-derived from endpoints.
+    pub(crate) fn amend_remove_event(&self, v: EventId) -> FlatInstance {
+        let old_nv = self.nv;
+        let nv = old_nv - 1;
+        let nu = self.nu;
+        let words = nv.div_ceil(64);
+        // column map: dense index in the shrunk layout → old index
+        let old_col = |j: usize| if j == v.index() { old_nv - 1 } else { j };
+
+        let shrink_rows = |arr: &[Cost]| -> Vec<Cost> {
+            let mut out = Vec::with_capacity(nu * nv);
+            for ui in 0..nu {
+                let row = &arr[ui * old_nv..(ui + 1) * old_nv];
+                for j in 0..nv {
+                    out.push(row[old_col(j)]);
                 }
+            }
+            out
+        };
+        let mut mu = Vec::with_capacity(nu * nv);
+        for ui in 0..nu {
+            let row = &self.mu[ui * old_nv..(ui + 1) * old_nv];
+            for j in 0..nv {
+                mu.push(row[old_col(j)]);
             }
         }
 
-        FlatInstance { nv, nu, words, mu, to, from, rt, vv, start, end, capacity, budget, conflict }
+        let mut vv = Vec::with_capacity(nv * nv);
+        for i in 0..nv {
+            let row = &self.vv[old_col(i) * old_nv..(old_col(i) + 1) * old_nv];
+            for j in 0..nv {
+                vv.push(row[old_col(j)]);
+            }
+        }
+
+        let mut start = self.start.clone();
+        let mut end = self.end.clone();
+        let mut capacity = self.capacity.clone();
+        start.swap_remove(v.index());
+        end.swap_remove(v.index());
+        capacity.swap_remove(v.index());
+        let conflict = build_conflict(&start, &end, words);
+
+        FlatInstance {
+            nv,
+            nu,
+            words,
+            mu,
+            to: shrink_rows(&self.to),
+            from: shrink_rows(&self.from),
+            rt: shrink_rows(&self.rt),
+            vv,
+            start,
+            end,
+            capacity,
+            budget: self.budget.clone(),
+            conflict,
+        }
     }
 
     /// Words per conflict/occupancy row (`⌈|V| / 64⌉`).
@@ -200,6 +367,34 @@ impl FlatInstance {
             + nu * std::mem::size_of::<Cost>()      // budget
             + nv * words * std::mem::size_of::<u64>() // conflict
     }
+}
+
+/// Builds the `|V| × words` time-conflict bitmask from interval
+/// endpoints — shared by [`FlatInstance::build`] and the patch-path
+/// amendments so both derive the identical predicate.
+fn build_conflict(start: &[i64], end: &[i64], words: usize) -> Vec<u64> {
+    let nv = start.len();
+    let mut conflict = vec![0u64; nv * words];
+    for i in 0..nv {
+        let row = &mut conflict[i * words..(i + 1) * words];
+        for j in 0..nv {
+            let conflicts = i == j || (start[i] < end[j] && start[j] < end[i]);
+            if conflicts {
+                row[j / 64] |= 1u64 << (j % 64);
+            }
+        }
+    }
+    conflict
+}
+
+/// In-place `Vec::swap_remove` of row `row` in a `stride`-strided
+/// row-major matrix with `last + 1` rows: the last row moves into
+/// `row`'s slot, then the vector shrinks by one row.
+fn swap_remove_row<T: Copy>(arr: &mut Vec<T>, row: usize, last: usize, stride: usize) {
+    if row != last {
+        arr.copy_within(last * stride..(last + 1) * stride, row * stride);
+    }
+    arr.truncate(last * stride);
 }
 
 impl CoreView for FlatInstance {

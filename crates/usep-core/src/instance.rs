@@ -107,6 +107,8 @@ impl From<InstanceData> for Instance {
     }
 }
 
+pub mod patch;
+
 impl Instance {
     fn assemble(
         events: Vec<Event>,

@@ -68,6 +68,7 @@ pub use fairness::FairnessStats;
 pub use flat::{object_path_forced, with_object_path, FlatInstance};
 pub use geo::Point;
 pub use ids::{EventId, UserId};
+pub use instance::patch::PatchError;
 pub use instance::{Instance, InstanceBuilder, TravelCost};
 pub use planning::Planning;
 pub use schedule::{InsertError, Schedule};

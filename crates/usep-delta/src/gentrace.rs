@@ -1,0 +1,248 @@
+//! Seeded mutation-trace generator.
+//!
+//! Produces replayable [`MutationTrace`]s from a `u64` seed via a
+//! SplitMix64 stream: a random grid instance plus a mutation sequence
+//! that tracks live stable ids exactly the way [`DeltaEngine`] assigns
+//! them (initial entities `0..n`, arrivals take the next counter).
+//! The mix is deliberately adversarial — it re-adds removed events
+//! with identical parameters (remove-then-readd), shrinks capacities
+//! below current attendance, and zeroes μ cells — because those are
+//! the paths where an incremental engine diverges from a cold solve if
+//! its bookkeeping is wrong.
+//!
+//! [`DeltaEngine`]: crate::engine::DeltaEngine
+
+use usep_core::{Cost, EventId, InstanceBuilder, Point, TimeInterval, UserId};
+
+use crate::mutation::{MuEntry, Mutation, MutationTrace};
+
+/// Shape of a generated trace.
+#[derive(Clone, Copy, Debug)]
+pub struct TraceGenConfig {
+    /// Seed for the SplitMix64 stream.
+    pub seed: u64,
+    /// Mutations to generate.
+    pub mutations: usize,
+    /// Events in the starting instance.
+    pub events: usize,
+    /// Users in the starting instance.
+    pub users: usize,
+}
+
+impl Default for TraceGenConfig {
+    fn default() -> TraceGenConfig {
+        TraceGenConfig { seed: 0, mutations: 40, events: 8, users: 12 }
+    }
+}
+
+/// SplitMix64 — tiny, seedable, and good enough for trace generation.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n.max(1)
+    }
+
+    fn unit(&mut self) -> f32 {
+        (self.next() >> 40) as f32 / (1u64 << 24) as f32
+    }
+
+    fn chance(&mut self, percent: u64) -> bool {
+        self.below(100) < percent
+    }
+}
+
+/// Parameters of a live event, kept so that removing one can later
+/// re-add "the same" event (fresh stable id, identical payload).
+#[derive(Clone)]
+struct EventParams {
+    capacity: u32,
+    location: Point,
+    time: TimeInterval,
+    fee: u32,
+}
+
+fn random_event(rng: &mut Rng) -> EventParams {
+    let start = rng.below(8) as i64 * 10;
+    let dur = 5 + rng.below(12) as i64;
+    EventParams {
+        capacity: 1 + rng.below(3) as u32,
+        location: Point::new(rng.below(30) as i32, rng.below(30) as i32),
+        time: TimeInterval::new(start, start + dur).expect("start < end by construction"),
+        fee: if rng.chance(10) { 1 + rng.below(4) as u32 } else { 0 },
+    }
+}
+
+fn random_mu(rng: &mut Rng) -> f32 {
+    // keep utilities comfortably inside (0, 1]
+    (0.05 + 0.95 * rng.unit()).min(1.0)
+}
+
+/// Generates a replayable trace from `cfg`. Identical configs produce
+/// byte-identical traces.
+pub fn generate_trace(cfg: &TraceGenConfig) -> MutationTrace {
+    let mut rng = Rng(cfg.seed ^ 0xd1b5_4a32_d192_ed03);
+    let nv = cfg.events.max(1);
+    let nu = cfg.users.max(1);
+
+    // starting instance, with its event parameters retained
+    let mut params: Vec<EventParams> = (0..nv).map(|_| random_event(&mut rng)).collect();
+    let mut b = InstanceBuilder::new();
+    for p in &params {
+        b.event(p.capacity, p.location, p.time);
+    }
+    for _ in 0..nu {
+        b.user(
+            Point::new(rng.below(30) as i32, rng.below(30) as i32),
+            Cost::new(20 + rng.below(120) as u32),
+        );
+    }
+    for (v, p) in params.iter().enumerate() {
+        if p.fee > 0 {
+            b.fee(EventId(v as u32), p.fee);
+        }
+        for u in 0..nu {
+            if rng.chance(55) {
+                b.utility(EventId(v as u32), UserId(u as u32), f64::from(random_mu(&mut rng)));
+            }
+        }
+    }
+    let instance = b.build().expect("generated parameters are always buildable");
+
+    // mirror of the engine's stable-id accounting; `params[i]` describes
+    // the event with stable id `live_events[i]`
+    let mut live_events: Vec<u32> = (0..nv as u32).collect();
+    let mut live_users: Vec<u32> = (0..nu as u32).collect();
+    let mut next_event = nv as u32;
+    let mut next_user = nu as u32;
+    let mut graveyard: Vec<EventParams> = Vec::new();
+
+    let mut mutations = Vec::with_capacity(cfg.mutations);
+    while mutations.len() < cfg.mutations {
+        let roll = rng.below(100);
+        let m = if roll < 18 {
+            // EventAdd — 1 in 3 resurrects a removed event's parameters
+            let p = if !graveyard.is_empty() && rng.chance(33) {
+                graveyard.swap_remove(rng.below(graveyard.len() as u64) as usize)
+            } else {
+                random_event(&mut rng)
+            };
+            let mut mu = Vec::new();
+            for &su in &live_users {
+                if rng.chance(55) {
+                    mu.push(MuEntry { id: su, mu: random_mu(&mut rng) });
+                }
+            }
+            live_events.push(next_event);
+            next_event += 1;
+            params.push(p.clone());
+            Mutation::EventAdd {
+                capacity: p.capacity,
+                location: p.location,
+                time: p.time,
+                fee: p.fee,
+                mu,
+            }
+        } else if roll < 32 {
+            // EventRemove — keep at least one event alive
+            if live_events.len() <= 1 {
+                continue;
+            }
+            let i = rng.below(live_events.len() as u64) as usize;
+            let stable = live_events.swap_remove(i);
+            graveyard.push(params.swap_remove(i));
+            Mutation::EventRemove { event: stable }
+        } else if roll < 52 {
+            // CapacityChange — half the time an aggressive shrink that
+            // can land below current attendance
+            let i = rng.below(live_events.len() as u64) as usize;
+            let capacity = if rng.chance(50) {
+                1 + rng.below(2) as u32
+            } else {
+                2 + rng.below(5) as u32
+            };
+            params[i].capacity = capacity;
+            Mutation::CapacityChange { event: live_events[i], capacity }
+        } else if roll < 64 {
+            // UserArrive
+            let mut mu = Vec::new();
+            for &sv in &live_events {
+                if rng.chance(55) {
+                    mu.push(MuEntry { id: sv, mu: random_mu(&mut rng) });
+                }
+            }
+            live_users.push(next_user);
+            next_user += 1;
+            Mutation::UserArrive {
+                location: Point::new(rng.below(30) as i32, rng.below(30) as i32),
+                budget: 20 + rng.below(120) as u32,
+                mu,
+            }
+        } else if roll < 74 {
+            // UserDepart — keep at least one user alive
+            if live_users.len() <= 1 {
+                continue;
+            }
+            let i = rng.below(live_users.len() as u64) as usize;
+            Mutation::UserDepart { user: live_users.swap_remove(i) }
+        } else {
+            // MuUpdate — 30% zeroing (evicts if the pair is assigned)
+            let sv = live_events[rng.below(live_events.len() as u64) as usize];
+            let su = live_users[rng.below(live_users.len() as u64) as usize];
+            let mu = if rng.chance(30) { 0.0 } else { random_mu(&mut rng) };
+            Mutation::MuUpdate { event: sv, user: su, mu }
+        };
+        mutations.push(m);
+    }
+
+    MutationTrace { seed: cfg.seed, instance, mutations }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_trace() {
+        let cfg = TraceGenConfig { seed: 7, mutations: 30, events: 5, users: 8 };
+        let a = generate_trace(&cfg);
+        let b = generate_trace(&cfg);
+        assert_eq!(a.instance, b.instance);
+        assert_eq!(a.mutations, b.mutations);
+        assert_eq!(a.len(), 30);
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let a = generate_trace(&TraceGenConfig { seed: 1, ..TraceGenConfig::default() });
+        let b = generate_trace(&TraceGenConfig { seed: 2, ..TraceGenConfig::default() });
+        assert_ne!(a.mutations, b.mutations);
+    }
+
+    #[test]
+    fn traces_cover_every_mutation_kind() {
+        let t = generate_trace(&TraceGenConfig { seed: 3, mutations: 200, events: 8, users: 10 });
+        let mut kinds: Vec<&str> = t.mutations.iter().map(|m| m.kind()).collect();
+        kinds.sort_unstable();
+        kinds.dedup();
+        assert_eq!(
+            kinds,
+            vec![
+                "capacity_change",
+                "event_add",
+                "event_remove",
+                "mu_update",
+                "user_arrive",
+                "user_depart"
+            ]
+        );
+    }
+}

@@ -1,0 +1,121 @@
+//! The typed mutation stream the delta engine consumes.
+//!
+//! Mutations address entities by **stable id**, not dense index: the
+//! engine swap-removes entities from the instance's dense arrays, so a
+//! dense index means different things before and after a removal. A
+//! stable id is assigned once (initial entities get `0..n` in dense
+//! order, later arrivals get the next counter value) and never reused,
+//! which makes a [`MutationTrace`] replayable from its serialized form
+//! alone — the journal in `usep-serve` and the repro files written by
+//! the fuzz harness both lean on this.
+
+use serde::{Deserialize, Serialize};
+use usep_core::{Instance, Point, TimeInterval};
+
+/// One sparse utility entry: `id` is the **stable** id of the
+/// counterpart entity (user for [`Mutation::EventAdd`], event for
+/// [`Mutation::UserArrive`]); omitted pairs default to `μ = 0`.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MuEntry {
+    /// Stable id of the counterpart entity.
+    pub id: u32,
+    /// Utility in `[0, 1]`.
+    pub mu: f32,
+}
+
+/// A single typed change to the live instance.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Mutation {
+    /// A new event opens for registration.
+    EventAdd {
+        /// Attendance cap (≥ 1).
+        capacity: u32,
+        /// Venue location on the grid.
+        location: Point,
+        /// When it runs.
+        time: TimeInterval,
+        /// Attendance fee folded into inbound travel legs (Remark 2).
+        fee: u32,
+        /// Sparse utility column over **stable user ids**.
+        mu: Vec<MuEntry>,
+    },
+    /// An event is cancelled; its attendees are released.
+    EventRemove {
+        /// Stable id of the event.
+        event: u32,
+    },
+    /// An event's capacity changes; shrinking below current attendance
+    /// evicts the most recently assigned attendees first.
+    CapacityChange {
+        /// Stable id of the event.
+        event: u32,
+        /// New capacity (≥ 1).
+        capacity: u32,
+    },
+    /// A new user registers.
+    UserArrive {
+        /// Where they start and return to.
+        location: Point,
+        /// Travel budget.
+        budget: u32,
+        /// Sparse utility row over **stable event ids**.
+        mu: Vec<MuEntry>,
+    },
+    /// A user deregisters; their assignments are released (no churn —
+    /// the demand left with them).
+    UserDepart {
+        /// Stable id of the user.
+        user: u32,
+    },
+    /// One `μ(v, u)` cell changes; dropping to 0 evicts the pair if
+    /// assigned (the μ > 0 constraint would otherwise be violated).
+    MuUpdate {
+        /// Stable id of the event.
+        event: u32,
+        /// Stable id of the user.
+        user: u32,
+        /// New utility in `[0, 1]`.
+        mu: f32,
+    },
+}
+
+impl Mutation {
+    /// Short kind tag, used in journals, counters and failure reports.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Mutation::EventAdd { .. } => "event_add",
+            Mutation::EventRemove { .. } => "event_remove",
+            Mutation::CapacityChange { .. } => "capacity_change",
+            Mutation::UserArrive { .. } => "user_arrive",
+            Mutation::UserDepart { .. } => "user_depart",
+            Mutation::MuUpdate { .. } => "mu_update",
+        }
+    }
+}
+
+/// A replayable scenario: a starting instance plus the mutation
+/// sequence applied to it. Serializes to self-contained JSON — the
+/// fuzz harness writes failing traces in this form and
+/// `usep delta --trace-in` replays them.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct MutationTrace {
+    /// Seed the generator derived this trace from (0 for hand-written
+    /// traces; informational only — replay never re-rolls).
+    pub seed: u64,
+    /// The instance as of the first mutation.
+    pub instance: Instance,
+    /// The mutations, in application order.
+    pub mutations: Vec<Mutation>,
+}
+
+impl MutationTrace {
+    /// Number of mutations in the trace.
+    pub fn len(&self) -> usize {
+        self.mutations.len()
+    }
+
+    /// Whether the trace has no mutations.
+    pub fn is_empty(&self) -> bool {
+        self.mutations.is_empty()
+    }
+}

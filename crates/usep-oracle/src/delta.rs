@@ -1,0 +1,68 @@
+//! Oracle-refereed delta fuzzing.
+//!
+//! `usep-delta` ships its own differential referee (constraint
+//! validity, patched-instance byte-identity, Ω-versus-cold-solve), but
+//! its validity check is the production [`Planning::validate`] — the
+//! code path the engine itself relies on. This module closes the loop
+//! the way the rest of the oracle does: it plugs the **independent**
+//! constraint validator of [`check_planning`] into the referee's
+//! external-check hook, so after every single mutation the incremental
+//! planning is re-derived from raw locations, intervals and fees by
+//! code that shares nothing with the incremental-cost machinery.
+//!
+//! Failures come back as kind-preserving minimized traces
+//! (self-contained JSON repros) — the same replayable-seed + greedy
+//! shrink workflow as [`run_fuzz`](crate::run_fuzz) and `usep-chaos`.
+//!
+//! [`Planning::validate`]: usep_core::Planning::validate
+
+use usep_delta::{run_delta_fuzz, DeltaEngine, DeltaFuzzConfig, DeltaFuzzReport};
+use usep_trace::Probe;
+
+use crate::oracle::check_planning;
+
+/// Per-step oracle hook for the delta referee: runs the independent
+/// constraint validator on the engine's live state and reports the
+/// first violation as an external failure.
+pub fn oracle_step_check(_step: usize, engine: &DeltaEngine) -> Option<String> {
+    let report = check_planning(engine.instance(), engine.planning(), &usep_trace::NOOP);
+    if report.is_valid() {
+        None
+    } else {
+        report
+            .violations
+            .first()
+            .map(|v| format!("oracle violation: {v:?}"))
+            .or_else(|| Some("oracle violation".to_string()))
+    }
+}
+
+/// [`run_delta_fuzz`] with the independent
+/// oracle validator wired into every step. This is what `usep delta
+/// --fuzz` and the CI `delta-fuzz` job run.
+pub fn run_oracle_delta_fuzz(cfg: &DeltaFuzzConfig, probe: &dyn Probe) -> DeltaFuzzReport {
+    run_delta_fuzz(cfg, probe, &oracle_step_check)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use usep_delta::{generate_trace, run_trace, RefereeConfig, TraceGenConfig};
+    use usep_trace::NOOP;
+
+    #[test]
+    fn oracle_hook_passes_on_clean_traces() {
+        let trace =
+            generate_trace(&TraceGenConfig { seed: 5, mutations: 20, events: 6, users: 8 });
+        let report =
+            run_trace(&trace, &RefereeConfig::default(), &NOOP, &oracle_step_check).unwrap();
+        assert_eq!(report.steps, 20);
+    }
+
+    #[test]
+    fn oracle_refereed_campaign_is_clean() {
+        let cfg = DeltaFuzzConfig { traces: 5, seed: 900, mutations: 15, ..Default::default() };
+        let report = run_oracle_delta_fuzz(&cfg, &NOOP);
+        assert!(report.findings.is_empty(), "findings: {:?}", report.findings);
+    }
+}

@@ -40,6 +40,7 @@
 #![warn(missing_docs)]
 
 pub mod corrupt;
+pub mod delta;
 pub mod differential;
 pub mod fuzz;
 pub mod metamorphic;
@@ -49,6 +50,7 @@ pub mod report;
 pub mod transform;
 
 pub use corrupt::{assign_unchecked, corrupt, Corruption};
+pub use delta::{oracle_step_check, run_oracle_delta_fuzz};
 pub use differential::{exact_applies, verify_instance};
 pub use fuzz::{run_fuzz, FuzzConfig, FuzzFinding, FuzzReport};
 pub use metamorphic::run_metamorphic;

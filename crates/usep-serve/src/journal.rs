@@ -15,6 +15,12 @@
 //!   a duplicate submission is answered from this record.
 //! * `ShardMeta{shard_id}` — the pre-frame identity stamp, kept so
 //!   journals written before the framed format replay unchanged.
+//! * `DeltaOpen` / `DeltaMutate` / `DeltaClose` — the delta-session
+//!   stream: an opened session's instance, its accepted mutations
+//!   (fsynced *before* the engine applies them, deduplicated on the
+//!   client's mutation id), and its close. A resumed server rebuilds
+//!   each open session's warm state by re-running the cold solve and
+//!   re-applying the journaled mutations in order.
 //!
 //! **Frame format.** Each line is
 //! `{"len":N,"crc":"xxxxxxxx","rec":<record>}` where `N` is the byte
@@ -45,6 +51,8 @@ use std::collections::BTreeMap;
 use std::io;
 use std::path::Path;
 use std::sync::Arc;
+use usep_core::Instance;
+use usep_delta::Mutation;
 
 /// One journal line.
 #[derive(Clone, Debug, Serialize, Deserialize)]
@@ -78,6 +86,35 @@ pub enum JournalRecord {
     Completed {
         /// The full response, so duplicate ids replay without solving.
         response: SolveResponse,
+    },
+    /// A delta session opened over this instance. Written (and
+    /// fsynced) *before* the warm state is built, so a resumed server
+    /// can rebuild the session by re-running the cold solve.
+    DeltaOpen {
+        /// Client-chosen session name.
+        session: String,
+        /// The full instance the session cold-solved.
+        instance: Arc<Instance>,
+        /// Drift fraction the session falls back to a full resolve at.
+        fallback_threshold: f64,
+    },
+    /// One mutation accepted into a delta session. Written (and
+    /// fsynced) *before* the engine applies it — the mutation id is
+    /// the exactly-once key: replay deduplicates on it, and a resumed
+    /// server re-applies the survivors in order to rebuild the warm
+    /// state deterministically.
+    DeltaMutate {
+        /// Owning session.
+        session: String,
+        /// Client-chosen exactly-once key.
+        mutation_id: String,
+        /// The typed mutation.
+        mutation: Mutation,
+    },
+    /// A delta session closed; its records stop replaying.
+    DeltaClose {
+        /// The closed session.
+        session: String,
     },
 }
 
@@ -196,6 +233,20 @@ impl Journal {
         for response in state.completed.values() {
             push(&JournalRecord::Completed { response: response.clone() })?;
         }
+        for (name, session) in &state.delta_sessions {
+            push(&JournalRecord::DeltaOpen {
+                session: name.clone(),
+                instance: Arc::clone(&session.instance),
+                fallback_threshold: session.fallback_threshold,
+            })?;
+            for (mutation_id, mutation) in &session.mutations {
+                push(&JournalRecord::DeltaMutate {
+                    session: name.clone(),
+                    mutation_id: mutation_id.clone(),
+                    mutation: mutation.clone(),
+                })?;
+            }
+        }
         self.io.replace(buf.as_bytes())
     }
 
@@ -204,6 +255,21 @@ impl Journal {
     pub fn len(&self) -> io::Result<u64> {
         self.io.len()
     }
+}
+
+/// One delta session as the journal remembers it: the opening
+/// instance plus the ordered, deduplicated mutation stream. Replaying
+/// the mutations through a fresh [`usep_delta::DeltaEngine`] rebuilds
+/// the dead server's warm state exactly (the engine is deterministic).
+#[derive(Clone, Debug)]
+pub struct DeltaSessionState {
+    /// The instance the session opened with.
+    pub instance: Arc<Instance>,
+    /// The session's fallback threshold at open.
+    pub fallback_threshold: f64,
+    /// `(mutation_id, mutation)` in acceptance order; duplicate ids
+    /// keep the first record, like every other journal family.
+    pub mutations: Vec<(String, Mutation)>,
 }
 
 /// The state a journal replays to.
@@ -229,6 +295,9 @@ pub struct JournalState {
     /// Compaction generation from the journal's header; 0 for legacy
     /// journals written before headers existed.
     pub generation: u64,
+    /// Open delta sessions by name: opening instance plus the ordered
+    /// mutation stream. Closed sessions do not replay.
+    pub delta_sessions: BTreeMap<String, DeltaSessionState>,
 }
 
 impl JournalState {
@@ -289,6 +358,28 @@ impl JournalState {
                 }
                 JournalRecord::Completed { response } => {
                     state.completed.entry(response.id.clone()).or_insert(response);
+                }
+                JournalRecord::DeltaOpen { session, instance, fallback_threshold } => {
+                    // duplicate opens keep the first (re-opening is the
+                    // client's idempotent retry, not a new session)
+                    state.delta_sessions.entry(session).or_insert(DeltaSessionState {
+                        instance,
+                        fallback_threshold,
+                        mutations: Vec::new(),
+                    });
+                }
+                JournalRecord::DeltaMutate { session, mutation_id, mutation } => {
+                    // a mutation for a session this journal never
+                    // opened (or already closed) has no state to act
+                    // on; dropping it is the only consistent replay
+                    if let Some(s) = state.delta_sessions.get_mut(&session) {
+                        if !s.mutations.iter().any(|(id, _)| *id == mutation_id) {
+                            s.mutations.push((mutation_id, mutation));
+                        }
+                    }
+                }
+                JournalRecord::DeltaClose { session } => {
+                    state.delta_sessions.remove(&session);
                 }
             }
         }
@@ -614,6 +705,63 @@ mod tests {
         let again = JournalState::replay(&path).unwrap();
         assert_eq!(again.completed["a"].status, Status::Complete);
         assert_eq!(again.pending.len(), 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn delta_sessions_replay_ordered_deduplicated_and_closed_sessions_vanish() {
+        let dir = tempdir("delta");
+        let path = dir.join("wal.jsonl");
+        let journal = Journal::open(&path).unwrap();
+        let instance = request("x").instance;
+        let open = |session: &str| JournalRecord::DeltaOpen {
+            session: session.to_string(),
+            instance: Arc::clone(&instance),
+            fallback_threshold: 0.3,
+        };
+        let mutate = |session: &str, id: &str, cap: u32| JournalRecord::DeltaMutate {
+            session: session.to_string(),
+            mutation_id: id.to_string(),
+            mutation: Mutation::CapacityChange { event: 0, capacity: cap },
+        };
+        journal.append(&open("live")).unwrap();
+        journal.append(&mutate("live", "m1", 2)).unwrap();
+        journal.append(&mutate("live", "m2", 5)).unwrap();
+        // duplicate id must keep the FIRST record (exactly-once)
+        journal.append(&mutate("live", "m1", 9)).unwrap();
+        // re-open of an existing session must not reset its stream
+        journal.append(&open("live")).unwrap();
+        // a whole second session, opened and closed
+        journal.append(&open("dead")).unwrap();
+        journal.append(&mutate("dead", "d1", 4)).unwrap();
+        journal.append(&JournalRecord::DeltaClose { session: "dead".to_string() }).unwrap();
+        // a mutation for a closed (or never-opened) session is inert
+        journal.append(&mutate("dead", "d2", 7)).unwrap();
+        journal.append(&mutate("ghost", "g1", 1)).unwrap();
+
+        let state = JournalState::replay(&path).unwrap();
+        assert_eq!(state.delta_sessions.len(), 1);
+        let live = &state.delta_sessions["live"];
+        assert_eq!(live.fallback_threshold, 0.3);
+        assert_eq!(
+            live.mutations
+                .iter()
+                .map(|(id, m)| match m {
+                    Mutation::CapacityChange { capacity, .. } => (id.as_str(), *capacity),
+                    other => panic!("unexpected {other:?}"),
+                })
+                .collect::<Vec<_>>(),
+            vec![("m1", 2), ("m2", 5)],
+            "acceptance order, first record wins per id"
+        );
+
+        // compaction carries the session snapshot across generations
+        journal.compact(&state).unwrap();
+        let after = JournalState::replay(&path).unwrap();
+        assert_eq!(after.generation, state.generation + 1);
+        assert_eq!(after.delta_sessions.len(), 1);
+        assert_eq!(after.delta_sessions["live"].mutations.len(), 2);
+        assert_eq!(after.delta_sessions["live"].instance, instance);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -35,6 +35,15 @@
 //!   snapshot, re-enqueues accepted-but-incomplete requests and
 //!   answers duplicate ids from the journaled completion cache
 //!   without re-solving.
+//! * **Delta sessions** ([`protocol::MutateRequest`]) — a
+//!   `{"verb":"mutate"}` control line opens a named warm
+//!   [`usep_delta::DeltaEngine`] session and streams typed mutations
+//!   (event add/remove, capacity change, user arrive/depart, μ
+//!   updates) through its bounded-repair path. Every accepted mutation
+//!   is journaled (fsynced) *before* it is applied and deduplicated on
+//!   its client-chosen mutation id, so a crashed server rebuilds every
+//!   session's warm state exactly on `--resume` and duplicate sends
+//!   answer the cached outcome — exactly-once, like solve ids.
 //! * **Observability plane** ([`obs`]) — a Prometheus-text `/metrics`
 //!   listener on its own port (`--metrics-addr`), request-scoped
 //!   tracing (every span under a solve carries the request id and
@@ -57,10 +66,11 @@ pub use admission::{Admission, ShedReason, Ticket};
 pub use backoff::RetryPolicy;
 pub use client::send_request;
 pub use io::{compact_tmp_path, crc32, JournalIo, StdIo};
-pub use journal::{Journal, JournalRecord, JournalState};
+pub use journal::{DeltaSessionState, Journal, JournalRecord, JournalState};
 pub use obs::ServeMetrics;
 pub use protocol::{
-    estimate_instance_bytes, ControlRequest, PhaseTimings, SolveRequest, SolveResponse, Status,
+    estimate_instance_bytes, ControlRequest, MutateRequest, MutateResponse, PhaseTimings,
+    SolveRequest, SolveResponse, Status,
 };
 pub use server::{
     solve_with_retry, solve_with_retry_observed, Server, ServerHandle, ServeConfig, SolveLimits,

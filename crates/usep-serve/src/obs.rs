@@ -267,6 +267,11 @@ impl ServeMetrics {
                 "Per-worker busy time inside fork-join sections, milliseconds.",
                 "par.worker_ms",
             ),
+            (
+                "usep_delta_touched_entities",
+                "Entities touched per delta-session mutation (bounded-repair work).",
+                usep_delta::TOUCHED_HISTOGRAM,
+            ),
         ] {
             let sink = Arc::clone(&sink);
             registry.histogram_fn(name, help, vec![], move || {

@@ -9,6 +9,7 @@
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 use usep_core::{Instance, Planning};
+use usep_delta::Mutation;
 
 /// A solve request, instance inline.
 ///
@@ -120,6 +121,144 @@ pub struct PhaseTimings {
 pub struct ControlRequest {
     /// `"dump"` dumps the flight recorder as one JSON line.
     pub verb: String,
+}
+
+/// One `{"verb":"mutate"}` line: the delta-session protocol multiplexed
+/// on the solve socket.
+///
+/// A session is a named warm [`usep_delta::DeltaEngine`] living inside
+/// the server. Exactly one of the operation fields is set per line:
+///
+/// * `open` — cold-solve this instance and keep the warm state under
+///   `session`. Idempotent: re-opening an existing session (e.g. after
+///   a client retry across a server crash + `--resume`) answers from
+///   the live session without re-solving.
+/// * `mutation` + `mutation_id` — apply one typed mutation through the
+///   bounded-repair path. The `mutation_id` is the exactly-once key:
+///   the mutation is journaled *before* it is applied, a duplicate id
+///   answers the cached outcome without re-applying, and a resumed
+///   server replays the journaled mutations in order to rebuild the
+///   warm state.
+/// * `query` — report the session's current Ω, drift and repair stats.
+/// * `close` — drop the session (journaled, so it stays closed across
+///   resume).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct MutateRequest {
+    /// Always `"mutate"` (the control-plane discriminator).
+    pub verb: String,
+    /// Client-chosen session name; the scope of all other fields.
+    pub session: String,
+    /// Open the session over this instance (cold solve + warm state).
+    #[serde(default)]
+    pub open: Option<Arc<Instance>>,
+    /// Drift fraction above which the engine abandons bounded repair
+    /// and re-solves cold; only read on `open`. Server default applies
+    /// when absent.
+    #[serde(default)]
+    pub fallback_threshold: Option<f64>,
+    /// Exactly-once key for `mutation`; required with it.
+    #[serde(default)]
+    pub mutation_id: Option<String>,
+    /// The typed mutation to apply.
+    #[serde(default)]
+    pub mutation: Option<Mutation>,
+    /// Report the session's current state without mutating it.
+    #[serde(default)]
+    pub query: bool,
+    /// Close the session.
+    #[serde(default)]
+    pub close: bool,
+}
+
+/// The reply to one [`MutateRequest`] line.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct MutateResponse {
+    /// Echo of the session name.
+    pub session: String,
+    /// Echo of the mutation's exactly-once key, when one was sent.
+    #[serde(default)]
+    pub mutation_id: Option<String>,
+    /// Whether the operation was accepted. A rejected *mutation*
+    /// (unknown entity, bad μ, …) leaves the warm state untouched and
+    /// reports its reason in `error`.
+    pub ok: bool,
+    /// Rejection reason when `ok` is false.
+    #[serde(default)]
+    pub error: Option<String>,
+    /// `"opened"`, `"repaired"`, `"fallback"`, `"replayed"`,
+    /// `"queried"` or `"closed"` — how the server satisfied the line.
+    #[serde(default)]
+    pub outcome: Option<String>,
+    /// Session Ω after the operation.
+    #[serde(default)]
+    pub omega: f64,
+    /// Drift fraction accrued since the last full solve.
+    #[serde(default)]
+    pub drift: f64,
+    /// Assignments in the session's current planning.
+    #[serde(default)]
+    pub assignments: u64,
+    /// Assignments released by this mutation.
+    #[serde(default)]
+    pub evicted: u64,
+    /// Assignments added by this mutation's repair pass.
+    #[serde(default)]
+    pub added: u64,
+    /// Entities touched by this mutation's bounded repair.
+    #[serde(default)]
+    pub touched: u64,
+    /// Mutations applied to the session so far (including this one).
+    #[serde(default)]
+    pub mutations: u64,
+    /// Of those, how many stayed on the bounded-repair path.
+    #[serde(default)]
+    pub repairs: u64,
+    /// Of those, how many fell back to a full cold resolve.
+    #[serde(default)]
+    pub fallbacks: u64,
+}
+
+impl MutateResponse {
+    /// A minimal accepted reply carrying the session echo and the
+    /// outcome tag; callers fill in the state fields.
+    pub fn accepted(session: impl Into<String>, outcome: &str) -> MutateResponse {
+        MutateResponse {
+            session: session.into(),
+            mutation_id: None,
+            ok: true,
+            error: None,
+            outcome: Some(outcome.to_string()),
+            omega: 0.0,
+            drift: 0.0,
+            assignments: 0,
+            evicted: 0,
+            added: 0,
+            touched: 0,
+            mutations: 0,
+            repairs: 0,
+            fallbacks: 0,
+        }
+    }
+
+    /// A rejection carrying only the session echo and the reason.
+    pub fn rejected(session: impl Into<String>, error: impl Into<String>) -> MutateResponse {
+        MutateResponse {
+            session: session.into(),
+            mutation_id: None,
+            ok: false,
+            error: Some(error.into()),
+            outcome: None,
+            omega: 0.0,
+            drift: 0.0,
+            assignments: 0,
+            evicted: 0,
+            added: 0,
+            touched: 0,
+            mutations: 0,
+            repairs: 0,
+            fallbacks: 0,
+        }
+    }
 }
 
 /// The reply to one [`SolveRequest`].
@@ -306,6 +445,55 @@ mod tests {
             serde_json::to_string(&tiny_instance()).unwrap()
         );
         assert!(serde_json::from_str::<ControlRequest>(&solve).is_err());
+    }
+
+    #[test]
+    fn mutate_lines_parse_with_each_operation_shape() {
+        let open = format!(
+            r#"{{"verb":"mutate","session":"s1","open":{}}}"#,
+            serde_json::to_string(&tiny_instance()).unwrap()
+        );
+        let req: MutateRequest = serde_json::from_str(&open).unwrap();
+        assert_eq!(req.session, "s1");
+        assert!(req.open.is_some() && req.mutation.is_none() && !req.query && !req.close);
+
+        let mutate = r#"{"verb":"mutate","session":"s1","mutation_id":"m1",
+            "mutation":{"CapacityChange":{"event":0,"capacity":3}}}"#;
+        let req: MutateRequest = serde_json::from_str(mutate).unwrap();
+        assert_eq!(req.mutation_id.as_deref(), Some("m1"));
+        assert!(matches!(
+            req.mutation,
+            Some(Mutation::CapacityChange { event: 0, capacity: 3 })
+        ));
+
+        let query: MutateRequest =
+            serde_json::from_str(r#"{"verb":"mutate","session":"s1","query":true}"#).unwrap();
+        assert!(query.query);
+        let close: MutateRequest =
+            serde_json::from_str(r#"{"verb":"mutate","session":"s1","close":true}"#).unwrap();
+        assert!(close.close);
+
+        // a mutate line is still a ControlRequest (that is how the
+        // server routes it off the solve path)
+        let ctl: ControlRequest = serde_json::from_str(mutate).unwrap();
+        assert_eq!(ctl.verb, "mutate");
+    }
+
+    #[test]
+    fn mutate_response_roundtrips() {
+        let mut resp = MutateResponse::rejected("s1", "unknown session");
+        assert!(!resp.ok);
+        resp.ok = true;
+        resp.error = None;
+        resp.outcome = Some("repaired".into());
+        resp.omega = 4.25;
+        resp.mutation_id = Some("m9".into());
+        let json = serde_json::to_string(&resp).unwrap();
+        let back: MutateResponse = serde_json::from_str(&json).unwrap();
+        assert!(back.ok);
+        assert_eq!(back.outcome.as_deref(), Some("repaired"));
+        assert_eq!(back.omega, 4.25);
+        assert_eq!(back.mutation_id.as_deref(), Some("m9"));
     }
 
     #[test]

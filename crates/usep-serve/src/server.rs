@@ -22,7 +22,8 @@ use crate::io::{JournalIo, StdIo};
 use crate::journal::{Journal, JournalRecord, JournalState};
 use crate::obs::ServeMetrics;
 use crate::protocol::{
-    estimate_instance_bytes, ControlRequest, PhaseTimings, SolveRequest, SolveResponse, Status,
+    estimate_instance_bytes, ControlRequest, MutateRequest, MutateResponse, PhaseTimings,
+    SolveRequest, SolveResponse, Status,
 };
 use std::io::{BufRead, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -33,6 +34,7 @@ use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 use usep_algos::{solve_guarded, Algorithm, GuardedSolver};
 use usep_core::Planning;
+use usep_delta::{DeltaConfig, DeltaEngine, Mutation, RepairKind};
 use usep_guard::{Guard, SolveBudget, SolveOutcome, TruncationReason};
 use usep_obs::http;
 use usep_trace::{json, Counter, Probe, RequestCtx, RequestProbe, TraceSink};
@@ -142,11 +144,22 @@ struct Job {
     admission_ms: f64,
 }
 
+/// One live delta session: the warm engine plus the exactly-once
+/// response cache keyed by mutation id. A duplicate mutation id —
+/// client retry, or a re-send across a crash + `--resume` — answers
+/// the cached outcome without touching the engine.
+struct DeltaSession {
+    engine: DeltaEngine,
+    applied: std::collections::BTreeMap<String, MutateResponse>,
+}
+
 struct Inner {
     cfg: ServeConfig,
     admission: Arc<Admission>,
     journal: Option<Journal>,
     completed: Mutex<std::collections::BTreeMap<String, SolveResponse>>,
+    /// Live delta sessions by name ({"verb":"mutate"} state).
+    delta: Mutex<std::collections::BTreeMap<String, DeltaSession>>,
     sink: Arc<TraceSink>,
     obs: Arc<ServeMetrics>,
     shutdown: AtomicBool,
@@ -252,7 +265,7 @@ impl Server {
             (None, Some(path)) => Some(Arc::new(StdIo::open(path)?)),
             (None, None) => None,
         };
-        let resumed_state = match (&journal_io, cfg.resume) {
+        let mut resumed_state = match (&journal_io, cfg.resume) {
             (Some(io), true) => match &cfg.shard_id {
                 Some(shard) => JournalState::replay_io_expecting(io.as_ref(), shard)?,
                 None => JournalState::replay_io(io.as_ref())?,
@@ -330,10 +343,39 @@ impl Server {
             }
         }
 
+        // Rebuild delta-session warm state from the journal: re-run
+        // each open session's cold solve, then re-apply its journaled
+        // mutations in acceptance order. The engine is deterministic,
+        // so the rebuilt warm state (and every cached per-mutation
+        // outcome) is exactly what the dead server held.
+        let mut delta_map = std::collections::BTreeMap::new();
+        for (name, s) in std::mem::take(&mut resumed_state.delta_sessions) {
+            let engine = DeltaEngine::new(
+                (*s.instance).clone(),
+                DeltaConfig { fallback_threshold: s.fallback_threshold },
+                &*sink,
+            );
+            let mut session = DeltaSession { engine, applied: Default::default() };
+            for (mutation_id, mutation) in &s.mutations {
+                apply_session_mutation(&name, &mut session, mutation_id, mutation, &*sink);
+            }
+            obs.recorder.record(
+                "delta_resume",
+                None,
+                format!(
+                    "session '{name}' rebuilt: {} journaled mutation(s) re-applied, Ω={:.3}",
+                    s.mutations.len(),
+                    session.engine.omega()
+                ),
+            );
+            delta_map.insert(name, session);
+        }
+
         let inner = Arc::new(Inner {
             admission,
             journal,
             completed: Mutex::new(resumed_state.completed.into_iter().collect()),
+            delta: Mutex::new(delta_map),
             sink,
             obs,
             shutdown: AtomicBool::new(false),
@@ -543,6 +585,13 @@ fn handle_connection(
                     obs.recorder.record("dump", None, "flight recorder dumped on request");
                     obs.recorder.dump_json()
                 }
+                "mutate" => {
+                    let response = match serde_json::from_str::<MutateRequest>(&line) {
+                        Ok(req) => handle_mutate(inner, req),
+                        Err(e) => MutateResponse::rejected("", format!("parse: {e}")),
+                    };
+                    serde_json::to_string(&response).unwrap_or_default()
+                }
                 other => serde_json::to_string(&SolveResponse::bare(
                     "",
                     Status::Rejected { error: format!("unknown verb '{other}'") },
@@ -671,6 +720,187 @@ fn handle_connection(
             Err(_) => break,
         }
     }
+}
+
+/// Snapshot reply for open/query/replayed-open: the session's current
+/// Ω, drift and lifetime repair stats, no per-mutation fields.
+fn session_snapshot(name: &str, session: &DeltaSession, outcome: &str) -> MutateResponse {
+    let stats = session.engine.stats();
+    MutateResponse {
+        omega: session.engine.omega(),
+        drift: session.engine.drift(),
+        assignments: session.engine.planning().num_assignments() as u64,
+        mutations: stats.mutations,
+        repairs: stats.repairs,
+        fallbacks: stats.fallbacks,
+        ..MutateResponse::accepted(name, outcome)
+    }
+}
+
+/// Applies one (already-journaled) mutation to a session's engine and
+/// caches the outcome under its exactly-once key. Shared between the
+/// live mutate path and journal replay at startup, so a resumed server
+/// rebuilds byte-identical cached responses.
+fn apply_session_mutation(
+    name: &str,
+    session: &mut DeltaSession,
+    mutation_id: &str,
+    mutation: &Mutation,
+    probe: &dyn Probe,
+) -> MutateResponse {
+    let response = match session.engine.apply(mutation, probe) {
+        Ok(out) => {
+            let outcome = match out.kind {
+                RepairKind::Repaired => "repaired",
+                RepairKind::Fallback => "fallback",
+            };
+            MutateResponse {
+                mutation_id: Some(mutation_id.to_string()),
+                evicted: out.evicted as u64,
+                added: out.added as u64,
+                touched: out.touched as u64,
+                ..session_snapshot(name, session, outcome)
+            }
+        }
+        // a rejected mutation leaves the warm state untouched; the
+        // rejection is still cached so a duplicate answers identically
+        Err(e) => MutateResponse {
+            mutation_id: Some(mutation_id.to_string()),
+            omega: session.engine.omega(),
+            drift: session.engine.drift(),
+            ..MutateResponse::rejected(name, format!("mutation rejected: {e}"))
+        },
+    };
+    session.applied.insert(mutation_id.to_string(), response.clone());
+    response
+}
+
+/// Serves one `{"verb":"mutate"}` line: journal first, engine second,
+/// exactly-once on the client's mutation id. Open and close are
+/// idempotent; a duplicate mutation id answers its cached outcome
+/// verbatim without touching the engine.
+fn handle_mutate(inner: &Inner, req: MutateRequest) -> MutateResponse {
+    let obs = &inner.obs;
+    let mut sessions = inner.delta.lock().unwrap_or_else(|p| p.into_inner());
+
+    if let Some(instance) = &req.open {
+        if let Some(session) = sessions.get(&req.session) {
+            // idempotent re-open: the client retrying across a crash
+            // finds its session already rebuilt from the journal
+            inner.sink.count(Counter::ServeReplay, 1);
+            obs.recorder.record(
+                "delta_open",
+                None,
+                format!("session '{}' already open; answered from live state", req.session),
+            );
+            return session_snapshot(&req.session, session, "replayed");
+        }
+        if let Err(e) = instance.validate() {
+            return MutateResponse::rejected(&req.session, format!("invalid instance: {e}"));
+        }
+        let threshold =
+            req.fallback_threshold.unwrap_or(DeltaConfig::default().fallback_threshold);
+        if let Err(e) = inner.journal_append(&JournalRecord::DeltaOpen {
+            session: req.session.clone(),
+            instance: Arc::clone(instance),
+            fallback_threshold: threshold,
+        }) {
+            inner.sink.count(Counter::ServeJournalFail, 1);
+            obs.failed_journal.fetch_add(1, Ordering::Relaxed);
+            obs.recorder.record("journal_fail", None, format!("delta open append: {e}"));
+            return MutateResponse::rejected(&req.session, format!("journal unavailable: {e}"));
+        }
+        let engine = DeltaEngine::new(
+            (**instance).clone(),
+            DeltaConfig { fallback_threshold: threshold },
+            &*inner.sink,
+        );
+        let session = DeltaSession { engine, applied: Default::default() };
+        let response = session_snapshot(&req.session, &session, "opened");
+        obs.recorder.record(
+            "delta_open",
+            None,
+            format!("session '{}' opened: Ω={:.3}", req.session, response.omega),
+        );
+        sessions.insert(req.session.clone(), session);
+        return response;
+    }
+
+    if req.close {
+        if let Err(e) =
+            inner.journal_append(&JournalRecord::DeltaClose { session: req.session.clone() })
+        {
+            inner.sink.count(Counter::ServeJournalFail, 1);
+            obs.failed_journal.fetch_add(1, Ordering::Relaxed);
+            obs.recorder.record("journal_fail", None, format!("delta close append: {e}"));
+            return MutateResponse::rejected(&req.session, format!("journal unavailable: {e}"));
+        }
+        let existed = sessions.remove(&req.session).is_some();
+        obs.recorder.record("delta_close", None, format!("session '{}' closed", req.session));
+        // closing an unknown session is the idempotent no-op a client
+        // retrying a lost close reply needs
+        return MutateResponse::accepted(&req.session, if existed { "closed" } else { "replayed" });
+    }
+
+    if let (Some(mutation_id), Some(mutation)) = (&req.mutation_id, &req.mutation) {
+        let Some(session) = sessions.get_mut(&req.session) else {
+            return MutateResponse::rejected(&req.session, "unknown session (open it first)");
+        };
+        if let Some(cached) = session.applied.get(mutation_id) {
+            // exactly-once: the duplicate answers the cached outcome
+            // verbatim, engine untouched
+            inner.sink.count(Counter::ServeReplay, 1);
+            obs.recorder.record(
+                "delta_replay",
+                Some(mutation_id),
+                "duplicate mutation answered from the exactly-once cache",
+            );
+            return cached.clone();
+        }
+        // WAL before apply: the mutation is durable before the engine
+        // sees it, so a crash between the two replays it on resume
+        if let Err(e) = inner.journal_append(&JournalRecord::DeltaMutate {
+            session: req.session.clone(),
+            mutation_id: mutation_id.clone(),
+            mutation: mutation.clone(),
+        }) {
+            inner.sink.count(Counter::ServeJournalFail, 1);
+            obs.failed_journal.fetch_add(1, Ordering::Relaxed);
+            obs.recorder.record("journal_fail", Some(mutation_id), format!("delta append: {e}"));
+            // NOT cached: the mutation never became durable, so a
+            // retry must get a fresh chance
+            return MutateResponse::rejected(&req.session, format!("journal unavailable: {e}"));
+        }
+        inner.sink.count(Counter::ServeMutate, 1);
+        let response =
+            apply_session_mutation(&req.session, session, mutation_id, mutation, &*inner.sink);
+        obs.recorder.record(
+            "mutate",
+            Some(mutation_id),
+            format!(
+                "session '{}': {} Ω={:.3} drift={:.3} evicted={} added={}",
+                req.session,
+                response.outcome.as_deref().unwrap_or("rejected"),
+                response.omega,
+                response.drift,
+                response.evicted,
+                response.added
+            ),
+        );
+        return response;
+    }
+
+    if req.query {
+        return match sessions.get(&req.session) {
+            Some(session) => session_snapshot(&req.session, session, "queried"),
+            None => MutateResponse::rejected(&req.session, "unknown session"),
+        };
+    }
+
+    MutateResponse::rejected(
+        &req.session,
+        "mutate needs one of: open, mutation + mutation_id, query, close",
+    )
 }
 
 /// Runs one job start to finish: fence, retry chain, journal, reply.

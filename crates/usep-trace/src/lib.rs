@@ -124,11 +124,21 @@ pub enum Counter {
     ChaosFault,
     /// One seeded chaos scenario executed end to end.
     ChaosScenario,
+    /// One typed mutation applied to a delta-solve engine.
+    DeltaMutation,
+    /// One mutation resolved by bounded repair (no full resolve).
+    DeltaRepair,
+    /// One drift-triggered fallback to a full cold resolve.
+    DeltaFallback,
+    /// One assignment evicted or unassigned during a delta repair.
+    DeltaEvict,
+    /// One `mutate`-family control verb handled by `usep-serve`.
+    ServeMutate,
 }
 
 impl Counter {
     /// Every counter, in registry order.
-    pub const ALL: [Counter; 35] = [
+    pub const ALL: [Counter; 40] = [
         Counter::HeapPush,
         Counter::HeapPop,
         Counter::HeapPopStale,
@@ -164,6 +174,11 @@ impl Counter {
         Counter::ServeJournalFail,
         Counter::ChaosFault,
         Counter::ChaosScenario,
+        Counter::DeltaMutation,
+        Counter::DeltaRepair,
+        Counter::DeltaFallback,
+        Counter::DeltaEvict,
+        Counter::ServeMutate,
     ];
 
     /// The stable snake_case identifier used in traces and tables.
@@ -204,6 +219,11 @@ impl Counter {
             Counter::ServeJournalFail => "serve_journal_fail",
             Counter::ChaosFault => "chaos_fault_injected",
             Counter::ChaosScenario => "chaos_scenario",
+            Counter::DeltaMutation => "delta_mutation",
+            Counter::DeltaRepair => "delta_repair",
+            Counter::DeltaFallback => "delta_fallback",
+            Counter::DeltaEvict => "delta_evict",
+            Counter::ServeMutate => "serve_mutate",
         }
     }
 }

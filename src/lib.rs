@@ -42,6 +42,7 @@
 
 pub use usep_algos as algos;
 pub use usep_core as core;
+pub use usep_delta as delta;
 pub use usep_gen as gen;
 pub use usep_guard as guard;
 pub use usep_metrics as metrics;
